@@ -1,0 +1,326 @@
+(* spp — command-line front end.
+
+   Subcommands:
+     gen       generate an instance (random/adversarial/pipeline) to stdout
+     pack      pack a precedence instance with a chosen algorithm
+     aptas     run the release-time APTAS
+     bounds    print the lower bounds of an instance
+     exact     exact/reference solutions for small instances
+     simulate  pack and execute on the simulated FPGA, print a Gantt chart *)
+
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Prng = Spp_util.Prng
+module I = Spp_core.Instance
+module Io = Spp_core.Io
+module Validate = Spp_core.Validate
+open Cmdliner
+
+let read_instance path =
+  try Io.read_file path with
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let require_prec path =
+  match read_instance path with
+  | Io.Prec inst -> inst
+  | Io.Release _ ->
+    Printf.eprintf "error: %s is a release-time instance; this command needs a precedence one\n"
+      path;
+    exit 1
+
+let require_release path =
+  match read_instance path with
+  | Io.Release inst -> inst
+  | Io.Prec _ ->
+    Printf.eprintf "error: %s is a precedence instance; this command needs a release-time one\n"
+      path;
+    exit 1
+
+let rat_arg =
+  let parse s = try Ok (Q.of_string s) with _ -> Error (`Msg (Printf.sprintf "bad rational %S" s)) in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Q.to_string v))
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      required
+      & opt (some (enum
+                     [ ("random-prec", `Random_prec); ("random-uniform", `Random_uniform);
+                       ("random-release", `Random_release); ("fig1", `Fig1); ("fig2", `Fig2);
+                       ("jpeg", `Jpeg); ("packet", `Packet) ])) None
+      & info [ "kind" ] ~doc:"Workload kind.")
+  in
+  let n = Arg.(value & opt int 20 & info [ "size" ] ~doc:"Number of rectangles (random kinds).") in
+  let k = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"FPGA columns / width granularity.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let param =
+    Arg.(value & opt int 4 & info [ "param" ] ~doc:"Family parameter: fig1/fig2 k, jpeg blocks, packet flows.")
+  in
+  let run kind n k seed param =
+    let rng = Prng.create seed in
+    let out =
+      match kind with
+      | `Random_prec ->
+        Io.prec_to_string
+          (Spp_workloads.Generators.random_prec rng ~n ~k ~h_den:4 ~shape:`Series_parallel)
+      | `Random_uniform ->
+        Io.prec_to_string (Spp_workloads.Generators.random_uniform_prec rng ~n ~k ~shape:`Layered)
+      | `Random_release ->
+        Io.release_to_string
+          (Spp_workloads.Generators.random_release rng ~n ~k ~h_den:4 ~r_den:2 ~load:1.3)
+      | `Fig1 -> Io.prec_to_string (Spp_workloads.Adversarial.fig1 ~k:param ~eps_den:1000)
+      | `Fig2 -> Io.prec_to_string (Spp_workloads.Adversarial.fig2 ~k:param ~eps_den:1000)
+      | `Jpeg -> Io.prec_to_string (Spp_workloads.Generators.jpeg_pipeline ~blocks:param ~k)
+      | `Packet -> Io.prec_to_string (Spp_workloads.Generators.packet_pipeline ~flows:param ~k)
+    in
+    print_string out
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate an instance to stdout")
+    Term.(const run $ kind $ n $ k $ seed $ param)
+
+(* ------------------------------------------------------------------ *)
+(* pack *)
+
+let alg_enum =
+  [ ("dc", `Dc); ("f", `F); ("pff", `Pff); ("wave", `Wave); ("ls", `Ls); ("nfdh", `Nfdh);
+    ("ffdh", `Ffdh); ("bfdh", `Bfdh); ("bl", `Bl) ]
+
+let pack_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let alg =
+    Arg.(value & opt (enum alg_enum) `Dc
+         & info [ "alg" ] ~doc:"Algorithm: dc, f (uniform next-fit), pff, wave, ls, nfdh, ffdh, bfdh, bl.")
+  in
+  let render = Arg.(value & flag & info [ "render" ] ~doc:"Print an ASCII picture of the packing.") in
+  let svg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~doc:"Also write the packing as an SVG file.")
+  in
+  let run file alg render_flag svg_path =
+    let inst = require_prec file in
+    let p =
+      match alg with
+      | `Dc -> fst (Spp_core.Dc.pack inst)
+      | `F -> fst (Spp_core.Uniform.next_fit_shelf inst)
+      | `Pff -> fst (Spp_core.Uniform.prec_first_fit inst)
+      | `Wave -> fst (Spp_core.Uniform.wave_ffd inst)
+      | `Ls -> Spp_core.List_schedule.prec inst
+      | `Nfdh -> Spp_pack.Level.nfdh inst.rects
+      | `Ffdh -> Spp_pack.Level.ffdh inst.rects
+      | `Bfdh -> Spp_pack.Level.bfdh inst.rects
+      | `Bl -> Spp_pack.Bottom_left.pack inst.rects
+    in
+    (match alg with
+     | `Nfdh | `Ffdh | `Bfdh | `Bl ->
+       (* Unconstrained baselines ignore the DAG; say so rather than lie. *)
+       if Spp_dag.Dag.num_edges inst.dag > 0 then
+         Printf.eprintf "note: %d precedence edges ignored by this baseline\n"
+           (Spp_dag.Dag.num_edges inst.dag)
+     | _ ->
+       (match Validate.check_prec inst p with
+        | [] -> ()
+        | v :: _ ->
+          Printf.eprintf "BUG: invalid packing: %s\n" (Format.asprintf "%a" Validate.pp_violation v);
+          exit 3));
+    print_string (Io.placement_to_string p);
+    if render_flag then print_endline (Spp_geom.Render.render p);
+    Option.iter (fun path -> Spp_geom.Svg.save path p) svg_path
+  in
+  Cmd.v (Cmd.info "pack" ~doc:"Pack a precedence instance")
+    Term.(const run $ file $ alg $ render $ svg)
+
+(* ------------------------------------------------------------------ *)
+(* aptas *)
+
+let aptas_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let eps = Arg.(value & opt rat_arg Q.one & info [ "eps" ] ~doc:"Accuracy parameter (rational).") in
+  let solver =
+    Arg.(value & opt (enum [ ("enumerate", `Enumerate); ("colgen", `Column_generation) ]) `Enumerate
+         & info [ "solver" ] ~doc:"Configuration LP solver: enumerate or colgen.")
+  in
+  let run file eps solver =
+    let inst = require_release file in
+    let res = Spp_core.Aptas.solve ~solver ~epsilon:eps inst in
+    (match Validate.check_release inst res.Spp_core.Aptas.placement with
+     | [] -> ()
+     | v :: _ ->
+       Printf.eprintf "BUG: invalid packing: %s\n" (Format.asprintf "%a" Validate.pp_violation v);
+       exit 3);
+    Printf.printf "height       %s\n" (Q.to_string res.Spp_core.Aptas.height);
+    Printf.printf "fractional   %s\n" (Q.to_string res.Spp_core.Aptas.fractional_height);
+    Printf.printf "lower bound  %s\n" (Q.to_string res.Spp_core.Aptas.lower_bound);
+    Printf.printf "ratio        %.4f\n"
+      (Q.to_float res.Spp_core.Aptas.height /. Q.to_float res.Spp_core.Aptas.lower_bound);
+    Printf.printf "occurrences  %d (cap %d)\n" res.Spp_core.Aptas.occurrences
+      res.Spp_core.Aptas.max_occurrences;
+    Printf.printf "configs      %d, widths %d, phases %d (R=%d, W=%d)\n"
+      res.Spp_core.Aptas.num_configs res.Spp_core.Aptas.num_widths res.Spp_core.Aptas.num_phases
+      res.Spp_core.Aptas.r_param res.Spp_core.Aptas.w_param;
+    print_string (Io.placement_to_string res.Spp_core.Aptas.placement)
+  in
+  Cmd.v (Cmd.info "aptas" ~doc:"Run the release-time APTAS (Algorithm 2)")
+    Term.(const run $ file $ eps $ solver)
+
+(* ------------------------------------------------------------------ *)
+(* bounds *)
+
+let bounds_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match read_instance file with
+    | Io.Prec inst ->
+      Printf.printf "n              %d\n" (I.Prec.size inst);
+      Printf.printf "edges          %d\n" (Spp_dag.Dag.num_edges inst.dag);
+      Printf.printf "AREA(S)        %s\n" (Q.to_string (Spp_core.Lower_bounds.area inst));
+      Printf.printf "F(S)           %s\n" (Q.to_string (Spp_core.Lower_bounds.critical_path inst));
+      Printf.printf "LB = max       %s\n" (Q.to_string (Spp_core.Lower_bounds.prec inst));
+      Printf.printf "DC bound       %.4f  (log2(n+1)*F + 2*AREA)\n" (Spp_core.Dc.theorem_2_3_bound inst)
+    | Io.Release inst ->
+      Printf.printf "n              %d\n" (I.Release.size inst);
+      Printf.printf "K              %d\n" inst.k;
+      Printf.printf "max release    %s\n" (Q.to_string (I.Release.max_release inst));
+      Printf.printf "LB             %s\n" (Q.to_string (Spp_core.Lower_bounds.release inst))
+  in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print instance lower bounds") Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* exact *)
+
+let exact_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match read_instance file with
+    | Io.Prec inst ->
+      (match Spp_core.Uniform.uniform_height inst with
+       | Some _ when I.Prec.size inst <= 20 ->
+         Printf.printf "exact height (uniform DP)  %s\n"
+           (Q.to_string (Spp_exact.Prec_binpack.min_height inst))
+       | _ -> ());
+      if I.Prec.size inst <= 10 then begin
+        let out = Spp_exact.Order_search.best_prec inst in
+        Printf.printf "best bottom-left height    %s  (%d nodes searched)\n"
+          (Q.to_string out.Spp_exact.Order_search.height) out.Spp_exact.Order_search.nodes_expanded
+      end
+      else Printf.printf "instance too large for the exact reference solvers (n > 10)\n"
+    | Io.Release inst ->
+      if I.Release.size inst <= 10 then begin
+        let out = Spp_exact.Order_search.best_release inst in
+        Printf.printf "best bottom-left height    %s  (%d nodes searched)\n"
+          (Q.to_string out.Spp_exact.Order_search.height) out.Spp_exact.Order_search.nodes_expanded
+      end
+      else Printf.printf "instance too large for the exact reference solvers (n > 10)\n"
+  in
+  Cmd.v (Cmd.info "exact" ~doc:"Exact / reference solutions for small instances")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let columns = Arg.(value & opt int 8 & info [ "columns" ] ~doc:"Device columns K.") in
+  let delay =
+    Arg.(value & opt rat_arg Q.zero & info [ "reconfig-delay" ] ~doc:"Per-column reconfiguration delay.")
+  in
+  let run file columns delay =
+    let inst = require_prec file in
+    let p, _ = Spp_core.Dc.pack inst in
+    let dev = Spp_fpga.Device.make ~columns ~reconfig_delay:delay () in
+    match Spp_fpga.Schedule.of_placement ~device:dev p with
+    | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | sched ->
+      let rep = Spp_fpga.Sim.run ~dag:inst.dag sched in
+      Printf.printf "makespan        %s\n" (Q.to_string rep.Spp_fpga.Sim.makespan);
+      Printf.printf "utilisation     %.3f\n" rep.Spp_fpga.Sim.utilisation;
+      Printf.printf "reconfigs       %d\n" rep.Spp_fpga.Sim.reconfigurations;
+      (match rep.Spp_fpga.Sim.violations with
+       | [] -> Printf.printf "violations      none\n"
+       | vs ->
+         Printf.printf "violations      %d\n" (List.length vs);
+         List.iter (fun v -> Printf.printf "  %s\n" (Format.asprintf "%a" Spp_fpga.Sim.pp_violation v)) vs);
+      print_endline (Spp_fpga.Sim.gantt sched)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Pack with DC and execute on the simulated FPGA")
+    Term.(const run $ file $ columns $ delay)
+
+(* ------------------------------------------------------------------ *)
+(* online *)
+
+let online_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let policy =
+    Arg.(value & opt (enum [ ("earliest", `Earliest); ("leftmost", `Leftmost) ]) `Earliest
+         & info [ "policy" ] ~doc:"Column-allocation policy: earliest or leftmost.")
+  in
+  let run file policy =
+    let inst = require_release file in
+    let dev = Spp_fpga.Device.make ~columns:inst.I.Release.k () in
+    let arrivals = Spp_fpga.Online.arrivals_of_release inst in
+    let sched = Spp_fpga.Online.schedule dev policy arrivals in
+    let release id = I.Release.release inst id in
+    let rep = Spp_fpga.Sim.run ~release sched in
+    (match rep.Spp_fpga.Sim.violations with
+     | [] -> ()
+     | v :: _ ->
+       Printf.eprintf "BUG: invalid schedule: %s\n" (Format.asprintf "%a" Spp_fpga.Sim.pp_violation v);
+       exit 3);
+    Printf.printf "makespan     %s\n" (Q.to_string rep.Spp_fpga.Sim.makespan);
+    Printf.printf "utilisation  %.3f\n" rep.Spp_fpga.Sim.utilisation;
+    print_endline (Spp_fpga.Sim.gantt sched)
+  in
+  Cmd.v (Cmd.info "online" ~doc:"Schedule a release-time instance online (FPGA OS view)")
+    Term.(const run $ file $ policy)
+
+(* ------------------------------------------------------------------ *)
+(* verify *)
+
+let verify_cmd =
+  let inst_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE") in
+  let placement_file = Arg.(required & pos 1 (some file) None & info [] ~docv:"PLACEMENT") in
+  let run inst_file placement_file =
+    let parsed = read_instance inst_file in
+    let rects =
+      match parsed with Io.Prec inst -> inst.I.Prec.rects | Io.Release inst -> I.Release.rects inst
+    in
+    let placement =
+      try Io.read_placement_file ~rects placement_file with
+      | Failure msg | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let violations =
+      match parsed with
+      | Io.Prec inst -> Validate.check_prec inst placement
+      | Io.Release inst -> Validate.check_release inst placement
+    in
+    match violations with
+    | [] ->
+      Printf.printf "VALID  height %s\n" (Q.to_string (Placement.height placement))
+    | vs ->
+      Printf.printf "INVALID  %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Printf.printf "  %s\n" (Format.asprintf "%a" Validate.pp_violation v)) vs;
+      exit 4
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check a placement file against an instance (exit 0 iff valid)")
+    Term.(const run $ inst_file $ placement_file)
+
+let () =
+  let doc = "strip packing with precedence constraints and release times (Augustine-Banerjee-Irani)" in
+  let info = Cmd.info "spp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; pack_cmd; aptas_cmd; bounds_cmd; exact_cmd; simulate_cmd; online_cmd;
+            verify_cmd ]))

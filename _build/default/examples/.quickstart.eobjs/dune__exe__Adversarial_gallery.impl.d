@@ -1,0 +1,1 @@
+examples/adversarial_gallery.ml: Float Printf Spp_core Spp_exact Spp_geom Spp_num Spp_workloads

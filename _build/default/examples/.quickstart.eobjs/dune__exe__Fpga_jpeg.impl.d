@@ -1,0 +1,1 @@
+examples/fpga_jpeg.ml: Format List Printf Spp_core Spp_fpga Spp_geom Spp_num Spp_workloads

@@ -1,0 +1,1 @@
+examples/online_os.ml: List Printf Spp_core Spp_fpga Spp_num Spp_util Spp_workloads

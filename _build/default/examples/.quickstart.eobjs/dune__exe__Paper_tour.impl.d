@@ -1,0 +1,1 @@
+examples/paper_tour.ml: Array List Printf Spp_core Spp_dag Spp_exact Spp_fpga Spp_geom Spp_num Spp_util Spp_workloads String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Spp_core Spp_dag Spp_exact Spp_geom Spp_num

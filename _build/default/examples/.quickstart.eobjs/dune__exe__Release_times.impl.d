@@ -1,0 +1,1 @@
+examples/release_times.ml: List Printf Spp_core Spp_geom Spp_num Spp_util Spp_workloads

@@ -1,0 +1,42 @@
+(* Adversarial gallery: the paper's two lower-bound constructions, drawn.
+
+   Figure 1 (Lemma 2.4): k chains of tall rectangles interleaved with
+   full-width slivers; both simple lower bounds stay near 1 but any packing
+   needs height ~ k/2 — so no analysis based on AREA and F alone can beat
+   O(log n) for DC.
+
+   Figure 2 (Lemma 2.7): 2k wide rectangles before a chain of k narrow
+   ones, all unit height; OPT = 3k while the bounds give ~ k, so 3 is the
+   natural barrier for the uniform-height case.
+
+   Run with:  dune exec examples/adversarial_gallery.exe *)
+
+module Q = Spp_num.Rat
+module Placement = Spp_geom.Placement
+module I = Spp_core.Instance
+
+let show name inst =
+  let area = Spp_core.Lower_bounds.area inst in
+  let f = Spp_core.Lower_bounds.critical_path inst in
+  let p, _ = Spp_core.Dc.pack inst in
+  (match Spp_core.Validate.check_prec inst p with [] -> () | _ -> failwith "invalid");
+  let h = Placement.height p in
+  Printf.printf "\n=== %s ===\n" name;
+  Printf.printf "n = %d, AREA = %.3f, F = %.3f, DC height = %.3f, gap = %.2fx\n"
+    (I.Prec.size inst) (Q.to_float area) (Q.to_float f) (Q.to_float h)
+    (Q.to_float h /. Float.max (Q.to_float area) (Q.to_float f));
+  print_endline (Spp_geom.Render.render ~cols:56 ~max_rows:24 p)
+
+let () =
+  show "Figure 1 family, k = 4 (n = 30)" (Spp_workloads.Adversarial.fig1 ~k:4 ~eps_den:100);
+  show "Figure 2 family, k = 3 (n = 9)" (Spp_workloads.Adversarial.fig2 ~k:3 ~eps_den:64);
+
+  (* Figure 2's point made exact: compare the exact optimum (via the
+     precedence bin-packing DP) to the lower bounds. *)
+  let inst = Spp_workloads.Adversarial.fig2 ~k:3 ~eps_den:64 in
+  let opt = Spp_exact.Prec_binpack.min_height inst in
+  Printf.printf "Figure 2, k = 3: exact OPT = %s while max(AREA, F) = %s -> ratio %.2f\n"
+    (Q.to_string opt)
+    (Q.to_string (Spp_core.Lower_bounds.prec inst))
+    (Q.to_float opt /. Q.to_float (Spp_core.Lower_bounds.prec inst));
+  print_endline "As k grows this ratio approaches 3 (see bench e3)."

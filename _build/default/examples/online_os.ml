@@ -1,0 +1,44 @@
+(* An FPGA "operating system" processing an online task stream.
+
+   Tasks arrive over time (the release-time model of Section 3). An online
+   scheduler must place each task on contiguous columns as it arrives; the
+   offline APTAS sees the whole future and provides both a near-optimal
+   schedule and a certified lower bound, quantifying the price of being
+   online.
+
+   Run with:  dune exec examples/online_os.exe *)
+
+module Q = Spp_num.Rat
+module I = Spp_core.Instance
+
+let () =
+  let k = 4 in
+  let rng = Spp_util.Prng.create 77 in
+  let inst = Spp_workloads.Generators.random_release rng ~n:20 ~k ~h_den:4 ~r_den:2 ~load:1.2 in
+  Printf.printf "Task stream: %d tasks over [0, %s] on a %d-column device\n\n"
+    (I.Release.size inst)
+    (Q.to_string (I.Release.max_release inst))
+    k;
+
+  let dev = Spp_fpga.Device.make ~columns:k () in
+  let arrivals = Spp_fpga.Online.arrivals_of_release inst in
+  let release id = I.Release.release inst id in
+
+  List.iter
+    (fun (name, policy) ->
+      let sched = Spp_fpga.Online.schedule dev policy arrivals in
+      let rep = Spp_fpga.Sim.run ~release sched in
+      assert (rep.Spp_fpga.Sim.violations = []);
+      Printf.printf "%-22s makespan %-8s utilisation %.1f%%\n" name
+        (Q.to_string rep.Spp_fpga.Sim.makespan)
+        (rep.Spp_fpga.Sim.utilisation *. 100.0);
+      if policy = `Earliest then print_endline (Spp_fpga.Sim.gantt ~time_cols:56 sched))
+    [ ("online (Earliest)", `Earliest); ("online (Leftmost)", `Leftmost) ];
+
+  Printf.printf "\nOffline reference (Algorithm 2, epsilon = 1):\n";
+  let res = Spp_core.Aptas.solve ~epsilon:Q.one inst in
+  assert (Spp_core.Validate.is_valid_release inst res.Spp_core.Aptas.placement);
+  Printf.printf "  APTAS height          %s\n" (Q.to_string res.Spp_core.Aptas.height);
+  Printf.printf "  certified lower bound %s  — no schedule, online or offline,\n"
+    (Q.to_string res.Spp_core.Aptas.lower_bound);
+  print_endline "  can beat this bound; the gap above it is the price of being online."

@@ -1,0 +1,58 @@
+(* Quickstart: build a small precedence-constrained instance by hand, pack
+   it with the paper's DC algorithm (Algorithm 1), validate, and draw it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+module I = Spp_core.Instance
+
+let () =
+  (* Five tasks of a tiny video filter: load -> {blur, sharpen} -> merge ->
+     encode. Width = fraction of the device, height = execution time. *)
+  let q = Q.of_ints in
+  let rects =
+    [
+      Rect.make ~id:0 ~w:(q 1 2) ~h:(q 1 2) (* load *);
+      Rect.make ~id:1 ~w:(q 1 4) ~h:(q 3 2) (* blur *);
+      Rect.make ~id:2 ~w:(q 1 2) ~h:Q.one (* sharpen *);
+      Rect.make ~id:3 ~w:(q 3 4) ~h:(q 1 2) (* merge *);
+      Rect.make ~id:4 ~w:Q.one ~h:(q 1 4) (* encode *);
+    ]
+  in
+  let dag =
+    Dag.of_edges ~nodes:[ 0; 1; 2; 3; 4 ]
+      ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ]
+  in
+  let inst = I.Prec.make rects dag in
+
+  Printf.printf "Instance: %d tasks, %d precedence edges\n" (I.Prec.size inst)
+    (Dag.num_edges inst.dag);
+  Printf.printf "Lower bounds: AREA = %s, critical path F = %s\n"
+    (Q.to_string (Spp_core.Lower_bounds.area inst))
+    (Q.to_string (Spp_core.Lower_bounds.critical_path inst));
+
+  (* Pack with DC (Theorem 2.3: height <= (2 + log2(n+1)) * OPT). *)
+  let placement, stats = Spp_core.Dc.pack inst in
+  Printf.printf "\nDC packed to height %s (%d recursion levels, %d A-bands)\n"
+    (Q.to_string (Placement.height placement))
+    stats.Spp_core.Dc.levels stats.Spp_core.Dc.mid_calls;
+
+  (* Independent validation: geometry + precedence. *)
+  (match Spp_core.Validate.check_prec inst placement with
+   | [] -> print_endline "Validator: packing is valid."
+   | vs ->
+     List.iter
+       (fun v -> Format.printf "VIOLATION: %a@." Spp_core.Validate.pp_violation v)
+       vs;
+     exit 1);
+
+  (* The exact reference for an instance this small. *)
+  let best = Spp_exact.Order_search.best_prec inst in
+  Printf.printf "Best bottom-left reference height: %s\n"
+    (Q.to_string best.Spp_exact.Order_search.height);
+
+  print_endline "\nPacking (time flows upward, width is the strip):";
+  print_endline (Spp_geom.Render.render ~cols:48 placement)

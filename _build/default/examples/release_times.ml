@@ -1,0 +1,52 @@
+(* Strip packing with release times: an FPGA operating system receiving
+   tasks over time (the Section 3 scenario).
+
+   Tasks arrive as a Poisson-like process; we run the paper's APTAS
+   (Algorithm 2) at two accuracies and compare against greedy list
+   scheduling, showing the certified lower bound the LP provides.
+
+   Run with:  dune exec examples/release_times.exe *)
+
+module Q = Spp_num.Rat
+module Placement = Spp_geom.Placement
+module I = Spp_core.Instance
+
+let () =
+  let k = 2 in
+  let rng = Spp_util.Prng.create 2024 in
+  let inst = Spp_workloads.Generators.random_release rng ~n:24 ~k ~h_den:4 ~r_den:2 ~load:1.4 in
+  Printf.printf "Workload: %d tasks arriving over [0, %s] on a %d-column device\n"
+    (I.Release.size inst)
+    (Q.to_string (I.Release.max_release inst))
+    k;
+
+  let baseline = Spp_core.List_schedule.release inst in
+  (match Spp_core.Validate.check_release inst baseline with
+   | [] -> ()
+   | _ -> failwith "baseline invalid");
+  Printf.printf "\nGreedy list schedule height      : %s\n"
+    (Q.to_string (Placement.height baseline));
+
+  List.iter
+    (fun (label, eps) ->
+      let res = Spp_core.Aptas.solve ~epsilon:eps inst in
+      (match Spp_core.Validate.check_release inst res.Spp_core.Aptas.placement with
+       | [] -> ()
+       | _ -> failwith "APTAS invalid");
+      Printf.printf "\nAPTAS with epsilon = %s\n" label;
+      Printf.printf "  height                 : %s\n" (Q.to_string res.Spp_core.Aptas.height);
+      Printf.printf "  fractional LP optimum  : %s  (on the reduced instance P(R,W))\n"
+        (Q.to_string res.Spp_core.Aptas.fractional_height);
+      Printf.printf "  certified lower bound  : %s  (so OPT >= this)\n"
+        (Q.to_string res.Spp_core.Aptas.lower_bound);
+      Printf.printf "  height vs lower bound  : %.3fx\n"
+        (Q.to_float res.Spp_core.Aptas.height /. Q.to_float res.Spp_core.Aptas.lower_bound);
+      Printf.printf "  LP size                : %d configs x %d phases; %d occurrences used (cap %d)\n"
+        res.Spp_core.Aptas.num_configs res.Spp_core.Aptas.num_phases
+        res.Spp_core.Aptas.occurrences res.Spp_core.Aptas.max_occurrences)
+    [ ("1", Q.one); ("1/2", Q.of_ints 1 2) ];
+
+  (* Show the front of the APTAS packing. *)
+  let res = Spp_core.Aptas.solve ~epsilon:Q.one inst in
+  print_endline "\nAPTAS packing (time flows upward):";
+  print_endline (Spp_geom.Render.render ~cols:48 ~max_rows:32 res.Spp_core.Aptas.placement)

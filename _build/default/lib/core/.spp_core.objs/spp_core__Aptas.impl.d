@@ -1,0 +1,1 @@
+lib/core/aptas.ml: Array Config_colgen Config_lp Grouping Hashtbl Instance List Lower_bounds Spp_geom Spp_num Spp_pack Spp_util

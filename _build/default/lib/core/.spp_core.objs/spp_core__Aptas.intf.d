@@ -1,0 +1,1 @@
+lib/core/aptas.mli: Instance Spp_geom Spp_num

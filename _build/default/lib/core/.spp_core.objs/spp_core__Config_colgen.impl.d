@@ -1,0 +1,1 @@
+lib/core/config_colgen.ml: Array Config_lp Grouping Hashtbl Instance List Printf Spp_geom Spp_lp Spp_num Spp_pack

@@ -1,0 +1,1 @@
+lib/core/config_colgen.mli: Config_lp Instance

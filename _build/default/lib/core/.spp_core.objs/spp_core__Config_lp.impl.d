@@ -1,0 +1,1 @@
+lib/core/config_lp.ml: Array Grouping Instance List Printf Spp_geom Spp_lp Spp_num

@@ -1,0 +1,1 @@
+lib/core/config_lp.mli: Instance Spp_num

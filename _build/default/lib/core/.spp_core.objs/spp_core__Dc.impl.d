@@ -1,0 +1,1 @@
+lib/core/dc.ml: Float Hashtbl Instance List Lower_bounds Spp_dag Spp_geom Spp_num Spp_pack

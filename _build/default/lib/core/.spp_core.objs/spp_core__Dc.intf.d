@@ -1,0 +1,1 @@
+lib/core/dc.mli: Instance Spp_geom Spp_num

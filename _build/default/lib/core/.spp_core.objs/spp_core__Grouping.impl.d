@@ -1,0 +1,1 @@
+lib/core/grouping.ml: Hashtbl Instance List Option Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/core/grouping.mli: Instance Spp_geom Spp_num

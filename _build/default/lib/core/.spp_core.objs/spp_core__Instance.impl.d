@@ -1,0 +1,1 @@
+lib/core/instance.ml: Hashtbl List Printf Spp_dag Spp_geom Spp_num

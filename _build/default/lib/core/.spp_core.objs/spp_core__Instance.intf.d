@@ -1,0 +1,1 @@
+lib/core/instance.mli: Spp_dag Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/core/io.ml: Buffer Hashtbl Instance List Option Printf Spp_dag Spp_geom Spp_num String

@@ -1,0 +1,1 @@
+lib/core/list_schedule.ml: Hashtbl Instance List Spp_dag Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/core/list_schedule.mli: Instance Spp_geom

@@ -1,0 +1,1 @@
+lib/core/lower_bounds.ml: Instance List Spp_dag Spp_geom Spp_num

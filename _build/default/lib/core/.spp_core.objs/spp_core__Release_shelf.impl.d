@@ -1,0 +1,1 @@
+lib/core/release_shelf.ml: Instance List Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/core/release_shelf.mli: Instance Spp_geom

@@ -1,0 +1,1 @@
+lib/core/uniform.ml: Array Hashtbl Instance List Option Queue Spp_dag Spp_geom Spp_num Spp_pack

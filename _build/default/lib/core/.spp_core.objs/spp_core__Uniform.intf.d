@@ -1,0 +1,1 @@
+lib/core/uniform.mli: Instance Spp_geom Spp_num

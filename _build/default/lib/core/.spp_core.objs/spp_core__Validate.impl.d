@@ -1,0 +1,1 @@
+lib/core/validate.ml: Format Hashtbl Instance List Spp_dag Spp_geom Spp_num

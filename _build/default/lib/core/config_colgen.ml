@@ -1,0 +1,188 @@
+module Q = Spp_num.Rat
+module B = Spp_num.Bigint
+module Rect = Spp_geom.Rect
+module Release = Instance.Release
+module Model = Spp_lp.Model
+module Simplex = Spp_lp.Simplex
+module Knapsack = Spp_pack.Knapsack
+
+(* Build and exactly solve the restricted LP over the given configuration
+   pool; returns (objective, solution, packing duals by phase, covering
+   duals by (k, i)). Mirrors Config_lp.solve's constraint structure. *)
+let solve_restricted widths boundaries demand configs =
+  let np = Array.length boundaries in
+  let nw = Array.length widths in
+  let nq = Array.length configs in
+  let model = Model.create () in
+  let var = Array.make_matrix nq np (-1) in
+  for q = 0 to nq - 1 do
+    for j = 0 to np - 1 do
+      var.(q).(j) <- Model.add_var model ~name:(Printf.sprintf "x_%d_%d" q j)
+    done
+  done;
+  Model.set_objective model (List.init nq (fun q -> (var.(q).(np - 1), Q.one)));
+  (* Constraint bookkeeping: remember each row's role to map duals back. *)
+  let row_roles = ref [] in
+  for j = 0 to np - 2 do
+    let cap = Q.sub boundaries.(j + 1) boundaries.(j) in
+    Model.add_constraint model ~name:(Printf.sprintf "pack_%d" j)
+      (List.init nq (fun q -> (var.(q).(j), Q.one)))
+      Model.Le cap;
+    row_roles := `Pack j :: !row_roles
+  done;
+  for k = 0 to np - 1 do
+    for i = 0 to nw - 1 do
+      let rhs = ref Q.zero in
+      for j = k to np - 1 do
+        rhs := Q.add !rhs demand.(i).(j)
+      done;
+      if Q.sign !rhs > 0 then begin
+        let terms = ref [] in
+        for j = k to np - 1 do
+          for q = 0 to nq - 1 do
+            let a = configs.(q).(i) in
+            if a > 0 then terms := (var.(q).(j), Q.of_int a) :: !terms
+          done
+        done;
+        Model.add_constraint model ~name:(Printf.sprintf "cover_%d_%d" k i) !terms Model.Ge !rhs;
+        row_roles := `Cover (k, i) :: !row_roles
+      end
+    done
+  done;
+  let row_roles = Array.of_list (List.rev !row_roles) in
+  match Simplex.Exact.solve model with
+  | Simplex.Infeasible | Simplex.Unbounded -> assert false (* see Config_lp *)
+  | Simplex.Optimal { objective; solution; duals } ->
+    let pack_dual = Array.make np Q.zero in
+    let cover_dual = Array.make_matrix np nw Q.zero in
+    Array.iteri
+      (fun row role ->
+        match role with
+        | `Pack j -> pack_dual.(j) <- duals.(row)
+        | `Cover (k, i) -> cover_dual.(k).(i) <- duals.(row))
+      row_roles;
+    (objective, solution, var, pack_dual, cover_dual)
+
+let solve ?(max_rounds = 200) ?(max_denominator = 100_000) (inst : Release.t) =
+  let widths = Array.of_list (Grouping.distinct_widths inst) in
+  let releases = Grouping.distinct_releases inst in
+  let boundaries =
+    match releases with
+    | r :: _ when Q.is_zero r -> Array.of_list releases
+    | _ -> Array.of_list (Q.zero :: releases)
+  in
+  let np = Array.length boundaries in
+  let nw = Array.length widths in
+  let width_index w =
+    let rec find i = if Q.equal widths.(i) w then i else find (i + 1) in
+    find 0
+  in
+  let demand = Array.make_matrix nw np Q.zero in
+  List.iter
+    (fun (task : Release.task) ->
+      let i = width_index task.Release.rect.Rect.w in
+      let j =
+        let rec find j = if Q.equal boundaries.(j) task.Release.release then j else find (j + 1) in
+        find 0
+      in
+      demand.(i).(j) <- Q.add demand.(i).(j) task.Release.rect.Rect.h)
+    inst.tasks;
+  (* Scale widths to integers over a common denominator for the knapsack. *)
+  let denom =
+    Array.fold_left
+      (fun acc w ->
+        let d = Q.den w in
+        let g = B.gcd acc d in
+        B.div (B.mul acc d) g)
+      B.one widths
+  in
+  let denom =
+    match B.to_int_opt denom with
+    | Some d when d <= max_denominator -> d
+    | _ ->
+      failwith
+        (Printf.sprintf "Config_colgen.solve: width denominator exceeds %d; use Config_lp"
+           max_denominator)
+  in
+  let scaled_width =
+    Array.map (fun w -> B.to_int_exn (Q.floor (Q.mul_int w denom))) widths
+  in
+  (* Initial pool: one singleton configuration per width, filled to the brim
+     (guarantees feasibility of every covering row from round one). *)
+  let pool = Hashtbl.create 64 in
+  let pool_list = ref [] in
+  let add_config counts =
+    let key = Array.to_list counts in
+    if not (Hashtbl.mem pool key) then begin
+      Hashtbl.replace pool key ();
+      pool_list := counts :: !pool_list;
+      true
+    end
+    else false
+  in
+  for i = 0 to nw - 1 do
+    let counts = Array.make nw 0 in
+    counts.(i) <- max 1 (denom / scaled_width.(i));
+    ignore (add_config counts)
+  done;
+  let tol = 1e-9 in
+  let rec rounds n =
+    let configs = Array.of_list (List.rev !pool_list) in
+    let objective, solution, var, pack_dual, cover_dual =
+      solve_restricted widths boundaries demand configs
+    in
+    if n >= max_rounds then
+      failwith "Config_colgen.solve: round limit exhausted before convergence"
+    else begin
+      (* Pricing: column (q, j) has reduced cost
+           c_j - pack_dual_j - sum_i a_iq * (sum_{k<=j} cover_dual_{k,i}).
+         Maximise the knapsack part per phase. *)
+      let improved = ref false in
+      let acc = Array.make nw 0.0 in
+      for j = 0 to np - 1 do
+        for i = 0 to nw - 1 do
+          acc.(i) <- acc.(i) +. Q.to_float cover_dual.(j).(i)
+        done;
+        let items =
+          Array.to_list
+            (Array.mapi
+               (fun i w ->
+                 { Knapsack.weight = scaled_width.(i); value = acc.(i);
+                   bound = denom / max 1 w })
+               scaled_width)
+        in
+        let best, counts = Knapsack.solve ~capacity:denom items in
+        let c_j = if j = np - 1 then 1.0 else 0.0 in
+        let threshold = c_j -. Q.to_float pack_dual.(j) in
+        if best > threshold +. tol then
+          if add_config counts then improved := true
+      done;
+      if !improved then rounds (n + 1)
+      else begin
+        (* Converged: package the restricted optimum as a Config_lp.solved. *)
+        let occurrences = ref [] in
+        Array.iteri
+          (fun q counts ->
+            for j = 0 to np - 1 do
+              let x = solution.(var.(q).(j)) in
+              if Q.sign x > 0 then
+                occurrences := { Config_lp.counts; phase = j; height = x } :: !occurrences
+            done)
+          configs;
+        let occurrences =
+          List.stable_sort
+            (fun (a : Config_lp.occurrence) b -> compare a.Config_lp.phase b.Config_lp.phase)
+            (List.rev !occurrences)
+        in
+        {
+          Config_lp.widths;
+          boundaries;
+          lp_value = objective;
+          fractional_height = Q.add boundaries.(np - 1) objective;
+          occurrences;
+          num_configs = Array.length configs;
+        }
+      end
+    end
+  in
+  rounds 0

@@ -1,0 +1,24 @@
+(** Column generation for the configuration LP (Gilmore–Gomory pricing).
+
+    {!Config_lp.solve} enumerates every configuration up front — fine for
+    the paper's constant K but exponential in 1/K. This solver instead
+    grows a restricted configuration pool: solve the restricted LP exactly,
+    read the duals, and for each phase price a new configuration with a
+    bounded knapsack (capacity = the strip, item values = accumulated
+    covering duals), repeating until no column has negative reduced cost.
+
+    Pricing values pass through floats (knapsack DP), so termination is
+    declared at a small tolerance; on every instance in the test suite the
+    result coincides exactly with full enumeration, and the final answer is
+    always the exact optimum of the {e restricted} LP (a true upper bound on
+    nothing / lower bound on the integral optimum, like the full LP).
+
+    Widths must share a common denominator [<= max_denominator] (they do by
+    construction for column-quantised instances, where it is K). *)
+
+(** [solve ?max_rounds ?max_denominator inst] returns the same record as
+    {!Config_lp.solve}, with [num_configs] the size of the generated pool.
+    @raise Failure when widths have no common denominator below
+    [max_denominator] (default 100_000) or [max_rounds] (default 200) is
+    exhausted before convergence. *)
+val solve : ?max_rounds:int -> ?max_denominator:int -> Instance.Release.t -> Config_lp.solved

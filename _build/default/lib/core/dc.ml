@@ -1,0 +1,77 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+
+type stats = { levels : int; mid_calls : int }
+
+(* Lines 2-6 of Algorithm 1: the three bands of the critical-path split. *)
+let split (inst : Instance.Prec.t) =
+  if inst.rects = [] then ([], [], [])
+  else begin
+    let heights = Hashtbl.create (List.length inst.rects) in
+    List.iter (fun (r : Rect.t) -> Hashtbl.replace heights r.Rect.id r.Rect.h) inst.rects;
+    let f = Dag.longest_path_to inst.dag ~weight:(Hashtbl.find heights) in
+    let h = List.fold_left (fun acc (r : Rect.t) -> Q.max acc (f r.Rect.id)) Q.zero inst.rects in
+    let half = Q.div h Q.two in
+    List.fold_right
+      (fun (r : Rect.t) (bot, mid, top) ->
+        let fr = f r.Rect.id in
+        if Q.compare fr half <= 0 then (r.Rect.id :: bot, mid, top)
+        else if Q.compare (Q.sub fr r.Rect.h) half > 0 then (bot, mid, r.Rect.id :: top)
+        else (bot, r.Rect.id :: mid, top))
+      inst.rects ([], [], [])
+  end
+
+let pack ?(subroutine = Spp_pack.Level.nfdh) (inst : Instance.Prec.t) =
+  let mid_calls = ref 0 in
+  let max_level = ref 0 in
+  (* Returns a placement based at y = 0; the caller stacks by shifting. *)
+  let rec go (inst : Instance.Prec.t) level =
+    max_level := max !max_level level;
+    if inst.rects = [] then Placement.of_items []
+    else begin
+      (* Line 2: recompute F on the induced sub-DAG. *)
+      let heights = Hashtbl.create (List.length inst.rects) in
+      List.iter (fun (r : Rect.t) -> Hashtbl.replace heights r.Rect.id r.Rect.h) inst.rects;
+      let f = Dag.longest_path_to inst.dag ~weight:(Hashtbl.find heights) in
+      let h = List.fold_left (fun acc (r : Rect.t) -> Q.max acc (f r.Rect.id)) Q.zero inst.rects in
+      let half = Q.div h Q.two in
+      let band_of (r : Rect.t) =
+        let fr = f r.Rect.id in
+        if Q.compare fr half <= 0 then `Bot
+        else if Q.compare (Q.sub fr r.Rect.h) half > 0 then `Top
+        else `Mid
+      in
+      let mid = List.filter (fun r -> band_of r = `Mid) inst.rects in
+      let ids_of band =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (r : Rect.t) -> if band_of r = band then Hashtbl.replace tbl r.Rect.id ())
+          inst.rects;
+        Hashtbl.mem tbl
+      in
+      let mid_ids = ids_of `Mid in
+      assert (mid <> []) (* Lemma 2.2 *);
+      assert (Dag.independent inst.dag mid_ids) (* Lemma 2.1 *);
+      incr mid_calls;
+      let p_bot = go (Instance.Prec.induced inst (ids_of `Bot)) (level + 1) in
+      let p_mid = subroutine mid in
+      let p_top = go (Instance.Prec.induced inst (ids_of `Top)) (level + 1) in
+      let h_bot = Placement.height p_bot in
+      let h_mid = Placement.height p_mid in
+      let p_mid = Placement.shift_y p_mid h_bot in
+      let p_top = Placement.shift_y p_top (Q.add h_bot h_mid) in
+      Placement.union (Placement.union p_bot p_mid) p_top
+    end
+  in
+  let placement = go inst 0 in
+  (placement, { levels = !max_level; mid_calls = !mid_calls })
+
+let height ?subroutine inst = Spp_geom.Placement.height (fst (pack ?subroutine inst))
+
+let theorem_2_3_bound inst =
+  let n = float_of_int (Instance.Prec.size inst) in
+  let f = Q.to_float (Lower_bounds.critical_path inst) in
+  let area = Q.to_float (Lower_bounds.area inst) in
+  (Float.log (n +. 1.0) /. Float.log 2.0 *. f) +. (2.0 *. area)

@@ -1,0 +1,46 @@
+(** Algorithm 1 of the paper: divide-and-conquer strip packing under
+    precedence constraints, with approximation factor [2 + log2(n+1)]
+    (Theorem 2.3).
+
+    The instance is split by the critical-path function F recomputed on the
+    induced sub-DAG: rectangles entirely below the half-line [F(S)/2] go to
+    [S_bot], those starting strictly above it to [S_top], and the band
+    crossing it ([S_mid], never empty by Lemma 2.2 and pairwise independent
+    by Lemma 2.1) is packed with the unconstrained subroutine [A]. The
+    recursion stacks [DC(S_bot)], [A(S_mid)], [DC(S_top)].
+
+    The default subroutine is NFDH, which satisfies the bound
+    [A(S') <= 2·AREA(S') + max h] required by the analysis. *)
+
+type stats = {
+  levels : int;  (** recursion depth reached *)
+  mid_calls : int;  (** number of [A]-packed bands *)
+}
+
+(** [split inst] computes one level of the DC partition (Algorithm 1 lines
+    2–6) on the whole instance: [(s_bot, s_mid, s_top)] as id lists. Exposed
+    so tests can check Lemma 2.2 ([s_mid] is never empty on a non-empty
+    instance) and Lemma 2.1 ([s_mid] is pairwise independent) directly. *)
+val split : Instance.Prec.t -> int list * int list * int list
+
+(** [pack ?subroutine inst] returns the placement and statistics.
+    [subroutine] defaults to {!Spp_pack.Level.nfdh}; any replacement must
+    pack base-aligned at y = 0. *)
+val pack :
+  ?subroutine:(Spp_geom.Rect.t list -> Spp_geom.Placement.t) ->
+  Instance.Prec.t ->
+  Spp_geom.Placement.t * stats
+
+(** [height ?subroutine inst] is the height of [pack inst]. *)
+val height :
+  ?subroutine:(Spp_geom.Rect.t list -> Spp_geom.Placement.t) ->
+  Instance.Prec.t ->
+  Spp_num.Rat.t
+
+(** [theorem_2_3_bound inst] is the proved bound
+    [log2(n+1)·F(S) + 2·AREA(S)] that [pack]'s height never exceeds
+    (the statement actually proved by induction in Theorem 2.3; the headline
+    [(2 + log(n+1))·OPT] follows from the two lower bounds). Uses real
+    [log2], returned as a float together with the exact height for
+    comparison convenience. *)
+val theorem_2_3_bound : Instance.Prec.t -> float

@@ -1,0 +1,89 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Release = Instance.Release
+
+let round_releases ~epsilon_r (inst : Release.t) =
+  if Q.sign epsilon_r <= 0 then invalid_arg "Grouping.round_releases: epsilon_r must be positive";
+  let rmax = Release.max_release inst in
+  if Q.is_zero rmax then inst
+  else begin
+    let delta = Q.mul epsilon_r rmax in
+    let tasks =
+      List.map
+        (fun (task : Release.task) ->
+          (* P↑ of the proof: floor to the grid, then shift up one step. *)
+          let steps = Q.floor (Q.div task.release delta) in
+          let release = Q.mul delta (Q.add (Q.of_bigint steps) Q.one) in
+          { task with Release.release })
+        inst.tasks
+    in
+    Release.make ~k:inst.k tasks
+  end
+
+let distinct_releases (inst : Release.t) =
+  List.sort_uniq Q.compare (List.map (fun (t : Release.task) -> t.Release.release) inst.tasks)
+
+let stack_height rects = List.fold_left (fun acc (r : Rect.t) -> Q.add acc r.Rect.h) Q.zero rects
+
+(* Group one release class: return (rect id -> new width) bindings. *)
+let group_class ~groups_per_class (rects : Rect.t list) =
+  let stack = Rect.sort_by_width_desc rects in
+  let h_total = stack_height stack in
+  let g = groups_per_class in
+  (* Cut values v_ℓ = ℓ·H/g for 0 <= ℓ < g. A rect with stack interval
+     [c, c+h) is a threshold iff some v_ℓ lands in [c, c+h). Walking bottom
+     to top, each threshold starts a new group whose width is the
+     threshold's width (the maximum of the group, since the stack is sorted
+     widest-first). *)
+  let cuts = List.init g (fun l -> Q.div (Q.mul_int h_total l) (Q.of_int g)) in
+  let rec walk c cuts current_width acc = function
+    | [] -> acc
+    | (r : Rect.t) :: rest ->
+      let top = Q.add c r.Rect.h in
+      (* Consume every cut value in [c, top). *)
+      let rec consume cuts hit =
+        match cuts with
+        | v :: more when Q.compare v top < 0 ->
+          (* v >= c is guaranteed: cuts are consumed in order. *)
+          consume more true
+        | _ -> (cuts, hit)
+      in
+      let cuts, is_threshold = consume cuts false in
+      let width = if is_threshold then r.Rect.w else current_width in
+      walk top cuts width ((r.Rect.id, width) :: acc) rest
+  in
+  (* The bottom rect is always a threshold (cut v_0 = 0), so current_width
+     is initialised lazily by the first step. *)
+  match stack with
+  | [] -> []
+  | first :: _ -> walk Q.zero cuts first.Rect.w [] stack
+
+let group_widths ~groups_per_class (inst : Release.t) =
+  if groups_per_class < 1 then invalid_arg "Grouping.group_widths: groups_per_class < 1";
+  let classes = Hashtbl.create 8 in
+  List.iter
+    (fun (task : Release.task) ->
+      let key = Q.to_string task.Release.release in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt classes key) in
+      Hashtbl.replace classes key (task :: cur))
+    inst.tasks;
+  let new_width = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ tasks ->
+      let rects = List.map (fun (t : Release.task) -> t.Release.rect) tasks in
+      List.iter (fun (id, w) -> Hashtbl.replace new_width id w) (group_class ~groups_per_class rects))
+    classes;
+  let tasks =
+    List.map
+      (fun (task : Release.task) ->
+        let r = task.Release.rect in
+        let w = Hashtbl.find new_width r.Rect.id in
+        { task with Release.rect = Rect.make ~id:r.Rect.id ~w ~h:r.Rect.h })
+      inst.tasks
+  in
+  Release.make ~k:inst.k tasks
+
+let distinct_widths (inst : Release.t) =
+  List.sort_uniq
+    (fun a b -> Q.compare b a)
+    (List.map (fun (t : Release.task) -> t.Release.rect.Rect.w) inst.tasks)

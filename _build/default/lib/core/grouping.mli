@@ -1,0 +1,35 @@
+(** The two instance reductions of Section 3.1.
+
+    {!round_releases} implements Lemma 3.1: release times snap upward onto a
+    grid of [⌈1/ε_r⌉] multiples of [δ = ε_r·r_max], costing at most a
+    [(1+ε_r)] factor in the fractional optimum.
+
+    {!group_widths} implements Lemma 3.2 (Figures 3–4): within each release
+    class the rectangles are stacked widest-first, the stack is cut into
+    [g = W/(R+1)] equal-height slices, the rectangle at each cut becomes a
+    {e threshold}, and every rectangle's width is raised to its group's
+    threshold width — leaving at most [g] distinct widths per class.
+
+    Both reductions keep rect ids, only ever {e increase} releases/widths
+    (so a packing of the reduced instance is a packing of the original), and
+    are exact over rationals. *)
+
+(** [round_releases ~epsilon_r inst] (Lemma 3.1). An instance whose
+    [max_release] is zero is returned unchanged.
+    @raise Invalid_argument if [epsilon_r <= 0]. *)
+val round_releases : epsilon_r:Spp_num.Rat.t -> Instance.Release.t -> Instance.Release.t
+
+(** [distinct_releases inst] is the sorted list of distinct release values. *)
+val distinct_releases : Instance.Release.t -> Spp_num.Rat.t list
+
+(** [group_widths ~groups_per_class inst] (Lemma 3.2).
+    @raise Invalid_argument if [groups_per_class < 1]. *)
+val group_widths : groups_per_class:int -> Instance.Release.t -> Instance.Release.t
+
+(** [distinct_widths inst] is the sorted (descending) list of distinct
+    widths. *)
+val distinct_widths : Instance.Release.t -> Spp_num.Rat.t list
+
+(** [stack_height rects] is [Σ h] — the height [H(P_i)] of the stacking used
+    in the grouping proof. Exposed for tests. *)
+val stack_height : Spp_geom.Rect.t list -> Spp_num.Rat.t

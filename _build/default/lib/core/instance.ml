@@ -1,0 +1,66 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Dag = Spp_dag.Dag
+
+module Prec = struct
+  type t = { rects : Rect.t list; dag : Dag.t }
+
+  let make rects dag =
+    let ids = List.sort compare (List.map (fun (r : Rect.t) -> r.Rect.id) rects) in
+    let rec dup = function a :: (b :: _ as rest) -> a = b || dup rest | _ -> false in
+    if dup ids then invalid_arg "Prec.make: duplicate rect ids";
+    if ids <> Dag.nodes dag then
+      invalid_arg "Prec.make: DAG nodes must be exactly the rect ids";
+    { rects; dag }
+
+  let unconstrained rects =
+    make rects (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges:[])
+
+  let size t = List.length t.rects
+
+  let rect t id =
+    match List.find_opt (fun (r : Rect.t) -> r.Rect.id = id) t.rects with
+    | Some r -> r
+    | None -> raise Not_found
+
+  let height_of t id = (rect t id).Rect.h
+
+  let induced t keep =
+    {
+      rects = List.filter (fun (r : Rect.t) -> keep r.Rect.id) t.rects;
+      dag = Dag.induced t.dag keep;
+    }
+end
+
+module Release = struct
+  type task = { rect : Rect.t; release : Q.t }
+  type t = { tasks : task list; k : int }
+
+  let make ~k tasks =
+    if k < 1 then invalid_arg "Release.make: k must be >= 1";
+    let min_w = Q.of_ints 1 k in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun { rect; release } ->
+        let id = rect.Rect.id in
+        if Hashtbl.mem seen id then invalid_arg "Release.make: duplicate rect ids";
+        Hashtbl.add seen id ();
+        if Q.compare rect.Rect.h Q.one > 0 then
+          invalid_arg (Printf.sprintf "Release.make: rect %d height exceeds 1" id);
+        if Q.compare rect.Rect.w min_w < 0 then
+          invalid_arg (Printf.sprintf "Release.make: rect %d narrower than 1/K" id);
+        if Q.sign release < 0 then
+          invalid_arg (Printf.sprintf "Release.make: rect %d has negative release" id))
+      tasks;
+    { tasks; k }
+
+  let size t = List.length t.tasks
+  let rects t = List.map (fun task -> task.rect) t.tasks
+
+  let release t id =
+    match List.find_opt (fun task -> task.rect.Rect.id = id) t.tasks with
+    | Some task -> task.release
+    | None -> raise Not_found
+
+  let max_release t = List.fold_left (fun acc task -> Q.max acc task.release) Q.zero t.tasks
+end

@@ -1,0 +1,56 @@
+(** Problem instances for the two variants studied in the paper.
+
+    {!Prec} is Section 2's input: rectangles plus a precedence DAG on their
+    ids. {!Release} is Section 3's input: rectangles plus a release time per
+    id, with the paper's standing assumptions (heights at most 1, widths in
+    [1/K, 1]) checked at construction of a {!Release.checked} value. *)
+
+module Prec : sig
+  type t = private {
+    rects : Spp_geom.Rect.t list;
+    dag : Spp_dag.Dag.t;
+  }
+
+  (** [make rects dag] checks that DAG nodes are exactly the rect ids.
+      @raise Invalid_argument on mismatch. *)
+  val make : Spp_geom.Rect.t list -> Spp_dag.Dag.t -> t
+
+  (** [unconstrained rects] wraps rects with the empty edge set. *)
+  val unconstrained : Spp_geom.Rect.t list -> t
+
+  val size : t -> int
+
+  (** [rect t id] looks a rectangle up by id.
+      @raise Not_found on unknown id. *)
+  val rect : t -> int -> Spp_geom.Rect.t
+
+  (** [height_of t id] is [h_s] for the rect with this id. *)
+  val height_of : t -> int -> Spp_num.Rat.t
+
+  (** [induced t keep] restricts the instance to the ids satisfying [keep]
+      (rects filtered, DAG induced) — the recursion step of Algorithm 1. *)
+  val induced : t -> (int -> bool) -> t
+end
+
+module Release : sig
+  type task = { rect : Spp_geom.Rect.t; release : Spp_num.Rat.t }
+
+  type t = private {
+    tasks : task list;
+    k : int;  (** number of FPGA columns; widths are in [1/k, 1] *)
+  }
+
+  (** [make ~k tasks] validates the Section-3 assumptions: every height in
+      (0, 1], every width in [1/k, 1], every release >= 0, distinct ids.
+      @raise Invalid_argument on any violation. *)
+  val make : k:int -> task list -> t
+
+  val size : t -> int
+  val rects : t -> Spp_geom.Rect.t list
+
+  (** [release t id] is the release time of the task with rect id [id].
+      @raise Not_found on unknown id. *)
+  val release : t -> int -> Spp_num.Rat.t
+
+  val max_release : t -> Spp_num.Rat.t
+end

@@ -1,0 +1,167 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+
+type parsed = Prec of Instance.Prec.t | Release of Instance.Release.t
+
+let fail line msg = failwith (Printf.sprintf "line %d: %s" line msg)
+
+let rat_of line s =
+  match Q.of_string s with
+  | v -> v
+  | exception _ -> fail line (Printf.sprintf "bad rational %S" s)
+
+let int_of line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "bad integer %S" s)
+
+let parse_string s =
+  let k = ref 1 in
+  let rects = ref [] in (* (line, id, w, h), reversed *)
+  let edges = ref [] in
+  let releases = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let text =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match String.split_on_char ' ' (String.trim text) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | [ "k"; v ] -> k := int_of line v
+      | [ "rect"; id; w; h ] ->
+        rects := (line, int_of line id, rat_of line w, rat_of line h) :: !rects
+      | [ "edge"; u; v ] -> edges := (line, int_of line u, int_of line v) :: !edges
+      | [ "release"; id; r ] -> releases := (line, int_of line id, rat_of line r) :: !releases
+      | tok :: _ -> fail line (Printf.sprintf "unknown or malformed directive %S" tok)
+      )
+    lines;
+  if !edges <> [] && !releases <> [] then
+    failwith "instance mixes edge and release lines; pick one variant";
+  let first_line = match List.rev !rects with (l, _, _, _) :: _ -> l | [] -> 1 in
+  let mk_rects () =
+    List.rev_map
+      (fun (line, id, w, h) ->
+        match Rect.make ~id ~w ~h with
+        | r -> r
+        | exception Invalid_argument msg -> fail line msg)
+      !rects
+  in
+  if !releases <> [] then begin
+    let rects = mk_rects () in
+    let rel_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (line, id, r) ->
+        if Hashtbl.mem rel_tbl id then fail line (Printf.sprintf "duplicate release for %d" id);
+        if not (List.exists (fun (rc : Rect.t) -> rc.Rect.id = id) rects) then
+          fail line (Printf.sprintf "release for unknown rect %d" id);
+        Hashtbl.replace rel_tbl id r)
+      !releases;
+    let tasks =
+      List.map
+        (fun (rect : Rect.t) ->
+          let release = Option.value ~default:Q.zero (Hashtbl.find_opt rel_tbl rect.Rect.id) in
+          { Instance.Release.rect; release })
+        rects
+    in
+    match Instance.Release.make ~k:!k tasks with
+    | inst -> Release inst
+    | exception Invalid_argument msg -> fail first_line msg
+  end
+  else begin
+    let rects = mk_rects () in
+    let nodes = List.map (fun (r : Rect.t) -> r.Rect.id) rects in
+    let edges = List.rev_map (fun (_, u, v) -> (u, v)) !edges in
+    match Instance.Prec.make rects (Dag.of_edges ~nodes ~edges) with
+    | inst -> Prec inst
+    | exception Invalid_argument msg -> fail first_line msg
+  end
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let buf_rects buf rects =
+  List.iter
+    (fun (r : Rect.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "rect %d %s %s\n" r.Rect.id (Q.to_string r.Rect.w) (Q.to_string r.Rect.h)))
+    rects
+
+let prec_to_string (inst : Instance.Prec.t) =
+  let buf = Buffer.create 256 in
+  buf_rects buf inst.rects;
+  List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v))
+    (Dag.edges inst.dag);
+  Buffer.contents buf
+
+let release_to_string (inst : Instance.Release.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "k %d\n" inst.k);
+  buf_rects buf (Instance.Release.rects inst);
+  List.iter
+    (fun (t : Instance.Release.task) ->
+      Buffer.add_string buf
+        (Printf.sprintf "release %d %s\n" t.rect.Rect.id (Q.to_string t.release)))
+    inst.tasks;
+  Buffer.contents buf
+
+let parse_placement ~rects s =
+  let rect_of = Hashtbl.create 16 in
+  List.iter (fun (r : Rect.t) -> Hashtbl.replace rect_of r.Rect.id r) rects;
+  let items = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let text =
+        match String.index_opt raw '#' with Some j -> String.sub raw 0 j | None -> raw
+      in
+      match String.split_on_char ' ' (String.trim text) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | [ "height"; _ ] -> () (* informational; recomputed from positions *)
+      | [ "place"; id; x; y ] ->
+        let id = int_of line id in
+        (match Hashtbl.find_opt rect_of id with
+         | None -> fail line (Printf.sprintf "place for unknown rect %d" id)
+         | Some rect ->
+           if Hashtbl.mem seen id then fail line (Printf.sprintf "duplicate place for %d" id);
+           Hashtbl.replace seen id ();
+           items :=
+             { Spp_geom.Placement.rect;
+               pos = { Spp_geom.Placement.x = rat_of line x; y = rat_of line y } }
+             :: !items)
+      | tok :: _ -> fail line (Printf.sprintf "unknown or malformed directive %S" tok))
+    (String.split_on_char '\n' s);
+  Placement.of_items !items
+
+let read_placement_file ~rects path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_placement ~rects s
+
+let placement_to_string p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "height %s\n" (Q.to_string (Placement.height p)));
+  let items =
+    List.sort
+      (fun (a : Placement.item) (b : Placement.item) -> compare a.rect.Rect.id b.rect.Rect.id)
+      (Placement.items p)
+  in
+  List.iter
+    (fun (it : Placement.item) ->
+      Buffer.add_string buf
+        (Printf.sprintf "place %d %s %s\n" it.rect.Rect.id
+           (Q.to_string it.pos.Placement.x) (Q.to_string it.pos.Placement.y)))
+    items;
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Plain-text instance and placement serialisation.
+
+    A small line-oriented format so instances can be generated, stored,
+    packed and inspected from the CLI:
+
+    {v
+    # comment
+    k 8                  # FPGA columns (strip granularity); optional, default 1
+    rect 0 1/2 3/4       # id width height (rationals: a/b, decimals, or ints)
+    rect 1 1/4 1
+    edge 0 1             # precedence edge (forbidden with release lines)
+    release 0 5/2        # release time    (forbidden with edge lines)
+    v}
+
+    A file with [edge] lines parses as a precedence instance; one with
+    [release] lines as a release instance; with neither, as a precedence
+    instance without edges. Rects without an explicit [release] default
+    to release 0 in release instances. *)
+
+type parsed =
+  | Prec of Instance.Prec.t
+  | Release of Instance.Release.t
+
+(** [parse_string s] parses the format above.
+    @raise Failure with a line-numbered message on any syntax or semantic
+    error (unknown directive, bad rational, duplicate rect, both edge and
+    release lines, etc.). *)
+val parse_string : string -> parsed
+
+(** [read_file path] = [parse_string (contents of path)]. *)
+val read_file : string -> parsed
+
+val prec_to_string : Instance.Prec.t -> string
+
+(** Includes the instance's [k] line. *)
+val release_to_string : Instance.Release.t -> string
+
+(** [placement_to_string p] is one ["place <id> <x> <y>"] line per item,
+    sorted by id, preceded by a ["height <h>"] line. *)
+val placement_to_string : Spp_geom.Placement.t -> string
+
+(** [parse_placement ~rects s] parses the {!placement_to_string} format
+    (the ["height"] line is optional and ignored; positions bind to the
+    given rects by id), enabling third-party solutions to be checked with
+    {!Validate}.
+    @raise Failure (line-numbered) on syntax errors, unknown or duplicate
+    ids. Rects without a [place] line are simply absent (the validator
+    reports them as missing). *)
+val parse_placement : rects:Spp_geom.Rect.t list -> string -> Spp_geom.Placement.t
+
+(** [read_placement_file ~rects path] reads and parses a placement file. *)
+val read_placement_file : rects:Spp_geom.Rect.t list -> string -> Spp_geom.Placement.t

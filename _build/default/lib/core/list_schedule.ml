@@ -1,0 +1,48 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Skyline = Spp_geom.Skyline
+module Dag = Spp_dag.Dag
+
+let prec (inst : Instance.Prec.t) =
+  let rect_of = Hashtbl.create 16 in
+  List.iter (fun (r : Rect.t) -> Hashtbl.replace rect_of r.Rect.id r) inst.rects;
+  let sky = Skyline.create () in
+  let tops = Hashtbl.create 16 in (* id -> y + h *)
+  let items =
+    List.map
+      (fun id ->
+        let r = Hashtbl.find rect_of id in
+        let y_min =
+          List.fold_left (fun acc p -> Q.max acc (Hashtbl.find tops p)) Q.zero
+            (Dag.preds inst.dag id)
+        in
+        let pos = Skyline.place sky ~w:r.Rect.w ~h:r.Rect.h ~y_min in
+        Hashtbl.replace tops id (Q.add pos.Placement.y r.Rect.h);
+        { Placement.rect = r; pos })
+      (Dag.topo_order inst.dag)
+  in
+  Placement.of_items items
+
+let release (inst : Instance.Release.t) =
+  let order =
+    List.sort
+      (fun (a : Instance.Release.task) (b : Instance.Release.task) ->
+        let c = Q.compare a.release b.release in
+        if c <> 0 then c
+        else begin
+          let c = Q.compare b.rect.Rect.h a.rect.Rect.h in
+          if c <> 0 then c else compare a.rect.Rect.id b.rect.Rect.id
+        end)
+      inst.tasks
+  in
+  let sky = Skyline.create () in
+  let items =
+    List.map
+      (fun (task : Instance.Release.task) ->
+        let r = task.rect in
+        let pos = Skyline.place sky ~w:r.Rect.w ~h:r.Rect.h ~y_min:task.release in
+        { Placement.rect = r; pos })
+      order
+  in
+  Placement.of_items items

@@ -1,0 +1,15 @@
+(** Greedy list-scheduling baselines (no worst-case guarantee).
+
+    Both variants place rectangles one at a time at the lowest-then-leftmost
+    skyline position subject to a per-rectangle floor on y: predecessor
+    tops for the precedence variant, release time for the release variant.
+    These are the natural "what a practitioner would try first" baselines
+    the guaranteed algorithms are compared against in the benches. *)
+
+(** [prec inst] processes rectangles in topological order; each must start
+    at or above every predecessor's top edge. Always valid. *)
+val prec : Instance.Prec.t -> Spp_geom.Placement.t
+
+(** [release inst] processes rectangles by non-decreasing release time
+    (ties: taller first); each must start at or above its release. *)
+val release : Instance.Release.t -> Spp_geom.Placement.t

@@ -1,0 +1,23 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Dag = Spp_dag.Dag
+
+let area (inst : Instance.Prec.t) = Rect.total_area inst.rects
+
+let f_table (inst : Instance.Prec.t) =
+  Dag.longest_path_to inst.dag ~weight:(Instance.Prec.height_of inst)
+
+let f_of inst id = f_table inst id
+
+let critical_path (inst : Instance.Prec.t) =
+  let f = f_table inst in
+  List.fold_left (fun acc (r : Rect.t) -> Q.max acc (f r.Rect.id)) Q.zero inst.rects
+
+let prec inst = Q.max (area inst) (critical_path inst)
+
+let release (inst : Instance.Release.t) =
+  let area = Rect.total_area (Instance.Release.rects inst) in
+  List.fold_left
+    (fun acc (task : Instance.Release.task) ->
+      Q.max acc (Q.add task.release task.rect.Rect.h))
+    area inst.tasks

@@ -1,0 +1,25 @@
+(** The paper's lower bounds on optimal packing height.
+
+    Section 2 uses two bounds for precedence instances —
+    [OPT >= AREA(S)] (total area, strip width 1) and [OPT >= F(S)] (the
+    critical path under the recursive function F) — and shows in Lemma 2.4
+    that their maximum can be Ω(log n) below OPT. Section 3's release-time
+    instances admit [OPT >= max_s (r_s + h_s)] and the area bound. *)
+
+(** [area inst] is [AREA(S) = Σ w·h]: with strip width 1, no packing can be
+    shorter than its total area. *)
+val area : Instance.Prec.t -> Spp_num.Rat.t
+
+(** [f_of inst id] is the paper's [F(s)]: [h_s] if [IN(s) = ∅], else
+    [h_s + max_{s' ∈ IN(s)} F(s')]. *)
+val f_of : Instance.Prec.t -> int -> Spp_num.Rat.t
+
+(** [critical_path inst] is [F(S) = max_s F(s)] (zero on empty). *)
+val critical_path : Instance.Prec.t -> Spp_num.Rat.t
+
+(** [prec inst] is [max (area inst) (critical_path inst)] — the best simple
+    bound available to DC's analysis. *)
+val prec : Instance.Prec.t -> Spp_num.Rat.t
+
+(** [release inst] is [max (AREA, max_s (r_s + h_s))]. *)
+val release : Instance.Release.t -> Spp_num.Rat.t

@@ -1,0 +1,64 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Release = Instance.Release
+
+type stats = { shelves : int }
+
+(* A shelf's height is fixed by its first (defining) task, so later
+   additions can never grow a shelf into the one above it. *)
+type shelf = {
+  base : Q.t;
+  sheight : Q.t;
+  mutable used : Q.t;
+  mutable items : Placement.item list;
+}
+
+let order_tasks (inst : Release.t) =
+  List.sort
+    (fun (a : Release.task) (b : Release.task) ->
+      let c = Q.compare a.release b.release in
+      if c <> 0 then c
+      else begin
+        let c = Q.compare b.rect.Rect.h a.rect.Rect.h in
+        if c <> 0 then c else compare a.rect.Rect.id b.rect.Rect.id
+      end)
+    inst.tasks
+
+let place shelf (r : Rect.t) =
+  shelf.items <-
+    { Placement.rect = r; pos = { Placement.x = shelf.used; y = shelf.base } } :: shelf.items;
+  shelf.used <- Q.add shelf.used r.Rect.w
+
+(* A task may go on a shelf iff it fits horizontally and vertically and the
+   shelf does not start before the task's release. *)
+let admits shelf (task : Release.task) =
+  Q.compare (Q.add shelf.used task.rect.Rect.w) Q.one <= 0
+  && Q.compare task.rect.Rect.h shelf.sheight <= 0
+  && Q.compare shelf.base task.release >= 0
+
+let run ~first_fit (inst : Release.t) =
+  let shelves = ref [] (* newest first *) in
+  List.iter
+    (fun (task : Release.task) ->
+      let target =
+        if first_fit then List.find_opt (fun s -> admits s task) (List.rev !shelves)
+        else (match !shelves with s :: _ when admits s task -> Some s | _ -> None)
+      in
+      match target with
+      | Some s -> place s task.rect
+      | None ->
+        let top =
+          match !shelves with [] -> Q.zero | s :: _ -> Q.add s.base s.sheight
+        in
+        let s =
+          { base = Q.max top task.release; sheight = task.rect.Rect.h; used = Q.zero; items = [] }
+        in
+        place s task.rect;
+        shelves := s :: !shelves)
+    (order_tasks inst);
+  let placement = Placement.of_items (List.concat_map (fun s -> s.items) !shelves) in
+  (placement, { shelves = List.length !shelves })
+
+let pack inst = run ~first_fit:false inst
+let pack_first_fit inst = run ~first_fit:true inst

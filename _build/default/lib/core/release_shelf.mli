@@ -1,0 +1,18 @@
+(** Shelf heuristic for strip packing with release times.
+
+    A mid-tier offline baseline between greedy list scheduling and the
+    APTAS: tasks sorted by release time (ties: taller first) fill shelves
+    left to right; a shelf closes when the next task does not fit or was
+    released after the shelf's base, and the next shelf opens at
+    [max (previous top) (task release)]. Next-fit ({!pack}) and first-fit
+    ({!pack_first_fit}, which revisits every open-compatible shelf) flavours.
+
+    No worst-case guarantee is claimed; it exists to show where simple
+    shelf discipline lands between the baselines and the LP-based scheme
+    in the benches. Always valid (checked by tests). *)
+
+type stats = { shelves : int }
+
+val pack : Instance.Release.t -> Spp_geom.Placement.t * stats
+
+val pack_first_fit : Instance.Release.t -> Spp_geom.Placement.t * stats

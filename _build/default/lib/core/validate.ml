@@ -1,0 +1,79 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+
+type violation =
+  | Geometric of Placement.violation
+  | Missing_rect of int
+  | Extra_rect of int
+  | Dimension_changed of int
+  | Precedence of int * int
+  | Release of int
+
+let pp_violation fmt = function
+  | Geometric v -> Placement.pp_violation fmt v
+  | Missing_rect id -> Format.fprintf fmt "rect #%d missing from placement" id
+  | Extra_rect id -> Format.fprintf fmt "rect #%d not part of the instance" id
+  | Dimension_changed id -> Format.fprintf fmt "rect #%d placed with altered dimensions" id
+  | Precedence (u, v) -> Format.fprintf fmt "precedence edge (%d,%d) violated" u v
+  | Release id -> Format.fprintf fmt "rect #%d placed before its release time" id
+
+(* Coverage and dimension checks shared by both variants. *)
+let check_cover rects placement =
+  let placed = Hashtbl.create 16 in
+  List.iter
+    (fun (it : Placement.item) -> Hashtbl.replace placed it.rect.Rect.id it.rect)
+    (Placement.items placement);
+  let violations = ref [] in
+  let expected = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Rect.t) ->
+      Hashtbl.replace expected r.Rect.id ();
+      match Hashtbl.find_opt placed r.Rect.id with
+      | None -> violations := Missing_rect r.Rect.id :: !violations
+      | Some pr ->
+        if not (Q.equal pr.Rect.w r.Rect.w && Q.equal pr.Rect.h r.Rect.h) then
+          violations := Dimension_changed r.Rect.id :: !violations)
+    rects;
+  Hashtbl.iter
+    (fun id _ -> if not (Hashtbl.mem expected id) then violations := Extra_rect id :: !violations)
+    placed;
+  List.rev !violations
+
+let geometric placement = List.map (fun v -> Geometric v) (Placement.check placement)
+
+let check_prec (inst : Instance.Prec.t) placement =
+  let cover = check_cover inst.rects placement in
+  let geo = geometric placement in
+  let prec =
+    List.filter_map
+      (fun (u, v) ->
+        match (Placement.find placement ~id:u, Placement.find placement ~id:v) with
+        | Some iu, Some iv ->
+          let top_u = Q.add iu.pos.Placement.y iu.rect.Rect.h in
+          if Q.compare top_u iv.pos.Placement.y > 0 then Some (Precedence (u, v)) else None
+        | _ -> None (* already reported as Missing_rect *))
+      (Dag.edges inst.dag)
+  in
+  cover @ geo @ prec
+
+let is_valid_prec inst placement = check_prec inst placement = []
+
+let check_release (inst : Instance.Release.t) placement =
+  let cover = check_cover (Instance.Release.rects inst) placement in
+  let geo = geometric placement in
+  let rel =
+    List.filter_map
+      (fun (task : Instance.Release.task) ->
+        match Placement.find placement ~id:task.rect.Rect.id with
+        | Some it ->
+          if Q.compare it.pos.Placement.y task.release < 0 then
+            Some (Release task.rect.Rect.id)
+          else None
+        | None -> None)
+      inst.tasks
+  in
+  cover @ geo @ rel
+
+let is_valid_release inst placement = check_release inst placement = []

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Format Hashtbl Int List Map Printf Set Spp_num Spp_util

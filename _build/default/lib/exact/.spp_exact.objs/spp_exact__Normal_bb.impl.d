@@ -1,0 +1,1 @@
+lib/exact/normal_bb.ml: Array Hashtbl List Order_search Spp_core Spp_dag Spp_geom Spp_num

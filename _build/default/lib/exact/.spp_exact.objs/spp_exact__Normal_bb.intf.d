@@ -1,0 +1,1 @@
+lib/exact/normal_bb.mli: Spp_core Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/exact/order_search.ml: Hashtbl List Spp_core Spp_dag Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/exact/order_search.mli: Spp_core Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/exact/prec_binpack.ml: Array Fun Hashtbl List Spp_core Spp_dag Spp_geom Spp_num

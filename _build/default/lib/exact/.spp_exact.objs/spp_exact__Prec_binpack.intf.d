@@ -1,0 +1,1 @@
+lib/exact/prec_binpack.mli: Spp_core Spp_dag Spp_num

@@ -1,0 +1,118 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+
+type outcome = { height : Q.t; placement : Placement.t; nodes_expanded : int }
+
+(* Deduplicated, sorted subset sums of [values] (always includes 0). *)
+let subset_sums values =
+  let sums = Hashtbl.create 64 in
+  Hashtbl.replace sums (Q.to_string Q.zero) Q.zero;
+  List.iter
+    (fun v ->
+      let current = Hashtbl.fold (fun _ s acc -> s :: acc) sums [] in
+      List.iter
+        (fun s ->
+          let s' = Q.add s v in
+          Hashtbl.replace sums (Q.to_string s') s')
+        current)
+    values;
+  List.sort Q.compare (Hashtbl.fold (fun _ s acc -> s :: acc) sums [])
+
+let solve (inst : Spp_core.Instance.Prec.t) =
+  let n = Spp_core.Instance.Prec.size inst in
+  if n > 7 then invalid_arg "Normal_bb.solve: instance too large (n > 7)";
+  if n = 0 then { height = Q.zero; placement = Placement.of_items []; nodes_expanded = 0 }
+  else begin
+    let rects = inst.rects in
+    let xs = subset_sums (List.map (fun (r : Rect.t) -> r.Rect.w) rects) in
+    let ys = subset_sums (List.map (fun (r : Rect.t) -> r.Rect.h) rects) in
+    (* Topological order, biggest-area-first among the available. *)
+    let order =
+      let placed = Hashtbl.create 8 in
+      let remaining = ref rects in
+      let out = ref [] in
+      while !remaining <> [] do
+        let available, blocked =
+          List.partition
+            (fun (r : Rect.t) ->
+              List.for_all (Hashtbl.mem placed) (Dag.preds inst.dag r.Rect.id))
+            !remaining
+        in
+        let best =
+          List.fold_left
+            (fun acc (r : Rect.t) ->
+              match acc with
+              | None -> Some r
+              | Some b -> if Q.compare (Rect.area r) (Rect.area b) > 0 then Some r else acc)
+            None available
+        in
+        match best with
+        | None -> assert false (* DAG acyclic *)
+        | Some r ->
+          Hashtbl.replace placed r.Rect.id ();
+          out := r :: !out;
+          remaining := blocked @ List.filter (fun (r' : Rect.t) -> r'.Rect.id <> r.Rect.id) available
+      done;
+      Array.of_list (List.rev !out)
+    in
+    let area_lb = Rect.total_area rects in
+    let path_lb = Spp_core.Lower_bounds.critical_path inst in
+    let global_lb = Q.max area_lb path_lb in
+    (* Incumbent: the bottom-left order search (an upper bound). *)
+    let seed = Order_search.best_prec inst in
+    let best_h = ref seed.Order_search.height in
+    let best_items = ref (Placement.items seed.Order_search.placement) in
+    let nodes = ref (seed.Order_search.nodes_expanded) in
+    let tops = Hashtbl.create 8 in (* id -> y + h, for precedence floors *)
+    let rec go idx placed cur_h =
+      incr nodes;
+      if idx = Array.length order then begin
+        if Q.compare cur_h !best_h < 0 then begin
+          best_h := cur_h;
+          best_items := placed
+        end
+      end
+      else begin
+        let r = order.(idx) in
+        let floor_y =
+          List.fold_left (fun acc p -> Q.max acc (Hashtbl.find tops p)) Q.zero
+            (Dag.preds inst.dag r.Rect.id)
+        in
+        List.iter
+          (fun y ->
+            if Q.compare y floor_y >= 0 then begin
+              let top = Q.add y r.Rect.h in
+              let h' = Q.max cur_h top in
+              (* Candidates ascend in y, but a pruned y does not prune later
+                 ys' floors; simple filter (no break) keeps the code clear —
+                 n is tiny. *)
+              if Q.compare h' !best_h < 0 then
+                List.iter
+                  (fun x ->
+                    if Q.compare (Q.add x r.Rect.w) Q.one <= 0 then begin
+                      let pos = { Placement.x; y } in
+                      let clash =
+                        List.exists
+                          (fun (it : Placement.item) ->
+                            Placement.overlaps r pos it.rect it.pos)
+                          placed
+                      in
+                      if not clash then begin
+                        Hashtbl.replace tops r.Rect.id top;
+                        go (idx + 1) ({ Placement.rect = r; pos } :: placed) h';
+                        Hashtbl.remove tops r.Rect.id
+                      end
+                    end)
+                  xs
+            end)
+          ys;
+        ()
+      end
+    in
+    (* Early exit: if the seed already meets the global lower bound it is
+       optimal and the search is skipped. *)
+    if Q.compare !best_h global_lb > 0 then go 0 [] Q.zero;
+    { height = !best_h; placement = Placement.of_items !best_items; nodes_expanded = !nodes }
+  end

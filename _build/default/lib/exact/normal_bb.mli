@@ -1,0 +1,25 @@
+(** Exact strip packing by branch and bound over normal positions.
+
+    Unlike {!Order_search} (optimal only within bottom-left packings), this
+    solver is {e exact}: in any optimal packing each rectangle can be pushed
+    left and down until blocked (by the strip, another rectangle, or — for
+    the precedence variant — a predecessor's top edge), so some optimal
+    packing places every rectangle at a {e normal position}: x in the set
+    of subset-sums of widths, y in the set of subset-sums of heights
+    extended with predecessor tops (Herz's normal patterns, extended to
+    precedence floors). Enumerating only those positions is therefore
+    complete.
+
+    DFS over rectangles in a fixed topological order, assigning candidate
+    positions in (y, x) order, pruning with the incumbent and the
+    area/critical-path lower bounds. Exponential; guarded to [n <= 7]. *)
+
+type outcome = {
+  height : Spp_num.Rat.t;  (** the exact optimal height *)
+  placement : Spp_geom.Placement.t;
+  nodes_expanded : int;
+}
+
+(** [solve inst] computes OPT(S, E) exactly.
+    @raise Invalid_argument when [n > 7]. *)
+val solve : Spp_core.Instance.Prec.t -> outcome

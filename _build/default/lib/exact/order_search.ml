@@ -1,0 +1,71 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Skyline = Spp_geom.Skyline
+module Dag = Spp_dag.Dag
+
+type outcome = { height : Q.t; placement : Placement.t; nodes_expanded : int }
+
+(* Generic DFS over placement orders. [eligible placed remaining] restricts
+   which rect may come next; [floor_of placed r] gives its y floor. Each
+   branch works on a skyline snapshot; pruning is against the incumbent. *)
+let search rects ~eligible ~floor_of =
+  let n = List.length rects in
+  if n > 10 then invalid_arg "Order_search: instance too large (n > 10)";
+  let best_h = ref None in
+  let best_items = ref [] in
+  let nodes = ref 0 in
+  let rec go placed sky h remaining =
+    incr nodes;
+    match remaining with
+    | [] ->
+      (match !best_h with
+       | Some bh when Q.compare h bh >= 0 -> ()
+       | _ ->
+         best_h := Some h;
+         best_items := placed)
+    | _ ->
+      List.iter
+        (fun (r : Rect.t) ->
+          let rest = List.filter (fun (r' : Rect.t) -> r'.Rect.id <> r.Rect.id) remaining in
+          let sky' = Skyline.copy sky in
+          let y_min = floor_of placed r in
+          let pos = Skyline.place sky' ~w:r.Rect.w ~h:r.Rect.h ~y_min in
+          let item = { Placement.rect = r; pos } in
+          let h' = Q.max h (Q.add pos.Placement.y r.Rect.h) in
+          let prune = match !best_h with Some bh -> Q.compare h' bh >= 0 | None -> false in
+          if not prune then go (item :: placed) sky' h' rest)
+        (eligible placed remaining)
+  in
+  go [] (Skyline.create ()) Q.zero rects;
+  match !best_h with
+  | None -> { height = Q.zero; placement = Placement.of_items []; nodes_expanded = !nodes }
+  | Some h -> { height = h; placement = Placement.of_items !best_items; nodes_expanded = !nodes }
+
+let best_prec (inst : Spp_core.Instance.Prec.t) =
+  let floor_of placed (r : Rect.t) =
+    List.fold_left
+      (fun acc p ->
+        match List.find_opt (fun (it : Placement.item) -> it.rect.Rect.id = p) placed with
+        | Some it -> Q.max acc (Q.add it.pos.Placement.y it.rect.Rect.h)
+        | None -> acc)
+      Q.zero
+      (Dag.preds inst.dag r.Rect.id)
+  in
+  let eligible placed remaining =
+    let placed_ids = List.map (fun (it : Placement.item) -> it.rect.Rect.id) placed in
+    List.filter
+      (fun (r : Rect.t) ->
+        List.for_all (fun p -> List.mem p placed_ids) (Dag.preds inst.dag r.Rect.id))
+      remaining
+  in
+  search inst.rects ~eligible ~floor_of
+
+let best_release (inst : Spp_core.Instance.Release.t) =
+  let release = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Spp_core.Instance.Release.task) -> Hashtbl.replace release t.rect.Rect.id t.release)
+    inst.tasks;
+  let floor_of _placed (r : Rect.t) = Hashtbl.find release r.Rect.id in
+  let eligible _placed remaining = remaining in
+  search (Spp_core.Instance.Release.rects inst) ~eligible ~floor_of

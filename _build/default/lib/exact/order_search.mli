@@ -1,0 +1,26 @@
+(** Exhaustive search over placement orders with bottom-left placement.
+
+    For general (non-uniform-height) precedence instances there is no known
+    compact exact algorithm; this module searches {e all} topological orders
+    (respectively all orders, for release instances), placing each rectangle
+    at its lowest-then-leftmost skyline position, with branch-and-bound
+    pruning against the best height found and the instance lower bound.
+
+    The result is the optimum {e within the class of bottom-left packings},
+    an upper bound on OPT that is tight on most small instances; DESIGN.md
+    and EXPERIMENTS.md are explicit that it is used as a reference point,
+    not as a certified optimum. Guarded to [n <= 10]. *)
+
+type outcome = {
+  height : Spp_num.Rat.t;
+  placement : Spp_geom.Placement.t;
+  nodes_expanded : int;
+}
+
+(** [best_prec inst] searches topological orders (precedence floors on y).
+    @raise Invalid_argument when [n > 10]. *)
+val best_prec : Spp_core.Instance.Prec.t -> outcome
+
+(** [best_release inst] searches all orders (release floors on y).
+    @raise Invalid_argument when [n > 10]. *)
+val best_release : Spp_core.Instance.Release.t -> outcome

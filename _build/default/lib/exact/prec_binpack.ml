@@ -1,0 +1,70 @@
+module Q = Spp_num.Rat
+module Dag = Spp_dag.Dag
+
+type item = { id : int; size : Q.t }
+
+let min_bins items dag =
+  let n = List.length items in
+  if n > 20 then invalid_arg "Prec_binpack.min_bins: instance too large (n > 20)";
+  let items = Array.of_list items in
+  Array.iter
+    (fun it ->
+      if Q.sign it.size <= 0 || Q.compare it.size Q.one > 0 then
+        invalid_arg "Prec_binpack.min_bins: size outside (0,1]")
+    items;
+  let ids = Array.map (fun it -> it.id) items in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i id ->
+      if Hashtbl.mem index_of id then invalid_arg "Prec_binpack.min_bins: duplicate ids";
+      Hashtbl.replace index_of id i) ids;
+  if List.sort compare (Array.to_list ids) <> Dag.nodes dag then
+    invalid_arg "Prec_binpack.min_bins: DAG nodes differ from item ids";
+  if n = 0 then 0
+  else begin
+    (* pred_mask.(i): bitmask of direct predecessors of item i. *)
+    let pred_mask =
+      Array.init n (fun i ->
+          List.fold_left (fun acc p -> acc lor (1 lsl Hashtbl.find index_of p)) 0
+            (Dag.preds dag ids.(i)))
+    in
+    let full = (1 lsl n) - 1 in
+    let dp = Array.make (full + 1) max_int in
+    dp.(0) <- 0;
+    (* Numeric order is compatible with subset inclusion, so dp.(mask) is
+       final when visited. *)
+    for mask = 0 to full - 1 do
+      if dp.(mask) < max_int then begin
+        let avail =
+          List.filter
+            (fun i -> mask land (1 lsl i) = 0 && pred_mask.(i) land mask = pred_mask.(i))
+            (List.init n Fun.id)
+        in
+        (* DFS over subsets of [avail] that fit in one bin. *)
+        let cost = dp.(mask) + 1 in
+        let rec fill chosen_mask room = function
+          | [] ->
+            if chosen_mask <> 0 then begin
+              let next = mask lor chosen_mask in
+              if cost < dp.(next) then dp.(next) <- cost
+            end
+          | i :: rest ->
+            fill chosen_mask room rest;
+            let room' = Q.sub room items.(i).size in
+            if Q.sign room' >= 0 then fill (chosen_mask lor (1 lsl i)) room' rest
+        in
+        fill 0 Q.one avail
+      end
+    done;
+    dp.(full)
+  end
+
+let min_height (inst : Spp_core.Instance.Prec.t) =
+  match Spp_core.Uniform.uniform_height inst with
+  | None ->
+    if inst.rects = [] then Q.zero
+    else invalid_arg "Prec_binpack.min_height: heights are not uniform"
+  | Some c ->
+    let items =
+      List.map (fun (r : Spp_geom.Rect.t) -> { id = r.Spp_geom.Rect.id; size = r.Spp_geom.Rect.w }) inst.rects
+    in
+    Q.mul_int c (min_bins items inst.dag)

@@ -1,0 +1,25 @@
+(** Exact precedence-constrained bin packing by dynamic programming.
+
+    The problem from Section 2.2 (Garey–Graham–Johnson–Yao): items of size
+    in (0,1] with a partial order; [a ≺ b] forces [a]'s bin strictly before
+    [b]'s; minimise bins. Because shelf solutions are lossless for
+    uniform-height strip packing, this DP yields the {e true optimum} of
+    uniform-height precedence strip packing on small instances — the ground
+    truth for measuring approximation ratios of algorithm [F] (E4).
+
+    DP over downward-closed id subsets (bitmask): from a closed set [S],
+    one new bin receives any non-empty fitting subset of the currently
+    available items. Exponential state space; guarded to [n <= 20]. *)
+
+type item = { id : int; size : Spp_num.Rat.t }
+
+(** [min_bins items dag] is the optimal bin count.
+    @raise Invalid_argument when [n > 20], on duplicate ids, on a size
+    outside (0,1], or when DAG nodes differ from item ids. *)
+val min_bins : item list -> Spp_dag.Dag.t -> int
+
+(** [min_height inst] is the exact optimal strip-packing height of a
+    uniform-height precedence instance: [min_bins] over the width items
+    times the common height (via the shelf-normalisation equivalence).
+    @raise Invalid_argument if heights are not uniform or [n > 20]. *)
+val min_height : Spp_core.Instance.Prec.t -> Spp_num.Rat.t

@@ -1,0 +1,1 @@
+lib/fpga/online.ml: Array Device List Printf Schedule Spp_core Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/fpga/online.mli: Device Schedule Spp_core Spp_num

@@ -1,0 +1,1 @@
+lib/fpga/schedule.ml: Device List Printf Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/fpga/schedule.mli: Device Spp_geom Spp_num

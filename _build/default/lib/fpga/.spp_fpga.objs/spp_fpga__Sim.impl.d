@@ -1,0 +1,1 @@
+lib/fpga/sim.ml: Array Buffer Device Format Hashtbl List Printf Schedule Spp_dag Spp_num Spp_util String

@@ -1,0 +1,1 @@
+lib/fpga/sim.mli: Format Schedule Spp_dag Spp_num

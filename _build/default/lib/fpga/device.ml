@@ -1,0 +1,8 @@
+module Q = Spp_num.Rat
+
+type t = { columns : int; reconfig_delay : Q.t; serial_reconfig : bool }
+
+let make ~columns ?(reconfig_delay = Q.zero) ?(serial_reconfig = false) () =
+  if columns < 1 then invalid_arg "Device.make: columns must be >= 1";
+  if Q.sign reconfig_delay < 0 then invalid_arg "Device.make: negative reconfiguration delay";
+  { columns; reconfig_delay; serial_reconfig }

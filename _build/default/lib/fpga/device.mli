@@ -1,0 +1,26 @@
+(** A simulated column-reconfigurable FPGA.
+
+    The paper's motivating hardware (Section 1): a Virtex-II-class device
+    whose reconfiguration granularity is a full column, so a task occupies a
+    contiguous set of columns for a time interval. We have no physical
+    device; this model is the substitution documented in DESIGN.md — it
+    enforces exactly the semantics the paper reduces to strip packing
+    (contiguous columns × time), plus an optional per-task reconfiguration
+    delay for overhead studies. *)
+
+type t = private {
+  columns : int;  (** K, the paper's constant (≤ 200 on real devices) *)
+  reconfig_delay : Spp_num.Rat.t;
+      (** minimum idle time a column needs between two different tasks *)
+  serial_reconfig : bool;
+      (** Virtex-II-class devices have a single configuration port (ICAP):
+          when set, two tasks' reconfiguration windows (the [reconfig_delay]
+          interval before each start) may not overlap anywhere on the
+          device. Meaningful only with a positive delay. *)
+}
+
+(** [make ~columns ?reconfig_delay ?serial_reconfig ()] builds a device.
+    [serial_reconfig] defaults to false.
+    @raise Invalid_argument if [columns < 1] or the delay is negative. *)
+val make :
+  columns:int -> ?reconfig_delay:Spp_num.Rat.t -> ?serial_reconfig:bool -> unit -> t

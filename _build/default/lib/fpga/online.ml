@@ -1,0 +1,73 @@
+module Q = Spp_num.Rat
+module B = Spp_num.Bigint
+module Rect = Spp_geom.Rect
+
+type policy = [ `Earliest | `Leftmost ]
+
+type arrival = { id : int; columns : int; duration : Q.t; release : Q.t }
+
+let schedule (device : Device.t) policy arrivals =
+  let k = device.Device.columns in
+  List.iter
+    (fun a ->
+      if a.columns < 1 || a.columns > k then
+        invalid_arg (Printf.sprintf "Online.schedule: task %d needs %d of %d columns" a.id a.columns k);
+      if Q.sign a.duration < 0 || Q.sign a.release < 0 then
+        invalid_arg (Printf.sprintf "Online.schedule: task %d has negative time" a.id))
+    arrivals;
+  let order =
+    List.sort
+      (fun a b ->
+        let c = Q.compare a.release b.release in
+        if c <> 0 then c else compare a.id b.id)
+      arrivals
+  in
+  (* free.(c): earliest time column c is free (including reconfig delay). *)
+  let free = Array.make k Q.zero in
+  let delay = device.Device.reconfig_delay in
+  let window_start a lo =
+    let s = ref a.release in
+    for c = lo to lo + a.columns - 1 do
+      s := Q.max !s free.(c)
+    done;
+    !s
+  in
+  let tasks =
+    List.map
+      (fun a ->
+        let best = ref None in
+        for lo = 0 to k - a.columns do
+          let start = window_start a lo in
+          let better =
+            match (!best, policy) with
+            | None, _ -> true
+            | Some _, `Leftmost -> false (* first window wins *)
+            | Some (_, bs), `Earliest -> Q.compare start bs < 0
+          in
+          if better then best := Some (lo, start)
+        done;
+        match !best with
+        | None -> assert false (* k - columns >= 0 checked above *)
+        | Some (lo, start) ->
+          let fin = Q.add start a.duration in
+          for c = lo to lo + a.columns - 1 do
+            free.(c) <- Q.add fin delay
+          done;
+          { Schedule.id = a.id; col_lo = lo; col_count = a.columns; start; duration = a.duration })
+      order
+  in
+  { Schedule.device; tasks }
+
+let arrivals_of_release (inst : Spp_core.Instance.Release.t) =
+  let k = inst.k in
+  List.map
+    (fun (t : Spp_core.Instance.Release.task) ->
+      let scaled = Q.mul_int t.rect.Rect.w k in
+      let cols = Q.floor scaled in
+      if not (Q.equal (Q.of_bigint cols) scaled) then
+        invalid_arg
+          (Printf.sprintf "Online.arrivals_of_release: rect %d width %s is not a multiple of 1/%d"
+             t.rect.Rect.id (Q.to_string t.rect.Rect.w) k);
+      { id = t.rect.Rect.id; columns = B.to_int_exn cols; duration = t.rect.Rect.h;
+        release = t.release })
+    inst.tasks

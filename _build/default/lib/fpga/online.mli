@@ -1,0 +1,36 @@
+(** Online scheduling on the reconfigurable device.
+
+    The operating-system view the paper cites as the release-time
+    motivation (Steiger–Walder–Platzner): tasks arrive over time and must be
+    placed onto contiguous free columns without knowledge of future
+    arrivals. This is the online counterpart of Section 3's offline APTAS,
+    and the bench compares the two (experiment E10).
+
+    The scheduler keeps a per-column earliest-free time and assigns each
+    task, in release order, a contiguous window of columns:
+
+    - [`Earliest]: the window with the smallest feasible start time
+      (leftmost among ties) — a column-aware list scheduler;
+    - [`Leftmost]: always the leftmost window, whatever its start — the
+      naive allocator real systems often start with. *)
+
+type policy = [ `Earliest | `Leftmost ]
+
+type arrival = {
+  id : int;
+  columns : int;  (** contiguous columns needed, >= 1 *)
+  duration : Spp_num.Rat.t;
+  release : Spp_num.Rat.t;
+}
+
+(** [schedule device policy arrivals] processes arrivals in release order
+    (ties by id) and returns the resulting schedule; it always succeeds
+    (tasks wait for columns).
+    @raise Invalid_argument if a task needs more columns than the device
+    has, or a duration/release is negative. *)
+val schedule : Device.t -> policy -> arrival list -> Schedule.t
+
+(** [arrivals_of_release inst] converts a Section-3 instance (widths are
+    multiples of [1/K]) into arrivals.
+    @raise Invalid_argument if some width is not column-aligned. *)
+val arrivals_of_release : Spp_core.Instance.Release.t -> arrival list

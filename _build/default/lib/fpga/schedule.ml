@@ -1,0 +1,47 @@
+module Q = Spp_num.Rat
+module B = Spp_num.Bigint
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+
+type task = { id : int; col_lo : int; col_count : int; start : Q.t; duration : Q.t }
+type t = { device : Device.t; tasks : task list }
+
+let exact_cols ~k v what id =
+  let scaled = Q.mul_int v k in
+  let f = Q.floor scaled in
+  if not (Q.equal (Q.of_bigint f) scaled) then
+    invalid_arg
+      (Printf.sprintf "Schedule.of_placement: rect %d %s (%s) is not aligned to 1/%d columns" id
+         what (Q.to_string v) k);
+  B.to_int_exn f
+
+let of_placement ~device placement =
+  let k = device.Device.columns in
+  let tasks =
+    List.map
+      (fun (it : Placement.item) ->
+        let id = it.rect.Rect.id in
+        let col_lo = exact_cols ~k it.pos.Placement.x "x" id in
+        let col_count = exact_cols ~k it.rect.Rect.w "width" id in
+        if col_count < 1 || col_lo < 0 || col_lo + col_count > k then
+          invalid_arg (Printf.sprintf "Schedule.of_placement: rect %d leaves the device" id);
+        { id; col_lo; col_count; start = it.pos.Placement.y; duration = it.rect.Rect.h })
+      (Placement.items placement)
+  in
+  { device; tasks }
+
+let to_placement t =
+  let k = t.device.Device.columns in
+  Placement.of_items
+    (List.map
+       (fun task ->
+         let rect = Rect.make ~id:task.id ~w:(Q.of_ints task.col_count k) ~h:task.duration in
+         {
+           Placement.rect;
+           pos = { Placement.x = Q.of_ints task.col_lo k; y = task.start };
+         })
+       t.tasks)
+
+let task_end task = Q.add task.start task.duration
+
+let makespan t = List.fold_left (fun acc task -> Q.max acc (task_end task)) Q.zero t.tasks

@@ -1,0 +1,31 @@
+(** Concrete FPGA schedules: tasks pinned to column ranges and start times.
+
+    The bridge between the continuous strip-packing domain (width fractions,
+    rational x) and the discrete device: a placement whose widths and x
+    coordinates are multiples of [1/K] converts losslessly; anything else is
+    rejected rather than silently snapped. *)
+
+type task = {
+  id : int;
+  col_lo : int;  (** first column occupied (0-based) *)
+  col_count : int;  (** number of contiguous columns, >= 1 *)
+  start : Spp_num.Rat.t;
+  duration : Spp_num.Rat.t;
+}
+
+type t = { device : Device.t; tasks : task list }
+
+(** [of_placement ~device placement] converts exactly: for each rect,
+    [x·K] and [w·K] must be integers.
+    @raise Invalid_argument when a coordinate is not column-aligned or a
+    task leaves the device. *)
+val of_placement : device:Device.t -> Spp_geom.Placement.t -> t
+
+(** [to_placement sched] converts back (columns → width fractions), e.g. to
+    reuse the geometric validator. *)
+val to_placement : t -> Spp_geom.Placement.t
+
+val makespan : t -> Spp_num.Rat.t
+
+(** [task_end task] = start + duration. *)
+val task_end : task -> Spp_num.Rat.t

@@ -1,0 +1,181 @@
+module Q = Spp_num.Rat
+module Heap = Spp_util.Heap
+module Dag = Spp_dag.Dag
+
+type violation =
+  | Column_conflict of int * int * int
+  | Reconfig_too_fast of int * int * int
+  | Reconfig_port_busy of int * int
+  | Precedence_violated of int * int
+  | Released_early of int
+
+type report = {
+  makespan : Q.t;
+  busy : Q.t array;
+  utilisation : float;
+  reconfigurations : int;
+  violations : violation list;
+}
+
+type event = { time : Q.t; kind : [ `Finish | `Start ]; task : Schedule.task }
+
+let event_cmp a b =
+  let c = Q.compare a.time b.time in
+  if c <> 0 then c
+  else
+    (* Finishes before starts at equal times: touching intervals are legal. *)
+    match (a.kind, b.kind) with
+    | `Finish, `Start -> -1
+    | `Start, `Finish -> 1
+    | _ -> compare a.task.Schedule.id b.task.Schedule.id
+
+let run ?dag ?release (sched : Schedule.t) =
+  let k = sched.device.Device.columns in
+  let delay = sched.device.Device.reconfig_delay in
+  let events = Heap.create ~cmp:event_cmp in
+  List.iter
+    (fun (t : Schedule.task) ->
+      Heap.push events { time = t.start; kind = `Start; task = t };
+      Heap.push events { time = Schedule.task_end t; kind = `Finish; task = t })
+    sched.tasks;
+  (* Per-column state: current occupant and the last (task, end) seen. *)
+  let occupant = Array.make k None in
+  let last_done : (int * Q.t) option array = Array.make k None in
+  let busy = Array.make k Q.zero in
+  let finished = Hashtbl.create 16 in (* id -> finish time *)
+  let violations = ref [] in
+  let reconfigs = ref 0 in
+  let rec loop () =
+    match Heap.pop events with
+    | None -> ()
+    | Some ev ->
+      let t = ev.task in
+      (match ev.kind with
+       | `Finish ->
+         for c = t.col_lo to t.col_lo + t.col_count - 1 do
+           (match occupant.(c) with
+            | Some id when id = t.Schedule.id -> occupant.(c) <- None
+            | _ -> ());
+           last_done.(c) <- Some (t.Schedule.id, ev.time);
+           busy.(c) <- Q.add busy.(c) t.duration
+         done;
+         Hashtbl.replace finished t.Schedule.id ev.time
+       | `Start ->
+         (match release with
+          | Some rel ->
+            if Q.compare t.start (rel t.Schedule.id) < 0 then
+              violations := Released_early t.Schedule.id :: !violations
+          | None -> ());
+         (match dag with
+          | Some g when Dag.mem g t.Schedule.id ->
+            List.iter
+              (fun p ->
+                let ok =
+                  match Hashtbl.find_opt finished p with
+                  | Some ft -> Q.compare ft t.start <= 0
+                  | None -> false
+                in
+                if not ok then violations := Precedence_violated (p, t.Schedule.id) :: !violations)
+              (Dag.preds g t.Schedule.id)
+          | _ -> ());
+         for c = t.col_lo to t.col_lo + t.col_count - 1 do
+           (match occupant.(c) with
+            | Some other -> violations := Column_conflict (other, t.Schedule.id, c) :: !violations
+            | None -> ());
+           (match last_done.(c) with
+            | Some (prev, fin) when prev <> t.Schedule.id ->
+              if Q.compare (Q.sub t.start fin) delay < 0 then
+                violations := Reconfig_too_fast (prev, t.Schedule.id, c) :: !violations
+            | _ -> ());
+           occupant.(c) <- Some t.Schedule.id;
+           incr reconfigs
+         done);
+      loop ()
+  in
+  loop ();
+  (* Single configuration port (ICAP): reconfiguration windows — the
+     [delay] interval before each task's start — must be pairwise disjoint
+     when the device serialises reconfiguration. *)
+  if sched.device.Device.serial_reconfig && Q.sign delay > 0 then begin
+    let windows =
+      List.sort
+        (fun (s1, _, _) (s2, _, _) -> Q.compare s1 s2)
+        (List.map
+           (fun (t : Schedule.task) -> (Q.sub t.start delay, t.start, t.Schedule.id))
+           sched.tasks)
+    in
+    let rec scan = function
+      | (_, e1, id1) :: ((s2, _, id2) :: _ as rest) ->
+        if Q.compare s2 e1 < 0 then
+          violations := Reconfig_port_busy (id1, id2) :: !violations;
+        scan rest
+      | _ -> ()
+    in
+    scan windows
+  end;
+  let makespan = Schedule.makespan sched in
+  let total_busy = Array.fold_left Q.add Q.zero busy in
+  let utilisation =
+    if Q.is_zero makespan then 0.0
+    else Q.to_float total_busy /. (float_of_int k *. Q.to_float makespan)
+  in
+  {
+    makespan;
+    busy;
+    utilisation;
+    reconfigurations = !reconfigs;
+    violations = List.rev !violations;
+  }
+
+let pp_violation fmt = function
+  | Column_conflict (a, b, c) -> Format.fprintf fmt "tasks %d and %d overlap on column %d" a b c
+  | Reconfig_too_fast (a, b, c) ->
+    Format.fprintf fmt "column %d reconfigured too fast between tasks %d and %d" c a b
+  | Reconfig_port_busy (a, b) ->
+    Format.fprintf fmt "tasks %d and %d contend for the serial configuration port" a b
+  | Precedence_violated (a, b) -> Format.fprintf fmt "task %d started before predecessor %d ended" b a
+  | Released_early id -> Format.fprintf fmt "task %d started before its release" id
+
+let waiting_times ~release (sched : Schedule.t) =
+  List.map
+    (fun (t : Schedule.task) ->
+      (t.Schedule.id, Q.max Q.zero (Q.sub t.start (release t.Schedule.id))))
+    sched.tasks
+
+let mean_wait ~release sched =
+  match waiting_times ~release sched with
+  | [] -> 0.0
+  | ws ->
+    List.fold_left (fun acc (_, w) -> acc +. Q.to_float w) 0.0 ws /. float_of_int (List.length ws)
+
+let gantt ?(time_cols = 64) (sched : Schedule.t) =
+  let k = sched.device.Device.columns in
+  let span = Q.to_float (Schedule.makespan sched) in
+  if span <= 0.0 then ""
+  else begin
+    let grid = Array.make_matrix k time_cols '.' in
+    let glyph id =
+      let letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789" in
+      letters.[id mod String.length letters]
+    in
+    List.iter
+      (fun (t : Schedule.task) ->
+        let t0 = int_of_float (Q.to_float t.start /. span *. float_of_int time_cols) in
+        let t1 =
+          int_of_float (Q.to_float (Schedule.task_end t) /. span *. float_of_int time_cols)
+        in
+        for c = t.col_lo to t.col_lo + t.col_count - 1 do
+          for x = max 0 t0 to min (time_cols - 1) (max t0 (t1 - 1)) do
+            grid.(c).(x) <- glyph t.Schedule.id
+          done
+        done)
+      sched.tasks;
+    let buf = Buffer.create (k * (time_cols + 8)) in
+    for c = 0 to k - 1 do
+      Buffer.add_string buf (Printf.sprintf "col%02d " c);
+      Buffer.add_string buf (String.init time_cols (fun x -> grid.(c).(x)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (Printf.sprintf "time 0 .. %.3f ->" span);
+    Buffer.contents buf
+  end

@@ -1,0 +1,1 @@
+lib/geom/placement.ml: Array Format Hashtbl List Printf Rect Spp_num

@@ -1,0 +1,1 @@
+lib/geom/placement.mli: Format Rect Spp_num

@@ -1,0 +1,1 @@
+lib/geom/render.ml: Array Buffer Float List Placement Rect Spp_num String

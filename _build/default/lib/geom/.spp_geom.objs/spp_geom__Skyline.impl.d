@@ -1,0 +1,1 @@
+lib/geom/skyline.ml: List Placement Spp_num

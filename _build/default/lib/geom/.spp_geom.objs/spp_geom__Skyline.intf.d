@@ -1,0 +1,1 @@
+lib/geom/skyline.mli: Placement Spp_num

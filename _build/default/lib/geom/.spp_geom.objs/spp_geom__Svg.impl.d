@@ -1,0 +1,1 @@
+lib/geom/svg.ml: Array Buffer Float List Placement Printf Rect Spp_num

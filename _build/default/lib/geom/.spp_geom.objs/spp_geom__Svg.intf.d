@@ -1,0 +1,1 @@
+lib/geom/svg.mli: Placement

@@ -1,0 +1,29 @@
+module Q = Spp_num.Rat
+
+type t = { id : int; w : Q.t; h : Q.t }
+
+let make ~id ~w ~h =
+  if Q.sign w <= 0 || Q.compare w Q.one > 0 then
+    invalid_arg (Printf.sprintf "Rect.make: width %s outside (0, 1]" (Q.to_string w));
+  if Q.sign h <= 0 then
+    invalid_arg (Printf.sprintf "Rect.make: height %s must be positive" (Q.to_string h));
+  { id; w; h }
+
+let make_f ~id ~w ~h =
+  make ~id ~w:(Q.of_float_approx w ~max_den:1_000_000) ~h:(Q.of_float_approx h ~max_den:1_000_000)
+
+let area r = Q.mul r.w r.h
+let total_area rects = List.fold_left (fun acc r -> Q.add acc (area r)) Q.zero rects
+
+let max_height rects = List.fold_left (fun acc r -> Q.max acc r.h) Q.zero rects
+
+let cmp_desc proj a b =
+  let c = Q.compare (proj b) (proj a) in
+  if c <> 0 then c else compare a.id b.id
+
+let sort_by_height_desc rects = List.sort (cmp_desc (fun r -> r.h)) rects
+let sort_by_width_desc rects = List.sort (cmp_desc (fun r -> r.w)) rects
+
+let equal a b = a.id = b.id && Q.equal a.w b.w && Q.equal a.h b.h
+
+let pp fmt r = Format.fprintf fmt "#%d[%s x %s]" r.id (Q.to_string r.w) (Q.to_string r.h)

@@ -1,0 +1,39 @@
+(** Rectangles (tasks) with exact rational dimensions.
+
+    In the paper's model a rectangle [s] has width [w_s ∈ (0, 1]] (fraction
+    of the strip / FPGA columns) and height [h_s > 0] (execution time). All
+    coordinates in this repository are exact rationals ({!Spp_num.Rat}), so
+    geometric predicates (overlap, containment) are decidable without
+    epsilon tuning and the APTAS bookkeeping is exact. *)
+
+type t = {
+  id : int;  (** stable identity, preserved through every transformation *)
+  w : Spp_num.Rat.t;  (** width, in (0, 1] *)
+  h : Spp_num.Rat.t;  (** height, > 0 *)
+}
+
+(** [make ~id ~w ~h] checks [0 < w <= 1] and [h > 0].
+    @raise Invalid_argument when a dimension is out of range. *)
+val make : id:int -> w:Spp_num.Rat.t -> h:Spp_num.Rat.t -> t
+
+(** [make_f ~id ~w ~h] builds from floats via exact small-denominator
+    approximation (denominator ≤ 10^6). Convenience for examples. *)
+val make_f : id:int -> w:float -> h:float -> t
+
+val area : t -> Spp_num.Rat.t
+
+(** [total_area rects] is [Σ w·h] — the paper's [AREA(S)] lower bound. *)
+val total_area : t list -> Spp_num.Rat.t
+
+(** [max_height rects] is [max h_s] ([zero] on the empty list). *)
+val max_height : t list -> Spp_num.Rat.t
+
+(** Sort tallest first (the order NFDH/FFDH need); ties by id for
+    determinism. *)
+val sort_by_height_desc : t list -> t list
+
+(** Sort widest first (the order stacking/grouping need); ties by id. *)
+val sort_by_width_desc : t list -> t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+module Q = Spp_num.Rat
+
+let glyph id =
+  let letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789" in
+  letters.[id mod String.length letters]
+
+let render ?(cols = 64) ?(max_rows = 40) placement =
+  let items = Placement.items placement in
+  if items = [] then ""
+  else begin
+    let total_h = Q.to_float (Placement.height placement) in
+    let rows = max 1 (min max_rows (int_of_float (ceil (total_h *. float_of_int max_rows /. max total_h 1.0)))) in
+    let rows = if total_h <= float_of_int max_rows /. 4.0 then max rows (min max_rows (int_of_float (ceil (total_h *. 4.0)))) else rows in
+    let grid = Array.make_matrix rows cols '.' in
+    let xscale = float_of_int cols and yscale = float_of_int rows /. max total_h 1e-9 in
+    List.iter
+      (fun { Placement.rect; pos } ->
+        let x0 = int_of_float (Float.round (Q.to_float pos.Placement.x *. xscale)) in
+        let x1 = int_of_float (Float.round (Q.to_float (Q.add pos.Placement.x rect.Rect.w) *. xscale)) in
+        let y0 = int_of_float (Float.round (Q.to_float pos.Placement.y *. yscale)) in
+        let y1 = int_of_float (Float.round (Q.to_float (Q.add pos.Placement.y rect.Rect.h) *. yscale)) in
+        let c = glyph rect.Rect.id in
+        for y = max 0 y0 to min (rows - 1) (max y0 (y1 - 1)) do
+          for x = max 0 x0 to min (cols - 1) (max x0 (x1 - 1)) do
+            grid.(y).(x) <- c
+          done
+        done)
+      items;
+    let buf = Buffer.create (rows * (cols + 1)) in
+    for y = rows - 1 downto 0 do
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (String.init cols (fun x -> grid.(y).(x)));
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.add_string buf ("+" ^ String.make cols '-' ^ "+");
+    Buffer.contents buf
+  end
+
+let print placement = print_endline (render placement)

@@ -1,0 +1,14 @@
+(** ASCII rendering of placements.
+
+    Draws the strip as a character grid (x scaled to a fixed number of
+    columns, y scaled to rows), each rectangle filled with a letter derived
+    from its id. Used by the examples and the CLI to show packings in a
+    terminal; deliberately lossy — validation never goes through rendering. *)
+
+(** [render ?cols ?max_rows placement] is a multi-line string; the bottom of
+    the strip is the last line. [cols] defaults to 64. [max_rows] (default
+    40) caps vertical resolution. The empty placement renders as "". *)
+val render : ?cols:int -> ?max_rows:int -> Placement.t -> string
+
+(** [print placement] renders with defaults to stdout. *)
+val print : Placement.t -> unit

@@ -1,0 +1,92 @@
+module Q = Spp_num.Rat
+
+(* Contour segments in left-to-right order; adjacent segments with equal y
+   are merged so the candidate set stays small. *)
+type seg = { x : Q.t; w : Q.t; y : Q.t }
+type t = { mutable segs : seg list }
+
+let create () = { segs = [ { x = Q.zero; w = Q.one; y = Q.zero } ] }
+
+let segments t = List.map (fun s -> (s.x, s.w, s.y)) t.segs
+
+let height t = List.fold_left (fun acc s -> Q.max acc s.y) Q.zero t.segs
+
+let copy t = { segs = t.segs }
+
+(* Max contour height over the window [x0, x0+w); None if the window leaves
+   the strip. *)
+let support t x0 w =
+  let open Q.Infix in
+  if x0 + w > Q.one then None
+  else begin
+    let x1 = x0 + w in
+    let rec go best = function
+      | [] -> best
+      | s :: rest ->
+        if s.x >= x1 then best
+        else if s.x + s.w <= x0 then go best rest
+        else go (Q.max best s.y) rest
+    in
+    Some (go Q.zero t.segs)
+  end
+
+(* Rebuild the contour after committing a rect occupying [x0, x1) at top. *)
+let commit t x0 x1 top =
+  let open Q.Infix in
+  let pieces =
+    List.concat_map
+      (fun s ->
+        let sx0 = s.x and sx1 = s.x + s.w in
+        let left =
+          if sx0 < x0 then [ { s with w = Q.min s.w (x0 - sx0) } ] else []
+        in
+        let right =
+          if sx1 > x1 then
+            let rx = Q.max s.x x1 in
+            [ { x = rx; w = sx1 - rx; y = s.y } ]
+          else []
+        in
+        left @ right)
+      t.segs
+  in
+  let segs =
+    List.sort (fun a b -> Q.compare a.x b.x) ({ x = x0; w = x1 - x0; y = top } :: pieces)
+  in
+  (* Merge adjacent segments at equal height. *)
+  let rec merge = function
+    | a :: b :: rest when Q.equal a.y b.y && Q.equal (Q.add a.x a.w) b.x ->
+      merge ({ a with w = Q.add a.w b.w } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  t.segs <- merge segs
+
+let place t ~w ~h ~y_min =
+  if Q.compare w Q.one > 0 then invalid_arg "Skyline.place: rect wider than strip";
+  (* Candidates: each segment's left edge, plus the right-flush position. *)
+  let candidates =
+    List.filter_map
+      (fun s ->
+        match support t s.x w with
+        | Some sup -> Some (s.x, Q.max sup y_min)
+        | None ->
+          (match support t (Q.sub Q.one w) w with
+           | Some sup -> Some (Q.sub Q.one w, Q.max sup y_min)
+           | None -> None))
+      t.segs
+  in
+  let best =
+    List.fold_left
+      (fun acc (x, y) ->
+        match acc with
+        | None -> Some (x, y)
+        | Some (bx, by) ->
+          let c = Q.compare y by in
+          if c < 0 || (c = 0 && Q.compare x bx < 0) then Some (x, y) else acc)
+      None candidates
+  in
+  match best with
+  | None -> assert false (* w <= 1 guarantees at least the right-flush candidate *)
+  | Some (x, y) ->
+    commit t x (Q.add x w) (Q.add y h);
+    { Placement.x; y }

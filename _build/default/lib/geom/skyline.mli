@@ -1,0 +1,32 @@
+(** Skyline (envelope) structure for bottom-left-style placement.
+
+    Maintains the upper contour of the packed region as a left-to-right list
+    of horizontal segments over the strip [\[0, 1\]]. Used by the
+    bottom-left baseline packer in {!Spp_pack.Bottom_left} and by the
+    precedence-aware list scheduler in {!Spp_core.List_schedule}: both place
+    each rectangle at the lowest (then leftmost) supported position subject
+    to a per-rectangle lower bound on y (release time or predecessor
+    finish). Exact rational coordinates; O(segments) per operation. *)
+
+type t
+
+(** [create ()] is the empty skyline over strip width 1 (contour at y = 0). *)
+val create : unit -> t
+
+(** [segments t] is the contour as [(x, width, y)] triples, left to right;
+    widths are positive and sum to 1. *)
+val segments : t -> (Spp_num.Rat.t * Spp_num.Rat.t * Spp_num.Rat.t) list
+
+(** [place t ~w ~h ~y_min] chooses the position minimising (support y, then
+    x) over all candidate left edges, subject to [y >= y_min], commits the
+    rectangle to the skyline and returns its position.
+    @raise Invalid_argument if [w] exceeds the strip width. *)
+val place : t -> w:Spp_num.Rat.t -> h:Spp_num.Rat.t -> y_min:Spp_num.Rat.t -> Placement.pos
+
+(** [height t] is the highest contour y. *)
+val height : t -> Spp_num.Rat.t
+
+(** [copy t] is an independent snapshot (O(1): the contour is persistent
+    data behind a mutable head). Used by branch-and-bound search. *)
+val copy : t -> t
+

@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Format List Spp_num

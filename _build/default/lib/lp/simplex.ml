@@ -1,0 +1,257 @@
+type 'a result =
+  | Optimal of { objective : 'a; solution : 'a array; duals : 'a array }
+  | Infeasible
+  | Unbounded
+
+module Make (F : Field.S) = struct
+  (* Dense tableau:
+       rows    : m arrays of length [cols+1]; slot [cols] is the rhs.
+       basis   : basis.(i) is the variable basic in row i.
+       objrow  : reduced costs, slot [cols] holds -z.
+     Column layout: [0,n) model vars, [n, art_start) slack/surplus,
+     [art_start, cols) artificials. *)
+
+  type tableau = {
+    mutable rows : F.t array array;
+    mutable basis : int array;
+    objrow : F.t array;
+    cols : int;
+    art_start : int;
+    nvars : int;
+  }
+
+  let pivot t r c =
+    let prow = t.rows.(r) in
+    let pv = prow.(c) in
+    for j = 0 to t.cols do
+      prow.(j) <- F.div prow.(j) pv
+    done;
+    let eliminate row =
+      let factor = row.(c) in
+      if not (F.is_zero factor) then
+        for j = 0 to t.cols do
+          row.(j) <- F.sub row.(j) (F.mul factor prow.(j))
+        done
+    in
+    Array.iteri (fun i row -> if i <> r then eliminate row) t.rows;
+    eliminate t.objrow;
+    t.basis.(r) <- c
+
+  (* Pricing. Dantzig's rule (most negative reduced cost) is fast but can
+     cycle on degenerate bases; Bland's rule (smallest eligible index)
+     terminates always. We run Dantzig while progress is made and fall back
+     to Bland permanently after a run of degenerate pivots — a standard,
+     still-terminating hybrid. Leaving row: min ratio, ties by smallest
+     basis index (part of Bland's argument). *)
+  let degenerate_limit = 40
+
+  let iterate t ~max_enter ~max_iters =
+    let iters = ref 0 in
+    let degenerate_run = ref 0 in
+    let rec step () =
+      incr iters;
+      if !iters > max_iters then failwith "Simplex: iteration limit exceeded";
+      let entering = ref (-1) in
+      if !degenerate_run < degenerate_limit then begin
+        (* Dantzig: most negative reduced cost. *)
+        let best = ref F.zero in
+        for j = 0 to max_enter - 1 do
+          if F.compare t.objrow.(j) !best < 0 then begin
+            best := t.objrow.(j);
+            entering := j
+          end
+        done
+      end
+      else begin
+        let j = ref 0 in
+        while !entering < 0 && !j < max_enter do
+          if F.compare t.objrow.(!j) F.zero < 0 then entering := !j;
+          incr j
+        done
+      end;
+      if !entering < 0 then `Optimal
+      else begin
+        let e = !entering in
+        let leave = ref (-1) in
+        let best_ratio = ref F.zero in
+        Array.iteri
+          (fun i row ->
+            if F.compare row.(e) F.zero > 0 then begin
+              let ratio = F.div row.(t.cols) row.(e) in
+              if
+                !leave < 0
+                || F.compare ratio !best_ratio < 0
+                || (F.compare ratio !best_ratio = 0 && t.basis.(i) < t.basis.(!leave))
+              then begin
+                leave := i;
+                best_ratio := ratio
+              end
+            end)
+          t.rows;
+        if !leave < 0 then `Unbounded
+        else begin
+          if F.is_zero !best_ratio then incr degenerate_run else degenerate_run := 0;
+          pivot t !leave e;
+          step ()
+        end
+      end
+    in
+    step ()
+
+  (* Reduced-cost row for cost vector [cost] (length cols) under the current
+     basis: r_j = c_j - sum_i c_{basis i} T[i][j];   slot cols = -z. *)
+  let set_objective_row t cost =
+    for j = 0 to t.cols do
+      t.objrow.(j) <- (if j < t.cols then cost.(j) else F.zero)
+    done;
+    Array.iteri
+      (fun i row ->
+        let cb = cost.(t.basis.(i)) in
+        if not (F.is_zero cb) then
+          for j = 0 to t.cols do
+            t.objrow.(j) <- F.sub t.objrow.(j) (F.mul cb row.(j))
+          done)
+      t.rows
+
+  let solve_max_iters model ~max_iters =
+    let n = Model.num_vars model in
+    let constrs = Array.of_list (Model.constraints model) in
+    let m = Array.length constrs in
+    (* Normalise every row to rhs >= 0 and count auxiliary columns. *)
+    let slack_count = ref 0 and art_count = ref 0 in
+    let norm =
+      Array.map
+        (fun (_, terms, op, rhs) ->
+          let flip = Spp_num.Rat.sign rhs < 0 in
+          let terms = if flip then List.map (fun (v, c) -> (v, Spp_num.Rat.neg c)) terms else terms in
+          let rhs = if flip then Spp_num.Rat.neg rhs else rhs in
+          let op = match (op, flip) with
+            | Model.Eq, _ -> Model.Eq
+            | Model.Le, false | Model.Ge, true -> Model.Le
+            | Model.Ge, false | Model.Le, true -> Model.Ge
+          in
+          (match op with
+           | Model.Le -> incr slack_count
+           | Model.Ge -> incr slack_count; incr art_count
+           | Model.Eq -> incr art_count);
+          (terms, op, rhs, flip))
+        constrs
+    in
+    let art_start = n + !slack_count in
+    let cols = art_start + !art_count in
+    let rows = Array.init m (fun _ -> Array.make (cols + 1) F.zero) in
+    let basis = Array.make m 0 in
+    let next_slack = ref n and next_art = ref art_start in
+    (* For dual recovery: a column whose original entries were +e_i (the
+       slack for Le, the artificial for Ge/Eq), so that at optimality the
+       normalised dual is -(its reduced cost); [dual_sign] undoes the rhs
+       flip. *)
+    let dual_col = Array.make m 0 in
+    let dual_sign = Array.make m 1 in
+    Array.iteri
+      (fun i (terms, op, rhs, flipped) ->
+        let row = rows.(i) in
+        List.iter (fun (v, c) -> row.(v) <- F.add row.(v) (F.of_rat c)) terms;
+        row.(cols) <- F.of_rat rhs;
+        dual_sign.(i) <- (if flipped then -1 else 1);
+        (match op with
+         | Model.Le ->
+           row.(!next_slack) <- F.one;
+           basis.(i) <- !next_slack;
+           dual_col.(i) <- !next_slack;
+           incr next_slack
+         | Model.Ge ->
+           row.(!next_slack) <- F.neg F.one;
+           incr next_slack;
+           row.(!next_art) <- F.one;
+           basis.(i) <- !next_art;
+           dual_col.(i) <- !next_art;
+           incr next_art
+         | Model.Eq ->
+           row.(!next_art) <- F.one;
+           basis.(i) <- !next_art;
+           dual_col.(i) <- !next_art;
+           incr next_art))
+      norm;
+    let t = { rows; basis; objrow = Array.make (cols + 1) F.zero; cols; art_start; nvars = n } in
+    let dropped = Hashtbl.create 4 in
+    let feasible = ref true in
+    if !art_count > 0 then begin
+      (* Phase 1: minimise the sum of artificial variables. *)
+      let cost = Array.make cols F.zero in
+      for j = art_start to cols - 1 do
+        cost.(j) <- F.one
+      done;
+      set_objective_row t cost;
+      (match iterate t ~max_enter:cols ~max_iters with
+       | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+       | `Optimal -> ());
+      let z1 = F.neg t.objrow.(t.cols) in
+      if F.compare z1 F.zero > 0 then feasible := false
+      else begin
+        (* Drive artificials out of the basis; drop redundant rows. *)
+        let keep = ref [] in
+        Array.iteri
+          (fun i row ->
+            if t.basis.(i) >= art_start then begin
+              let piv = ref (-1) in
+              for j = 0 to art_start - 1 do
+                if !piv < 0 && not (F.is_zero row.(j)) then piv := j
+              done;
+              if !piv >= 0 then begin
+                pivot t i !piv;
+                keep := i :: !keep
+              end
+              (* else: all-zero structural row => linearly dependent, drop *)
+            end
+            else keep := i :: !keep)
+          t.rows;
+        let keep = List.sort compare !keep in
+        Array.iteri (fun i _ -> if not (List.mem i keep) then Hashtbl.replace dropped i ()) t.rows;
+        t.rows <- Array.of_list (List.map (fun i -> t.rows.(i)) keep);
+        t.basis <- Array.of_list (List.map (fun i -> t.basis.(i)) keep)
+      end
+    end;
+    if not !feasible then Infeasible
+    else begin
+      (* Phase 2: original objective; artificial columns are barred from
+         entering (max_enter = art_start). *)
+      let cost = Array.make cols F.zero in
+      List.iter (fun (v, c) -> cost.(v) <- F.add cost.(v) (F.of_rat c)) (Model.objective model);
+      set_objective_row t cost;
+      match iterate t ~max_enter:t.art_start ~max_iters with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        let solution = Array.make t.nvars F.zero in
+        Array.iteri
+          (fun i row -> if t.basis.(i) < t.nvars then solution.(t.basis.(i)) <- row.(t.cols))
+          t.rows;
+        let objective = F.neg t.objrow.(t.cols) in
+        (* Duals: for constraint i with auxiliary column j whose original
+           entries were +e_i, the reduced cost is r_j = -y_i, so
+           y_i = -r_j, sign-adjusted for flipped rows. Dropped (redundant)
+           rows get dual 0. *)
+        let duals = Array.make m F.zero in
+        for i = 0 to m - 1 do
+          if not (Hashtbl.mem dropped i) then begin
+            let y = F.neg t.objrow.(dual_col.(i)) in
+            duals.(i) <- (if dual_sign.(i) < 0 then F.neg y else y)
+          end
+        done;
+        Optimal { objective; solution; duals }
+    end
+
+  let solve model = solve_max_iters model ~max_iters:1_000_000
+end
+
+module Exact = struct
+  module M = Make (Field.Rat)
+
+  let solve = M.solve
+end
+
+module Approx = struct
+  module M = Make (Field.Float)
+
+  let solve model = M.solve_max_iters model ~max_iters:100_000
+end

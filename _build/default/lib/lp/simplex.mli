@@ -1,0 +1,45 @@
+(** Two-phase primal simplex over an abstract scalar field.
+
+    Dense-tableau implementation. Pricing uses Dantzig's rule (fast in
+    practice) with a permanent-until-progress fallback to Bland's rule after
+    a run of degenerate pivots, so termination is guaranteed for the exact
+    field. Solving a model returns a {e basic} optimal solution — the
+    property the paper's Lemma 3.3 relies on to bound the number of
+    configuration occurrences by the number of constraints, which in turn
+    drives the additive loss of Lemma 3.4.
+
+    Not polynomial time in the worst case (the paper cites ellipsoid /
+    Karmarkar for that); DESIGN.md documents this substitution — instance
+    sizes here make simplex the pragmatic exact choice. *)
+
+type 'a result =
+  | Optimal of { objective : 'a; solution : 'a array; duals : 'a array }
+      (** [solution] has one entry per model variable; at most
+          [num_constraints] entries are nonzero (basicness). [duals] has one
+          entry per constraint (in insertion order): the marginal change of
+          the optimal objective per unit increase of that constraint's
+          right-hand side (0 for constraints dropped as redundant). Used by
+          the column-generation pricing in {!Spp_core.Config_colgen}. *)
+  | Infeasible
+  | Unbounded
+
+module Make (F : Field.S) : sig
+  (** [solve model] minimises the model objective over its feasible region.
+      All model variables are implicitly non-negative. *)
+  val solve : Model.t -> F.t result
+
+  (** [solve_max_iters model ~max_iters] bounds pivot count (safety valve for
+      the float instance, which tolerance-compare could in principle cycle).
+      @raise Failure if the bound is hit. *)
+  val solve_max_iters : Model.t -> max_iters:int -> F.t result
+end
+
+(** Exact solver over rationals. *)
+module Exact : sig
+  val solve : Model.t -> Spp_num.Rat.t result
+end
+
+(** Floating-point solver (tolerance-based pivoting). *)
+module Approx : sig
+  val solve : Model.t -> float result
+end

@@ -1,0 +1,416 @@
+(* Arbitrary-precision integers on base-2^15 limbs.
+
+   Representation invariants:
+   - [mag] is little-endian, has no trailing (most-significant) zero limb;
+   - [sign] is 0 iff [mag] is empty, otherwise -1 or 1.
+   The normalised representation makes structural equality numeric. *)
+
+let base_bits = 15
+let base = 1 lsl base_bits (* 32768 *)
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let is_zero v = v.sign = 0
+let sign v = v.sign
+let limb_count v = Array.length v.mag
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives (arrays of limbs, little-endian, non-negative) *)
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 2 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r.(lr - 1) <- !carry;
+  r
+
+(* Precondition: a >= b (as magnitudes). *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let mag_mul_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          let t = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- t land mask;
+          carry := t lsr base_bits
+        done;
+        (* Propagate the final carry; it can ripple past i+lb. *)
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let t = r.(!k) + !carry in
+          r.(!k) <- t land mask;
+          carry := t lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    r
+  end
+
+(* Karatsuba above this limb count; below it the schoolbook constant wins. *)
+let karatsuba_threshold = 32
+
+(* Trim trailing zero limbs (most significant side). *)
+let mag_trim m =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length m then m else Array.sub m 0 !n
+
+(* r += x shifted left by [shift] limbs (in place; r is large enough). *)
+let mag_add_into r x shift =
+  let carry = ref 0 in
+  let lx = Array.length x in
+  let i = ref 0 in
+  while !i < lx || !carry <> 0 do
+    let idx = shift + !i in
+    let t = r.(idx) + (if !i < lx then x.(!i) else 0) + !carry in
+    r.(idx) <- t land mask;
+    carry := t lsr base_bits;
+    incr i
+  done
+
+let rec mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if min la lb < karatsuba_threshold then mag_mul_school a b
+  else begin
+    (* Karatsuba: split at m, a = a1·B^m + a0, b = b1·B^m + b0;
+       a·b = z2·B^2m + (z1 − z0 − z2)·B^m + z0 with
+       z0 = a0·b0, z2 = a1·b1, z1 = (a0+a1)(b0+b1). *)
+    let m = (max la lb + 1) / 2 in
+    let lo x = if Array.length x <= m then x else Array.sub x 0 m in
+    let hi x = if Array.length x <= m then [||] else Array.sub x m (Array.length x - m) in
+    let a0 = mag_trim (lo a) and a1 = mag_trim (hi a) in
+    let b0 = mag_trim (lo b) and b1 = mag_trim (hi b) in
+    let z0 = mag_mul a0 b0 in
+    let z2 = mag_mul a1 b1 in
+    let z1 = mag_mul (mag_trim (mag_add a0 a1)) (mag_trim (mag_add b0 b1)) in
+    (* middle = z1 - z0 - z2 (non-negative by construction). *)
+    let middle = mag_trim (mag_sub (mag_trim (mag_sub (mag_trim z1) (mag_trim z0))) (mag_trim z2)) in
+    let r = Array.make (la + lb + 1) 0 in
+    mag_add_into r (mag_trim z0) 0;
+    mag_add_into r middle m;
+    mag_add_into r (mag_trim z2) (2 * m);
+    r
+  end
+
+(* Multiply a magnitude by a single limb value d, 0 <= d < base. *)
+let mag_mul_limb a d =
+  let la = Array.length a in
+  if la = 0 || d = 0 then [||]
+  else begin
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let t = (a.(i) * d) + !carry in
+      r.(i) <- t land mask;
+      carry := t lsr base_bits
+    done;
+    r.(la) <- !carry;
+    r
+  end
+
+(* Short division of a magnitude by a limb 0 < d < base: (quotient, rem). *)
+let mag_divmod_limb a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Knuth Algorithm D long division of magnitudes. Precondition:
+   Array.length v >= 2 and mag_compare u v >= 0. Returns (q, r). *)
+let mag_divmod_long u v =
+  let nv = Array.length v in
+  let nu = Array.length u in
+  (* Normalisation: scale so the divisor's top limb is >= base/2. *)
+  let d = base / (v.(nv - 1) + 1) in
+  let un0 = mag_mul_limb u d in
+  (* Ensure un has exactly nu+1 limbs (mag_mul_limb already appends one). *)
+  let un = Array.make (nu + 1) 0 in
+  Array.blit un0 0 un 0 (min (Array.length un0) (nu + 1));
+  let vn0 = mag_mul_limb v d in
+  let vn = Array.sub vn0 0 nv in
+  (* The scaled divisor fits in nv limbs because d*v < base^nv. *)
+  assert (Array.length vn0 <= nv || vn0.(nv) = 0);
+  let q = Array.make (nu - nv + 1) 0 in
+  for j = nu - nv downto 0 do
+    let top = (un.(j + nv) lsl base_bits) lor un.(j + nv - 1) in
+    let qhat = ref (top / vn.(nv - 1)) in
+    let rhat = ref (top mod vn.(nv - 1)) in
+    let continue = ref true in
+    while !continue do
+      if
+        !qhat >= base
+        || (nv >= 2 && !qhat * vn.(nv - 2) > ((!rhat lsl base_bits) lor un.(j + nv - 2)))
+      then begin
+        decr qhat;
+        rhat := !rhat + vn.(nv - 1);
+        if !rhat >= base then continue := false
+      end
+      else continue := false
+    done;
+    (* Multiply-subtract qhat * vn from un[j .. j+nv]. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to nv - 1 do
+      let p = !qhat * vn.(i) + !carry in
+      carry := p lsr base_bits;
+      let d0 = un.(i + j) - (p land mask) - !borrow in
+      if d0 < 0 then begin
+        un.(i + j) <- d0 + base;
+        borrow := 1
+      end else begin
+        un.(i + j) <- d0;
+        borrow := 0
+      end
+    done;
+    let d0 = un.(j + nv) - !carry - !borrow in
+    if d0 < 0 then begin
+      un.(j + nv) <- d0 + base;
+      (* qhat was one too large: add the divisor back. *)
+      decr qhat;
+      let carry2 = ref 0 in
+      for i = 0 to nv - 1 do
+        let s = un.(i + j) + vn.(i) + !carry2 in
+        un.(i + j) <- s land mask;
+        carry2 := s lsr base_bits
+      done;
+      un.(j + nv) <- (un.(j + nv) + !carry2) land mask
+    end
+    else un.(j + nv) <- d0;
+    q.(j) <- !qhat
+  done;
+  (* Remainder = un[0..nv-1] / d. *)
+  let rm = Array.sub un 0 nv in
+  let r, r0 = mag_divmod_limb rm d in
+  assert (r0 = 0);
+  (q, r)
+
+(* ------------------------------------------------------------------ *)
+(* Signed operations *)
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
+  else mag_compare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let neg v = if v.sign = 0 then v else { v with sign = -v.sign }
+let abs v = if v.sign < 0 then neg v else v
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (mag_add a.mag b.mag)
+  else begin
+    match mag_compare a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (mag_sub a.mag b.mag)
+    | _ -> normalize b.sign (mag_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else normalize (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else if mag_compare a.mag b.mag < 0 then (zero, a)
+  else begin
+    let qm, rm =
+      if Array.length b.mag = 1 then begin
+        let q, r = mag_divmod_limb a.mag b.mag.(0) in
+        (q, if r = 0 then [||] else [| r |])
+      end
+      else mag_divmod_long a.mag b.mag
+    in
+    let q = normalize (a.sign * b.sign) qm in
+    let r = normalize a.sign rm in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions *)
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    (* Avoid [abs min_int] overflow by accumulating on the negative side. *)
+    let s = if n < 0 then -1 else 1 in
+    let m = if n < 0 then n else -n in
+    let rec limbs m acc = if m = 0 then acc else limbs (m / base) ((-(m mod base)) :: acc) in
+    let ds = List.rev (limbs m []) in
+    normalize s (Array.of_list ds)
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let to_int_opt v =
+  (* Accumulate and detect overflow by inverting each step. *)
+  let rec go i acc =
+    if i < 0 then Some acc
+    else begin
+      let shifted = acc * base in
+      if shifted / base <> acc then None
+      else begin
+        let next = shifted + (v.sign * v.mag.(i)) in
+        if v.sign > 0 && next < shifted then None
+        else if v.sign < 0 && next > shifted then None
+        else go (i - 1) next
+      end
+    end
+  in
+  go (Array.length v.mag - 1) 0
+
+let to_int_exn v =
+  match to_int_opt v with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: value does not fit in a native int"
+
+let to_float v =
+  let acc = ref 0.0 in
+  for i = Array.length v.mag - 1 downto 0 do
+    acc := (!acc *. float_of_int base) +. float_of_int v.mag.(i)
+  done;
+  if v.sign < 0 then -. !acc else !acc
+
+let mul_int v n = mul v (of_int n)
+
+let compare_int v n = compare v (of_int n)
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+let chunk = 10_000 (* decimal I/O processes 4 digits at a time *)
+
+let to_string v =
+  if v.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go m acc =
+      if Array.length m = 0 then acc
+      else begin
+        let q, r = mag_divmod_limb m chunk in
+        let q = (normalize 1 q).mag in
+        go q (r :: acc)
+      end
+    in
+    match go v.mag [] with
+    | [] -> assert false
+    | first :: rest ->
+      if v.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let neg_sign, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  while !i < len do
+    let upto = min len (!i + 4) in
+    (* Align the first chunk so all later chunks are exactly 4 digits. *)
+    let upto = if !i = start then start + (((len - start - 1) mod 4) + 1) else upto in
+    let piece = String.sub s !i (upto - !i) in
+    String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit") piece;
+    let v = int_of_string piece in
+    let factor = match upto - !i with 1 -> 10 | 2 -> 100 | 3 -> 1000 | _ -> chunk in
+    acc := add (mul !acc (of_int factor)) (of_int v);
+    i := upto
+  done;
+  if neg_sign then neg !acc else !acc
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let hash v = Hashtbl.hash (v.sign, v.mag)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( mod ) = rem
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

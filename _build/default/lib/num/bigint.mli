@@ -1,0 +1,106 @@
+(** Arbitrary-precision signed integers.
+
+    Implemented from scratch on base-2{^15} limbs so that every intermediate
+    product and carry fits comfortably in a native 63-bit [int]. Values are
+    immutable and structurally normalised: no leading zero limbs and a unique
+    representation of zero, so structural equality coincides with numeric
+    equality.
+
+    This module exists because the sealed build environment provides no
+    arbitrary-precision package (no [zarith]); the exact-rational simplex in
+    {!Spp_lp} depends on it. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+(** [of_int n] represents [n] exactly, including [min_int]. *)
+val of_int : int -> t
+
+(** [to_int_opt v] is [Some n] when [v] fits in a native [int]. *)
+val to_int_opt : t -> int option
+
+(** [to_int_exn v] is the native value of [v].
+    @raise Failure when [v] does not fit in a native [int]. *)
+val to_int_exn : t -> int
+
+(** [to_float v] is the nearest-ish float (exact for small magnitudes,
+    monotone approximation for large ones). *)
+val to_float : t -> float
+
+(** [of_string s] parses an optionally signed decimal literal.
+    @raise Invalid_argument on the empty string or a non-digit character. *)
+val of_string : string -> t
+
+(** [to_string v] is the decimal rendering of [v], e.g. ["-104729"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Queries} *)
+
+(** [sign v] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [hash v] is a structural hash compatible with {!equal}. *)
+val hash : t -> int
+
+(** Number of limbs in the magnitude; a crude size measure used by tests. *)
+val limb_count : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated towards zero and
+    [sign r] equal to [sign a] (or zero), matching OCaml's [(/)] and [(mod)].
+    @raise Division_by_zero when [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+val gcd : t -> t -> t
+
+(** [pow b e] is [b]{^ [e]} for [e >= 0].
+    @raise Invalid_argument on negative exponents. *)
+val pow : t -> int -> t
+
+(** [mul_int v n] multiplies by a native int (convenience; exact). *)
+val mul_int : t -> int -> t
+
+(** {1 Comparisons to small ints} *)
+
+val compare_int : t -> int -> int
+
+(** {1 Infix operators}
+
+    Opened locally as [Bigint.Infix] in arithmetic-heavy code. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( mod ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

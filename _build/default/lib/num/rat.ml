@@ -1,0 +1,139 @@
+(* Normalised rationals: den > 0, gcd (num, den) = 1, zero is 0/1. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.equal g B.one then { num; den } else { num = B.div num g; den = B.div den g }
+  end
+
+let of_ints a b = make (B.of_int a) (B.of_int b)
+let of_int n = { num = B.of_int n; den = B.one }
+let of_bigint n = { num = n; den = B.one }
+let num v = v.num
+let den v = v.den
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign v = B.sign v.num
+let is_zero v = B.is_zero v.num
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
+  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let hash v = Hashtbl.hash (B.hash v.num, B.hash v.den)
+
+let neg v = { v with num = B.neg v.num }
+let abs v = { v with num = B.abs v.num }
+
+let add a b =
+  (* Use the gcd of denominators to keep intermediates small. *)
+  let g = B.gcd a.den b.den in
+  if B.equal g B.one then make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+  else begin
+    let da = B.div a.den g and db = B.div b.den g in
+    make (B.add (B.mul a.num db) (B.mul b.num da)) (B.mul a.den db)
+  end
+
+let sub a b = add a (neg b)
+let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let inv v =
+  if is_zero v then raise Division_by_zero;
+  make v.den v.num
+
+let div a b = mul a (inv b)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let mul_int v n = make (B.mul_int v.num n) v.den
+
+let pow v e =
+  if e >= 0 then { num = B.pow v.num e; den = B.pow v.den e }
+  else begin
+    if B.is_zero v.num then raise Division_by_zero;
+    make (B.pow v.den (-e)) (B.pow v.num (-e))
+  end
+
+let floor v =
+  let q, r = B.divmod v.num v.den in
+  if B.sign r < 0 then B.sub q B.one else q
+
+let ceil v =
+  let q, r = B.divmod v.num v.den in
+  if B.sign r > 0 then B.add q B.one else q
+
+let to_float v = B.to_float v.num /. B.to_float v.den
+
+let of_float_approx f ~max_den =
+  if max_den <= 0 then invalid_arg "Rat.of_float_approx: max_den must be positive";
+  if Float.is_nan f || Float.is_integer f then of_int (int_of_float f)
+  else begin
+    (* Continued-fraction convergents p_k/q_k until q exceeds max_den. *)
+    let negated = f < 0.0 in
+    let f = Float.abs f in
+    let rec go x p0 q0 p1 q1 steps =
+      if steps = 0 then (p1, q1)
+      else begin
+        let a = Float.to_int (Float.floor x) in
+        let p2 = (a * p1) + p0 and q2 = (a * q1) + q0 in
+        if q2 > max_den || q2 < 0 then (p1, q1)
+        else begin
+          let frac = x -. Float.floor x in
+          if frac < 1e-12 then (p2, q2) else go (1.0 /. frac) p1 q1 p2 q2 (steps - 1)
+        end
+      end
+    in
+    (* Convergent seeds: (h_{-2},k_{-2}) = (0,1), (h_{-1},k_{-1}) = (1,0). *)
+    let p, q = go f 0 1 1 0 64 in
+    let v = of_ints p (Stdlib.max q 1) in
+    if negated then neg v else v
+  end
+
+let to_string v =
+  if B.equal v.den B.one then B.to_string v.num
+  else B.to_string v.num ^ "/" ^ B.to_string v.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let a = B.of_string (String.sub s 0 i) in
+    let b = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make a b
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (B.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       let scale = B.pow (B.of_int 10) (String.length frac) in
+       let whole = B.of_string (if int_part = "" || int_part = "-" || int_part = "+" then int_part ^ "0" else int_part) in
+       let fpart = if frac = "" then B.zero else B.of_string frac in
+       let neg_sign = String.length s > 0 && s.[0] = '-' in
+       let mag = B.add (B.mul (B.abs whole) scale) fpart in
+       make (if neg_sign then B.neg mag else mag) scale)
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

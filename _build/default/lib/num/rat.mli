@@ -1,0 +1,87 @@
+(** Exact rational arithmetic over {!Bigint}.
+
+    Values are kept normalised (positive denominator, numerator and
+    denominator coprime, canonical zero), so structural equality is numeric
+    equality. This is the scalar field of the exact simplex in {!Spp_lp} and
+    of the APTAS bookkeeping in {!Spp_core}: the paper's Lemma 3.3 needs a
+    {e basic} optimal LP solution, which floating point cannot certify. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** [make num den] is the normalised rational [num/den].
+    @raise Division_by_zero when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+(** [of_ints num den] is [num/den] from native ints. *)
+val of_ints : int -> int -> t
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+
+(** [num v] and [den v] expose the normalised parts; [den v] is positive. *)
+val num : t -> Bigint.t
+
+val den : t -> Bigint.t
+
+(** [of_float_approx f ~max_den] is a rational approximation of [f] with
+    denominator at most [max_den], via continued fractions. Exact when [f]
+    is representable within the bound. *)
+val of_float_approx : float -> max_den:int -> t
+
+val to_float : t -> float
+
+(** [of_string s] parses ["a"], ["-a/b"], or a decimal like ["3.25"]. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val sign : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero when dividing by zero. *)
+val div : t -> t -> t
+
+val inv : t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** [floor v] is the largest integer [<= v], as a {!Bigint.t}. *)
+val floor : t -> Bigint.t
+
+(** [ceil v] is the smallest integer [>= v]. *)
+val ceil : t -> Bigint.t
+
+(** [mul_int v n] scales by a native int. *)
+val mul_int : t -> int -> t
+
+(** [pow v e] is [v]{^ [e]} for any integer [e] (negative exponents invert).
+    @raise Division_by_zero on [pow zero e] with [e < 0]. *)
+val pow : t -> int -> t
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,1 @@
+lib/pack/binpack.ml: Hashtbl List Printf Spp_num

@@ -1,0 +1,1 @@
+lib/pack/binpack.mli: Spp_num

@@ -1,0 +1,1 @@
+lib/pack/bottom_left.ml: List Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/pack/bottom_left.mli: Spp_geom

@@ -1,0 +1,1 @@
+lib/pack/knapsack.ml: Array List

@@ -1,0 +1,1 @@
+lib/pack/level.ml: List Spp_geom Spp_num

@@ -1,0 +1,1 @@
+lib/pack/level.mli: Spp_geom Spp_num

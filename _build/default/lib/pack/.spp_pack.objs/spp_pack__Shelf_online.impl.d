@@ -1,0 +1,1 @@
+lib/pack/shelf_online.ml: List Spp_geom Spp_num

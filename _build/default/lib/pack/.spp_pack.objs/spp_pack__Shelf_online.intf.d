@@ -1,0 +1,1 @@
+lib/pack/shelf_online.mli: Spp_geom Spp_num

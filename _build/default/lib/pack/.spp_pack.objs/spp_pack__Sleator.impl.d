@@ -1,0 +1,1 @@
+lib/pack/sleator.ml: List Spp_geom Spp_num

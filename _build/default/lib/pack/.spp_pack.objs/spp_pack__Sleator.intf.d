@@ -1,0 +1,1 @@
+lib/pack/sleator.mli: Spp_geom Spp_num

@@ -1,0 +1,120 @@
+module Q = Spp_num.Rat
+
+type item = { id : int; size : Q.t }
+
+let check_items items =
+  List.iter
+    (fun it ->
+      if Q.sign it.size <= 0 || Q.compare it.size Q.one > 0 then
+        invalid_arg (Printf.sprintf "Binpack: item %d size outside (0,1]" it.id))
+    items
+
+type bin = { mutable used : Q.t; mutable contents : int list (* reversed *) }
+
+let fits bin it = Q.compare (Q.add bin.used it.size) Q.one <= 0
+
+let add bin it =
+  bin.used <- Q.add bin.used it.size;
+  bin.contents <- it.id :: bin.contents
+
+let finish bins = List.rev_map (fun b -> List.rev b.contents) !bins
+
+(* Generic online packer: [choose] picks an existing bin or None for new.
+   [bins] is kept newest-first. *)
+let pack ~choose items =
+  check_items items;
+  let bins = ref [] in
+  List.iter
+    (fun it ->
+      match choose (List.rev !bins) it with
+      | Some bin -> add bin it
+      | None ->
+        let bin = { used = Q.zero; contents = [] } in
+        add bin it;
+        bins := bin :: !bins)
+    items;
+  finish bins
+
+let next_fit items =
+  pack items ~choose:(fun bins it ->
+      match List.rev bins with
+      | [] -> None
+      | newest :: _ -> if fits newest it then Some newest else None)
+
+let first_fit items = pack items ~choose:(fun bins it -> List.find_opt (fun b -> fits b it) bins)
+
+let first_fit_decreasing items =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Q.compare b.size a.size in
+        if c <> 0 then c else compare a.id b.id)
+      items
+  in
+  first_fit sorted
+
+let best_fit items =
+  pack items ~choose:(fun bins it ->
+      List.fold_left
+        (fun best b ->
+          if not (fits b it) then best
+          else
+            match best with
+            | None -> Some b
+            | Some cur -> if Q.compare b.used cur.used > 0 then Some b else best)
+        None bins)
+
+let harmonic ~classes items =
+  if classes < 1 then invalid_arg "Binpack.harmonic: classes must be >= 1";
+  check_items items;
+  (* class_of j: size in (1/(j+1), 1/j] for j < classes; else class
+     [classes] (packed next-fit by volume). *)
+  let class_of it =
+    let rec find j =
+      if j >= classes then classes
+      else if Q.compare it.size (Q.of_ints 1 (j + 1)) > 0 then j
+      else find (j + 1)
+    in
+    find 1
+  in
+  (* One open bin per class; class j bins hold exactly j items (j < classes);
+     the final class packs next-fit by residual capacity. *)
+  let open_bins = Hashtbl.create 8 in
+  let closed = ref [] in
+  List.iter
+    (fun it ->
+      let c = class_of it in
+      let bin =
+        match Hashtbl.find_opt open_bins c with
+        | Some b ->
+          let full =
+            if c < classes then List.length b.contents >= c else not (fits b it)
+          in
+          if full then begin
+            closed := b :: !closed;
+            let fresh = { used = Q.zero; contents = [] } in
+            Hashtbl.replace open_bins c fresh;
+            fresh
+          end
+          else b
+        | None ->
+          let fresh = { used = Q.zero; contents = [] } in
+          Hashtbl.replace open_bins c fresh;
+          fresh
+      in
+      add bin it)
+    items;
+  (* Emit closed bins first, then the still-open ones by class. *)
+  let open_list =
+    List.sort compare (Hashtbl.fold (fun c b acc -> (c, b) :: acc) open_bins [])
+  in
+  List.rev_map (fun b -> List.rev b.contents) !closed
+  @ List.filter_map
+      (fun (_, b) -> if b.contents = [] then None else Some (List.rev b.contents))
+      open_list
+
+let bins_used bins = List.length bins
+
+let size_lower_bound items =
+  let total = List.fold_left (fun acc it -> Q.add acc it.size) Q.zero items in
+  Spp_num.Bigint.to_int_exn (Q.ceil total)

@@ -1,0 +1,41 @@
+(** One-dimensional bin packing heuristics.
+
+    Items are [(id, size)] with size in (0, 1]; bins have capacity 1. The
+    uniform-height strip packing of Section 2.2 reduces to bin packing
+    (shelves ↔ bins), so these are the engines behind
+    {!Spp_core.Uniform}'s GGJY-style wave packing and serve as baselines.
+
+    All functions return bins in creation order, each bin a list of item ids
+    in placement order. *)
+
+type item = { id : int; size : Spp_num.Rat.t }
+
+(** @raise Invalid_argument if a size is outside (0, 1]. *)
+val check_items : item list -> unit
+
+(** [next_fit items] keeps a single open bin. *)
+val next_fit : item list -> int list list
+
+(** [first_fit items] places each item in the lowest-indexed bin that fits. *)
+val first_fit : item list -> int list list
+
+(** [first_fit_decreasing items] = first_fit on items sorted by
+    non-increasing size (the classic 11/9·OPT + 6/9 heuristic). *)
+val first_fit_decreasing : item list -> int list list
+
+(** [best_fit items] places each item in the fullest bin that still fits. *)
+val best_fit : item list -> int list list
+
+(** [harmonic ~classes items] — Lee–Lee HARMONIC_k: items are partitioned
+    by size class ([size ∈ (1/(j+1), 1/j]] for [j < classes], the rest in
+    the final class) and each class is packed next-fit into its own bins
+    ([j] items per class-[j] bin). Online (list order), competitive ratio
+    → 1.691 as [classes] grows.
+    @raise Invalid_argument if [classes < 1]. *)
+val harmonic : classes:int -> item list -> int list list
+
+(** [bins_used bins] = [List.length bins]. *)
+val bins_used : 'a list list -> int
+
+(** [size_lower_bound items] = [ceil (Σ size)] — the area bound. *)
+val size_lower_bound : item list -> int

@@ -1,0 +1,15 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Skyline = Spp_geom.Skyline
+
+let pack ?(order = Rect.sort_by_height_desc) rects =
+  let sky = Skyline.create () in
+  let items =
+    List.map
+      (fun (r : Rect.t) ->
+        let pos = Skyline.place sky ~w:r.Rect.w ~h:r.Rect.h ~y_min:Q.zero in
+        { Placement.rect = r; pos })
+      (order rects)
+  in
+  Placement.of_items items

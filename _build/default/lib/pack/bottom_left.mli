@@ -1,0 +1,11 @@
+(** Skyline bottom-left packing baseline.
+
+    Places rectangles one at a time at the lowest, then leftmost, supported
+    position of the current skyline. A practical baseline widely used in
+    FPGA placement literature; carries no worst-case guarantee, which is
+    exactly why the paper's guaranteed algorithms are interesting to compare
+    against it. *)
+
+(** [pack ?order rects] packs in the given order (default: by non-increasing
+    height, ties by id). *)
+val pack : ?order:(Spp_geom.Rect.t list -> Spp_geom.Rect.t list) -> Spp_geom.Rect.t list -> Spp_geom.Placement.t

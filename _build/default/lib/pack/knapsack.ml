@@ -1,0 +1,52 @@
+type item = { weight : int; value : float; bound : int }
+
+let solve ~capacity items =
+  if capacity < 0 then invalid_arg "Knapsack.solve: negative capacity";
+  List.iter
+    (fun it ->
+      if it.weight <= 0 then invalid_arg "Knapsack.solve: non-positive weight";
+      if it.bound < 0 then invalid_arg "Knapsack.solve: negative bound")
+    items;
+  let items_arr = Array.of_list items in
+  let n = Array.length items_arr in
+  (* Binary-split every bounded item into 0/1 pseudo-items (weight*2^j,
+     value*2^j), recording which original item each one came from, then run
+     0/1 DP with an explicit take table so the traceback replays decisions
+     instead of comparing floats. *)
+  let pseudo = ref [] in
+  for i = n - 1 downto 0 do
+    let it = items_arr.(i) in
+    let bound = min it.bound (if it.weight = 0 then 0 else capacity / it.weight) in
+    let rec split remaining chunk =
+      if remaining > 0 then begin
+        let take = min chunk remaining in
+        pseudo := (i, take, it.weight * take, it.value *. float_of_int take) :: !pseudo;
+        split (remaining - take) (chunk * 2)
+      end
+    in
+    if it.value > 0.0 then split bound 1
+  done;
+  let pseudo = Array.of_list !pseudo in
+  let m = Array.length pseudo in
+  let best = Array.make (capacity + 1) 0.0 in
+  let take = Array.make_matrix m (capacity + 1) false in
+  for p = 0 to m - 1 do
+    let _, _, w, v = pseudo.(p) in
+    for c = capacity downto w do
+      let cand = best.(c - w) +. v in
+      if cand > best.(c) then begin
+        best.(c) <- cand;
+        take.(p).(c) <- true
+      end
+    done
+  done;
+  let counts = Array.make n 0 in
+  let c = ref capacity in
+  for p = m - 1 downto 0 do
+    if take.(p).(!c) then begin
+      let i, copies, w, _ = pseudo.(p) in
+      counts.(i) <- counts.(i) + copies;
+      c := !c - w
+    end
+  done;
+  (best.(capacity), counts)

@@ -1,0 +1,22 @@
+(** Bounded integer knapsack by dynamic programming.
+
+    Substrate for the column-generation pricing of the configuration LP
+    (Gilmore–Gomory): a new configuration is exactly a solution of
+    [max Σ value_i · count_i] subject to [Σ weight_i · count_i <= capacity]
+    with per-item multiplicity bounds. Weights and capacity are native ints
+    (the LP layer scales rational widths by a common denominator first).
+
+    O(capacity · Σ bound_i) time via the classic per-unit DP — fine for the
+    capacities that arise from width denominators. *)
+
+type item = {
+  weight : int;  (** > 0 *)
+  value : float;  (** item profit; may be 0 or negative (never chosen) *)
+  bound : int;  (** maximum copies, >= 0 *)
+}
+
+(** [solve ~capacity items] returns [(best_value, counts)] with [counts] a
+    per-item multiplicity array achieving [best_value]. The empty solution
+    (value 0) is always admissible.
+    @raise Invalid_argument on negative capacity or non-positive weight. *)
+val solve : capacity:int -> item list -> float * int array

@@ -1,0 +1,29 @@
+(** Level (shelf) algorithms for strip packing without constraints.
+
+    Classic Coffman–Garey–Johnson–Tarjan algorithms. All sort rectangles by
+    non-increasing height and place them on horizontal levels; they differ in
+    which open level receives the next rectangle. Packings start at y = 0;
+    callers (notably {!Spp_core.Dc}) translate with
+    {!Spp_geom.Placement.shift_y}.
+
+    NFDH is the subroutine [A] that the paper's Algorithm 1 requires: it
+    satisfies [A(S') <= 2·AREA(S') + max_{s∈S'} h_s], the only property
+    Theorem 2.3's proof uses (the paper cites Steinberg/Schiermeyer, which
+    also satisfy it; see DESIGN.md on this substitution). *)
+
+(** [nfdh rects] — Next-Fit Decreasing Height: only the topmost level is
+    open; a rectangle that does not fit closes it and opens a new one. *)
+val nfdh : Spp_geom.Rect.t list -> Spp_geom.Placement.t
+
+(** [ffdh rects] — First-Fit Decreasing Height: every level stays open; a
+    rectangle goes to the lowest level with enough residual width. Never
+    worse than NFDH on the same input. *)
+val ffdh : Spp_geom.Rect.t list -> Spp_geom.Placement.t
+
+(** [bfdh rects] — Best-Fit Decreasing Height: the fitting level with the
+    least residual width wins. *)
+val bfdh : Spp_geom.Rect.t list -> Spp_geom.Placement.t
+
+(** [nfdh_height rects] = [Placement.height (nfdh rects)], without building
+    the placement (used in bounds checks and benches). *)
+val nfdh_height : Spp_geom.Rect.t list -> Spp_num.Rat.t

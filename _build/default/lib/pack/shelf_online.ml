@@ -1,0 +1,66 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+
+type shelf = { cls : int; base : Q.t; sheight : Q.t; mutable used : Q.t }
+
+type t = {
+  r : Q.t;
+  mode : [ `Next_fit | `First_fit ];
+  mutable top : Q.t;
+  mutable shelves : shelf list; (* newest first *)
+  mutable items : Placement.item list;
+}
+
+let create_mode mode ~r =
+  if Q.compare r Q.one <= 0 then invalid_arg "Shelf_online.create: r must be > 1";
+  { r; mode; top = Q.zero; shelves = []; items = [] }
+
+let create = create_mode `Next_fit
+
+(* Height class of h: the smallest j (integer, possibly negative) with
+   r^j >= h; the shelf height is r^j, so h in (r^{j-1}, r^j]. *)
+let class_of t h =
+  let rec up j p = if Q.compare p h >= 0 then (j, p) else up (j + 1) (Q.mul p t.r) in
+  let rec down j p =
+    let p' = Q.div p t.r in
+    if Q.compare p' h >= 0 then down (j - 1) p' else (j, p)
+  in
+  if Q.compare Q.one h >= 0 then down 0 Q.one else up 0 Q.one
+
+let open_shelf t cls sheight =
+  let shelf = { cls; base = t.top; sheight; used = Q.zero } in
+  t.top <- Q.add t.top sheight;
+  t.shelves <- shelf :: t.shelves;
+  shelf
+
+let insert t (r : Rect.t) =
+  let cls, sheight = class_of t r.Rect.h in
+  let fits s = s.cls = cls && Q.compare (Q.add s.used r.Rect.w) Q.one <= 0 in
+  let shelf =
+    match t.mode with
+    | `Next_fit ->
+      (* Only the newest shelf of the class is still open. *)
+      (match List.find_opt (fun s -> s.cls = cls) t.shelves with
+       | Some s when fits s -> s
+       | _ -> open_shelf t cls sheight)
+    | `First_fit ->
+      (match List.find_opt fits (List.rev t.shelves) with
+       | Some s -> s
+       | None -> open_shelf t cls sheight)
+  in
+  let pos = { Placement.x = shelf.used; y = shelf.base } in
+  shelf.used <- Q.add shelf.used r.Rect.w;
+  t.items <- { Placement.rect = r; pos } :: t.items;
+  pos
+
+let placement t = Placement.of_items t.items
+let height t = t.top
+
+let run mode ~r rects =
+  let t = create_mode mode ~r in
+  List.iter (fun rect -> ignore (insert t rect)) rects;
+  placement t
+
+let next_fit = run `Next_fit
+let first_fit = run `First_fit

@@ -1,0 +1,36 @@
+(** Online shelf packing (Csirik–Woeginger style NFS_r / FFS_r).
+
+    The paper cites online strip packing (its reference [7]) as the regime
+    dynamic-FPGA operating systems actually face: rectangles arrive one at a
+    time and must be placed irrevocably. The shelf family rounds each height
+    up to a power of the parameter [r > 1] and keeps shelves per height
+    class:
+
+    - {!next_fit}: one active shelf per class; a misfit closes it
+      (NFS_r, competitive ratio [r·(2 + 1/(r-1))] → 6.99 at the optimum r);
+    - {!first_fit}: all shelves of the class stay open (FFS_r,
+      [r·(1.7 + 1/(r-1))]).
+
+    Shelf heights are exact rational powers [r^j] (j ∈ ℤ), so the geometry
+    stays exact for any rational [r]. *)
+
+type t
+
+(** [create ~r] with [r > 1].
+    @raise Invalid_argument otherwise. *)
+val create : r:Spp_num.Rat.t -> t
+
+(** [insert t rect] places the next arriving rectangle and returns its
+    position (bottom-left corner). *)
+val insert : t -> Spp_geom.Rect.t -> Spp_geom.Placement.pos
+
+(** [placement t] is everything placed so far. *)
+val placement : t -> Spp_geom.Placement.t
+
+val height : t -> Spp_num.Rat.t
+
+(** [next_fit ~r rects] / [first_fit ~r rects] run a whole arrival sequence
+    (in list order — the online order). *)
+val next_fit : r:Spp_num.Rat.t -> Spp_geom.Rect.t list -> Spp_geom.Placement.t
+
+val first_fit : r:Spp_num.Rat.t -> Spp_geom.Rect.t list -> Spp_geom.Placement.t

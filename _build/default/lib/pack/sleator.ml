@@ -1,0 +1,67 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+
+let half = Q.of_ints 1 2
+
+let pack rects =
+  let items = ref [] in
+  let place (r : Rect.t) x y = items := { Placement.rect = r; pos = { Placement.x; y } } :: !items in
+  (* Step 1: stack the wide rectangles (w > 1/2). *)
+  let wide, narrow = List.partition (fun (r : Rect.t) -> Q.compare r.Rect.w half > 0) rects in
+  let h0 =
+    List.fold_left
+      (fun y (r : Rect.t) ->
+        place r Q.zero y;
+        Q.add y r.Rect.h)
+      Q.zero wide
+  in
+  (* Step 2: one full-width level of the tallest narrow rectangles. *)
+  let narrow = Rect.sort_by_height_desc narrow in
+  let rec fill_level x = function
+    | (r : Rect.t) :: rest when Q.compare (Q.add x r.Rect.w) Q.one <= 0 ->
+      place r x h0;
+      fill_level (Q.add x r.Rect.w) rest
+    | rest -> (x, rest)
+  in
+  let _, rest = fill_level Q.zero narrow in
+  (* Tops of the two halves after the first level: the left half rises to
+     the level's tallest rect; the right half only to the tallest rect that
+     overlaps it (heights decrease rightward, so that is the first such). *)
+  let level_rects =
+    List.filter (fun (it : Placement.item) -> Q.equal it.pos.Placement.y h0) !items
+  in
+  let left_top =
+    List.fold_left (fun acc (it : Placement.item) -> Q.max acc (Q.add h0 it.rect.Rect.h))
+      h0 level_rects
+  in
+  let right_top =
+    List.fold_left
+      (fun acc (it : Placement.item) ->
+        if Q.compare (Q.add it.pos.Placement.x it.rect.Rect.w) half > 0 then
+          Q.max acc (Q.add h0 it.rect.Rect.h)
+        else acc)
+      h0 level_rects
+  in
+  (* Step 3: half-width levels, always on the currently lower half. Each
+     level is a greedy run of the (height-sorted) remainder. *)
+  let rec levels left_top right_top = function
+    | [] -> ()
+    | (r : Rect.t) :: _ as rest ->
+      let base_x, base_y = if Q.compare left_top right_top <= 0 then (Q.zero, left_top) else (half, right_top) in
+      let rec run x todo =
+        match todo with
+        | (r' : Rect.t) :: more when Q.compare (Q.add (Q.sub x base_x) r'.Rect.w) half <= 0 ->
+          place r' x base_y;
+          run (Q.add x r'.Rect.w) more
+        | todo -> todo
+      in
+      let remaining = run base_x rest in
+      let new_top = Q.add base_y r.Rect.h in
+      if Q.compare left_top right_top <= 0 then levels new_top right_top remaining
+      else levels left_top new_top remaining
+  in
+  levels left_top right_top rest;
+  Placement.of_items !items
+
+let height rects = Placement.height (pack rects)

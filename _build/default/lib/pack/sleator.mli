@@ -1,0 +1,18 @@
+(** Sleator's strip-packing algorithm (absolute 2.5-approximation).
+
+    D. Sleator, "A 2.5 times optimal algorithm for packing in two
+    dimensions", IPL 1980. One of the classic unconstrained packers the
+    paper's subroutine discussion sits on top of:
+
+    + rectangles wider than 1/2 are stacked first (none can share a level);
+    + the rest, sorted by non-increasing height, fill one full-width level;
+    + the strip is then split at x = 1/2 and each half is filled with
+      half-width levels, always extending the currently lower half.
+
+    Its height bound implies the subroutine property
+    [A <= 2·AREA + h_max] that DC needs, so it is a drop-in alternative to
+    NFDH (exercised by the ablation bench). *)
+
+val pack : Spp_geom.Rect.t list -> Spp_geom.Placement.t
+
+val height : Spp_geom.Rect.t list -> Spp_num.Rat.t

@@ -1,0 +1,30 @@
+(** Binary min-heap with a user-supplied ordering.
+
+    Backing store for the discrete-event queue of the FPGA simulator and the
+    earliest-release queues used when rounding the APTAS fractional solution
+    (Lemma 3.4's greedy column filling). Amortised O(log n) push/pop. *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** [peek t] is the minimum element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop t] removes and returns the minimum element. *)
+val pop : 'a t -> 'a option
+
+(** [pop_exn t] removes and returns the minimum. @raise Not_found if empty. *)
+val pop_exn : 'a t -> 'a
+
+(** [of_list ~cmp xs] heapifies [xs] in O(n). *)
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+(** [to_sorted_list t] drains a copy of [t] in ascending order (t is not
+    modified). *)
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,29 @@
+let available_workers () = min 8 (Domain.recommended_domain_count ())
+
+let map ?workers f xs =
+  let n = List.length xs in
+  let workers = min n (match workers with Some w -> w | None -> available_workers ()) in
+  if workers <= 1 || n < 2 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let output = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get error = None then begin
+          (match f input.(i) with
+           | y -> output.(i) <- Some y
+           | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.to_list (Array.map (function Some y -> y | None -> assert false) output)
+  end

@@ -1,0 +1,17 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    The experiment harness runs many independent (seed, instance) cells;
+    this helper fans them out across domains and reassembles results in
+    input order, so output is bit-identical to the sequential run. Work
+    items must be pure (all packing algorithms here are: they share no
+    mutable state across calls). *)
+
+(** [map ?workers f xs] is [List.map f xs] computed on up to [workers]
+    domains (default: [Domain.recommended_domain_count ()], capped at 8 and
+    at [List.length xs]). Preserves order. The first exception raised by
+    any worker is re-raised after all domains join. Falls back to plain
+    [List.map] for lists of fewer than 2 elements or [workers <= 1]. *)
+val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [available_workers ()] is the default worker count used by {!map}. *)
+val available_workers : unit -> int

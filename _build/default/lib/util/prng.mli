@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained xoshiro256** generator seeded via SplitMix64, so every
+    workload in this repository is reproducible from a single integer seed
+    independent of OCaml's [Random] state and of platform word size quirks.
+    Not cryptographic; statistical quality is ample for workload synthesis. *)
+
+type t
+
+(** [create seed] builds an independent generator from any integer seed. *)
+val create : int -> t
+
+(** [split t] derives a fresh generator whose stream is independent of
+    subsequent draws from [t] (used to give each workload component its own
+    stream). *)
+val split : t -> t
+
+(** [bits64 t] is the next raw 64-bit output (as an OCaml [int64]). *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Uses rejection sampling, so
+    there is no modulo bias. @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+val float_in : t -> float -> float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+val bernoulli : t -> float -> bool
+
+(** [exponential t ~rate] draws from Exp(rate); used for Poisson-process
+    release times. @raise Invalid_argument if [rate <= 0]. *)
+val exponential : t -> rate:float -> float
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t arr] is a uniformly random element.
+    @raise Invalid_argument on an empty array. *)
+val choose : t -> 'a array -> 'a

@@ -1,0 +1,54 @@
+let check_nonempty name = function [] -> invalid_arg (name ^ ": empty sample") | _ -> ()
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  let m = mean xs in
+  let var = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+  sqrt (var /. float_of_int (List.length xs))
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  List.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (infinity, neg_infinity) xs
+
+let sorted xs = List.sort Float.compare xs
+
+let quantile q xs =
+  check_nonempty "Stats.quantile" xs;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then arr.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+  end
+
+let median xs = quantile 0.5 xs
+
+let geometric_mean xs =
+  check_nonempty "Stats.geometric_mean" xs;
+  List.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geometric_mean: nonpositive sample") xs;
+  exp (mean (List.map Float.log xs))
+
+let linear_fit points =
+  check_nonempty "Stats.linear_fit" points;
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then (0.0, sy /. n)
+  else begin
+    let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+    (slope, (sy -. (slope *. sx)) /. n)
+  end

@@ -1,0 +1,25 @@
+(** Small descriptive-statistics helpers for the experiment harness. *)
+
+(** [mean xs] is the arithmetic mean. @raise Invalid_argument on []. *)
+val mean : float list -> float
+
+(** [stddev xs] is the population standard deviation. *)
+val stddev : float list -> float
+
+val min_max : float list -> float * float
+
+(** [median xs] is the median (average of middle two for even lengths). *)
+val median : float list -> float
+
+(** [quantile q xs] is the [q]-quantile for [q] in [0,1], by linear
+    interpolation over the sorted sample. *)
+val quantile : float -> float list -> float
+
+(** [geometric_mean xs] for positive samples; used for approximation-ratio
+    aggregation (ratios multiply, so the geometric mean is the honest
+    average). *)
+val geometric_mean : float list -> float
+
+(** [linear_fit points] is [(slope, intercept)] of a least-squares line; used
+    to measure the growth rate in experiment E1 (ratio vs log n). *)
+val linear_fit : (float * float) list -> float * float

@@ -1,0 +1,35 @@
+type t = { columns : string array; mutable rows : string array list }
+
+let create ~columns = { columns = Array.of_list columns; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.columns in
+  if List.length cells > n then invalid_arg "Table.add_row: more cells than columns";
+  let row = Array.make n "" in
+  List.iteri (fun i c -> row.(i) <- c) cells;
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.columns in
+  let widths = Array.map String.length t.columns in
+  List.iter (fun row -> Array.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row) rows;
+  let buf = Buffer.create 256 in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let emit_row row =
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (pad row.(i) widths.(i));
+      if i < n - 1 then Buffer.add_string buf "  "
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.columns;
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (String.make widths.(i) '-');
+    if i < n - 1 then Buffer.add_string buf "  "
+  done;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Produces aligned monospace tables (the "rows/series the paper reports")
+    on any formatter, so benchmark output is readable both in a terminal and
+    in the captured [bench_output.txt]. *)
+
+type t
+
+(** [create ~columns] starts a table with the given header row. *)
+val create : columns:string list -> t
+
+(** [add_row t cells] appends a row; short rows are padded with [""].
+    @raise Invalid_argument if [cells] is longer than the header. *)
+val add_row : t -> string list -> unit
+
+(** [render t] lays the table out with column-wise alignment. *)
+val render : t -> string
+
+val print : t -> unit

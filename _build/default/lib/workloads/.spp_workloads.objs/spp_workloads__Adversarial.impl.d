@@ -1,0 +1,1 @@
+lib/workloads/adversarial.ml: List Spp_core Spp_dag Spp_geom Spp_num

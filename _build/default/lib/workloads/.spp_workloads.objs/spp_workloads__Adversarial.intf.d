@@ -1,0 +1,1 @@
+lib/workloads/adversarial.mli: Spp_core Spp_num

@@ -1,0 +1,1 @@
+lib/workloads/generators.ml: Array Float List Spp_core Spp_dag Spp_geom Spp_num Spp_util

@@ -1,0 +1,1 @@
+lib/workloads/generators.mli: Spp_core Spp_dag Spp_geom Spp_util

@@ -1,0 +1,72 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Dag = Spp_dag.Dag
+module Prec = Spp_core.Instance.Prec
+
+let fig1 ~k ~eps_den =
+  if k < 1 then invalid_arg "Adversarial.fig1: k must be >= 1";
+  if eps_den < 2 then invalid_arg "Adversarial.fig1: eps_den must be >= 2";
+  let eps = Q.of_ints 1 eps_den in
+  let tall_w = Q.of_ints 1 k in
+  let n_tall = (1 lsl k) - 1 in
+  (* Ids: tall rects 0 .. n_tall-1 (chain-major), then wide slivers. *)
+  let rects = ref [] and edges = ref [] in
+  let next_id = ref 0 in
+  let fresh () = let id = !next_id in incr next_id; id in
+  let wide_used = ref 0 in
+  for i = 1 to k do
+    (* Chain i: 2^{i-1} tall rects of height 1/2^{i-1}, slivers between. *)
+    let h = Q.of_ints 1 (1 lsl (i - 1)) in
+    let count = 1 lsl (i - 1) in
+    let prev = ref None in
+    for _j = 1 to count do
+      let tid = fresh () in
+      rects := Rect.make ~id:tid ~w:tall_w ~h :: !rects;
+      (match !prev with
+       | None -> ()
+       | Some pid ->
+         (* Sandwich a full-width sliver between consecutive tall rects. *)
+         let wid = fresh () in
+         incr wide_used;
+         rects := Rect.make ~id:wid ~w:Q.one ~h:eps :: !rects;
+         edges := (pid, wid) :: (wid, tid) :: !edges);
+      prev := Some tid
+    done
+  done;
+  (* The unused slivers form their own chain (the construction allots
+     n_tall slivers in total). *)
+  let spare = n_tall - !wide_used in
+  let prev = ref None in
+  for _ = 1 to spare do
+    let wid = fresh () in
+    rects := Rect.make ~id:wid ~w:Q.one ~h:eps :: !rects;
+    (match !prev with None -> () | Some pid -> edges := (pid, wid) :: !edges);
+    prev := Some wid
+  done;
+  let rects = List.rev !rects in
+  let dag = Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges:!edges in
+  Prec.make rects dag
+
+let fig2 ~k ~eps_den =
+  if k < 1 then invalid_arg "Adversarial.fig2: k must be >= 1";
+  if eps_den < 8 then invalid_arg "Adversarial.fig2: eps_den must be >= 8";
+  let eps = Q.of_ints 1 eps_den in
+  let narrow_w = eps in
+  let wide_w = Q.add (Q.of_ints 1 2) eps in
+  let rects = ref [] and edges = ref [] in
+  (* Narrow chain: ids 0..k-1. *)
+  for i = 0 to k - 1 do
+    rects := Rect.make ~id:i ~w:narrow_w ~h:Q.one :: !rects;
+    if i > 0 then edges := (i - 1, i) :: !edges
+  done;
+  (* 2k wide rects, each an in-neighbour of the first narrow rect. *)
+  for j = 0 to (2 * k) - 1 do
+    let id = k + j in
+    rects := Rect.make ~id ~w:wide_w ~h:Q.one :: !rects;
+    edges := (id, 0) :: !edges
+  done;
+  let rects = List.rev !rects in
+  let dag = Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges:!edges in
+  Prec.make rects dag
+
+let fig1_bounds inst = (Spp_core.Lower_bounds.area inst, Spp_core.Lower_bounds.critical_path inst)

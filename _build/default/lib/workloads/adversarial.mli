@@ -1,0 +1,27 @@
+(** The paper's two lower-bound constructions, as generators.
+
+    {!fig1} builds the Lemma 2.4 family (Figure 1): k chains where chain [i]
+    alternates [2^{i-1}] tall rectangles (height [1/2^{i-1}], width [1/k])
+    with full-width sliver rectangles of height ε. Both simple lower bounds
+    stay ≈ 1 while any packing needs height ≈ k/2 = Ω(log n).
+
+    {!fig2} builds the Lemma 2.7 family (Figure 2) for uniform heights:
+    [n = 3k] rectangles of height 1 — [k] narrow ones (width ε) forming a
+    chain, and [2k] wide ones (width 1/2 + ε) each preceding the first
+    narrow one. OPT = n while [max F = n/3 + 1] and
+    [AREA = n/3 + nε], so no algorithm judged only by those bounds can
+    prove a ratio below 3. *)
+
+(** [fig1 ~k ~eps_den] with [k >= 1]: returns the instance with
+    [n = 2^{k+1} - 2] rectangles; sliver heights are [1/eps_den].
+    @raise Invalid_argument if [k < 1] or [eps_den < 2]. *)
+val fig1 : k:int -> eps_den:int -> Spp_core.Instance.Prec.t
+
+(** [fig2 ~k ~eps_den] with [k >= 1]: returns the [n = 3k] uniform-height
+    instance; ε = [1/eps_den].
+    @raise Invalid_argument if [k < 1] or [eps_den < 8] (widths must stay
+    <= 1 and 1/2 + ε < 1). *)
+val fig2 : k:int -> eps_den:int -> Spp_core.Instance.Prec.t
+
+(** [fig1_bounds inst] = [(AREA, F)] for convenience in the E1 harness. *)
+val fig1_bounds : Spp_core.Instance.Prec.t -> Spp_num.Rat.t * Spp_num.Rat.t

@@ -1,0 +1,187 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Dag = Spp_dag.Dag
+module Prng = Spp_util.Prng
+module Prec = Spp_core.Instance.Prec
+module Release = Spp_core.Instance.Release
+
+let random_rects rng ~n ~k ~h_den =
+  List.init n (fun id ->
+      let w = Q.of_ints (Prng.int_in rng 1 k) k in
+      let h = Q.of_ints (Prng.int_in rng 1 h_den) h_den in
+      Rect.make ~id ~w ~h)
+
+let random_rects_wide rng ~n ~k ~h_den ~max_h_num =
+  List.init n (fun id ->
+      let w = Q.of_ints (Prng.int_in rng 1 k) k in
+      let h = Q.of_ints (Prng.int_in rng 1 max_h_num) h_den in
+      Rect.make ~id ~w ~h)
+
+let layered_dag rng ~ids ~layers ~p =
+  let ids_arr = Array.of_list ids in
+  let n = Array.length ids_arr in
+  let layers = max 1 (min layers n) in
+  let layer_of = Array.init n (fun i -> i * layers / n) in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if layer_of.(j) = layer_of.(i) + 1 && Prng.bernoulli rng p then
+        edges := (ids_arr.(i), ids_arr.(j)) :: !edges
+    done
+  done;
+  Dag.of_edges ~nodes:ids ~edges:!edges
+
+let series_parallel rng ~ids =
+  (* Recursive composition; returns (sources, sinks, edges). *)
+  let rec build ids =
+    match ids with
+    | [] -> ([], [], [])
+    | [ x ] -> ([ x ], [ x ], [])
+    | _ ->
+      let n = List.length ids in
+      let cut = 1 + Prng.int rng (n - 1) in
+      let left = List.filteri (fun i _ -> i < cut) ids in
+      let right = List.filteri (fun i _ -> i >= cut) ids in
+      let ls, lk, le = build left in
+      let rs, rk, re = build right in
+      if Prng.bool rng then
+        (* Series: every left sink precedes every right source. *)
+        (ls, rk, le @ re @ List.concat_map (fun a -> List.map (fun b -> (a, b)) rs) lk)
+      else (* Parallel *)
+        (ls @ rs, lk @ rk, le @ re)
+  in
+  let _, _, edges = build ids in
+  Dag.of_edges ~nodes:ids ~edges
+
+let fork_join ~ids =
+  match ids with
+  | [] | [ _ ] | [ _; _ ] ->
+    let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+    Dag.of_edges ~nodes:ids ~edges:(pairs ids)
+  | first :: rest ->
+    let rec split acc = function
+      | [ last ] -> (List.rev acc, last)
+      | x :: rest -> split (x :: acc) rest
+      | [] -> assert false
+    in
+    let middle, last = split [] rest in
+    let edges =
+      List.map (fun m -> (first, m)) middle @ List.map (fun m -> (m, last)) middle
+    in
+    Dag.of_edges ~nodes:ids ~edges
+
+let chain ~ids =
+  let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+  Dag.of_edges ~nodes:ids ~edges:(pairs ids)
+
+let independent ~ids = Dag.of_edges ~nodes:ids ~edges:[]
+
+let dag_of_shape rng ~ids = function
+  | `Layered -> layered_dag rng ~ids ~layers:(max 2 (List.length ids / 4)) ~p:0.3
+  | `Series_parallel -> series_parallel rng ~ids
+  | `Fork_join -> fork_join ~ids
+  | `Chain -> chain ~ids
+  | `Independent -> independent ~ids
+
+let random_prec rng ~n ~k ~h_den ~shape =
+  let rects = random_rects_wide rng ~n ~k ~h_den ~max_h_num:(2 * h_den) in
+  let ids = List.map (fun (r : Rect.t) -> r.Rect.id) rects in
+  Prec.make rects (dag_of_shape rng ~ids shape)
+
+let random_uniform_prec rng ~n ~k ~shape =
+  let rects =
+    List.init n (fun id -> Rect.make ~id ~w:(Q.of_ints (Prng.int_in rng 1 k) k) ~h:Q.one)
+  in
+  let ids = List.map (fun (r : Rect.t) -> r.Rect.id) rects in
+  Prec.make rects (dag_of_shape rng ~ids shape)
+
+let random_release rng ~n ~k ~h_den ~r_den ~load =
+  if load <= 0.0 then invalid_arg "Generators.random_release: load must be positive";
+  let rects = random_rects rng ~n ~k ~h_den in
+  let mean_area = (float_of_int (k + 1) /. (2.0 *. float_of_int k))
+                  *. (float_of_int (h_den + 1) /. (2.0 *. float_of_int h_den)) in
+  let rate = load /. mean_area in
+  let t = ref 0.0 in
+  let tasks =
+    List.map
+      (fun (rect : Rect.t) ->
+        t := !t +. Prng.exponential rng ~rate;
+        let steps = int_of_float (Float.round (!t *. float_of_int r_den)) in
+        { Release.rect; release = Q.of_ints steps r_den })
+      rects
+  in
+  Release.make ~k tasks
+
+let bursty_release rng ~n ~k ~h_den ~r_den ~burst_len ~idle_gap =
+  if burst_len < 1 then invalid_arg "Generators.bursty_release: burst_len must be >= 1";
+  if idle_gap <= 0.0 then invalid_arg "Generators.bursty_release: idle_gap must be positive";
+  let rects = random_rects rng ~n ~k ~h_den in
+  let t = ref 0.0 in
+  let quantise x = Q.of_ints (int_of_float (Float.round (x *. float_of_int r_den))) r_den in
+  let tasks =
+    List.mapi
+      (fun i (rect : Rect.t) ->
+        (* A fresh burst begins every [burst_len] tasks; tasks within a
+           burst share the burst's arrival instant. *)
+        if i mod burst_len = 0 && i > 0 then
+          t := !t +. Prng.exponential rng ~rate:(1.0 /. idle_gap);
+        { Release.rect; release = quantise !t })
+      rects
+  in
+  Release.make ~k tasks
+
+(* ------------------------------------------------------------------ *)
+(* Domain pipelines *)
+
+(* Helper: width as columns/k, height in time units (rational string). *)
+let col k c = Q.of_ints (min c k) k
+
+let jpeg_pipeline ~blocks ~k =
+  if blocks < 1 then invalid_arg "Generators.jpeg_pipeline: blocks must be >= 1";
+  if k < 4 then invalid_arg "Generators.jpeg_pipeline: needs k >= 4";
+  let rects = ref [] and edges = ref [] in
+  let next = ref 0 in
+  let fresh w h =
+    let id = !next in
+    incr next;
+    rects := Rect.make ~id ~w ~h :: !rects;
+    id
+  in
+  (* Stage resource/time profile loosely follows HW JPEG encoders: colour
+     conversion is wide and quick; DCT is the large block-level kernel;
+     quantisation and zigzag are narrow; RLE and Huffman are serial tails. *)
+  let cc = fresh (col k (k / 2)) (Q.of_ints 1 2) in
+  let rle = fresh (col k (k / 4)) (Q.of_ints 3 4) in
+  let huff = fresh (col k (k / 2)) Q.one in
+  edges := (rle, huff) :: !edges;
+  for _b = 1 to blocks do
+    let dct = fresh (col k (k / 2)) Q.one in
+    let quant = fresh (col k (k / 4)) (Q.of_ints 1 2) in
+    let zig = fresh (col k 1) (Q.of_ints 1 4) in
+    edges := (cc, dct) :: (dct, quant) :: (quant, zig) :: (zig, rle) :: !edges
+  done;
+  let rects = List.rev !rects in
+  Prec.make rects
+    (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges:!edges)
+
+let packet_pipeline ~flows ~k =
+  if flows < 1 then invalid_arg "Generators.packet_pipeline: flows must be >= 1";
+  if k < 4 then invalid_arg "Generators.packet_pipeline: needs k >= 4";
+  let rects = ref [] and edges = ref [] in
+  let next = ref 0 in
+  let fresh w h =
+    let id = !next in
+    incr next;
+    rects := Rect.make ~id ~w ~h :: !rects;
+    id
+  in
+  let sched = fresh (col k (k / 2)) (Q.of_ints 1 2) in
+  for _f = 1 to flows do
+    let parse = fresh (col k 1) (Q.of_ints 1 4) in
+    let classify = fresh (col k (k / 4)) (Q.of_ints 1 2) in
+    let rewrite = fresh (col k 1) (Q.of_ints 1 4) in
+    edges := (parse, classify) :: (classify, rewrite) :: (rewrite, sched) :: !edges
+  done;
+  let rects = List.rev !rects in
+  Prec.make rects
+    (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges:!edges)

@@ -1,0 +1,95 @@
+(** Synthetic workload generators.
+
+    All generators are deterministic functions of a {!Spp_util.Prng.t}
+    stream, with dimensions quantised to rationals (widths to multiples of
+    [1/k] — the FPGA column granularity of the paper's Section 1 — and
+    heights to multiples of [1/h_den]), so instances are exactly
+    representable and experiments reproduce bit-for-bit from a seed. *)
+
+(** {1 Rectangles} *)
+
+(** [random_rects rng ~n ~k ~h_den] draws [n] rectangles with width
+    [j/k] ([j] uniform in [1..k]) and height [i/h_den] ([i] uniform in
+    [1..h_den]); heights are therefore in (0, 1]. Ids are [0..n-1]. *)
+val random_rects : Spp_util.Prng.t -> n:int -> k:int -> h_den:int -> Spp_geom.Rect.t list
+
+(** [random_rects_wide rng ~n ~k ~h_den ~max_h_num] like {!random_rects}
+    but heights [i/h_den] with [i] in [1..max_h_num] (allows heights > 1
+    for the precedence variant, which has no height cap). *)
+val random_rects_wide :
+  Spp_util.Prng.t -> n:int -> k:int -> h_den:int -> max_h_num:int -> Spp_geom.Rect.t list
+
+(** {1 DAG shapes (over rect ids [0..n-1])} *)
+
+(** [layered_dag rng ~ids ~layers ~p] splits [ids] into [layers] roughly
+    equal layers and adds each layer-to-next edge independently with
+    probability [p]. *)
+val layered_dag : Spp_util.Prng.t -> ids:int list -> layers:int -> p:float -> Spp_dag.Dag.t
+
+(** [series_parallel rng ~ids] builds a random series-parallel order by
+    recursive series/parallel composition over the id list. *)
+val series_parallel : Spp_util.Prng.t -> ids:int list -> Spp_dag.Dag.t
+
+(** [fork_join ~ids] arranges ids as fork → parallel middle → join (first id
+    forks, last joins; needs >= 3 ids, otherwise a chain). *)
+val fork_join : ids:int list -> Spp_dag.Dag.t
+
+(** [chain ~ids] is the total order along the list. *)
+val chain : ids:int list -> Spp_dag.Dag.t
+
+(** [independent ~ids] has no edges. *)
+val independent : ids:int list -> Spp_dag.Dag.t
+
+(** {1 Full instances} *)
+
+(** [random_prec rng ~n ~k ~h_den ~shape] draws rects and a DAG of the
+    given shape ([`Layered], [`Series_parallel], [`Fork_join], [`Chain],
+    [`Independent]). *)
+val random_prec :
+  Spp_util.Prng.t ->
+  n:int ->
+  k:int ->
+  h_den:int ->
+  shape:[ `Layered | `Series_parallel | `Fork_join | `Chain | `Independent ] ->
+  Spp_core.Instance.Prec.t
+
+(** [random_uniform_prec rng ~n ~k ~shape] — heights all 1 (Section 2.2's
+    regime). *)
+val random_uniform_prec :
+  Spp_util.Prng.t ->
+  n:int ->
+  k:int ->
+  shape:[ `Layered | `Series_parallel | `Fork_join | `Chain | `Independent ] ->
+  Spp_core.Instance.Prec.t
+
+(** [random_release rng ~n ~k ~h_den ~r_den ~load] draws a release-time
+    instance: rect dims as in {!random_rects}; releases are a Poisson-like
+    arrival process — exponential gaps with mean [mean_area/load] —
+    quantised to multiples of [1/r_den]. [load] ≈ offered work per unit
+    time; > 1 means work arrives faster than the strip drains. *)
+val random_release :
+  Spp_util.Prng.t -> n:int -> k:int -> h_den:int -> r_den:int -> load:float ->
+  Spp_core.Instance.Release.t
+
+(** [bursty_release rng ~n ~k ~h_den ~r_den ~burst_len ~idle_gap] draws a
+    release-time instance with on/off (bursty) arrivals — the traffic shape
+    FPGA operating systems actually see: bursts of [burst_len] tasks
+    arriving back-to-back, separated by idle gaps of about [idle_gap] time
+    units (exponential, quantised to [1/r_den]). Dimension distributions
+    match {!random_rects}. *)
+val bursty_release :
+  Spp_util.Prng.t ->
+  n:int -> k:int -> h_den:int -> r_den:int -> burst_len:int -> idle_gap:float ->
+  Spp_core.Instance.Release.t
+
+(** {1 Domain pipelines (the paper's Section 1 motivation)} *)
+
+(** [jpeg_pipeline ~blocks ~k] models a JPEG encoder on a [k]-column FPGA:
+    colour conversion, then per-block DCT → quantise → zigzag chains in
+    parallel, then run-length encoding, then Huffman coding. Dimensions
+    follow the relative resource demands of the stages. *)
+val jpeg_pipeline : blocks:int -> k:int -> Spp_core.Instance.Prec.t
+
+(** [packet_pipeline ~flows ~k] models a networking application: per-flow
+    parse → classify → rewrite chains joined by a final scheduler stage. *)
+val packet_pipeline : flows:int -> k:int -> Spp_core.Instance.Prec.t

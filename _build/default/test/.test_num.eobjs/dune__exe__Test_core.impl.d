@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Printf QCheck QCheck_alcotest Spp_core Spp_dag Spp_exact Spp_geom Spp_num Spp_pack Spp_util Spp_workloads

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Fun Hashtbl List Printf QCheck QCheck_alcotest Spp_dag Spp_num

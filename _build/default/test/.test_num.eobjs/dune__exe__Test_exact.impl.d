@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Spp_core Spp_dag Spp_exact Spp_geom Spp_num

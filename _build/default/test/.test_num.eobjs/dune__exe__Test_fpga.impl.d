@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Array Float Format List Printf QCheck QCheck_alcotest Spp_core Spp_dag Spp_fpga Spp_geom Spp_num Spp_util Spp_workloads String

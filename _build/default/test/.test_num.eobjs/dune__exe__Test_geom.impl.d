@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Gen List QCheck QCheck_alcotest Spp_geom Spp_num String

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Filename Format List Spp_core Spp_geom Spp_num

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Spp_lp Spp_num String

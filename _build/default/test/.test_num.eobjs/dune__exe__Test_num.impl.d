@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Float List QCheck QCheck_alcotest Spp_num String

@@ -1,0 +1,1 @@
+test/test_pack.ml: Alcotest Array Float Fun Gen List Printf QCheck QCheck_alcotest Spp_geom Spp_num Spp_pack

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf QCheck QCheck_alcotest Spp_core Spp_dag Spp_exact Spp_fpga Spp_geom Spp_num Spp_util Spp_workloads String

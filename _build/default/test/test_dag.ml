@@ -1,0 +1,219 @@
+(* Tests for Spp_dag: construction validation, cycle rejection, topological
+   order, induced subgraphs, the paper's F function, and independence. *)
+
+module Q = Spp_num.Rat
+module Dag = Spp_dag.Dag
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  Dag.of_edges ~nodes:[ 0; 1; 2; 3 ] ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_construction () =
+  let d = diamond () in
+  Alcotest.(check int) "nodes" 4 (Dag.num_nodes d);
+  Alcotest.(check int) "edges" 4 (Dag.num_edges d);
+  Alcotest.(check (list int)) "preds of 3" [ 1; 2 ] (Dag.preds d 3);
+  Alcotest.(check (list int)) "succs of 0" [ 1; 2 ] (Dag.succs d 0);
+  Alcotest.(check bool) "has_edge" true (Dag.has_edge d 0 1);
+  Alcotest.(check bool) "no reverse edge" false (Dag.has_edge d 1 0);
+  Alcotest.(check (list int)) "roots" [ 0 ] (Dag.roots d);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Dag.sinks d);
+  Alcotest.(check (list int)) "edge list" [ 0; 1; 2; 3 ] (Dag.nodes d)
+
+let test_rejects_bad_input () =
+  let inv msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  ignore inv;
+  Alcotest.check_raises "cycle" (Invalid_argument "Dag.of_edges: graph has a cycle") (fun () ->
+      ignore (Dag.of_edges ~nodes:[ 0; 1; 2 ] ~edges:[ (0, 1); (1, 2); (2, 0) ]));
+  Alcotest.check_raises "self loop" (Invalid_argument "Dag.of_edges: self-loop on 1") (fun () ->
+      ignore (Dag.of_edges ~nodes:[ 0; 1 ] ~edges:[ (1, 1) ]));
+  Alcotest.check_raises "unknown endpoint"
+    (Invalid_argument "Dag.of_edges: edge (0,5) references unknown node") (fun () ->
+      ignore (Dag.of_edges ~nodes:[ 0; 1 ] ~edges:[ (0, 5) ]));
+  Alcotest.check_raises "duplicate edge" (Invalid_argument "Dag.of_edges: duplicate edge (0,1)")
+    (fun () -> ignore (Dag.of_edges ~nodes:[ 0; 1 ] ~edges:[ (0, 1); (0, 1) ]));
+  Alcotest.check_raises "duplicate node" (Invalid_argument "Dag.of_edges: duplicate node id")
+    (fun () -> ignore (Dag.of_edges ~nodes:[ 0; 0 ] ~edges:[]))
+
+let test_topo_order () =
+  let d = diamond () in
+  Alcotest.(check (list int)) "deterministic topo" [ 0; 1; 2; 3 ] (Dag.topo_order d);
+  (* Any topo order puts sources before targets. *)
+  let order = Dag.topo_order d in
+  let position = List.mapi (fun i v -> (v, i)) order in
+  List.iter
+    (fun (u, v) ->
+      if List.assoc u position >= List.assoc v position then Alcotest.fail "order violates edge")
+    (Dag.edges d)
+
+let test_induced () =
+  let d = diamond () in
+  let sub = Dag.induced d (fun v -> v <> 1) in
+  Alcotest.(check (list int)) "nodes" [ 0; 2; 3 ] (Dag.nodes sub);
+  Alcotest.(check int) "edges kept" 2 (Dag.num_edges sub);
+  Alcotest.(check bool) "0->2 kept" true (Dag.has_edge sub 0 2);
+  Alcotest.(check bool) "2->3 kept" true (Dag.has_edge sub 2 3);
+  (* Edges through the removed node are gone, not contracted. *)
+  Alcotest.(check bool) "no 0->3" false (Dag.has_edge sub 0 3)
+
+let test_reachable () =
+  let d = diamond () in
+  Alcotest.(check (list int)) "from 0" [ 0; 1; 2; 3 ] (Dag.reachable d 0);
+  Alcotest.(check (list int)) "from 1" [ 1; 3 ] (Dag.reachable d 1);
+  Alcotest.(check (list int)) "from sink" [ 3 ] (Dag.reachable d 3)
+
+let test_longest_path_f () =
+  (* Heights: 0 -> 1, 1 -> 2, 2 -> 4, 3 -> 1; F follows the paper's
+     recursion. F(0)=1, F(1)=3, F(2)=5, F(3)=max(F(1),F(2))+1=6. *)
+  let d = diamond () in
+  let h = function 0 -> Q.of_int 1 | 1 -> Q.of_int 2 | 2 -> Q.of_int 4 | _ -> Q.of_int 1 in
+  let f = Dag.longest_path_to d ~weight:h in
+  Alcotest.(check string) "F root" "1" (Q.to_string (f 0));
+  Alcotest.(check string) "F(1)" "3" (Q.to_string (f 1));
+  Alcotest.(check string) "F(2)" "5" (Q.to_string (f 2));
+  Alcotest.(check string) "F(3)" "6" (Q.to_string (f 3))
+
+let test_longest_path_length () =
+  Alcotest.(check int) "diamond" 3 (Dag.longest_path_length (diamond ()));
+  Alcotest.(check int) "empty" 0 (Dag.longest_path_length Dag.empty);
+  let chain = Dag.of_edges ~nodes:[ 0; 1; 2; 3 ] ~edges:[ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check int) "chain" 4 (Dag.longest_path_length chain);
+  let anti = Dag.of_edges ~nodes:[ 0; 1; 2 ] ~edges:[] in
+  Alcotest.(check int) "antichain" 1 (Dag.longest_path_length anti)
+
+let test_transitive_closure () =
+  let chain = Dag.of_edges ~nodes:[ 0; 1; 2 ] ~edges:[ (0, 1); (1, 2) ] in
+  let tc = Dag.transitive_closure chain in
+  Alcotest.(check int) "edges" 3 (Dag.num_edges tc);
+  Alcotest.(check bool) "shortcut added" true (Dag.has_edge tc 0 2)
+
+let test_transitive_reduction () =
+  (* Chain plus the redundant shortcut: reduction removes it. *)
+  let d = Dag.of_edges ~nodes:[ 0; 1; 2 ] ~edges:[ (0, 1); (1, 2); (0, 2) ] in
+  let tr = Dag.transitive_reduction d in
+  Alcotest.(check int) "edges" 2 (Dag.num_edges tr);
+  Alcotest.(check bool) "shortcut removed" false (Dag.has_edge tr 0 2);
+  (* The diamond has no redundant edges. *)
+  let dm = diamond () in
+  Alcotest.(check int) "diamond unchanged" 4 (Dag.num_edges (Dag.transitive_reduction dm))
+
+let test_is_comparable () =
+  let d = diamond () in
+  Alcotest.(check bool) "path down" true (Dag.is_comparable d 0 3);
+  Alcotest.(check bool) "path up" true (Dag.is_comparable d 3 0);
+  Alcotest.(check bool) "parallel" false (Dag.is_comparable d 1 2);
+  Alcotest.(check bool) "self" true (Dag.is_comparable d 1 1)
+
+let test_independent () =
+  let d = diamond () in
+  Alcotest.(check bool) "1,2 independent" true (Dag.independent d (fun v -> v = 1 || v = 2));
+  Alcotest.(check bool) "0,1 dependent" false (Dag.independent d (fun v -> v = 0 || v = 1));
+  Alcotest.(check bool) "whole graph dependent" false (Dag.independent d (fun _ -> true));
+  Alcotest.(check bool) "empty set independent" true (Dag.independent d (fun _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Properties on random DAGs: build from a random strict lower-triangular
+   edge set (always acyclic by construction). *)
+
+let random_dag_gen =
+  QCheck.make
+    ~print:(fun (n, edges) -> Printf.sprintf "n=%d edges=%d" n (List.length edges))
+    QCheck.Gen.(
+      let* n = int_range 1 12 in
+      let* edges =
+        let all = List.concat (List.init n (fun i -> List.init i (fun j -> (j, i)))) in
+        let* keep = list_repeat (List.length all) bool in
+        return (List.filteri (fun idx _ -> List.nth keep idx) all)
+      in
+      return (n, edges))
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topo order respects all edges" ~count:200 random_dag_gen
+    (fun (n, edges) ->
+      let d = Dag.of_edges ~nodes:(List.init n Fun.id) ~edges in
+      let order = Dag.topo_order d in
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+      List.length order = n
+      && List.for_all (fun (u, v) -> Hashtbl.find pos u < Hashtbl.find pos v) edges)
+
+let prop_f_monotone_on_edges =
+  QCheck.Test.make ~name:"F strictly increases along edges" ~count:200 random_dag_gen
+    (fun (n, edges) ->
+      let d = Dag.of_edges ~nodes:(List.init n Fun.id) ~edges in
+      let f = Dag.longest_path_to d ~weight:(fun _ -> Q.one) in
+      List.for_all (fun (u, v) -> Q.compare (f u) (f v) < 0) edges)
+
+let prop_f_equals_path_length_unit_weights =
+  QCheck.Test.make ~name:"max F = longest path length under unit weights" ~count:200
+    random_dag_gen (fun (n, edges) ->
+      let d = Dag.of_edges ~nodes:(List.init n Fun.id) ~edges in
+      let f = Dag.longest_path_to d ~weight:(fun _ -> Q.one) in
+      let max_f = List.fold_left (fun acc v -> Q.max acc (f v)) Q.zero (Dag.nodes d) in
+      Q.equal max_f (Q.of_int (Dag.longest_path_length d)))
+
+let prop_reduction_preserves_reachability =
+  QCheck.Test.make ~name:"transitive reduction preserves reachability; closure extends it"
+    ~count:150 random_dag_gen (fun (n, edges) ->
+      let d = Dag.of_edges ~nodes:(List.init n Fun.id) ~edges in
+      let tr = Dag.transitive_reduction d in
+      let tc = Dag.transitive_closure d in
+      List.for_all
+        (fun v ->
+          Dag.reachable d v = Dag.reachable tr v && Dag.reachable d v = Dag.reachable tc v)
+        (Dag.nodes d)
+      && Dag.num_edges tr <= Dag.num_edges d
+      && Dag.num_edges d <= Dag.num_edges tc)
+
+let prop_reduction_is_minimal =
+  QCheck.Test.make ~name:"no edge of the reduction is redundant" ~count:100 random_dag_gen
+    (fun (n, edges) ->
+      let tr = Dag.transitive_reduction (Dag.of_edges ~nodes:(List.init n Fun.id) ~edges) in
+      List.for_all
+        (fun (u, v) ->
+          (* Removing (u,v) must lose the u -> v reachability. *)
+          let without =
+            Dag.of_edges ~nodes:(Dag.nodes tr)
+              ~edges:(List.filter (fun e -> e <> (u, v)) (Dag.edges tr))
+          in
+          not (List.mem v (Dag.reachable without u)))
+        (Dag.edges tr))
+
+let prop_induced_is_subgraph =
+  QCheck.Test.make ~name:"induced subgraph edges are original edges" ~count:200 random_dag_gen
+    (fun (n, edges) ->
+      let d = Dag.of_edges ~nodes:(List.init n Fun.id) ~edges in
+      let keep v = v mod 2 = 0 in
+      let sub = Dag.induced d keep in
+      List.for_all (fun v -> keep v) (Dag.nodes sub)
+      && List.for_all (fun (u, v) -> keep u && keep v && Dag.has_edge d u v) (Dag.edges sub))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "spp_dag"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_input;
+          Alcotest.test_case "topo order" `Quick test_topo_order;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "longest path (F)" `Quick test_longest_path_f;
+          Alcotest.test_case "longest path length" `Quick test_longest_path_length;
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "transitive reduction" `Quick test_transitive_reduction;
+          Alcotest.test_case "comparability" `Quick test_is_comparable;
+          Alcotest.test_case "independence" `Quick test_independent;
+        ] );
+      ( "props",
+        qt
+          [
+            prop_topo_respects_edges;
+            prop_f_monotone_on_edges;
+            prop_f_equals_path_length_unit_weights;
+            prop_reduction_preserves_reachability;
+            prop_reduction_is_minimal;
+            prop_induced_is_subgraph;
+          ] );
+    ]

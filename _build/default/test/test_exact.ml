@@ -1,0 +1,269 @@
+(* Tests for Spp_exact: the precedence bin-packing DP against hand-solved
+   instances and brute-force cross-checks, and the bottom-left order search
+   against the heuristics it is meant to calibrate. *)
+
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+module I = Spp_core.Instance
+module Validate = Spp_core.Validate
+module Uniform = Spp_core.Uniform
+module Prec_binpack = Spp_exact.Prec_binpack
+module Order_search = Spp_exact.Order_search
+
+let q = Q.of_ints
+let rect id wn wd hn hd = Rect.make ~id ~w:(q wn wd) ~h:(q hn hd)
+
+let prec rects edges =
+  I.Prec.make rects (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges)
+
+let item id size = { Prec_binpack.id; size }
+
+(* ------------------------------------------------------------------ *)
+(* Prec_binpack *)
+
+let test_binpack_no_precedence () =
+  (* 0.5, 0.5, 0.5 without edges: two bins. *)
+  let items = [ item 0 (q 1 2); item 1 (q 1 2); item 2 (q 1 2) ] in
+  let dag = Dag.of_edges ~nodes:[ 0; 1; 2 ] ~edges:[] in
+  Alcotest.(check int) "bins" 2 (Prec_binpack.min_bins items dag)
+
+let test_binpack_chain_forces_bins () =
+  (* Chain of three tiny items: precedence forces one bin each. *)
+  let items = [ item 0 (q 1 10); item 1 (q 1 10); item 2 (q 1 10) ] in
+  let dag = Dag.of_edges ~nodes:[ 0; 1; 2 ] ~edges:[ (0, 1); (1, 2) ] in
+  Alcotest.(check int) "bins" 3 (Prec_binpack.min_bins items dag)
+
+let test_binpack_mixed () =
+  (* 0 -> 2 with sizes 0.5/0.5/0.5: bin1 {0,1}, bin2 {2} = 2 bins; but the
+     greedy that puts 1 with 2 still needs 2. Optimal is 2. *)
+  let items = [ item 0 (q 1 2); item 1 (q 1 2); item 2 (q 1 2) ] in
+  let dag = Dag.of_edges ~nodes:[ 0; 1; 2 ] ~edges:[ (0, 2) ] in
+  Alcotest.(check int) "bins" 2 (Prec_binpack.min_bins items dag);
+  (* Force a suboptimal-looking split: 0 -> 1, 0 -> 2: {0} then {1,2}. *)
+  let dag2 = Dag.of_edges ~nodes:[ 0; 1; 2 ] ~edges:[ (0, 1); (0, 2) ] in
+  Alcotest.(check int) "fork bins" 2 (Prec_binpack.min_bins items dag2)
+
+let test_binpack_empty_and_guards () =
+  Alcotest.(check int) "empty" 0 (Prec_binpack.min_bins [] Dag.empty);
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Prec_binpack.min_bins: instance too large (n > 20)") (fun () ->
+      let items = List.init 21 (fun i -> item i (q 1 2)) in
+      let dag = Dag.of_edges ~nodes:(List.init 21 Fun.id) ~edges:[] in
+      ignore (Prec_binpack.min_bins items dag))
+
+let test_min_height_uniform () =
+  (* Heights 1/2 each; widths 0.5 x 3 no edges -> 2 bins -> height 1. *)
+  let inst = prec [ rect 0 1 2 1 2; rect 1 1 2 1 2; rect 2 1 2 1 2 ] [] in
+  Alcotest.(check string) "height" "1" (Q.to_string (Prec_binpack.min_height inst))
+
+(* DP optimality vs the wave/next-fit heuristics: exact <= every heuristic,
+   and exact >= the size lower bound and the path lower bound. *)
+let uniform_gen =
+  QCheck.make
+    ~print:(fun (inst : I.Prec.t) -> Printf.sprintf "n=%d" (I.Prec.size inst))
+    QCheck.Gen.(
+      let* n = int_range 1 9 in
+      let* widths = list_repeat n (int_range 1 8) in
+      let rects = List.mapi (fun i wn -> Rect.make ~id:i ~w:(q wn 8) ~h:Q.one) widths in
+      let all = List.concat (List.init n (fun i -> List.init i (fun j -> (j, i)))) in
+      let* keep = list_repeat (List.length all) (frequency [ (3, return false); (1, return true) ]) in
+      let edges = List.filteri (fun idx _ -> List.nth keep idx) all in
+      return (I.Prec.make rects
+                (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges)))
+
+let prop_dp_sandwiched =
+  QCheck.Test.make ~name:"exact DP between lower bounds and heuristics" ~count:100 uniform_gen
+    (fun inst ->
+      let opt = Q.to_float (Prec_binpack.min_height inst) in
+      let _, f_stats = Uniform.next_fit_shelf inst in
+      let _, pff_stats = Uniform.prec_first_fit inst in
+      let path = Dag.longest_path_length inst.dag in
+      let area = Q.to_float (Spp_core.Lower_bounds.area inst) in
+      opt >= float_of_int path -. 1e-9
+      && opt >= area -. 1e-9
+      && opt <= float_of_int f_stats.Uniform.shelves +. 1e-9
+      && opt <= float_of_int pff_stats.Uniform.shelves +. 1e-9)
+
+let prop_theorem_2_6_ratio =
+  (* Algorithm F within 3x the exact optimum (Theorem 2.6, absolute). *)
+  QCheck.Test.make ~name:"Theorem 2.6: F <= 3 * OPT" ~count:100 uniform_gen (fun inst ->
+      let opt = Prec_binpack.min_height inst in
+      let _, stats = Uniform.next_fit_shelf inst in
+      Q.compare (Q.of_int stats.Uniform.shelves) (Q.mul_int opt 3) <= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Order search *)
+
+let test_order_search_simple () =
+  (* Two half-width unit squares, no precedence: best BL height is 1. *)
+  let inst = prec [ rect 0 1 2 1 1; rect 1 1 2 1 1 ] [] in
+  let out = Order_search.best_prec inst in
+  Alcotest.(check string) "height" "1" (Q.to_string out.Order_search.height);
+  Alcotest.(check bool) "placement valid" true
+    (Validate.is_valid_prec inst out.Order_search.placement)
+
+let test_order_search_chain () =
+  let inst = prec [ rect 0 1 2 1 1; rect 1 1 2 1 1 ] [ (0, 1) ] in
+  let out = Order_search.best_prec inst in
+  Alcotest.(check string) "serialised" "2" (Q.to_string out.Order_search.height)
+
+let test_order_search_guard () =
+  let rects = List.init 11 (fun i -> rect i 1 2 1 1) in
+  let inst = prec rects [] in
+  Alcotest.check_raises "n > 10" (Invalid_argument "Order_search: instance too large (n > 10)")
+    (fun () -> ignore (Order_search.best_prec inst))
+
+let small_prec_gen =
+  QCheck.make
+    ~print:(fun (inst : I.Prec.t) -> Printf.sprintf "n=%d" (I.Prec.size inst))
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* specs = list_repeat n (pair (int_range 1 4) (int_range 1 4)) in
+      let rects = List.mapi (fun i (wn, hn) -> Rect.make ~id:i ~w:(q wn 4) ~h:(q hn 2)) specs in
+      let all = List.concat (List.init n (fun i -> List.init i (fun j -> (j, i)))) in
+      let* keep = list_repeat (List.length all) (frequency [ (4, return false); (1, return true) ]) in
+      let edges = List.filteri (fun idx _ -> List.nth keep idx) all in
+      return (I.Prec.make rects
+                (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges)))
+
+let prop_order_search_dominates_heuristics =
+  QCheck.Test.make ~name:"order search <= DC and list scheduling" ~count:60 small_prec_gen
+    (fun inst ->
+      let best = (Order_search.best_prec inst).Order_search.height in
+      let dc = Spp_core.Dc.height inst in
+      let ls = Placement.height (Spp_core.List_schedule.prec inst) in
+      Q.compare best dc <= 0 && Q.compare best ls <= 0)
+
+let prop_order_search_valid_and_bounded_below =
+  QCheck.Test.make ~name:"order search valid; >= both lower bounds" ~count:60 small_prec_gen
+    (fun inst ->
+      let out = Order_search.best_prec inst in
+      Validate.check_prec inst out.Order_search.placement = []
+      && Q.compare out.Order_search.height (Spp_core.Lower_bounds.area inst) >= 0
+      && Q.compare out.Order_search.height (Spp_core.Lower_bounds.critical_path inst) >= 0)
+
+let small_release_gen =
+  QCheck.make
+    ~print:(fun (inst : I.Release.t) -> Printf.sprintf "n=%d" (I.Release.size inst))
+    QCheck.Gen.(
+      let* n = int_range 1 5 in
+      let* specs = list_repeat n (triple (int_range 1 2) (int_range 1 4) (int_range 0 4)) in
+      let tasks =
+        List.mapi
+          (fun i (wn, hn, rel) ->
+            { I.Release.rect = Rect.make ~id:i ~w:(q wn 2) ~h:(q hn 4); release = q rel 2 })
+          specs
+      in
+      return (I.Release.make ~k:2 tasks))
+
+let prop_order_search_release =
+  QCheck.Test.make ~name:"release order search valid and dominates list scheduling" ~count:60
+    small_release_gen (fun inst ->
+      let out = Order_search.best_release inst in
+      Validate.check_release inst out.Order_search.placement = []
+      && Q.compare out.Order_search.height
+           (Placement.height (Spp_core.List_schedule.release inst))
+         <= 0
+      && Q.compare out.Order_search.height (Spp_core.Lower_bounds.release inst) >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Normal-position branch and bound (true exact solver) *)
+
+module Normal_bb = Spp_exact.Normal_bb
+
+let test_normal_bb_trivial () =
+  let inst = prec [ rect 0 1 2 1 1; rect 1 1 2 1 1 ] [] in
+  let out = Normal_bb.solve inst in
+  Alcotest.(check string) "side by side" "1" (Q.to_string out.Normal_bb.height);
+  let chain = prec [ rect 0 1 2 1 1; rect 1 1 2 1 1 ] [ (0, 1) ] in
+  Alcotest.(check string) "chain serialises" "2" (Q.to_string (Normal_bb.solve chain).Normal_bb.height)
+
+let test_normal_bb_beats_bottom_left () =
+  (* A case where every bottom-left packing is suboptimal would separate the
+     two solvers; on tiny instances they usually agree — check agreement
+     direction: exact <= order search, and exact is validated. *)
+  let inst =
+    prec [ rect 0 1 2 1 1; rect 1 1 2 1 2; rect 2 1 4 3 2; rect 3 3 4 1 2 ] [ (0, 3) ]
+  in
+  let bb = Normal_bb.solve inst in
+  let os = Order_search.best_prec inst in
+  Alcotest.(check bool) "exact <= BL search" true
+    (Q.compare bb.Normal_bb.height os.Order_search.height <= 0);
+  Alcotest.(check bool) "valid" true (Validate.is_valid_prec inst bb.Normal_bb.placement)
+
+let test_normal_bb_guard () =
+  let rects = List.init 8 (fun i -> rect i 1 2 1 1) in
+  Alcotest.check_raises "n > 7" (Invalid_argument "Normal_bb.solve: instance too large (n > 7)")
+    (fun () -> ignore (Normal_bb.solve (prec rects [])))
+
+let tiny_prec_gen =
+  QCheck.make
+    ~print:(fun (inst : I.Prec.t) -> Printf.sprintf "n=%d" (I.Prec.size inst))
+    QCheck.Gen.(
+      let* n = int_range 1 5 in
+      let* specs = list_repeat n (pair (int_range 1 4) (int_range 1 3)) in
+      let rects = List.mapi (fun i (wn, hn) -> Rect.make ~id:i ~w:(q wn 4) ~h:(q hn 2)) specs in
+      let all = List.concat (List.init n (fun i -> List.init i (fun j -> (j, i)))) in
+      let* keep = list_repeat (List.length all) (frequency [ (4, return false); (1, return true) ]) in
+      let edges = List.filteri (fun idx _ -> List.nth keep idx) all in
+      return (I.Prec.make rects
+                (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges)))
+
+let prop_normal_bb_is_exact_reference =
+  (* The true optimum is sandwiched: >= both lower bounds, <= every
+     algorithm (DC, list scheduling, BL order search), and for uniform
+     heights it must equal the DP optimum. *)
+  QCheck.Test.make ~name:"normal-position B&B sandwiched by bounds and algorithms" ~count:60
+    tiny_prec_gen (fun inst ->
+      let opt = (Normal_bb.solve inst).Normal_bb.height in
+      Q.compare opt (Spp_core.Lower_bounds.prec inst) >= 0
+      && Q.compare opt (Spp_core.Dc.height inst) <= 0
+      && Q.compare opt (Placement.height (Spp_core.List_schedule.prec inst)) <= 0
+      && Q.compare opt (Order_search.best_prec inst).Order_search.height <= 0)
+
+let prop_normal_bb_matches_dp_on_uniform =
+  QCheck.Test.make ~name:"normal-position B&B = DP optimum (uniform heights)" ~count:40
+    (QCheck.make
+       ~print:(fun (inst : I.Prec.t) -> Printf.sprintf "n=%d" (I.Prec.size inst))
+       QCheck.Gen.(
+         let* n = int_range 1 5 in
+         let* widths = list_repeat n (int_range 1 4) in
+         let rects = List.mapi (fun i wn -> Rect.make ~id:i ~w:(q wn 4) ~h:Q.one) widths in
+         let all = List.concat (List.init n (fun i -> List.init i (fun j -> (j, i)))) in
+         let* keep = list_repeat (List.length all) (frequency [ (4, return false); (1, return true) ]) in
+         let edges = List.filteri (fun idx _ -> List.nth keep idx) all in
+         return (I.Prec.make rects
+                   (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges))))
+    (fun inst ->
+      let bb = (Normal_bb.solve inst).Normal_bb.height in
+      Q.equal bb (Prec_binpack.min_height inst))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "spp_exact"
+    [
+      ( "prec-binpack",
+        Alcotest.test_case "no precedence" `Quick test_binpack_no_precedence
+        :: Alcotest.test_case "chain forces bins" `Quick test_binpack_chain_forces_bins
+        :: Alcotest.test_case "mixed" `Quick test_binpack_mixed
+        :: Alcotest.test_case "empty and guards" `Quick test_binpack_empty_and_guards
+        :: Alcotest.test_case "min_height" `Quick test_min_height_uniform
+        :: qt [ prop_dp_sandwiched; prop_theorem_2_6_ratio ] );
+      ( "order-search",
+        Alcotest.test_case "simple" `Quick test_order_search_simple
+        :: Alcotest.test_case "chain" `Quick test_order_search_chain
+        :: Alcotest.test_case "size guard" `Quick test_order_search_guard
+        :: qt
+             [
+               prop_order_search_dominates_heuristics;
+               prop_order_search_valid_and_bounded_below;
+               prop_order_search_release;
+             ] );
+      ( "normal-bb",
+        Alcotest.test_case "trivial" `Quick test_normal_bb_trivial
+        :: Alcotest.test_case "vs bottom-left" `Quick test_normal_bb_beats_bottom_left
+        :: Alcotest.test_case "size guard" `Quick test_normal_bb_guard
+        :: qt [ prop_normal_bb_is_exact_reference; prop_normal_bb_matches_dp_on_uniform ] );
+    ]

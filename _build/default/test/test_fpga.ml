@@ -1,0 +1,345 @@
+(* Tests for Spp_fpga: device/schedule construction, the exact
+   placement-to-columns conversion, and the discrete-event simulator as an
+   independent validator (conflicts, reconfiguration gaps, precedence,
+   releases, utilisation accounting). *)
+
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+module Device = Spp_fpga.Device
+module Schedule = Spp_fpga.Schedule
+module Sim = Spp_fpga.Sim
+
+let q = Q.of_ints
+let rect id wn wd hn hd = Rect.make ~id ~w:(q wn wd) ~h:(q hn hd)
+let item r x y = { Placement.rect = r; pos = { Placement.x; y } }
+
+let dev4 () = Device.make ~columns:4 ()
+
+let task id col_lo col_count start duration = { Schedule.id; col_lo; col_count; start; duration }
+
+(* ------------------------------------------------------------------ *)
+(* Device and Schedule *)
+
+let test_device_validation () =
+  Alcotest.check_raises "zero columns" (Invalid_argument "Device.make: columns must be >= 1")
+    (fun () -> ignore (Device.make ~columns:0 ()));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Device.make: negative reconfiguration delay") (fun () ->
+      ignore (Device.make ~columns:2 ~reconfig_delay:Q.minus_one ()))
+
+let test_of_placement_exact () =
+  let p = Placement.of_items [ item (rect 0 1 2 1 1) (q 1 4) Q.zero ] in
+  let s = Schedule.of_placement ~device:(dev4 ()) p in
+  (match s.Schedule.tasks with
+   | [ t ] ->
+     Alcotest.(check int) "col_lo" 1 t.Schedule.col_lo;
+     Alcotest.(check int) "col_count" 2 t.Schedule.col_count
+   | _ -> Alcotest.fail "one task expected");
+  Alcotest.(check string) "makespan" "1" (Q.to_string (Schedule.makespan s))
+
+let test_of_placement_rejects_misaligned () =
+  let p = Placement.of_items [ item (rect 0 1 2 1 1) (q 1 3) Q.zero ] in
+  (try
+     ignore (Schedule.of_placement ~device:(dev4 ()) p);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "mentions alignment" true
+       (String.length msg > 0 && String.sub msg 0 8 = "Schedule"))
+
+let test_roundtrip_placement () =
+  let p =
+    Placement.of_items
+      [ item (rect 0 1 2 1 1) Q.zero Q.zero; item (rect 1 1 4 1 2) (q 1 2) Q.zero ]
+  in
+  let s = Schedule.of_placement ~device:(dev4 ()) p in
+  let p' = Schedule.to_placement s in
+  Alcotest.(check bool) "valid after roundtrip" true (Placement.is_valid p');
+  Alcotest.(check string) "height preserved" (Q.to_string (Placement.height p))
+    (Q.to_string (Placement.height p'))
+
+(* ------------------------------------------------------------------ *)
+(* Simulator *)
+
+let test_sim_clean_run () =
+  let sched =
+    { Schedule.device = dev4 ();
+      tasks = [ task 0 0 2 Q.zero Q.one; task 1 2 2 Q.zero (q 1 2); task 2 0 4 Q.one Q.one ] }
+  in
+  let rep = Sim.run sched in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (Format.asprintf "%a" Sim.pp_violation) rep.Sim.violations);
+  Alcotest.(check string) "makespan" "2" (Q.to_string rep.Sim.makespan);
+  (* busy: cols 0,1 = 1 + 1 = 2; cols 2,3 = 1/2 + 1 = 3/2; util = 7/16. *)
+  Alcotest.(check string) "busy col0" "2" (Q.to_string rep.Sim.busy.(0));
+  Alcotest.(check string) "busy col3" "3/2" (Q.to_string rep.Sim.busy.(3));
+  Alcotest.(check (float 1e-9)) "utilisation" 0.875 rep.Sim.utilisation;
+  Alcotest.(check int) "reconfigurations" 8 rep.Sim.reconfigurations
+
+let test_sim_detects_conflict () =
+  let sched =
+    { Schedule.device = dev4 (); tasks = [ task 0 0 2 Q.zero Q.one; task 1 1 2 (q 1 2) Q.one ] }
+  in
+  let rep = Sim.run sched in
+  (match rep.Sim.violations with
+   | [ Sim.Column_conflict (0, 1, 1) ] -> ()
+   | v -> Alcotest.failf "expected conflict on column 1, got %d violations" (List.length v))
+
+let test_sim_touching_intervals_ok () =
+  (* Back-to-back on the same column with zero delay is legal. *)
+  let sched =
+    { Schedule.device = dev4 (); tasks = [ task 0 0 2 Q.zero Q.one; task 1 0 2 Q.one Q.one ] }
+  in
+  Alcotest.(check int) "no violations" 0 (List.length (Sim.run sched).Sim.violations)
+
+let test_sim_reconfig_delay () =
+  let dev = Device.make ~columns:4 ~reconfig_delay:(q 1 4) () in
+  let sched =
+    { Schedule.device = dev; tasks = [ task 0 0 2 Q.zero Q.one; task 1 0 2 Q.one Q.one ] }
+  in
+  let rep = Sim.run sched in
+  (match rep.Sim.violations with
+   | Sim.Reconfig_too_fast (0, 1, 0) :: _ -> ()
+   | _ -> Alcotest.fail "expected reconfig violation");
+  (* With a gap >= delay it passes. *)
+  let sched_ok =
+    { Schedule.device = dev; tasks = [ task 0 0 2 Q.zero Q.one; task 1 0 2 (q 5 4) Q.one ] }
+  in
+  Alcotest.(check int) "gap accepted" 0 (List.length (Sim.run sched_ok).Sim.violations)
+
+let test_sim_precedence_and_release () =
+  let dag = Dag.of_edges ~nodes:[ 0; 1 ] ~edges:[ (0, 1) ] in
+  let sched =
+    { Schedule.device = dev4 (); tasks = [ task 0 0 2 Q.zero Q.one; task 1 2 2 (q 1 2) Q.one ] }
+  in
+  let rep = Sim.run ~dag sched in
+  (match rep.Sim.violations with
+   | [ Sim.Precedence_violated (0, 1) ] -> ()
+   | _ -> Alcotest.fail "expected precedence violation");
+  let rel = function 0 -> Q.zero | _ -> Q.one in
+  let rep2 = Sim.run ~release:rel sched in
+  (match rep2.Sim.violations with
+   | [ Sim.Released_early 1 ] -> ()
+   | _ -> Alcotest.fail "expected early release violation")
+
+let test_sim_serial_reconfig_port () =
+  let dev = Device.make ~columns:4 ~reconfig_delay:(q 1 2) ~serial_reconfig:true () in
+  (* Two tasks starting together on disjoint columns: reconfiguration
+     windows [-1/2, 0) coincide -> port contention. *)
+  let sched =
+    { Schedule.device = dev; tasks = [ task 0 0 2 Q.one Q.one; task 1 2 2 Q.one Q.one ] }
+  in
+  let rep = Sim.run sched in
+  (match List.filter (function Sim.Reconfig_port_busy _ -> true | _ -> false) rep.Sim.violations with
+   | [ Sim.Reconfig_port_busy (0, 1) ] -> ()
+   | _ -> Alcotest.fail "expected port contention");
+  (* Staggered by the delay: fine. *)
+  let ok =
+    { Schedule.device = dev; tasks = [ task 0 0 2 Q.one Q.one; task 1 2 2 (q 3 2) Q.one ] }
+  in
+  Alcotest.(check int) "staggered accepted" 0 (List.length (Sim.run ok).Sim.violations);
+  (* Without the serial flag the same schedule passes. *)
+  let dev_par = Device.make ~columns:4 ~reconfig_delay:(q 1 2) () in
+  let sched_par = { sched with Schedule.device = dev_par } in
+  Alcotest.(check int) "parallel port accepted" 0 (List.length (Sim.run sched_par).Sim.violations)
+
+let test_gantt_renders () =
+  let sched =
+    { Schedule.device = dev4 (); tasks = [ task 0 0 2 Q.zero Q.one; task 1 2 2 Q.zero Q.one ] }
+  in
+  let g = Sim.gantt sched in
+  Alcotest.(check bool) "mentions col00" true (String.length g > 0 && String.sub g 0 5 = "col00");
+  Alcotest.(check bool) "task A drawn" true (String.contains g 'A');
+  Alcotest.(check bool) "task B drawn" true (String.contains g 'B');
+  Alcotest.(check string) "empty schedule" ""
+    (Sim.gantt { Schedule.device = dev4 (); tasks = [] })
+
+(* ------------------------------------------------------------------ *)
+(* Online scheduler *)
+
+module Online = Spp_fpga.Online
+
+let arrival id columns duration release = { Online.id; columns; duration; release }
+
+let test_online_parallel_when_free () =
+  (* Two 2-column tasks fit side by side on a 4-column device. *)
+  let sched =
+    Online.schedule (dev4 ()) `Earliest
+      [ arrival 0 2 Q.one Q.zero; arrival 1 2 Q.one Q.zero ]
+  in
+  Alcotest.(check string) "makespan" "1" (Q.to_string (Schedule.makespan sched));
+  Alcotest.(check int) "no violations" 0 (List.length (Sim.run sched).Sim.violations)
+
+let test_online_waits_for_columns () =
+  (* A 3-column task after a 2-column one must wait on a 4-column device
+     under both policies only if columns overlap; Earliest uses cols 2-3 is
+     impossible (needs 3), so it waits until t=1. *)
+  let sched =
+    Online.schedule (dev4 ()) `Earliest
+      [ arrival 0 2 Q.one Q.zero; arrival 1 3 Q.one Q.zero ]
+  in
+  (match List.find_opt (fun (t : Schedule.task) -> t.Schedule.id = 1) sched.Schedule.tasks with
+   | Some t -> Alcotest.(check string) "starts at 1" "1" (Q.to_string t.Schedule.start)
+   | None -> Alcotest.fail "missing task");
+  Alcotest.(check int) "clean" 0 (List.length (Sim.run sched).Sim.violations)
+
+let test_online_respects_release () =
+  let sched = Online.schedule (dev4 ()) `Earliest [ arrival 0 1 Q.one (q 5 2) ] in
+  (match sched.Schedule.tasks with
+   | [ t ] -> Alcotest.(check string) "start = release" "5/2" (Q.to_string t.Schedule.start)
+   | _ -> Alcotest.fail "one task");
+  let rel = function _ -> q 5 2 in
+  Alcotest.(check int) "sim agrees" 0 (List.length (Sim.run ~release:rel sched).Sim.violations)
+
+let test_online_leftmost_vs_earliest () =
+  (* After a long task on cols 0-1, a 1-column task: Leftmost queues behind
+     col 0; Earliest uses col 2 immediately. *)
+  let arrivals = [ arrival 0 2 (Q.of_int 4) Q.zero; arrival 1 1 Q.one Q.zero ] in
+  let start_of policy =
+    let sched = Online.schedule (dev4 ()) policy arrivals in
+    (List.find (fun (t : Schedule.task) -> t.Schedule.id = 1) sched.Schedule.tasks).Schedule.start
+  in
+  Alcotest.(check string) "earliest starts now" "0" (Q.to_string (start_of `Earliest));
+  Alcotest.(check string) "leftmost waits" "4" (Q.to_string (start_of `Leftmost))
+
+let test_waiting_times () =
+  let sched =
+    { Schedule.device = dev4 ();
+      tasks = [ task 0 0 2 Q.one Q.one; task 1 2 2 (q 5 2) Q.one ] }
+  in
+  let release = function 0 -> Q.one | _ -> Q.two in
+  let waits = List.sort compare (Sim.waiting_times ~release sched) in
+  (match waits with
+   | [ (0, w0); (1, w1) ] ->
+     Alcotest.(check string) "task 0 no wait" "0" (Q.to_string w0);
+     Alcotest.(check string) "task 1 waits 1/2" "1/2" (Q.to_string w1)
+   | _ -> Alcotest.fail "two waits expected");
+  Alcotest.(check (float 1e-9)) "mean" 0.25 (Sim.mean_wait ~release sched);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0
+    (Sim.mean_wait ~release { Schedule.device = dev4 (); tasks = [] })
+
+let test_online_guards () =
+  Alcotest.check_raises "too many columns"
+    (Invalid_argument "Online.schedule: task 0 needs 9 of 4 columns") (fun () ->
+      ignore (Online.schedule (dev4 ()) `Earliest [ arrival 0 9 Q.one Q.zero ]))
+
+let test_arrivals_of_release () =
+  let inst =
+    Spp_core.Instance.Release.make ~k:4
+      [ { Spp_core.Instance.Release.rect = rect 0 1 2 1 1; release = q 3 2 } ]
+  in
+  (match Online.arrivals_of_release inst with
+   | [ a ] ->
+     Alcotest.(check int) "columns" 2 a.Online.columns;
+     Alcotest.(check string) "release" "3/2" (Q.to_string a.Online.release)
+   | _ -> Alcotest.fail "one arrival")
+
+let prop_online_schedules_clean =
+  QCheck.Test.make ~name:"online schedules execute cleanly and respect releases" ~count:100
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Spp_util.Prng.create seed in
+      let inst =
+        Spp_workloads.Generators.random_release rng ~n:20 ~k:4 ~h_den:4 ~r_den:2 ~load:1.5
+      in
+      let arrivals = Online.arrivals_of_release inst in
+      let release id = Spp_core.Instance.Release.release inst id in
+      List.for_all
+        (fun policy ->
+          let sched = Online.schedule (Device.make ~columns:4 ()) policy arrivals in
+          (Sim.run ~release sched).Sim.violations = [])
+        [ `Earliest; `Leftmost ])
+
+let prop_busy_accounting =
+  (* Conservation: per-column busy time summed over the device equals the
+     total column-area of the tasks (cols x duration), and utilisation is
+     exactly that over K x makespan. *)
+  QCheck.Test.make ~name:"simulator busy time equals task column-area" ~count:100
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Spp_util.Prng.create seed in
+      let inst =
+        Spp_workloads.Generators.random_release rng ~n:15 ~k:4 ~h_den:4 ~r_den:2 ~load:1.0
+      in
+      let dev = Device.make ~columns:4 () in
+      let sched =
+        Spp_fpga.Online.schedule dev `Earliest (Spp_fpga.Online.arrivals_of_release inst)
+      in
+      let rep = Sim.run sched in
+      let total_busy = Array.fold_left Q.add Q.zero rep.Sim.busy in
+      let task_area =
+        List.fold_left
+          (fun acc (t : Schedule.task) ->
+            Q.add acc (Q.mul_int t.Schedule.duration t.Schedule.col_count))
+          Q.zero sched.Schedule.tasks
+      in
+      Q.equal total_busy task_area
+      && Float.abs
+           (rep.Sim.utilisation
+           -. (Q.to_float total_busy /. (4.0 *. Q.to_float rep.Sim.makespan)))
+         < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline: packed placements execute cleanly on the device *)
+
+let prop_packed_placements_execute =
+  (* Any valid column-quantised packing from DC converts and simulates with
+     zero violations — the end-to-end bridge the paper's motivation needs. *)
+  QCheck.Test.make ~name:"DC packing -> schedule -> simulation is clean" ~count:75
+    (QCheck.make
+       ~print:(fun (inst : Spp_core.Instance.Prec.t) ->
+         Printf.sprintf "n=%d" (Spp_core.Instance.Prec.size inst))
+       QCheck.Gen.(
+         let* n = int_range 1 15 in
+         let* specs = list_repeat n (pair (int_range 1 4) (int_range 1 4)) in
+         let rects =
+           List.mapi (fun i (wn, hn) -> Rect.make ~id:i ~w:(q wn 4) ~h:(q hn 2)) specs
+         in
+         let all = List.concat (List.init n (fun i -> List.init i (fun j -> (j, i)))) in
+         let* keep =
+           list_repeat (List.length all) (frequency [ (3, return false); (1, return true) ])
+         in
+         let edges = List.filteri (fun idx _ -> List.nth keep idx) all in
+         return
+           (Spp_core.Instance.Prec.make rects
+              (Dag.of_edges ~nodes:(List.map (fun (r : Rect.t) -> r.Rect.id) rects) ~edges))))
+    (fun inst ->
+      let p, _ = Spp_core.Dc.pack inst in
+      (* DC + NFDH keep x on the 1/4 grid because all widths are on it. *)
+      let sched = Schedule.of_placement ~device:(dev4 ()) p in
+      let rep = Sim.run ~dag:inst.dag sched in
+      rep.Sim.violations = []
+      && Q.equal rep.Sim.makespan (Placement.height p))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "spp_fpga"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "device validation" `Quick test_device_validation;
+          Alcotest.test_case "exact conversion" `Quick test_of_placement_exact;
+          Alcotest.test_case "rejects misaligned" `Quick test_of_placement_rejects_misaligned;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_placement;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "clean run" `Quick test_sim_clean_run;
+          Alcotest.test_case "detects conflict" `Quick test_sim_detects_conflict;
+          Alcotest.test_case "touching intervals ok" `Quick test_sim_touching_intervals_ok;
+          Alcotest.test_case "reconfig delay" `Quick test_sim_reconfig_delay;
+          Alcotest.test_case "precedence and release" `Quick test_sim_precedence_and_release;
+          Alcotest.test_case "serial reconfig port" `Quick test_sim_serial_reconfig_port;
+          Alcotest.test_case "gantt" `Quick test_gantt_renders;
+        ] );
+      ( "online",
+        Alcotest.test_case "parallel when free" `Quick test_online_parallel_when_free
+        :: Alcotest.test_case "waits for columns" `Quick test_online_waits_for_columns
+        :: Alcotest.test_case "respects release" `Quick test_online_respects_release
+        :: Alcotest.test_case "leftmost vs earliest" `Quick test_online_leftmost_vs_earliest
+        :: Alcotest.test_case "waiting times" `Quick test_waiting_times
+        :: Alcotest.test_case "guards" `Quick test_online_guards
+        :: Alcotest.test_case "arrivals conversion" `Quick test_arrivals_of_release
+        :: qt [ prop_online_schedules_clean ] );
+      ("accounting", qt [ prop_busy_accounting ]);
+      ("pipeline", qt [ prop_packed_placements_execute ]);
+    ]

@@ -1,0 +1,70 @@
+(* Golden regression tests over the checked-in instance dataset (data/):
+   every file parses, packs, validates, and reproduces the exact recorded
+   height — guarding simultaneously against parser drift, generator drift,
+   and algorithm drift. Heights are exact rationals, so equality is exact. *)
+
+module Q = Spp_num.Rat
+module Placement = Spp_geom.Placement
+module I = Spp_core.Instance
+module Io = Spp_core.Io
+
+let data name = Filename.concat "../data" name
+
+let load name =
+  match Io.read_file (data name) with
+  | parsed -> parsed
+  | exception Sys_error _ ->
+    (* Running from another cwd (e.g. dune exec from the root). *)
+    Io.read_file (Filename.concat "data" name)
+
+let prec_case name expected_dc_height () =
+  match load name with
+  | Io.Prec inst ->
+    let p, _ = Spp_core.Dc.pack inst in
+    Alcotest.(check (list string)) "valid" []
+      (List.map (Format.asprintf "%a" Spp_core.Validate.pp_violation)
+         (Spp_core.Validate.check_prec inst p));
+    Alcotest.(check string) "DC height" expected_dc_height (Q.to_string (Placement.height p))
+  | Io.Release _ -> Alcotest.fail "expected a precedence instance"
+
+let test_release14 () =
+  match load "release14.spp" with
+  | Io.Release inst ->
+    let res = Spp_core.Aptas.solve ~epsilon:Q.one inst in
+    Alcotest.(check (list string)) "valid" []
+      (List.map (Format.asprintf "%a" Spp_core.Validate.pp_violation)
+         (Spp_core.Validate.check_release inst res.Spp_core.Aptas.placement));
+    Alcotest.(check string) "APTAS height" "39/4" (Q.to_string res.Spp_core.Aptas.height);
+    Alcotest.(check string) "fractional" "19/2"
+      (Q.to_string res.Spp_core.Aptas.fractional_height);
+    Alcotest.(check string) "lower bound" "15/2" (Q.to_string res.Spp_core.Aptas.lower_bound)
+  | Io.Prec _ -> Alcotest.fail "expected a release instance"
+
+let test_dataset_inventory () =
+  (* Sizes recorded so accidental dataset edits are caught loudly. *)
+  let size name =
+    match load name with
+    | Io.Prec inst -> I.Prec.size inst
+    | Io.Release inst -> I.Release.size inst
+  in
+  Alcotest.(check int) "jpeg4" 15 (size "jpeg4.spp");
+  Alcotest.(check int) "packet6" 19 (size "packet6.spp");
+  Alcotest.(check int) "fig1_k4" 30 (size "fig1_k4.spp");
+  Alcotest.(check int) "fig2_k3" 9 (size "fig2_k3.spp");
+  Alcotest.(check int) "random24" 24 (size "random24.spp");
+  Alcotest.(check int) "release14" 14 (size "release14.spp")
+
+let () =
+  Alcotest.run "spp_golden"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "inventory" `Quick test_dataset_inventory;
+          Alcotest.test_case "jpeg4 DC" `Quick (prec_case "jpeg4.spp" "5");
+          Alcotest.test_case "packet6 DC" `Quick (prec_case "packet6.spp" "2");
+          Alcotest.test_case "fig1_k4 DC" `Quick (prec_case "fig1_k4.spp" "603/200");
+          Alcotest.test_case "fig2_k3 DC" `Quick (prec_case "fig2_k3.spp" "9");
+          Alcotest.test_case "random24 DC" `Quick (prec_case "random24.spp" "47/2");
+          Alcotest.test_case "release14 APTAS" `Quick test_release14;
+        ] );
+    ]

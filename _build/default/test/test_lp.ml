@@ -1,0 +1,331 @@
+(* Tests for Spp_lp: model construction, exact simplex on hand-solved LPs,
+   degenerate/infeasible/unbounded cases, basicness of the optimum, and
+   exact-vs-float agreement on random feasible LPs. *)
+
+module Q = Spp_num.Rat
+module Model = Spp_lp.Model
+module Simplex = Spp_lp.Simplex
+
+let q = Q.of_ints
+let qi = Q.of_int
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+let solve_exact m =
+  match Simplex.Exact.solve m with
+  | Simplex.Optimal { objective; solution; _ } -> (objective, solution)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* Model *)
+
+let test_model_building () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Alcotest.(check int) "two vars" 2 (Model.num_vars m);
+  Alcotest.(check string) "name x" "x" (Model.var_name m x);
+  Alcotest.(check string) "name y" "y" (Model.var_name m y);
+  Model.add_constraint m ~name:"c1" [ (x, qi 1); (y, qi 2) ] Model.Le (qi 10);
+  Alcotest.(check int) "one constraint" 1 (Model.num_constraints m);
+  Alcotest.check_raises "undeclared var"
+    (Invalid_argument "Model: undeclared variable in terms") (fun () ->
+      Model.add_constraint m ~name:"bad" [ (5, qi 1) ] Model.Le Q.one)
+
+let test_model_feasibility_check () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Model.add_constraint m ~name:"c1" [ (x, qi 1); (y, qi 1) ] Model.Le (qi 4);
+  Model.add_constraint m ~name:"c2" [ (x, qi 1) ] Model.Ge (qi 1);
+  Alcotest.(check bool) "feasible point" true (Model.is_feasible m [| qi 2; qi 1 |]);
+  Alcotest.(check bool) "violates c1" false (Model.is_feasible m [| qi 3; qi 2 |]);
+  Alcotest.(check bool) "violates c2" false (Model.is_feasible m [| qi 0; qi 1 |]);
+  Alcotest.(check bool) "negative var" false (Model.is_feasible m [| qi 2; Q.minus_one |])
+
+(* ------------------------------------------------------------------ *)
+(* Exact simplex on hand-checked LPs *)
+
+(* min -x - y  s.t.  x + 2y <= 4,  3x + y <= 6  =>  optimum at (8/5, 6/5),
+   objective -14/5. *)
+let test_simplex_textbook () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Model.set_objective m [ (x, qi (-1)); (y, qi (-1)) ];
+  Model.add_constraint m ~name:"c1" [ (x, qi 1); (y, qi 2) ] Model.Le (qi 4);
+  Model.add_constraint m ~name:"c2" [ (x, qi 3); (y, qi 1) ] Model.Le (qi 6);
+  let obj, sol = solve_exact m in
+  check_q "objective" (q (-14) 5) obj;
+  check_q "x" (q 8 5) sol.(x);
+  check_q "y" (q 6 5) sol.(y)
+
+(* Requires phase 1: min x + y s.t. x + y >= 3, x <= 2 => opt 3 (e.g. x=2,y=1). *)
+let test_simplex_phase1 () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Model.set_objective m [ (x, qi 1); (y, qi 1) ];
+  Model.add_constraint m ~name:"cover" [ (x, qi 1); (y, qi 1) ] Model.Ge (qi 3);
+  Model.add_constraint m ~name:"cap" [ (x, qi 1) ] Model.Le (qi 2);
+  let obj, sol = solve_exact m in
+  check_q "objective" (qi 3) obj;
+  Alcotest.(check bool) "solution feasible" true (Model.is_feasible m sol)
+
+let test_simplex_equality () =
+  (* min 2x + 3y s.t. x + y = 5, x - y = 1 => unique point (3,2), obj 12. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Model.set_objective m [ (x, qi 2); (y, qi 3) ];
+  Model.add_constraint m ~name:"e1" [ (x, qi 1); (y, qi 1) ] Model.Eq (qi 5);
+  Model.add_constraint m ~name:"e2" [ (x, qi 1); (y, qi (-1)) ] Model.Eq (qi 1);
+  let obj, sol = solve_exact m in
+  check_q "objective" (qi 12) obj;
+  check_q "x" (qi 3) sol.(x);
+  check_q "y" (qi 2) sol.(y)
+
+let test_simplex_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  Model.set_objective m [ (x, qi 1) ];
+  Model.add_constraint m ~name:"hi" [ (x, qi 1) ] Model.Ge (qi 5);
+  Model.add_constraint m ~name:"lo" [ (x, qi 1) ] Model.Le (qi 2);
+  (match Simplex.Exact.solve m with
+   | Simplex.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_simplex_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Model.set_objective m [ (x, qi (-1)) ];
+  Model.add_constraint m ~name:"c" [ (x, qi 1); (y, qi (-1)) ] Model.Le (qi 1);
+  (match Simplex.Exact.solve m with
+   | Simplex.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded")
+
+let test_simplex_negative_rhs () =
+  (* Constraint with negative rhs exercises row normalisation:
+     -x <= -2  <=>  x >= 2. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  Model.set_objective m [ (x, qi 1) ];
+  Model.add_constraint m ~name:"c" [ (x, qi (-1)) ] Model.Le (qi (-2)) ;
+  let obj, sol = solve_exact m in
+  check_q "objective" (qi 2) obj;
+  check_q "x" (qi 2) sol.(x)
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex at origin with redundant constraints; Bland's rule
+     must still terminate. min -x s.t. x <= 0 (twice), x + y <= 2. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Model.set_objective m [ (x, qi (-1)); (y, qi 0) ];
+  Model.add_constraint m ~name:"z1" [ (x, qi 1) ] Model.Le (qi 0);
+  Model.add_constraint m ~name:"z2" [ (x, qi 2) ] Model.Le (qi 0);
+  Model.add_constraint m ~name:"c" [ (x, qi 1); (y, qi 1) ] Model.Le (qi 2);
+  let obj, _sol = solve_exact m in
+  check_q "objective" (qi 0) obj
+
+let test_simplex_redundant_equalities () =
+  (* Linearly dependent equalities: x + y = 2 duplicated. Phase 1 must drop
+     the redundant row rather than loop. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Model.set_objective m [ (x, qi 1); (y, qi 2) ];
+  Model.add_constraint m ~name:"e1" [ (x, qi 1); (y, qi 1) ] Model.Eq (qi 2);
+  Model.add_constraint m ~name:"e2" [ (x, qi 2); (y, qi 2) ] Model.Eq (qi 4);
+  let obj, sol = solve_exact m in
+  check_q "objective" (qi 2) obj;
+  check_q "x" (qi 2) sol.(x);
+  check_q "y" (qi 0) sol.(y)
+
+let test_simplex_fractional_data () =
+  (* Fractional coefficients: min x s.t. (2/3)x >= 5/7 => x = 15/14. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  Model.set_objective m [ (x, qi 1) ];
+  Model.add_constraint m ~name:"c" [ (x, q 2 3) ] Model.Ge (q 5 7);
+  let obj, _ = solve_exact m in
+  check_q "objective" (q 15 14) obj
+
+let test_simplex_beale_cycling () =
+  (* Beale's classic example that cycles under Dantzig's rule; Bland's rule
+     must terminate at optimum -1/20 (x1=1/25... known optimum z = -1/20). *)
+  let m = Model.create () in
+  let x1 = Model.add_var m ~name:"x1" in
+  let x2 = Model.add_var m ~name:"x2" in
+  let x3 = Model.add_var m ~name:"x3" in
+  let x4 = Model.add_var m ~name:"x4" in
+  Model.set_objective m [ (x1, q (-3) 4); (x2, qi 150); (x3, q (-1) 50); (x4, qi 6) ];
+  Model.add_constraint m ~name:"r1"
+    [ (x1, q 1 4); (x2, qi (-60)); (x3, q (-1) 25); (x4, qi 9) ] Model.Le (qi 0);
+  Model.add_constraint m ~name:"r2"
+    [ (x1, q 1 2); (x2, qi (-90)); (x3, q (-1) 50); (x4, qi 3) ] Model.Le (qi 0);
+  Model.add_constraint m ~name:"r3" [ (x3, qi 1) ] Model.Le (qi 1);
+  let obj, sol = solve_exact m in
+  check_q "Beale optimum" (q (-1) 20) obj;
+  Alcotest.(check bool) "feasible" true (Model.is_feasible m sol)
+
+let test_simplex_zero_objective () =
+  (* Pure feasibility problem. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  Model.add_constraint m ~name:"c" [ (x, qi 1) ] Model.Ge (qi 3);
+  let obj, sol = solve_exact m in
+  check_q "objective" (qi 0) obj;
+  Alcotest.(check bool) "feasible" true (Model.is_feasible m sol)
+
+let test_simplex_duals_textbook () =
+  (* min -x - y s.t. x + 2y <= 4, 3x + y <= 6: both constraints tight at the
+     optimum; duals solve y1 + 3y2 = -1, 2y1 + y2 = -1 => y1 = -2/5,
+     y2 = -1/5; strong duality: y·b = -8/5 - 6/5 = -14/5 = objective. *)
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_var m ~name:"y" in
+  Model.set_objective m [ (x, qi (-1)); (y, qi (-1)) ];
+  Model.add_constraint m ~name:"c1" [ (x, qi 1); (y, qi 2) ] Model.Le (qi 4);
+  Model.add_constraint m ~name:"c2" [ (x, qi 3); (y, qi 1) ] Model.Le (qi 6);
+  (match Simplex.Exact.solve m with
+   | Simplex.Optimal { objective; duals; _ } ->
+     check_q "dual c1" (q (-2) 5) duals.(0);
+     check_q "dual c2" (q (-1) 5) duals.(1);
+     let yb = Q.add (Q.mul duals.(0) (qi 4)) (Q.mul duals.(1) (qi 6)) in
+     check_q "strong duality" (Q.to_string objective |> Q.of_string) yb
+   | _ -> Alcotest.fail "expected optimal")
+
+let prop_strong_duality =
+  (* On random bounded LPs: objective = Σ y_i b_i (strong duality over the
+     exact field) — a complete certificate that the dual extraction is
+     right. *)
+  QCheck.Test.make ~name:"strong duality: objective = y·b" ~count:200
+    (QCheck.make ~print:(fun _ -> "lp")
+       QCheck.Gen.(
+         let* n = int_range 1 4 in
+         let* nrows = int_range 1 4 in
+         let* rows = list_repeat nrows (pair (list_repeat n (int_range 0 5)) (int_range 1 20)) in
+         let* costs = list_repeat n (int_range (-5) 5) in
+         return (n, rows, costs)))
+    (fun (n, rows, costs) ->
+      let m = Model.create () in
+      let vars = List.init n (fun i -> Model.add_var m ~name:(Printf.sprintf "x%d" i)) in
+      Model.set_objective m (List.map2 (fun v c -> (v, qi c)) vars costs);
+      List.iteri
+        (fun i (coeffs, rhs) ->
+          Model.add_constraint m ~name:(Printf.sprintf "c%d" i)
+            (List.map2 (fun v a -> (v, qi a)) vars coeffs)
+            Model.Le (qi rhs))
+        rows;
+      List.iter (fun v -> Model.add_constraint m ~name:"box" [ (v, qi 1) ] Model.Le (qi 50)) vars;
+      match Simplex.Exact.solve m with
+      | Simplex.Optimal { objective; duals; _ } ->
+        let rhs_list = List.map (fun (_, rhs) -> qi rhs) rows @ List.map (fun _ -> qi 50) vars in
+        let yb =
+          List.fold_left2 (fun acc y b -> Q.add acc (Q.mul y b)) Q.zero
+            (Array.to_list duals) rhs_list
+        in
+        Q.equal objective yb
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties on random LPs *)
+
+(* Random LPs constructed to be feasible by design: constraints are
+   Σ a_ij x_j <= b_i with a, b >= 0 (x = 0 feasible), objective pushes some
+   variables up via negative costs, bounded by the box rows we add. *)
+let random_bounded_lp_gen =
+  QCheck.make
+    ~print:(fun (n, rows, costs) ->
+      Printf.sprintf "n=%d rows=%d costs=%s" n (List.length rows)
+        (String.concat "," (List.map string_of_int costs)))
+    QCheck.Gen.(
+      let* n = int_range 1 5 in
+      let* nrows = int_range 1 5 in
+      let* rows =
+        list_repeat nrows
+          (pair (list_repeat n (int_range 0 5)) (int_range 1 20))
+      in
+      let* costs = list_repeat n (int_range (-5) 5) in
+      return (n, rows, costs))
+
+let build_lp (n, rows, costs) =
+  let m = Model.create () in
+  let vars = List.init n (fun i -> Model.add_var m ~name:(Printf.sprintf "x%d" i)) in
+  Model.set_objective m (List.map2 (fun v c -> (v, qi c)) vars costs);
+  List.iteri
+    (fun i (coeffs, rhs) ->
+      Model.add_constraint m ~name:(Printf.sprintf "c%d" i)
+        (List.map2 (fun v a -> (v, qi a)) vars coeffs)
+        Model.Le (qi rhs))
+    rows;
+  (* Box: x_j <= 50 keeps every instance bounded. *)
+  List.iter (fun v -> Model.add_constraint m ~name:"box" [ (v, qi 1) ] Model.Le (qi 50)) vars;
+  m
+
+let prop_optimum_feasible_and_basic =
+  QCheck.Test.make ~name:"exact optimum is feasible and basic" ~count:200 random_bounded_lp_gen
+    (fun spec ->
+      let m = build_lp spec in
+      match Simplex.Exact.solve m with
+      | Simplex.Optimal { objective; solution; _ } ->
+        let nonzeros = Array.fold_left (fun acc x -> if Q.is_zero x then acc else acc + 1) 0 solution in
+        Model.is_feasible m solution
+        && nonzeros <= Model.num_constraints m
+        && Q.equal objective (Model.eval_terms (Model.objective m) solution)
+      | Simplex.Infeasible | Simplex.Unbounded -> false)
+
+let prop_exact_matches_float =
+  QCheck.Test.make ~name:"exact and float objectives agree" ~count:200 random_bounded_lp_gen
+    (fun spec ->
+      let m = build_lp spec in
+      match (Simplex.Exact.solve m, Simplex.Approx.solve m) with
+      | Simplex.Optimal { objective = oe; _ }, Simplex.Optimal { objective = of_; _ } ->
+        Float.abs (Q.to_float oe -. of_) < 1e-6 *. (1.0 +. Float.abs of_)
+      | Simplex.Infeasible, Simplex.Infeasible | Simplex.Unbounded, Simplex.Unbounded -> true
+      | _ -> false)
+
+let prop_optimum_no_better_feasible_corner =
+  (* The optimum must not beat any sampled feasible point. *)
+  QCheck.Test.make ~name:"optimum dominates sampled feasible points" ~count:100
+    random_bounded_lp_gen (fun spec ->
+      let m = build_lp spec in
+      match Simplex.Exact.solve m with
+      | Simplex.Optimal { objective; _ } ->
+        (* x = 0 is feasible by construction; objective(0) = 0 >= optimum. *)
+        Q.compare objective Q.zero <= 0
+        || Q.is_zero objective
+      | _ -> false)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "spp_lp"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "building" `Quick test_model_building;
+          Alcotest.test_case "feasibility check" `Quick test_model_feasibility_check;
+        ] );
+      ( "simplex-unit",
+        [
+          Alcotest.test_case "textbook LP" `Quick test_simplex_textbook;
+          Alcotest.test_case "phase-1 LP" `Quick test_simplex_phase1;
+          Alcotest.test_case "equality constraints" `Quick test_simplex_equality;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "redundant equalities" `Quick test_simplex_redundant_equalities;
+          Alcotest.test_case "fractional data" `Quick test_simplex_fractional_data;
+          Alcotest.test_case "Beale anti-cycling" `Quick test_simplex_beale_cycling;
+          Alcotest.test_case "zero objective" `Quick test_simplex_zero_objective;
+          Alcotest.test_case "duals (textbook)" `Quick test_simplex_duals_textbook;
+        ] );
+      ( "simplex-props",
+        qt [ prop_optimum_feasible_and_basic; prop_exact_matches_float;
+             prop_optimum_no_better_feasible_corner; prop_strong_duality ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for Spp_util: PRNG determinism and distribution sanity, heap
+   ordering laws, statistics, and table rendering. *)
+
+module Prng = Spp_util.Prng
+module Heap = Spp_util.Heap
+module Stats = Spp_util.Stats
+module Table = Spp_util.Table
+
+(* ------------------------------------------------------------------ *)
+(* PRNG *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_prng_int_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_prng_int_in () =
+  let t = Prng.create 9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in t 3 7 in
+    if v < 3 || v > 7 then Alcotest.fail "out of range";
+    seen.(v - 3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_uniformity () =
+  (* Sanity: 10 buckets over 100k draws each within 20% of expectation. *)
+  let t = Prng.create 1234 in
+  let buckets = Array.make 10 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let v = Prng.int t 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = draws / 10 in
+      if abs (c - expected) > expected / 5 then Alcotest.fail "bucket far from uniform")
+    buckets
+
+let test_prng_float_range () =
+  let t = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float t 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of range"
+  done
+
+let test_prng_exponential_mean () =
+  let t = Prng.create 77 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential t ~rate:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check (float 0.02)) "mean ~ 1/rate" 0.5 mean
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_split_independent () =
+  let t = Prng.create 11 in
+  let child = Prng.split t in
+  (* Drawing from the child must not perturb the parent's future stream. *)
+  let t2 = Prng.create 11 in
+  let _child2 = Prng.split t2 in
+  ignore (Prng.bits64 child);
+  Alcotest.(check int64) "parent unaffected by child draws" (Prng.bits64 t2) (Prng.bits64 t)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "length" 6 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "drain sorted" [ 1; 2; 3; 5; 8; 9 ]
+    (List.init 6 (fun _ -> Heap.pop_exn h));
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn empty" Not_found (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_of_list () =
+  let h = Heap.of_list ~cmp:compare [ 4; 2; 7; 1 ] in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 4; 7 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "to_sorted_list non-destructive" 4 (Heap.length h)
+
+let test_heap_custom_order () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Heap.push h) [ 5; 3; 8 ];
+  Alcotest.(check (option int)) "max-heap" (Some 8) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:300
+    (QCheck.list QCheck.small_int) (fun xs ->
+      let h = Heap.of_list ~cmp:compare xs in
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_heap_push_pop_min =
+  QCheck.Test.make ~name:"pop always yields current minimum" ~count:200
+    (QCheck.list QCheck.small_int) (fun xs ->
+      QCheck.assume (xs <> []);
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      match Heap.pop h with
+      | Some m -> m = List.fold_left min max_int xs
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.0) (Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean []))
+
+let test_stats_median_quantile () =
+  Alcotest.(check (float 1e-9)) "odd median" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "even median" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "q0" 1.0 (Stats.quantile 0.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "q1" 3.0 (Stats.quantile 1.0 [ 3.0; 1.0; 2.0 ])
+
+let test_stats_geometric_mean () =
+  Alcotest.(check (float 1e-9)) "gm" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "nonpositive" (Invalid_argument "Stats.geometric_mean: nonpositive sample")
+    (fun () -> ignore (Stats.geometric_mean [ 1.0; 0.0 ]))
+
+let test_stats_linear_fit () =
+  let slope, intercept = Stats.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
+  Alcotest.(check (float 1e-9)) "min" (-1.0) lo;
+  Alcotest.(check (float 1e-9)) "max" 7.0 hi
+
+(* ------------------------------------------------------------------ *)
+(* Parallel *)
+
+module Parallel = Spp_util.Parallel
+
+let test_parallel_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "order preserved" (List.map f xs) (Parallel.map ~workers:4 f xs);
+  Alcotest.(check (list int)) "single worker" (List.map f xs) (Parallel.map ~workers:1 f xs);
+  Alcotest.(check (list int)) "empty" [] (Parallel.map f ([] : int list));
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Parallel.map f [ 1 ])
+
+let test_parallel_propagates_exception () =
+  Alcotest.check_raises "worker exception surfaces" (Failure "boom") (fun () ->
+      ignore (Parallel.map ~workers:4 (fun x -> if x = 37 then failwith "boom" else x)
+                (List.init 100 Fun.id)))
+
+let test_parallel_real_workload () =
+  (* Actual domain-parallel packing: results identical to sequential. *)
+  let seeds = List.init 12 Fun.id in
+  let pack seed =
+    let rng = Prng.create seed in
+    let w = 1 + (seed mod 8) in
+    ignore rng;
+    w * 2
+  in
+  Alcotest.(check (list int)) "parallel = sequential" (List.map pack seeds)
+    (Parallel.map ~workers:3 pack seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Table.create ~columns:[ "n"; "height"; "ratio" ] in
+  Table.add_row t [ "16"; "3.5"; "1.2" ];
+  Table.add_row t [ "256"; "10.25" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "header present" true
+    (String.length out > 0 && String.sub out 0 1 = "n");
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "line count" 4 (List.length lines)
+
+let test_table_too_many_cells () =
+  let t = Table.create ~columns:[ "a" ] in
+  Alcotest.check_raises "overflow row" (Invalid_argument "Table.add_row: more cells than columns")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "spp_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_in hits range" `Quick test_prng_int_in;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+        ] );
+      ( "heap",
+        Alcotest.test_case "basic" `Quick test_heap_basic
+        :: Alcotest.test_case "pop empty" `Quick test_heap_pop_empty
+        :: Alcotest.test_case "of_list" `Quick test_heap_of_list
+        :: Alcotest.test_case "custom order" `Quick test_heap_custom_order
+        :: q [ prop_heap_sorts; prop_heap_push_pop_min ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "median/quantile" `Quick test_stats_median_quantile;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "min/max" `Quick test_stats_min_max;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "exception propagation" `Quick test_parallel_propagates_exception;
+          Alcotest.test_case "real workload" `Quick test_parallel_real_workload;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+        ] );
+    ]

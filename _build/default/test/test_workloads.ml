@@ -1,0 +1,251 @@
+(* Tests for Spp_workloads: the Figure 1 / Figure 2 adversarial families
+   (sizes, bounds, and the properties Lemmas 2.4 / 2.7 assert) and the
+   random/domain generators (shape, determinism, constraint compliance). *)
+
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Dag = Spp_dag.Dag
+module Prng = Spp_util.Prng
+module I = Spp_core.Instance
+module LB = Spp_core.Lower_bounds
+module Adversarial = Spp_workloads.Adversarial
+module Generators = Spp_workloads.Generators
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 (Lemma 2.4) *)
+
+let test_fig1_size_and_bounds () =
+  let k = 4 in
+  let inst = Adversarial.fig1 ~k ~eps_den:1000 in
+  (* n = 2^{k+1} - 2. *)
+  Alcotest.(check int) "n" ((1 lsl (k + 1)) - 2) (I.Prec.size inst);
+  let area, f = Adversarial.fig1_bounds inst in
+  (* Tall area alone is exactly 1; slivers add O(n*eps). *)
+  Alcotest.(check bool) "area close to 1" true
+    (Q.compare area Q.one >= 0 && Q.to_float area < 1.2);
+  (* Critical path: one tall rect per chain is on the path plus slivers. *)
+  Alcotest.(check bool) "F close to 1" true (Q.to_float f < 1.2 && Q.to_float f >= 1.0)
+
+let test_fig1_chain_structure () =
+  let inst = Adversarial.fig1 ~k:3 ~eps_den:1000 in
+  (* Tall rects have width 1/3; slivers width 1. *)
+  let talls, wides =
+    List.partition (fun (r : Rect.t) -> Q.compare r.Rect.w Q.one < 0) inst.rects
+  in
+  Alcotest.(check int) "tall count" 7 (List.length talls);
+  Alcotest.(check int) "wide count" 7 (List.length wides);
+  List.iter
+    (fun (r : Rect.t) ->
+      Alcotest.(check string) "tall width" "1/3" (Q.to_string r.Rect.w))
+    talls
+
+let test_fig1_forces_log_height () =
+  (* The whole point of the family: every algorithm (here DC) needs height
+     >= k/2 while both lower bounds stay near 1 — the measured gap grows
+     with log n. *)
+  let ratio k =
+    let inst = Adversarial.fig1 ~k ~eps_den:10000 in
+    let h = Q.to_float (Spp_core.Dc.height inst) in
+    let lb = Q.to_float (LB.prec inst) in
+    h /. lb
+  in
+  let r3 = ratio 3 and r6 = ratio 6 in
+  Alcotest.(check bool) "ratio grows with k" true (r6 > r3 +. 0.5);
+  Alcotest.(check bool) "ratio at k=6 exceeds k/2 - 1" true (r6 >= 2.0)
+
+let prop_fig1_valid_instances =
+  QCheck.Test.make ~name:"fig1 instances well-formed and DC-packable" ~count:6
+    (QCheck.int_range 1 6) (fun k ->
+      let inst = Adversarial.fig1 ~k ~eps_den:100 in
+      let p, _ = Spp_core.Dc.pack inst in
+      Spp_core.Validate.check_prec inst p = [])
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 (Lemma 2.7) *)
+
+let test_fig2_exact_lemma_values () =
+  let k = 5 in
+  let eps_den = 100 in
+  let inst = Adversarial.fig2 ~k ~eps_den in
+  let n = 3 * k in
+  Alcotest.(check int) "n = 3k" n (I.Prec.size inst);
+  (* Lemma 2.7: AREA = n/3 + n*eps, max F = n/3 + 1. *)
+  let area = LB.area inst in
+  let expected_area = Q.add (Q.of_ints n 3) (Q.of_ints n eps_den) in
+  Alcotest.(check string) "AREA = n/3 + n*eps" (Q.to_string expected_area) (Q.to_string area);
+  let f = LB.critical_path inst in
+  Alcotest.(check string) "F = n/3 + 1" (Q.to_string (Q.add (Q.of_ints n 3) Q.one))
+    (Q.to_string f)
+
+let test_fig2_opt_is_n () =
+  (* Wide rects cannot share a shelf (w > 1/2) and precede the narrow chain:
+     OPT = n. The exact DP confirms on small k. *)
+  let k = 2 in
+  let inst = Adversarial.fig2 ~k ~eps_den:16 in
+  Alcotest.(check string) "OPT = 3k" (string_of_int (3 * k))
+    (Q.to_string (Spp_exact.Prec_binpack.min_height inst));
+  (* Ratio against the best simple lower bound approaches 3 as k grows. *)
+  let inst8 = Adversarial.fig2 ~k:8 ~eps_den:1000 in
+  let opt = 3.0 *. 8.0 in
+  let lb = Q.to_float (LB.prec inst8) in
+  Alcotest.(check bool) "ratio > 2.5" true (opt /. lb > 2.5)
+
+let prop_fig2_algorithm_f_achieves_opt =
+  (* On this family the next-fit algorithm is forced into the serial
+     packing, which equals OPT: ratio 1 against true OPT but ~3 against the
+     simple bounds — exactly the Lemma 2.7 message. *)
+  QCheck.Test.make ~name:"fig2: algorithm F matches forced OPT" ~count:6 (QCheck.int_range 1 6)
+    (fun k ->
+      let inst = Adversarial.fig2 ~k ~eps_den:64 in
+      let p, _ = Spp_core.Uniform.next_fit_shelf inst in
+      Spp_core.Validate.check_prec inst p = []
+      && Q.equal (Spp_geom.Placement.height p) (Q.of_int (3 * k)))
+
+(* ------------------------------------------------------------------ *)
+(* Random generators *)
+
+let test_generators_deterministic () =
+  let gen seed = Generators.random_prec (Prng.create seed) ~n:20 ~k:8 ~h_den:4 ~shape:`Layered in
+  let a = gen 5 and b = gen 5 and c = gen 6 in
+  let sig_of (i : I.Prec.t) =
+    String.concat ";"
+      (List.map (fun (r : Rect.t) -> Q.to_string r.Rect.w ^ "x" ^ Q.to_string r.Rect.h) i.rects)
+    ^ "|" ^ String.concat "," (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) (Dag.edges i.dag))
+  in
+  Alcotest.(check string) "same seed, same instance" (sig_of a) (sig_of b);
+  Alcotest.(check bool) "different seed differs" true (sig_of a <> sig_of c)
+
+let test_generator_shapes () =
+  let rng = Prng.create 1 in
+  let chain = Generators.random_prec rng ~n:6 ~k:4 ~h_den:4 ~shape:`Chain in
+  Alcotest.(check int) "chain edges" 5 (Dag.num_edges chain.dag);
+  Alcotest.(check int) "chain path" 6 (Dag.longest_path_length chain.dag);
+  let ind = Generators.random_prec rng ~n:6 ~k:4 ~h_den:4 ~shape:`Independent in
+  Alcotest.(check int) "independent edges" 0 (Dag.num_edges ind.dag);
+  let fj = Generators.random_prec rng ~n:6 ~k:4 ~h_den:4 ~shape:`Fork_join in
+  Alcotest.(check int) "fork-join edges" 8 (Dag.num_edges fj.dag);
+  Alcotest.(check int) "fork-join path" 3 (Dag.longest_path_length fj.dag)
+
+let prop_random_prec_well_formed =
+  QCheck.Test.make ~name:"random prec instances are packable" ~count:50
+    (QCheck.pair (QCheck.int_range 0 10_000) (QCheck.int_range 1 30)) (fun (seed, n) ->
+      let inst =
+        Generators.random_prec (Prng.create seed) ~n ~k:8 ~h_den:4 ~shape:`Series_parallel
+      in
+      let p, _ = Spp_core.Dc.pack inst in
+      Spp_core.Validate.check_prec inst p = [])
+
+let prop_random_release_constraints =
+  QCheck.Test.make ~name:"random release instances satisfy Section 3 assumptions" ~count:50
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let inst =
+        Generators.random_release (Prng.create seed) ~n:20 ~k:4 ~h_den:4 ~r_den:4 ~load:1.5
+      in
+      List.for_all
+        (fun (t : I.Release.task) ->
+          Q.compare t.rect.Rect.h Q.one <= 0
+          && Q.compare t.rect.Rect.w (Q.of_ints 1 4) >= 0
+          && Q.sign t.release >= 0)
+        inst.tasks
+      &&
+      (* Releases non-decreasing in id order (arrival process). *)
+      let rec mono = function
+        | (a : I.Release.task) :: (b :: _ as rest) ->
+          Q.compare a.release b.release <= 0 && mono rest
+        | _ -> true
+      in
+      mono inst.tasks)
+
+let test_bursty_release_shape () =
+  let rng = Prng.create 4 in
+  let inst =
+    Generators.bursty_release rng ~n:12 ~k:4 ~h_den:4 ~r_den:2 ~burst_len:4 ~idle_gap:3.0
+  in
+  (* Tasks within a burst share a release; bursts are separated. *)
+  let releases =
+    List.map (fun (t : I.Release.task) -> Q.to_string t.release) inst.tasks
+  in
+  let distinct = List.sort_uniq compare releases in
+  Alcotest.(check int) "three bursts" 3 (List.length distinct);
+  (* Each release value occurs exactly burst_len times. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "burst size" 4
+        (List.length (List.filter (( = ) r) releases)))
+    distinct;
+  Alcotest.check_raises "bad burst"
+    (Invalid_argument "Generators.bursty_release: burst_len must be >= 1") (fun () ->
+      ignore (Generators.bursty_release rng ~n:4 ~k:4 ~h_den:4 ~r_den:2 ~burst_len:0 ~idle_gap:1.0))
+
+let prop_bursty_schedulable =
+  QCheck.Test.make ~name:"bursty instances run through APTAS and online scheduler" ~count:20
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Prng.create seed in
+      let inst =
+        Generators.bursty_release rng ~n:12 ~k:2 ~h_den:4 ~r_den:2 ~burst_len:3 ~idle_gap:2.0
+      in
+      let res = Spp_core.Aptas.solve ~epsilon:Q.one inst in
+      let dev = Spp_fpga.Device.make ~columns:2 () in
+      let sched =
+        Spp_fpga.Online.schedule dev `Earliest (Spp_fpga.Online.arrivals_of_release inst)
+      in
+      let release id = I.Release.release inst id in
+      Spp_core.Validate.check_release inst res.Spp_core.Aptas.placement = []
+      && (Spp_fpga.Sim.run ~release sched).Spp_fpga.Sim.violations = [])
+
+(* ------------------------------------------------------------------ *)
+(* Domain pipelines *)
+
+let test_jpeg_pipeline_shape () =
+  let inst = Generators.jpeg_pipeline ~blocks:4 ~k:8 in
+  (* 3 shared stages + 3 per block. *)
+  Alcotest.(check int) "n" (3 + (3 * 4)) (I.Prec.size inst);
+  (* Colour conversion is the unique root; Huffman the unique sink. *)
+  Alcotest.(check int) "single root" 1 (List.length (Dag.roots inst.dag));
+  Alcotest.(check int) "single sink" 1 (List.length (Dag.sinks inst.dag));
+  (* Critical path: cc -> dct -> quant -> zig -> rle -> huff = 6 nodes. *)
+  Alcotest.(check int) "pipeline depth" 6 (Dag.longest_path_length inst.dag);
+  let p, _ = Spp_core.Dc.pack inst in
+  Alcotest.(check bool) "packable" true (Spp_core.Validate.check_prec inst p = [])
+
+let test_packet_pipeline_shape () =
+  let inst = Generators.packet_pipeline ~flows:5 ~k:8 in
+  Alcotest.(check int) "n" (1 + (3 * 5)) (I.Prec.size inst);
+  Alcotest.(check int) "depth" 4 (Dag.longest_path_length inst.dag);
+  Alcotest.(check int) "five roots" 5 (List.length (Dag.roots inst.dag));
+  let p, _ = Spp_core.Dc.pack inst in
+  Alcotest.(check bool) "packable" true (Spp_core.Validate.check_prec inst p = [])
+
+let test_pipeline_guards () =
+  Alcotest.check_raises "jpeg blocks" (Invalid_argument "Generators.jpeg_pipeline: blocks must be >= 1")
+    (fun () -> ignore (Generators.jpeg_pipeline ~blocks:0 ~k:8));
+  Alcotest.check_raises "jpeg k" (Invalid_argument "Generators.jpeg_pipeline: needs k >= 4")
+    (fun () -> ignore (Generators.jpeg_pipeline ~blocks:1 ~k:2))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "spp_workloads"
+    [
+      ( "figure-1",
+        Alcotest.test_case "size and bounds" `Quick test_fig1_size_and_bounds
+        :: Alcotest.test_case "chain structure" `Quick test_fig1_chain_structure
+        :: Alcotest.test_case "forces log height" `Quick test_fig1_forces_log_height
+        :: qt [ prop_fig1_valid_instances ] );
+      ( "figure-2",
+        Alcotest.test_case "lemma 2.7 values" `Quick test_fig2_exact_lemma_values
+        :: Alcotest.test_case "OPT = n" `Quick test_fig2_opt_is_n
+        :: qt [ prop_fig2_algorithm_f_achieves_opt ] );
+      ( "random",
+        Alcotest.test_case "deterministic" `Quick test_generators_deterministic
+        :: Alcotest.test_case "shapes" `Quick test_generator_shapes
+        :: Alcotest.test_case "bursty shape" `Quick test_bursty_release_shape
+        :: qt
+             [ prop_random_prec_well_formed; prop_random_release_constraints;
+               prop_bursty_schedulable ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "jpeg shape" `Quick test_jpeg_pipeline_shape;
+          Alcotest.test_case "packet shape" `Quick test_packet_pipeline_shape;
+          Alcotest.test_case "guards" `Quick test_pipeline_guards;
+        ] );
+    ]
