@@ -541,6 +541,77 @@ let e12 () =
      which the paper generalises to release times, is about.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E13 — the portfolio engine: racing every applicable algorithm across
+   domains vs running them one after another, and vs the best single
+   member. *)
+
+let e13 () =
+  section
+    "E13  Portfolio engine — wall-clock cost of racing all applicable\n\
+    \     algorithms across domains vs the best single member and vs\n\
+    \     running the members sequentially";
+  let module Engine = Spp_engine.Engine in
+  let module Portfolio = Spp_engine.Portfolio in
+  let module Clock = Spp_util.Clock in
+  let module Io = Spp_core.Io in
+  let t =
+    Table.create
+      ~columns:
+        [ "instance"; "n"; "members"; "best member"; "best ms"; "seq ms"; "portfolio ms";
+          "speedup(seq)"; "winner"; "height ok" ]
+  in
+  let cases =
+    [ ("prec n=7", Io.Prec (let rng = Prng.create 41 in
+                            Generators.random_prec rng ~n:7 ~k:8 ~h_den:4 ~shape:`Series_parallel));
+      ("prec n=9", Io.Prec (let rng = Prng.create 42 in
+                            Generators.random_prec rng ~n:9 ~k:8 ~h_den:4 ~shape:`Layered));
+      ("uniform n=9", Io.Prec (let rng = Prng.create 43 in
+                               Generators.random_uniform_prec rng ~n:9 ~k:8 ~shape:`Fork_join));
+      ("release n=9", Io.Release (let rng = Prng.create 44 in
+                                  Generators.random_release rng ~n:9 ~k:2 ~h_den:4 ~r_den:2
+                                    ~load:1.3)) ]
+  in
+  List.iter
+    (fun (name, parsed) ->
+      let members = Portfolio.defaults parsed in
+      (* Each member alone: wall time and achieved height. *)
+      let singles =
+        List.map
+          (fun (s : Portfolio.spec) ->
+            let t0 = Clock.now_ms () in
+            let p = s.Portfolio.run ~cancel:Spp_util.Cancel.never parsed in
+            (s.Portfolio.name, Placement.height p, Clock.elapsed_ms t0))
+          members
+      in
+      let seq_ms = List.fold_left (fun acc (_, _, ms) -> acc +. ms) 0.0 singles in
+      let best_name, best_h, best_ms =
+        List.fold_left
+          (fun ((_, bh, _) as acc) ((_, h, _) as c) -> if Q.compare h bh < 0 then c else acc)
+          (List.hd singles) (List.tl singles)
+      in
+      let engine = Engine.create () in
+      let t0 = Clock.now_ms () in
+      let res = Engine.solve engine parsed in
+      let port_ms = Clock.elapsed_ms t0 in
+      let n =
+        match parsed with
+        | Io.Prec inst -> I.Prec.size inst
+        | Io.Release inst -> I.Release.size inst
+      in
+      Table.add_row t
+        [ name; string_of_int n; string_of_int (List.length members); best_name; f2 best_ms;
+          f2 seq_ms; f2 port_ms; f2 (seq_ms /. Float.max port_ms 0.01);
+          res.Engine.winner;
+          (if Q.compare res.Engine.height best_h <= 0 then "<= best" else "WORSE") ])
+    cases;
+  Table.print t;
+  Printf.printf
+    "\nShape: the portfolio's wall clock tracks its slowest raced member (not\n\
+     the sum), so against sequential execution the speedup approaches the\n\
+     member count while the returned height is never worse than the best\n\
+     single algorithm's.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches (Bechamel). *)
 
 let timing () =
@@ -598,7 +669,7 @@ let timing () =
     tests
 
 let quality () =
-  e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 (); e12 ()
+  e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 (); e12 (); e13 ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -614,11 +685,12 @@ let () =
   | "e10" -> e10 ()
   | "e11" -> e11 ()
   | "e12" -> e12 ()
+  | "e13" | "portfolio" -> e13 ()
   | "quality" -> quality ()
   | "timing" -> timing ()
   | "all" ->
     quality ();
     timing ()
   | other ->
-    Printf.eprintf "unknown experiment %S (expected e1..e9, quality, timing, all)\n" other;
+    Printf.eprintf "unknown experiment %S (expected e1..e13, portfolio, quality, timing, all)\n" other;
     exit 2

@@ -3,6 +3,8 @@
    Subcommands:
      gen       generate an instance (random/adversarial/pipeline) to stdout
      pack      pack a precedence instance with a chosen algorithm
+     solve     portfolio engine: race algorithms under a budget, with caching
+     batch     run the engine over every *.spp file in a directory
      aptas     run the release-time APTAS
      bounds    print the lower bounds of an instance
      exact     exact/reference solutions for small instances
@@ -12,19 +14,28 @@ module Q = Spp_num.Rat
 module Rect = Spp_geom.Rect
 module Placement = Spp_geom.Placement
 module Prng = Spp_util.Prng
+module Table = Spp_util.Table
 module I = Spp_core.Instance
 module Io = Spp_core.Io
 module Validate = Spp_core.Validate
+module Engine = Spp_engine.Engine
+module Telemetry = Spp_engine.Telemetry
 open Cmdliner
+
+(* Distinct failure exit codes (sysexits.h): a malformed instance file is
+   EX_DATAERR, a missing/unreadable one EX_NOINPUT. Tested in test_io.ml. *)
+let exit_parse_error = 65
+let exit_io_error = 66
 
 let read_instance path =
   try Io.read_file path with
   | Failure msg ->
     Printf.eprintf "error: %s\n" msg;
-    exit 1
+    Printf.eprintf "hint: %s is not a valid instance file; see the format in README.md or generate one with 'spp gen'\n" path;
+    exit exit_parse_error
   | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
-    exit 1
+    exit exit_io_error
 
 let require_prec path =
   match read_instance path with
@@ -95,7 +106,7 @@ let alg_enum =
     ("ffdh", `Ffdh); ("bfdh", `Bfdh); ("bl", `Bl) ]
 
 let pack_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let alg =
     Arg.(value & opt (enum alg_enum) `Dc
          & info [ "alg" ] ~doc:"Algorithm: dc, f (uniform next-fit), pff, wave, ls, nfdh, ffdh, bfdh, bl.")
@@ -138,10 +149,154 @@ let pack_cmd =
     Term.(const run $ file $ alg $ render $ svg)
 
 (* ------------------------------------------------------------------ *)
+(* solve / batch — the portfolio engine *)
+
+let default_cache_dir () =
+  match Sys.getenv_opt "SPP_CACHE_DIR" with
+  | Some d when d <> "" -> Some d
+  | Some _ -> None
+  | None -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Some (Filename.concat d "spp")
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Some (Filename.concat (Filename.concat h ".cache") "spp")
+      | _ -> None))
+
+let budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "budget-ms" ] ~doc:"Wall-clock budget in milliseconds shared by all racers.")
+
+let algos_arg =
+  Arg.(value & opt (some (list string)) None
+       & info [ "algos" ]
+           ~doc:"Comma-separated portfolio members (default: all applicable). Known: dc, f, pff, \
+                 wave, bb, order, aptas, shelf, ls.")
+
+let workers_arg =
+  Arg.(value & opt (some int) None
+       & info [ "workers" ] ~doc:"Domains racing at once (default: up to 8, one per core).")
+
+let stats_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats-json" ]
+           ~doc:"Write telemetry as JSON lines to this file ('-' for stderr).")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ]
+           ~doc:"Disk cache directory (default: \\$SPP_CACHE_DIR, else \\$XDG_CACHE_HOME/spp, \
+                 else ~/.cache/spp).")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the disk cache for this run.")
+
+let make_engine ~cache_dir ~no_cache =
+  let store_dir = if no_cache then None else (match cache_dir with Some d -> Some d | None -> default_cache_dir ()) in
+  Engine.create ?store_dir ()
+
+let write_stats engine = function
+  | None -> ()
+  | Some path ->
+    let out = Telemetry.to_json_lines (Engine.telemetry engine) in
+    if path = "-" then prerr_string out
+    else Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc out)
+
+let run_engine_solve engine ?budget_ms ?algos ?workers parsed =
+  try Engine.solve ?budget_ms ?algos ?workers engine parsed with
+  | Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let print_result (res : Engine.result) =
+  Printf.printf "# winner %s\n" res.Engine.winner;
+  Printf.printf "# source %s\n"
+    (match res.Engine.source with
+     | Engine.Computed -> "computed"
+     | Engine.Memory_cache -> "cache.memory"
+     | Engine.Disk_cache -> "cache.disk");
+  List.iter
+    (fun (o : Engine.outcome) ->
+      Printf.printf "# solver %-6s %-9s%s  %.2fms\n" o.Engine.solver
+        (Format.asprintf "%a" Engine.pp_status o.Engine.status)
+        (match o.Engine.height with Some h -> "  height " ^ Q.to_string h | None -> "")
+        o.Engine.time_ms)
+    res.Engine.outcomes;
+  print_string (Io.placement_to_string res.Engine.placement)
+
+let solve_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~doc:"Solve the instance N times (exercises the instance cache).")
+  in
+  let run file budget_ms algos workers stats_json cache_dir no_cache repeat =
+    let parsed = read_instance file in
+    let engine = make_engine ~cache_dir ~no_cache in
+    let res = ref None in
+    for _ = 1 to max 1 repeat do
+      res := Some (run_engine_solve engine ?budget_ms ?algos ?workers parsed)
+    done;
+    (match !res with Some r -> print_result r | None -> assert false);
+    write_stats engine stats_json
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve with the portfolio engine (auto algorithm choice, budget, cache)")
+    Term.(const run $ file $ budget_arg $ algos_arg $ workers_arg $ stats_json_arg
+          $ cache_dir_arg $ no_cache_arg $ repeat)
+
+let batch_cmd =
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let run dir budget_ms algos workers stats_json cache_dir no_cache =
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".spp")
+      |> List.sort compare
+    in
+    if files = [] then begin
+      Printf.eprintf "error: no *.spp files in %s\n" dir;
+      exit exit_io_error
+    end;
+    let engine = make_engine ~cache_dir ~no_cache in
+    let t = Table.create ~columns:[ "file"; "variant"; "n"; "winner"; "height"; "ms"; "source" ] in
+    let parse_failures = ref 0 in
+    List.iter
+      (fun f ->
+        let path = Filename.concat dir f in
+        match Io.read_file path with
+        | exception Failure msg ->
+          incr parse_failures;
+          Printf.eprintf "error: %s\n" msg;
+          Table.add_row t [ f; "-"; "-"; "parse error"; "-"; "-"; "-" ]
+        | parsed ->
+          let variant, n =
+            match parsed with
+            | Io.Prec inst -> ("prec", I.Prec.size inst)
+            | Io.Release inst -> ("release", I.Release.size inst)
+          in
+          let res = run_engine_solve engine ?budget_ms ?algos ?workers parsed in
+          Table.add_row t
+            [ f; variant; string_of_int n; res.Engine.winner;
+              Q.to_string res.Engine.height; Printf.sprintf "%.1f" res.Engine.time_ms;
+              (match res.Engine.source with
+               | Engine.Computed -> "computed"
+               | Engine.Memory_cache -> "cache.memory"
+               | Engine.Disk_cache -> "cache.disk") ])
+      files;
+    Table.print t;
+    write_stats engine stats_json;
+    if !parse_failures > 0 then exit exit_parse_error
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Run the portfolio engine over every *.spp file in a directory")
+    Term.(const run $ dir $ budget_arg $ algos_arg $ workers_arg $ stats_json_arg
+          $ cache_dir_arg $ no_cache_arg)
+
+(* ------------------------------------------------------------------ *)
 (* aptas *)
 
 let aptas_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let eps = Arg.(value & opt rat_arg Q.one & info [ "eps" ] ~doc:"Accuracy parameter (rational).") in
   let solver =
     Arg.(value & opt (enum [ ("enumerate", `Enumerate); ("colgen", `Column_generation) ]) `Enumerate
@@ -174,7 +329,7 @@ let aptas_cmd =
 (* bounds *)
 
 let bounds_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let run file =
     match read_instance file with
     | Io.Prec inst ->
@@ -196,7 +351,7 @@ let bounds_cmd =
 (* exact *)
 
 let exact_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let run file =
     match read_instance file with
     | Io.Prec inst ->
@@ -226,7 +381,7 @@ let exact_cmd =
 (* simulate *)
 
 let simulate_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let columns = Arg.(value & opt int 8 & info [ "columns" ] ~doc:"Device columns K.") in
   let delay =
     Arg.(value & opt rat_arg Q.zero & info [ "reconfig-delay" ] ~doc:"Per-column reconfiguration delay.")
@@ -258,7 +413,7 @@ let simulate_cmd =
 (* online *)
 
 let online_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let policy =
     Arg.(value & opt (enum [ ("earliest", `Earliest); ("leftmost", `Leftmost) ]) `Earliest
          & info [ "policy" ] ~doc:"Column-allocation policy: earliest or leftmost.")
@@ -286,8 +441,8 @@ let online_cmd =
 (* verify *)
 
 let verify_cmd =
-  let inst_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE") in
-  let placement_file = Arg.(required & pos 1 (some file) None & info [] ~docv:"PLACEMENT") in
+  let inst_file = Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE") in
+  let placement_file = Arg.(required & pos 1 (some string) None & info [] ~docv:"PLACEMENT") in
   let run inst_file placement_file =
     let parsed = read_instance inst_file in
     let rects =
@@ -322,5 +477,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; pack_cmd; aptas_cmd; bounds_cmd; exact_cmd; simulate_cmd; online_cmd;
-            verify_cmd ]))
+          [ gen_cmd; pack_cmd; solve_cmd; batch_cmd; aptas_cmd; bounds_cmd; exact_cmd;
+            simulate_cmd; online_cmd; verify_cmd ]))

@@ -30,7 +30,7 @@ let ceil_inv_int eps =
    that (grouped) width already released at phase j, earliest release
    first. The column may overshoot its reserved height by less than one
    rectangle; the running top shifts everything above accordingly. *)
-let round_to_integral (reduced : Release.t) (sol : Config_lp.solved) =
+let round_to_integral ~cancel (reduced : Release.t) (sol : Config_lp.solved) =
   (* Per width index: min-heap of tasks by (release, id). *)
   let nw = Array.length sol.widths in
   let heaps =
@@ -51,6 +51,7 @@ let round_to_integral (reduced : Release.t) (sol : Config_lp.solved) =
   let y = ref Q.zero in
   List.iter
     (fun (occ : Config_lp.occurrence) ->
+      Spp_util.Cancel.check cancel;
       let phase_start = sol.boundaries.(occ.phase) in
       y := Q.max !y phase_start;
       let base = !y in
@@ -102,7 +103,8 @@ let round_to_integral (reduced : Release.t) (sol : Config_lp.solved) =
   in
   (Placement.of_items items, fallback_rects)
 
-let solve ?max_configs ?(solver = `Enumerate) ~epsilon (inst : Release.t) =
+let solve ?(cancel = Spp_util.Cancel.never) ?max_configs ?(solver = `Enumerate) ~epsilon
+    (inst : Release.t) =
   if Q.sign epsilon <= 0 then invalid_arg "Aptas.solve: epsilon must be positive";
   let eps' = Q.div epsilon (Q.of_int 3) in
   let r_param = ceil_inv_int eps' in
@@ -110,18 +112,21 @@ let solve ?max_configs ?(solver = `Enumerate) ~epsilon (inst : Release.t) =
   let w_param = groups_per_class * (r_param + 1) in
   (* Line 5: P -> P(R). *)
   let p_r = Grouping.round_releases ~epsilon_r:eps' inst in
+  Spp_util.Cancel.check cancel;
   (* Line 6: P(R) -> P(R,W). *)
   let p_rw = Grouping.group_widths ~groups_per_class p_r in
+  Spp_util.Cancel.check cancel;
   (* Line 7: exact configuration LP (enumerated or column-generated). *)
   let sol =
     match solver with
     | `Enumerate -> Config_lp.solve ?max_configs p_rw
-    | `Column_generation -> Config_colgen.solve p_rw
+    | `Column_generation -> Config_colgen.solve ~cancel p_rw
   in
+  Spp_util.Cancel.check cancel;
   (* Line 8: fractional -> integral (positions computed on the reduced
      rects, then transferred to the original rects, which are no wider and
      released no later). *)
-  let reduced_placement, fallback_rects = round_to_integral p_rw sol in
+  let reduced_placement, fallback_rects = round_to_integral ~cancel p_rw sol in
   let original_rect = Hashtbl.create 16 in
   List.iter
     (fun (task : Release.task) -> Hashtbl.replace original_rect task.Release.rect.Rect.id task.Release.rect)

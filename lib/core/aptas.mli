@@ -36,12 +36,17 @@ type result = {
 (** [solve ~epsilon inst] runs the full pipeline. [solver] picks how the
     configuration LP is solved: [`Enumerate] (default; {!Config_lp}, all
     configurations up front) or [`Column_generation] ({!Config_colgen};
-    scales to larger K by pricing configurations on demand).
+    scales to larger K by pricing configurations on demand). [cancel]
+    (default [Spp_util.Cancel.never]) is polled between pipeline stages
+    (after release rounding, after width grouping, after the LP), inside
+    column generation, and per occurrence during the integral rounding; a
+    tripped token aborts with [Spp_util.Cancel.Cancelled].
     @raise Invalid_argument if [epsilon <= 0].
     @raise Failure if the configuration count exceeds [max_configs]
     (default 200_000) under [`Enumerate] — choose a larger ε, a smaller K,
     or [`Column_generation]. *)
 val solve :
+  ?cancel:Spp_util.Cancel.t ->
   ?max_configs:int ->
   ?solver:[ `Enumerate | `Column_generation ] ->
   epsilon:Spp_num.Rat.t ->

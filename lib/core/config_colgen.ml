@@ -63,7 +63,8 @@ let solve_restricted widths boundaries demand configs =
       row_roles;
     (objective, solution, var, pack_dual, cover_dual)
 
-let solve ?(max_rounds = 200) ?(max_denominator = 100_000) (inst : Release.t) =
+let solve ?(cancel = Spp_util.Cancel.never) ?(max_rounds = 200) ?(max_denominator = 100_000)
+    (inst : Release.t) =
   let widths = Array.of_list (Grouping.distinct_widths inst) in
   let releases = Grouping.distinct_releases inst in
   let boundaries =
@@ -127,6 +128,7 @@ let solve ?(max_rounds = 200) ?(max_denominator = 100_000) (inst : Release.t) =
   done;
   let tol = 1e-9 in
   let rec rounds n =
+    Spp_util.Cancel.check cancel;
     let configs = Array.of_list (List.rev !pool_list) in
     let objective, solution, var, pack_dual, cover_dual =
       solve_restricted widths boundaries demand configs

@@ -18,7 +18,14 @@
 
 (** [solve ?max_rounds ?max_denominator inst] returns the same record as
     {!Config_lp.solve}, with [num_configs] the size of the generated pool.
+    [cancel] (default [Spp_util.Cancel.never]) is polled before every
+    pricing round; a tripped token aborts with [Spp_util.Cancel.Cancelled].
     @raise Failure when widths have no common denominator below
     [max_denominator] (default 100_000) or [max_rounds] (default 200) is
     exhausted before convergence. *)
-val solve : ?max_rounds:int -> ?max_denominator:int -> Instance.Release.t -> Config_lp.solved
+val solve :
+  ?cancel:Spp_util.Cancel.t ->
+  ?max_rounds:int ->
+  ?max_denominator:int ->
+  Instance.Release.t ->
+  Config_lp.solved

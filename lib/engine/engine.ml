@@ -1,0 +1,193 @@
+module Q = Spp_num.Rat
+module Placement = Spp_geom.Placement
+module Io = Spp_core.Io
+module Validate = Spp_core.Validate
+module Cancel = Spp_util.Cancel
+module Clock = Spp_util.Clock
+
+type status =
+  | Solved
+  | Timed_out
+  | Invalid
+  | Failed of string
+  | Skipped of string
+
+type outcome = {
+  solver : string;
+  status : status;
+  height : Q.t option;
+  time_ms : float;
+}
+
+type source = Computed | Memory_cache | Disk_cache
+
+type result = {
+  placement : Placement.t;
+  height : Q.t;
+  winner : string;
+  source : source;
+  outcomes : outcome list;
+  time_ms : float;
+}
+
+type entry = { e_placement : Placement.t; e_height : Q.t; e_winner : string }
+
+type t = {
+  cache : entry Lru.t;
+  store : Store.t option;
+  tm : Telemetry.t;
+}
+
+let create ?(cache_capacity = 128) ?store_dir ?telemetry () =
+  { cache = Lru.create ~capacity:cache_capacity;
+    store = Option.map (fun dir -> Store.create ~dir) store_dir;
+    tm = Option.value telemetry ~default:(Telemetry.create ()) }
+
+let telemetry t = t.tm
+
+let pp_status fmt = function
+  | Solved -> Format.pp_print_string fmt "solved"
+  | Timed_out -> Format.pp_print_string fmt "timeout"
+  | Invalid -> Format.pp_print_string fmt "invalid"
+  | Failed msg -> Format.fprintf fmt "failed(%s)" msg
+  | Skipped reason -> Format.fprintf fmt "skipped(%s)" reason
+
+let status_counter = function
+  | Solved -> Some "solver.solved"
+  | Timed_out -> Some "solver.timeout"
+  | Invalid -> Some "solver.invalid"
+  | Failed _ -> Some "solver.failed"
+  | Skipped _ -> None
+
+let rects_of = function
+  | Io.Prec inst -> inst.Spp_core.Instance.Prec.rects
+  | Io.Release inst -> Spp_core.Instance.Release.rects inst
+
+let violations parsed p =
+  match parsed with
+  | Io.Prec inst -> Validate.check_prec inst p
+  | Io.Release inst -> Validate.check_release inst p
+
+(* One raced member: run under the shared token, validate, classify. *)
+let race_one parsed cancel (spec : Portfolio.spec) =
+  let t0 = Clock.now_ms () in
+  let finish status height placement =
+    ({ solver = spec.Portfolio.name; status; height; time_ms = Clock.elapsed_ms t0 }, placement)
+  in
+  match spec.Portfolio.run ~cancel parsed with
+  | p -> (
+    match violations parsed p with
+    | [] -> finish Solved (Some (Placement.height p)) (Some p)
+    | _ :: _ -> finish Invalid None None)
+  | exception Cancel.Cancelled -> finish Timed_out None None
+  | exception e -> finish (Failed (Printexc.to_string e)) None None
+
+let record_outcome tm (o : outcome) =
+  Option.iter (Telemetry.incr tm) (status_counter o.status);
+  Telemetry.record tm ~name:"solver"
+    ([ ("solver", Telemetry.String o.solver);
+       ("status", Telemetry.String (Format.asprintf "%a" pp_status o.status));
+       ("ms", Telemetry.Float o.time_ms) ]
+     @ match o.height with
+       | Some h -> [ ("height", Telemetry.String (Q.to_string h)) ]
+       | None -> [])
+
+let finish_result t fp (r : result) =
+  Telemetry.record t.tm ~name:"solve"
+    [ ("fingerprint", Telemetry.String fp);
+      ("winner", Telemetry.String r.winner);
+      ("height", Telemetry.String (Q.to_string r.height));
+      ("source",
+       Telemetry.String
+         (match r.source with
+          | Computed -> "computed"
+          | Memory_cache -> "cache.memory"
+          | Disk_cache -> "cache.disk"));
+      ("ms", Telemetry.Float r.time_ms) ];
+  r
+
+let solve ?budget_ms ?algos ?workers t parsed =
+  let t0 = Clock.now_ms () in
+  Telemetry.incr t.tm "solve.runs";
+  let fp = Fingerprint.parsed parsed in
+  match Lru.find t.cache fp with
+  | Some e ->
+    Telemetry.incr t.tm "cache.hit";
+    Telemetry.incr t.tm "cache.hit.memory";
+    finish_result t fp
+      { placement = e.e_placement; height = e.e_height; winner = e.e_winner;
+        source = Memory_cache; outcomes = []; time_ms = Clock.elapsed_ms t0 }
+  | None -> (
+    let disk =
+      match t.store with
+      | None -> None
+      | Some store -> (
+        match Store.find store ~rects:(rects_of parsed) ~fingerprint:fp with
+        | Some (winner, p) when violations parsed p = [] -> Some (winner, p)
+        | Some _ | None -> None)
+    in
+    match disk with
+    | Some (winner, p) ->
+      Telemetry.incr t.tm "cache.hit";
+      Telemetry.incr t.tm "cache.hit.disk";
+      let height = Placement.height p in
+      Lru.add t.cache fp { e_placement = p; e_height = height; e_winner = winner };
+      finish_result t fp
+        { placement = p; height; winner; source = Disk_cache; outcomes = [];
+          time_ms = Clock.elapsed_ms t0 }
+    | None ->
+      Telemetry.incr t.tm "cache.miss";
+      let specs =
+        match algos with Some names -> Portfolio.of_names names | None -> Portfolio.defaults parsed
+      in
+      let runnable, skipped =
+        List.partition (fun (s : Portfolio.spec) -> s.Portfolio.applies parsed) specs
+      in
+      let skipped =
+        List.map
+          (fun (s : Portfolio.spec) ->
+            { solver = s.Portfolio.name; status = Skipped "inapplicable"; height = None;
+              time_ms = 0.0 })
+          skipped
+      in
+      let cancel =
+        match budget_ms with None -> Cancel.never | Some ms -> Cancel.with_deadline_ms ms
+      in
+      let raced =
+        Spp_util.Parallel.map ?workers (race_one parsed cancel) runnable
+      in
+      let outcomes = List.map fst raced @ skipped in
+      let best =
+        List.fold_left
+          (fun acc ((o : outcome), p) ->
+            match (p, acc) with
+            | None, _ -> acc
+            | Some p, None -> Some (o, p)
+            | Some p, Some (o', _) -> (
+              match (o.height, o'.height) with
+              | Some h, Some h' when Q.compare h h' < 0 -> Some (o, p)
+              | _ -> acc))
+          None raced
+      in
+      let winner, placement, outcomes =
+        match best with
+        | Some (o, p) -> (o.solver, p, outcomes)
+        | None ->
+          (* Every member timed out / failed: uncancellable safety net. *)
+          let t1 = Clock.now_ms () in
+          let p = Portfolio.fallback parsed in
+          assert (violations parsed p = []);
+          let o =
+            { solver = "ls(fallback)"; status = Solved;
+              height = Some (Placement.height p); time_ms = Clock.elapsed_ms t1 }
+          in
+          Telemetry.incr t.tm "solver.fallback";
+          (o.solver, p, outcomes @ [ o ])
+      in
+      List.iter (record_outcome t.tm) outcomes;
+      let height = Placement.height placement in
+      Lru.add t.cache fp { e_placement = placement; e_height = height; e_winner = winner };
+      Option.iter (fun store -> Store.add store ~fingerprint:fp ~winner placement) t.store;
+      finish_result t fp
+        { placement; height; winner; source = Computed; outcomes;
+          time_ms = Clock.elapsed_ms t0 })

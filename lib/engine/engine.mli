@@ -1,0 +1,65 @@
+(** The portfolio solver engine: one managed entry point over every
+    algorithm in the repository.
+
+    [solve] fingerprints the instance, serves repeats from an in-memory
+    LRU (and optionally a disk {!Store}), and otherwise races the
+    applicable {!Portfolio} members across OCaml domains under a shared
+    wall-clock budget. Every raced result is checked with
+    {!Spp_core.Validate} before it may win; the lowest valid packing is
+    returned together with per-solver outcomes. With a budget so tight
+    that every member times out, the greedy list scheduler runs as an
+    uncancellable fallback — [solve] always returns a valid packing.
+
+    All activity is recorded in a {!Telemetry} value: per-solver timing
+    events (name ["solver"]), per-solve summaries (name ["solve"]), and
+    counters ([solve.runs], [cache.hit], [cache.hit.memory],
+    [cache.hit.disk], [cache.miss], [solver.solved], [solver.timeout],
+    [solver.invalid], [solver.failed]). *)
+
+type status =
+  | Solved  (** finished in budget and validated *)
+  | Timed_out  (** hit the cancellation deadline *)
+  | Invalid  (** finished but failed validation — reported, never returned *)
+  | Failed of string  (** raised; the exception text *)
+  | Skipped of string  (** not run; the reason (e.g. inapplicable) *)
+
+type outcome = {
+  solver : string;
+  status : status;
+  height : Spp_num.Rat.t option;  (** for [Solved] only *)
+  time_ms : float;
+}
+
+type source = Computed | Memory_cache | Disk_cache
+
+type result = {
+  placement : Spp_geom.Placement.t;
+  height : Spp_num.Rat.t;
+  winner : string;  (** portfolio member that produced [placement] *)
+  source : source;
+  outcomes : outcome list;  (** per-member; empty on a cache hit *)
+  time_ms : float;  (** wall clock for this [solve] call *)
+}
+
+type t
+
+(** [create ()] builds an engine. [cache_capacity] bounds the in-memory
+    LRU (default 128 instances). [store_dir] adds a disk cache shared
+    across processes. [telemetry] shares an external log (default: a
+    fresh one, retrievable via {!telemetry}). *)
+val create : ?cache_capacity:int -> ?store_dir:string -> ?telemetry:Telemetry.t -> unit -> t
+
+val telemetry : t -> Telemetry.t
+
+(** [solve t parsed] races the portfolio (or the cache) as described
+    above. [budget_ms]: wall-clock budget shared by all racers (default:
+    unlimited). [algos]: explicit member list instead of
+    {!Portfolio.defaults} — inapplicable ones are reported as [Skipped].
+    [workers]: domains racing at once (default
+    {!Spp_util.Parallel.available_workers}).
+    @raise Invalid_argument on an unknown name in [algos]. *)
+val solve :
+  ?budget_ms:float -> ?algos:string list -> ?workers:int ->
+  t -> Spp_core.Io.parsed -> result
+
+val pp_status : Format.formatter -> status -> unit

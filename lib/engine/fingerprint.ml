@@ -1,0 +1,45 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module I = Spp_core.Instance
+
+(* Canonical text form: sorted, lowest-terms, variant-tagged. Hashed with
+   Digest (MD5) — collision resistance is plenty for a cache key; this is
+   not a security boundary. *)
+
+let add_rects buf rects =
+  List.iter
+    (fun (r : Rect.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "r %d %s %s\n" r.Rect.id (Q.to_string r.Rect.w) (Q.to_string r.Rect.h)))
+    (List.sort (fun (a : Rect.t) b -> compare a.Rect.id b.Rect.id) rects)
+
+let prec_canonical (inst : I.Prec.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "spp/prec\n";
+  add_rects buf inst.rects;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
+    (List.sort compare (Spp_dag.Dag.edges inst.dag));
+  Buffer.contents buf
+
+let release_canonical (inst : I.Release.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "spp/release k=%d\n" inst.k);
+  add_rects buf (I.Release.rects inst);
+  List.iter
+    (fun (t : I.Release.task) ->
+      Buffer.add_string buf
+        (Printf.sprintf "t %d %s\n" t.rect.Rect.id (Q.to_string t.release)))
+    (List.sort
+       (fun (a : I.Release.task) b -> compare a.rect.Rect.id b.rect.Rect.id)
+       inst.tasks);
+  Buffer.contents buf
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let prec inst = digest (prec_canonical inst)
+let release inst = digest (release_canonical inst)
+
+let parsed = function
+  | Spp_core.Io.Prec inst -> prec inst
+  | Spp_core.Io.Release inst -> release inst

@@ -1,0 +1,16 @@
+(** Canonical instance fingerprints — the cache key of the engine.
+
+    Two instances that are equal as mathematical objects (same rect ids,
+    widths, heights; same DAG edges; same release times and K) fingerprint
+    identically regardless of construction order: rects and edges are
+    sorted and rationals are emitted in lowest terms before hashing. The
+    two variants are tagged so a precedence instance can never collide with
+    a release one. *)
+
+(** [prec inst] is a hex digest of the canonical form. *)
+val prec : Spp_core.Instance.Prec.t -> string
+
+val release : Spp_core.Instance.Release.t -> string
+
+(** [parsed p] dispatches on the variant. *)
+val parsed : Spp_core.Io.parsed -> string

@@ -1,0 +1,102 @@
+module Io = Spp_core.Io
+module I = Spp_core.Instance
+
+type spec = {
+  name : string;
+  doc : string;
+  applies : Io.parsed -> bool;
+  run : cancel:Spp_util.Cancel.t -> Io.parsed -> Spp_geom.Placement.t;
+}
+
+let wrong_variant name = invalid_arg (Printf.sprintf "Portfolio.%s: inapplicable instance" name)
+
+(* Builders for the two variant shapes, so each member below is one line. *)
+let on_prec name f =
+ fun ~cancel parsed ->
+  match parsed with Io.Prec inst -> f ~cancel inst | Io.Release _ -> wrong_variant name
+
+let on_release name f =
+ fun ~cancel parsed ->
+  match parsed with Io.Release inst -> f ~cancel inst | Io.Prec _ -> wrong_variant name
+
+let is_prec = function Io.Prec _ -> true | Io.Release _ -> false
+let is_release = function Io.Release _ -> true | Io.Prec _ -> false
+
+let is_uniform_prec = function
+  | Io.Prec inst -> I.Prec.size inst > 0 && Spp_core.Uniform.uniform_height inst <> None
+  | Io.Release _ -> false
+
+let prec_size_at_most n = function
+  | Io.Prec inst -> I.Prec.size inst <= n
+  | Io.Release _ -> false
+
+let release_size_at_most n = function
+  | Io.Release inst -> I.Release.size inst <= n
+  | Io.Prec _ -> false
+
+let builtin =
+  [
+    { name = "dc";
+      doc = "divide and conquer, (2 + log2(n+1))-approx (Theorem 2.3)";
+      applies = is_prec;
+      run = on_prec "dc" (fun ~cancel:_ inst -> fst (Spp_core.Dc.pack inst)) };
+    { name = "f";
+      doc = "uniform-height next-fit shelf, absolute 3-approx (Theorem 2.6)";
+      applies = is_uniform_prec;
+      run = on_prec "f" (fun ~cancel:_ inst -> fst (Spp_core.Uniform.next_fit_shelf inst)) };
+    { name = "pff";
+      doc = "uniform-height precedence first fit (GGJY reduction)";
+      applies = is_uniform_prec;
+      run = on_prec "pff" (fun ~cancel:_ inst -> fst (Spp_core.Uniform.prec_first_fit inst)) };
+    { name = "wave";
+      doc = "uniform-height wave FFD baseline";
+      applies = is_uniform_prec;
+      run = on_prec "wave" (fun ~cancel:_ inst -> fst (Spp_core.Uniform.wave_ffd inst)) };
+    { name = "bb";
+      doc = "exact branch and bound over normal positions (n <= 7)";
+      applies = prec_size_at_most 7;
+      run = on_prec "bb" (fun ~cancel inst -> (Spp_exact.Normal_bb.solve ~cancel inst).placement) };
+    { name = "order";
+      doc = "exhaustive order search, best bottom-left packing (n <= 10)";
+      applies = (fun p -> prec_size_at_most 10 p || release_size_at_most 10 p);
+      run =
+        (fun ~cancel -> function
+          | Io.Prec inst -> (Spp_exact.Order_search.best_prec ~cancel inst).placement
+          | Io.Release inst -> (Spp_exact.Order_search.best_release ~cancel inst).placement) };
+    { name = "aptas";
+      doc = "release-time APTAS at eps = 1 (Theorem 3.5)";
+      applies = is_release;
+      run =
+        on_release "aptas" (fun ~cancel inst ->
+            (Spp_core.Aptas.solve ~cancel ~epsilon:Spp_num.Rat.one inst).Spp_core.Aptas.placement) };
+    { name = "shelf";
+      doc = "release-time shelf first fit";
+      applies = is_release;
+      run = on_release "shelf" (fun ~cancel:_ inst -> fst (Spp_core.Release_shelf.pack_first_fit inst)) };
+    { name = "ls";
+      doc = "greedy list scheduling (lowest-then-leftmost skyline)";
+      applies = (fun _ -> true);
+      run =
+        (fun ~cancel:_ -> function
+          | Io.Prec inst -> Spp_core.List_schedule.prec inst
+          | Io.Release inst -> Spp_core.List_schedule.release inst) };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) builtin
+
+let defaults parsed = List.filter (fun s -> s.applies parsed) builtin
+
+let of_names names =
+  List.map
+    (fun name ->
+      match find name with
+      | Some s -> s
+      | None ->
+        invalid_arg
+          (Printf.sprintf "unknown algorithm %S (known: %s)" name
+             (String.concat ", " (List.map (fun s -> s.name) builtin))))
+    names
+
+let fallback = function
+  | Io.Prec inst -> Spp_core.List_schedule.prec inst
+  | Io.Release inst -> Spp_core.List_schedule.release inst

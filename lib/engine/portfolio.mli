@@ -1,0 +1,37 @@
+(** The portfolio members: named, applicability-guarded solver wrappers.
+
+    No single algorithm of the paper dominates — DC wins on general DAGs,
+    the 3-approximation [F] on uniform heights, exact branch and bound on
+    tiny instances, the APTAS on release-time instances — so the engine
+    races a set of these specs and keeps the best valid packing. Every
+    [run] takes a cancellation token; the long-running members poll it
+    (see {!Spp_exact.Normal_bb}, {!Spp_core.Aptas}). *)
+
+type spec = {
+  name : string;
+  doc : string;
+  applies : Spp_core.Io.parsed -> bool;
+      (** wrong variant, non-uniform heights, or size over an exact
+          solver's guard all make a spec inapplicable *)
+  run : cancel:Spp_util.Cancel.t -> Spp_core.Io.parsed -> Spp_geom.Placement.t;
+      (** @raise Invalid_argument when called on an instance for which
+          [applies] is [false] *)
+}
+
+(** All built-in members, in preference order (earlier wins height ties). *)
+val builtin : spec list
+
+val find : string -> spec option
+
+(** [defaults p] is the applicable subset of {!builtin}. Never empty: the
+    list scheduler applies to every instance. *)
+val defaults : Spp_core.Io.parsed -> spec list
+
+(** [of_names names] resolves a [--algos] list.
+    @raise Invalid_argument on an unknown name, listing the known ones. *)
+val of_names : string list -> spec list
+
+(** [fallback p] packs with the greedy list scheduler ignoring any budget —
+    the always-valid, near-instant safety net the engine uses when every
+    raced member timed out (e.g. a zero budget). *)
+val fallback : Spp_core.Io.parsed -> Spp_geom.Placement.t

@@ -1,0 +1,40 @@
+type t = { dir : string }
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let path t fingerprint = Filename.concat t.dir (fingerprint ^ ".sol")
+
+let find t ~rects ~fingerprint =
+  let file = path t fingerprint in
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents -> (
+    match String.index_opt contents '\n' with
+    | None -> None
+    | Some nl -> (
+      let first = String.sub contents 0 nl in
+      let body = String.sub contents (nl + 1) (String.length contents - nl - 1) in
+      match String.split_on_char ' ' first with
+      | [ "winner"; name ] -> (
+        match Spp_core.Io.parse_placement ~rects body with
+        | placement -> Some (name, placement)
+        | exception Failure _ -> None)
+      | _ -> None))
+
+let add t ~fingerprint ~winner placement =
+  let file = path t fingerprint in
+  let tmp = file ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  Out_channel.with_open_text tmp (fun oc ->
+      Out_channel.output_string oc (Printf.sprintf "winner %s\n" winner);
+      Out_channel.output_string oc (Spp_core.Io.placement_to_string placement));
+  Sys.rename tmp file

@@ -1,0 +1,34 @@
+(** Disk persistence for solved instances, keyed by {!Fingerprint}.
+
+    One file per fingerprint under a cache directory:
+
+    {v
+    winner <solver-name>
+    height <h>
+    place <id> <x> <y>
+    ...
+    v}
+
+    (the body is exactly {!Spp_core.Io.placement_to_string}, so entries are
+    exact-rational and round-trip bit-identically). Lets separate [spp]
+    processes share work; the engine validates every loaded placement
+    before trusting it, so a corrupt or stale file degrades to a miss. *)
+
+type t
+
+(** [create ~dir] opens (creating directories as needed) a store rooted at
+    [dir]. @raise Sys_error / Unix errors if the path cannot be created. *)
+val create : dir:string -> t
+
+val dir : t -> string
+
+(** [find t ~rects ~fingerprint] loads and parses the entry, binding
+    positions to [rects] by id. Any error (absent, unreadable, malformed,
+    unknown ids) is [None]. Returns [(winner, placement)]. *)
+val find :
+  t -> rects:Spp_geom.Rect.t list -> fingerprint:string ->
+  (string * Spp_geom.Placement.t) option
+
+(** [add t ~fingerprint ~winner placement] writes the entry atomically
+    (temp file + rename), replacing any previous one. *)
+val add : t -> fingerprint:string -> winner:string -> Spp_geom.Placement.t -> unit

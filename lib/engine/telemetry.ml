@@ -1,0 +1,102 @@
+module Clock = Spp_util.Clock
+
+type field =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type event = {
+  name : string;
+  at_ms : float;
+  fields : (string * field) list;
+}
+
+type t = {
+  epoch_ms : float;
+  mutable events : event list;  (* newest first *)
+  counters : (string, int) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create () =
+  { epoch_ms = Clock.now_ms (); events = []; counters = Hashtbl.create 16;
+    lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t ~name fields =
+  let at_ms = Clock.elapsed_ms t.epoch_ms in
+  locked t (fun () -> t.events <- { name; at_ms; fields } :: t.events)
+
+let incr ?(by = 1) t name =
+  locked t (fun () ->
+      Hashtbl.replace t.counters name (by + Option.value ~default:0 (Hashtbl.find_opt t.counters name)))
+
+let counter t name =
+  locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.counters name))
+
+let counters t =
+  locked t (fun () ->
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []))
+
+let events t = locked t (fun () -> List.rev t.events)
+
+let time t ~name ~fields f =
+  let t0 = Clock.now_ms () in
+  let finish outcome =
+    record t ~name
+      (fields @ [ ("ms", Float (Clock.elapsed_ms t0)); ("outcome", String outcome) ])
+  in
+  match f () with
+  | v ->
+    finish "ok";
+    v
+  | exception e ->
+    finish "raised";
+    raise e
+
+(* Minimal JSON emission; no external dependency. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let field_to_json = function
+  | String s -> Printf.sprintf "\"%s\"" (escape s)
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.6g" f
+  | Bool b -> string_of_bool b
+
+let to_json_lines t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"event\":\"%s\",\"t_ms\":%s" (escape e.name)
+           (field_to_json (Float e.at_ms)));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" (escape k) (field_to_json v)))
+        e.fields;
+      Buffer.add_string buf "}\n")
+    (events t);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf "{\"counter\":\"%s\",\"value\":%d}\n" (escape k) v))
+    (counters t);
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** Structured run telemetry: counters, wall-clock timers, and a
+    chronological event log exportable as JSON lines.
+
+    One value is shared by an engine and all its racing domains
+    (mutex-protected). Timestamps come from the monotonic
+    {!Spp_util.Clock}, measured in milliseconds since {!create}. *)
+
+type field =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type event = {
+  name : string;
+  at_ms : float;  (** milliseconds since {!create} *)
+  fields : (string * field) list;
+}
+
+type t
+
+val create : unit -> t
+
+(** [record t ~name fields] appends an event stamped now. *)
+val record : t -> name:string -> (string * field) list -> unit
+
+(** [incr ?by t counter] bumps a named counter ([by] defaults to 1). *)
+val incr : ?by:int -> t -> string -> unit
+
+val counter : t -> string -> int
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** Events in chronological order. *)
+val events : t -> event list
+
+(** [time t ~name ~fields f] runs [f], then records an event carrying
+    [fields], a ["ms"] duration field, and an ["outcome"] field — ["ok"],
+    or ["raised"] when [f] escapes with an exception (re-raised). *)
+val time : t -> name:string -> fields:(string * field) list -> (unit -> 'a) -> 'a
+
+(** One JSON object per line: every event as
+    [{"event":name,"t_ms":...,<fields>}] in order, then every counter as
+    [{"counter":name,"value":n}]. Strings are JSON-escaped. *)
+val to_json_lines : t -> string

@@ -20,7 +20,7 @@ let subset_sums values =
     values;
   List.sort Q.compare (Hashtbl.fold (fun _ s acc -> s :: acc) sums [])
 
-let solve (inst : Spp_core.Instance.Prec.t) =
+let solve ?(cancel = Spp_util.Cancel.never) (inst : Spp_core.Instance.Prec.t) =
   let n = Spp_core.Instance.Prec.size inst in
   if n > 7 then invalid_arg "Normal_bb.solve: instance too large (n > 7)";
   if n = 0 then { height = Q.zero; placement = Placement.of_items []; nodes_expanded = 0 }
@@ -61,12 +61,13 @@ let solve (inst : Spp_core.Instance.Prec.t) =
     let path_lb = Spp_core.Lower_bounds.critical_path inst in
     let global_lb = Q.max area_lb path_lb in
     (* Incumbent: the bottom-left order search (an upper bound). *)
-    let seed = Order_search.best_prec inst in
+    let seed = Order_search.best_prec ~cancel inst in
     let best_h = ref seed.Order_search.height in
     let best_items = ref (Placement.items seed.Order_search.placement) in
     let nodes = ref (seed.Order_search.nodes_expanded) in
     let tops = Hashtbl.create 8 in (* id -> y + h, for precedence floors *)
     let rec go idx placed cur_h =
+      Spp_util.Cancel.check cancel;
       incr nodes;
       if idx = Array.length order then begin
         if Q.compare cur_h !best_h < 0 then begin

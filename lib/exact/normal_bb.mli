@@ -20,6 +20,10 @@ type outcome = {
   nodes_expanded : int;
 }
 
-(** [solve inst] computes OPT(S, E) exactly.
+(** [solve inst] computes OPT(S, E) exactly. [cancel] (default
+    {!Spp_util.Cancel.never}) is polled at every node of both the seeding
+    order search and the normal-position DFS; a tripped token aborts with
+    [Spp_util.Cancel.Cancelled] rather than returning a partial answer, so
+    a returned outcome is always the certified optimum.
     @raise Invalid_argument when [n > 7]. *)
-val solve : Spp_core.Instance.Prec.t -> outcome
+val solve : ?cancel:Spp_util.Cancel.t -> Spp_core.Instance.Prec.t -> outcome

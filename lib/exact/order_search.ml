@@ -9,13 +9,14 @@ type outcome = { height : Q.t; placement : Placement.t; nodes_expanded : int }
 (* Generic DFS over placement orders. [eligible placed remaining] restricts
    which rect may come next; [floor_of placed r] gives its y floor. Each
    branch works on a skyline snapshot; pruning is against the incumbent. *)
-let search rects ~eligible ~floor_of =
+let search rects ~cancel ~eligible ~floor_of =
   let n = List.length rects in
   if n > 10 then invalid_arg "Order_search: instance too large (n > 10)";
   let best_h = ref None in
   let best_items = ref [] in
   let nodes = ref 0 in
   let rec go placed sky h remaining =
+    Spp_util.Cancel.check cancel;
     incr nodes;
     match remaining with
     | [] ->
@@ -42,7 +43,7 @@ let search rects ~eligible ~floor_of =
   | None -> { height = Q.zero; placement = Placement.of_items []; nodes_expanded = !nodes }
   | Some h -> { height = h; placement = Placement.of_items !best_items; nodes_expanded = !nodes }
 
-let best_prec (inst : Spp_core.Instance.Prec.t) =
+let best_prec ?(cancel = Spp_util.Cancel.never) (inst : Spp_core.Instance.Prec.t) =
   let floor_of placed (r : Rect.t) =
     List.fold_left
       (fun acc p ->
@@ -59,13 +60,13 @@ let best_prec (inst : Spp_core.Instance.Prec.t) =
         List.for_all (fun p -> List.mem p placed_ids) (Dag.preds inst.dag r.Rect.id))
       remaining
   in
-  search inst.rects ~eligible ~floor_of
+  search inst.rects ~cancel ~eligible ~floor_of
 
-let best_release (inst : Spp_core.Instance.Release.t) =
+let best_release ?(cancel = Spp_util.Cancel.never) (inst : Spp_core.Instance.Release.t) =
   let release = Hashtbl.create 16 in
   List.iter
     (fun (t : Spp_core.Instance.Release.task) -> Hashtbl.replace release t.rect.Rect.id t.release)
     inst.tasks;
   let floor_of _placed (r : Rect.t) = Hashtbl.find release r.Rect.id in
   let eligible _placed remaining = remaining in
-  search (Spp_core.Instance.Release.rects inst) ~eligible ~floor_of
+  search (Spp_core.Instance.Release.rects inst) ~cancel ~eligible ~floor_of

@@ -18,9 +18,12 @@ type outcome = {
 }
 
 (** [best_prec inst] searches topological orders (precedence floors on y).
+    [cancel] (default {!Spp_util.Cancel.never}) is polled at every search
+    node; a tripped token aborts with [Spp_util.Cancel.Cancelled].
     @raise Invalid_argument when [n > 10]. *)
-val best_prec : Spp_core.Instance.Prec.t -> outcome
+val best_prec : ?cancel:Spp_util.Cancel.t -> Spp_core.Instance.Prec.t -> outcome
 
-(** [best_release inst] searches all orders (release floors on y).
+(** [best_release inst] searches all orders (release floors on y). Same
+    [cancel] contract as {!best_prec}.
     @raise Invalid_argument when [n > 10]. *)
-val best_release : Spp_core.Instance.Release.t -> outcome
+val best_release : ?cancel:Spp_util.Cancel.t -> Spp_core.Instance.Release.t -> outcome

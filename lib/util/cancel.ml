@@ -1,0 +1,26 @@
+type t = {
+  flag : bool Atomic.t;
+  deadline_ms : float;  (** absolute, [infinity] = none *)
+}
+
+exception Cancelled
+
+let never = { flag = Atomic.make false; deadline_ms = infinity }
+
+let create () = { flag = Atomic.make false; deadline_ms = infinity }
+
+let with_deadline_ms ms =
+  { flag = Atomic.make false; deadline_ms = Clock.now_ms () +. Float.max 0.0 ms }
+
+let cancel t = if t != never then Atomic.set t.flag true
+
+let cancelled t =
+  Atomic.get t.flag
+  || (t.deadline_ms < infinity && Clock.now_ms () >= t.deadline_ms)
+
+let check t = if cancelled t then raise Cancelled
+
+let remaining_ms t =
+  if Atomic.get t.flag then Some 0.0
+  else if t.deadline_ms = infinity then None
+  else Some (Float.max 0.0 (t.deadline_ms -. Clock.now_ms ()))

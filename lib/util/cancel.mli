@@ -1,0 +1,39 @@
+(** Cooperative cancellation tokens.
+
+    Long-running solvers (exact branch and bound, column generation, the
+    APTAS pipeline) accept a token and poll it at their natural loop
+    boundaries; the engine's portfolio runner hands every racer a token
+    whose deadline is the run's wall-clock budget. Tokens are domain-safe:
+    one domain may {!cancel} while others poll.
+
+    A token trips when it is cancelled explicitly {e or} its deadline
+    passes; once tripped it stays tripped. *)
+
+type t
+
+(** Raised by {!check} on a tripped token. Solvers let it escape; the
+    portfolio runner maps it to a [Timed_out] outcome. *)
+exception Cancelled
+
+(** A token that never trips. The default everywhere, so direct library
+    calls behave exactly as before the engine existed. *)
+val never : t
+
+(** [create ()] is a token with no deadline, tripped only by {!cancel}. *)
+val create : unit -> t
+
+(** [with_deadline_ms ms] trips once [ms] milliseconds of wall-clock time
+    have elapsed (immediately for [ms <= 0]). *)
+val with_deadline_ms : float -> t
+
+(** [cancel t] trips the token. Idempotent; no effect on {!never}. *)
+val cancel : t -> unit
+
+val cancelled : t -> bool
+
+(** [check t] raises {!Cancelled} iff the token has tripped. *)
+val check : t -> unit
+
+(** [remaining_ms t] is the wall-clock budget left: [None] when unlimited,
+    [Some 0.] once tripped. *)
+val remaining_ms : t -> float option

@@ -1,0 +1,11 @@
+let last = Atomic.make 0.0
+
+let rec clamp t =
+  let prev = Atomic.get last in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last prev t then t
+  else clamp t
+
+let now_ms () = clamp (Unix.gettimeofday () *. 1000.0)
+
+let elapsed_ms since = Float.max 0.0 (now_ms () -. since)

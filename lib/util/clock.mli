@@ -1,0 +1,12 @@
+(** Monotonic wall-clock time for deadlines and telemetry.
+
+    [Unix.gettimeofday] clamped to be non-decreasing across the whole
+    process (a CAS loop over the last value returned), so durations and
+    deadlines never go backwards even if the system clock is stepped.
+    Domain-safe. *)
+
+(** [now_ms ()] is milliseconds since the Unix epoch, non-decreasing. *)
+val now_ms : unit -> float
+
+(** [elapsed_ms since] is [now_ms () -. since] (never negative). *)
+val elapsed_ms : float -> float

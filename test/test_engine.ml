@@ -1,0 +1,310 @@
+(* Tests for Spp_engine: fingerprint canonicality, LRU accounting,
+   telemetry export, cancellation tokens, the disk store, and the engine's
+   caching / budget / never-worse-than-members guarantees. *)
+
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Prng = Spp_util.Prng
+module Cancel = Spp_util.Cancel
+module I = Spp_core.Instance
+module Io = Spp_core.Io
+module Validate = Spp_core.Validate
+module Generators = Spp_workloads.Generators
+module Fingerprint = Spp_engine.Fingerprint
+module Lru = Spp_engine.Lru
+module Telemetry = Spp_engine.Telemetry
+module Portfolio = Spp_engine.Portfolio
+module Store = Spp_engine.Store
+module Engine = Spp_engine.Engine
+
+let q = Q.of_ints
+
+let random_prec seed n =
+  let rng = Prng.create seed in
+  Generators.random_prec rng ~n ~k:8 ~h_den:4 ~shape:`Series_parallel
+
+let random_release seed n =
+  let rng = Prng.create seed in
+  Generators.random_release rng ~n ~k:2 ~h_den:4 ~r_den:2 ~load:1.3
+
+let check_valid parsed p =
+  let violations =
+    match parsed with
+    | Io.Prec inst -> Validate.check_prec inst p
+    | Io.Release inst -> Validate.check_release inst p
+  in
+  Alcotest.(check int) "no violations" 0 (List.length violations)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint *)
+
+let test_fingerprint_order_independent () =
+  let r0 = Rect.make ~id:0 ~w:(q 1 2) ~h:Q.one in
+  let r1 = Rect.make ~id:1 ~w:(q 1 4) ~h:(q 3 4) in
+  let dag = Spp_dag.Dag.of_edges ~nodes:[ 0; 1 ] ~edges:[ (0, 1) ] in
+  let a = I.Prec.make [ r0; r1 ] dag in
+  let b = I.Prec.make [ r1; r0 ] dag in
+  Alcotest.(check string) "rect order ignored" (Fingerprint.prec a) (Fingerprint.prec b)
+
+let test_fingerprint_distinguishes () =
+  let a = random_prec 1 10 and b = random_prec 2 10 in
+  if Fingerprint.prec a = Fingerprint.prec b then Alcotest.fail "distinct instances collide";
+  (* An edge flip must change the fingerprint even with identical rects. *)
+  let r0 = Rect.make ~id:0 ~w:(q 1 2) ~h:Q.one in
+  let r1 = Rect.make ~id:1 ~w:(q 1 4) ~h:Q.one in
+  let with_edge =
+    I.Prec.make [ r0; r1 ] (Spp_dag.Dag.of_edges ~nodes:[ 0; 1 ] ~edges:[ (0, 1) ])
+  in
+  let without = I.Prec.unconstrained [ r0; r1 ] in
+  if Fingerprint.prec with_edge = Fingerprint.prec without then
+    Alcotest.fail "edge set not fingerprinted"
+
+let test_fingerprint_variant_tagged () =
+  (* A release instance never collides with a precedence instance, even
+     with identical rectangles. *)
+  let rect = Rect.make ~id:0 ~w:Q.one ~h:Q.one in
+  let p = I.Prec.unconstrained [ rect ] in
+  let r = I.Release.make ~k:1 [ { I.Release.rect; release = Q.zero } ] in
+  if Fingerprint.prec p = Fingerprint.release r then Alcotest.fail "variants collide"
+
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let test_lru_hit_miss_evict () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check (option int)) "miss" None (Lru.find c "a");
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find c "a");
+  (* "b" is now least recently used; adding "c" evicts it. *)
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  let s = Lru.stats c in
+  Alcotest.(check int) "hits" 3 s.Lru.hits;
+  Alcotest.(check int) "misses" 2 s.Lru.misses;
+  Alcotest.(check int) "evictions" 1 s.Lru.evictions;
+  Alcotest.(check int) "size" 2 s.Lru.size
+
+let test_lru_replace () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "a" 9;
+  Alcotest.(check (option int)) "replaced" (Some 9) (Lru.find c "a");
+  Alcotest.(check int) "no eviction" 0 (Lru.stats c).Lru.evictions;
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry *)
+
+let test_telemetry_counters_events () =
+  let tm = Telemetry.create () in
+  Telemetry.incr tm "x";
+  Telemetry.incr ~by:2 tm "x";
+  Telemetry.incr tm "y";
+  Alcotest.(check int) "counter x" 3 (Telemetry.counter tm "x");
+  Alcotest.(check int) "absent counter" 0 (Telemetry.counter tm "z");
+  Telemetry.record tm ~name:"ev" [ ("s", Telemetry.String "a\"b"); ("n", Telemetry.Int 7) ];
+  let v = Telemetry.time tm ~name:"timed" ~fields:[] (fun () -> 42) in
+  Alcotest.(check int) "time returns" 42 v;
+  let events = Telemetry.events tm in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  Alcotest.(check (list string)) "chronological" [ "ev"; "timed" ]
+    (List.map (fun (e : Telemetry.event) -> e.Telemetry.name) events);
+  let json = Telemetry.to_json_lines tm in
+  let contains needle =
+    let nh = String.length json and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub json i nn = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "json contains %s" needle) true (nn = 0 || go 0)
+  in
+  contains "{\"counter\":\"x\",\"value\":3}";
+  contains "\"event\":\"timed\"";
+  contains "\"outcome\":\"ok\"";
+  contains "\\\"";  (* the quote in "a\"b" is escaped *)
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Cancel *)
+
+let test_cancel_tokens () =
+  Alcotest.(check bool) "never not cancelled" false (Cancel.cancelled Cancel.never);
+  Cancel.check Cancel.never;
+  let t = Cancel.create () in
+  Alcotest.(check bool) "fresh" false (Cancel.cancelled t);
+  Cancel.cancel t;
+  Alcotest.(check bool) "tripped" true (Cancel.cancelled t);
+  Alcotest.check_raises "check raises" Cancel.Cancelled (fun () -> Cancel.check t);
+  let zero = Cancel.with_deadline_ms 0.0 in
+  Alcotest.(check bool) "zero deadline trips immediately" true (Cancel.cancelled zero);
+  let far = Cancel.with_deadline_ms 60_000.0 in
+  Alcotest.(check bool) "far deadline not tripped" false (Cancel.cancelled far)
+
+let test_cancel_stops_exact_search () =
+  let inst = random_prec 3 10 in
+  let t = Cancel.create () in
+  Cancel.cancel t;
+  Alcotest.check_raises "order search aborts" Cancel.Cancelled (fun () ->
+      ignore (Spp_exact.Order_search.best_prec ~cancel:t inst))
+
+(* ------------------------------------------------------------------ *)
+(* Store *)
+
+let temp_store_dir () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "spp_store_test_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+
+let test_store_roundtrip () =
+  let dir = temp_store_dir () in
+  let store = Store.create ~dir in
+  let inst = random_prec 7 8 in
+  let p = Spp_core.List_schedule.prec inst in
+  let fingerprint = Fingerprint.prec inst in
+  Alcotest.(check bool) "initially absent" true
+    (Store.find store ~rects:inst.rects ~fingerprint = None);
+  Store.add store ~fingerprint ~winner:"ls" p;
+  (match Store.find store ~rects:inst.rects ~fingerprint with
+   | None -> Alcotest.fail "entry not found after add"
+   | Some (winner, p') ->
+     Alcotest.(check string) "winner" "ls" winner;
+     Alcotest.(check string) "bit-identical placement"
+       (Io.placement_to_string p) (Io.placement_to_string p'));
+  (* A corrupt entry degrades to a miss, never an exception. *)
+  Out_channel.with_open_text (Filename.concat dir (fingerprint ^ ".sol")) (fun oc ->
+      Out_channel.output_string oc "garbage\n");
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (Store.find store ~rects:inst.rects ~fingerprint = None)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_cache_bit_identical () =
+  let engine = Engine.create () in
+  let parsed = Io.Prec (random_prec 11 16) in
+  let a = Engine.solve engine parsed in
+  let b = Engine.solve engine parsed in
+  Alcotest.(check bool) "first computed" true (a.Engine.source = Engine.Computed);
+  Alcotest.(check bool) "second from memory cache" true (b.Engine.source = Engine.Memory_cache);
+  Alcotest.(check string) "bit-identical packing"
+    (Io.placement_to_string a.Engine.placement)
+    (Io.placement_to_string b.Engine.placement);
+  Alcotest.(check string) "same winner" a.Engine.winner b.Engine.winner;
+  let tm = Engine.telemetry engine in
+  Alcotest.(check int) "one cache hit" 1 (Telemetry.counter tm "cache.hit");
+  Alcotest.(check int) "one cache miss" 1 (Telemetry.counter tm "cache.miss")
+
+let test_engine_zero_budget_valid () =
+  (* A zero budget trips every cancellation point immediately; the engine
+     must still return a valid packing via its uncancellable fallback. *)
+  let parsed = Io.Prec (random_prec 13 9) in
+  let engine = Engine.create () in
+  (* Exact members poll the token, so with only those racing the fallback
+     list scheduler must kick in. *)
+  let res = Engine.solve ~budget_ms:0.0 ~algos:[ "bb"; "order" ] engine parsed in
+  check_valid parsed res.Engine.placement;
+  Alcotest.(check string) "fallback won" "ls(fallback)" res.Engine.winner;
+  Alcotest.(check bool) "members timed out" true
+    (List.exists
+       (fun (o : Engine.outcome) -> o.Engine.status = Engine.Timed_out)
+       res.Engine.outcomes);
+  (* Default portfolio under zero budget is also always valid. *)
+  let res = Engine.solve ~budget_ms:0.0 engine parsed in
+  check_valid parsed res.Engine.placement
+
+let test_engine_zero_budget_release () =
+  let parsed = Io.Release (random_release 5 8) in
+  let engine = Engine.create () in
+  let res = Engine.solve ~budget_ms:0.0 engine parsed in
+  check_valid parsed res.Engine.placement
+
+let test_engine_never_worse_than_members () =
+  List.iter
+    (fun seed ->
+      let parsed = Io.Prec (random_prec seed 8) in
+      let engine = Engine.create () in
+      let res = Engine.solve engine parsed in
+      check_valid parsed res.Engine.placement;
+      List.iter
+        (fun (spec : Portfolio.spec) ->
+          let p = spec.Portfolio.run ~cancel:Cancel.never parsed in
+          let h = Placement.height p in
+          if Q.compare res.Engine.height h > 0 then
+            Alcotest.failf "portfolio (%s) worse than member %s on seed %d"
+              (Q.to_string res.Engine.height) spec.Portfolio.name seed)
+        (Portfolio.defaults parsed))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_engine_explicit_algos () =
+  let parsed = Io.Prec (random_prec 21 12) in
+  let engine = Engine.create () in
+  (* "aptas" does not apply to a precedence instance: reported as skipped,
+     not raced; "dc" still wins. *)
+  let res = Engine.solve ~algos:[ "dc"; "aptas" ] engine parsed in
+  Alcotest.(check string) "dc wins" "dc" res.Engine.winner;
+  Alcotest.(check bool) "aptas skipped" true
+    (List.exists
+       (fun (o : Engine.outcome) ->
+         o.Engine.solver = "aptas"
+         && match o.Engine.status with Engine.Skipped _ -> true | _ -> false)
+       res.Engine.outcomes);
+  (* A fresh instance, so the lookup cannot be short-circuited by a cache
+     hit before the algorithm list is validated. *)
+  let fresh = Io.Prec (random_prec 22 12) in
+  Alcotest.check_raises "unknown algo rejected"
+    (Invalid_argument
+       "unknown algorithm \"nope\" (known: dc, f, pff, wave, bb, order, aptas, shelf, ls)")
+    (fun () -> ignore (Engine.solve ~algos:[ "nope" ] engine fresh))
+
+let test_engine_disk_store () =
+  let dir = temp_store_dir () in
+  let parsed = Io.Prec (random_prec 31 10) in
+  let first = Engine.create ~store_dir:dir () in
+  let a = Engine.solve first parsed in
+  (* A fresh engine (fresh memory cache) sharing the directory hits disk. *)
+  let second = Engine.create ~store_dir:dir () in
+  let b = Engine.solve second parsed in
+  Alcotest.(check bool) "disk hit" true (b.Engine.source = Engine.Disk_cache);
+  Alcotest.(check string) "identical packing across processes"
+    (Io.placement_to_string a.Engine.placement)
+    (Io.placement_to_string b.Engine.placement);
+  Alcotest.(check int) "disk hit counter" 1
+    (Telemetry.counter (Engine.telemetry second) "cache.hit.disk")
+
+let () =
+  Alcotest.run "spp_engine"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "order independent" `Quick test_fingerprint_order_independent;
+          Alcotest.test_case "distinguishes instances" `Quick test_fingerprint_distinguishes;
+          Alcotest.test_case "variant tagged" `Quick test_fingerprint_variant_tagged;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "hit/miss/evict" `Quick test_lru_hit_miss_evict;
+          Alcotest.test_case "replace" `Quick test_lru_replace;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "counters and events" `Quick test_telemetry_counters_events ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "tokens" `Quick test_cancel_tokens;
+          Alcotest.test_case "stops exact search" `Quick test_cancel_stops_exact_search;
+        ] );
+      ("store", [ Alcotest.test_case "roundtrip" `Quick test_store_roundtrip ]);
+      ( "engine",
+        [
+          Alcotest.test_case "cache returns bit-identical packing" `Quick
+            test_engine_cache_bit_identical;
+          Alcotest.test_case "zero budget still valid (prec)" `Quick test_engine_zero_budget_valid;
+          Alcotest.test_case "zero budget still valid (release)" `Quick
+            test_engine_zero_budget_release;
+          Alcotest.test_case "never worse than members" `Quick
+            test_engine_never_worse_than_members;
+          Alcotest.test_case "explicit algos" `Quick test_engine_explicit_algos;
+          Alcotest.test_case "disk store" `Quick test_engine_disk_store;
+        ] );
+    ]

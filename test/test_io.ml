@@ -172,6 +172,71 @@ let prop_parser_total_structured =
       | exception Failure _ -> true
       | exception _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* CLI error classification: parse errors and I/O errors get distinct
+   sysexits-style codes and a one-line hint. Tests run from
+   _build/default/test, so the built binary sits at ../bin/spp.exe. *)
+
+let spp_exe = Filename.concat ".." (Filename.concat "bin" "spp.exe")
+
+let run_cli args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote spp_exe) args)
+
+let test_cli_parse_error_exit () =
+  let bad = Filename.temp_file "spp_garbage" ".spp" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bad with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc "rect 0 x 1\n";
+      close_out oc;
+      Alcotest.(check int) "parse error exits 65" 65
+        (run_cli (Printf.sprintf "pack %s" (Filename.quote bad)));
+      Alcotest.(check int) "solve classifies the same way" 65
+        (run_cli (Printf.sprintf "solve --no-cache %s" (Filename.quote bad))))
+
+let test_cli_io_error_exit () =
+  let missing = Filename.concat (Filename.get_temp_dir_name ()) "spp_no_such_file.spp" in
+  (try Sys.remove missing with Sys_error _ -> ());
+  Alcotest.(check int) "missing file exits 66" 66
+    (run_cli (Printf.sprintf "pack %s" (Filename.quote missing)));
+  Alcotest.(check int) "solve classifies the same way" 66
+    (run_cli (Printf.sprintf "solve --no-cache %s" (Filename.quote missing)))
+
+let test_cli_parse_error_hint () =
+  (* The stderr line must carry both the parse failure and the hint. *)
+  let bad = Filename.temp_file "spp_garbage" ".spp" in
+  let err = Filename.temp_file "spp_stderr" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ bad; err ])
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc "bogus directive\n";
+      close_out oc;
+      let code =
+        Sys.command
+          (Printf.sprintf "%s pack %s >/dev/null 2>%s" (Filename.quote spp_exe)
+             (Filename.quote bad) (Filename.quote err))
+      in
+      Alcotest.(check int) "exit code" 65 code;
+      let ic = open_in err in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "names the offending line" true (contains_substring text "line 1");
+      Alcotest.(check bool) "carries a hint" true (contains_substring text "hint:"))
+
+(* Library-level contract behind the CLI classification. *)
+let test_error_exceptions () =
+  (match Io.parse_string "rect 0 x 1\n" with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "expected Failure for a parse error");
+  match Io.read_file "/nonexistent/spp/input.spp" with
+  | exception Sys_error _ -> ()
+  | exception Failure _ -> Alcotest.fail "I/O error must not be a Failure"
+  | _ -> Alcotest.fail "expected Sys_error for a missing file"
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "spp_io"
@@ -184,6 +249,13 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
         ] );
       ("fuzz", qt [ prop_parser_total; prop_parser_total_structured ]);
+      ( "cli-errors",
+        [
+          Alcotest.test_case "parse error exit code" `Quick test_cli_parse_error_exit;
+          Alcotest.test_case "io error exit code" `Quick test_cli_io_error_exit;
+          Alcotest.test_case "parse error hint" `Quick test_cli_parse_error_hint;
+          Alcotest.test_case "library exceptions" `Quick test_error_exceptions;
+        ] );
       ( "roundtrip",
         Alcotest.test_case "prec" `Quick test_prec_roundtrip
         :: Alcotest.test_case "release" `Quick test_release_roundtrip

@@ -178,10 +178,44 @@ let test_parallel_matches_sequential () =
   Alcotest.(check (list int)) "empty" [] (Parallel.map f ([] : int list));
   Alcotest.(check (list int)) "singleton" [ 2 ] (Parallel.map f [ 1 ])
 
+let test_parallel_large_matches_list_map () =
+  (* 1000 items: order preservation against List.map at several widths. *)
+  let xs = List.init 1000 (fun i -> i - 500) in
+  let f x = (x * 31) lxor 7 in
+  let expected = List.map f xs in
+  List.iter
+    (fun workers ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "1k items, %d workers" workers)
+        expected
+        (Parallel.map ~workers f xs))
+    [ 1; 2; 8 ]
+
 let test_parallel_propagates_exception () =
   Alcotest.check_raises "worker exception surfaces" (Failure "boom") (fun () ->
       ignore (Parallel.map ~workers:4 (fun x -> if x = 37 then failwith "boom" else x)
-                (List.init 100 Fun.id)))
+                (List.init 100 Fun.id)));
+  Alcotest.check_raises "exception with workers:1" (Failure "boom") (fun () ->
+      ignore (Parallel.map ~workers:1 (fun x -> if x = 3 then failwith "boom" else x)
+                (List.init 10 Fun.id)))
+
+let test_parallel_single_worker_sequential () =
+  (* workers:1 must fall back to sequential evaluation in the calling
+     domain: side effects happen in input order, and no other domain runs
+     the function. *)
+  let order = ref [] in
+  let self = Domain.self () in
+  let xs = List.init 50 Fun.id in
+  let res =
+    Parallel.map ~workers:1
+      (fun x ->
+        order := x :: !order;
+        Alcotest.(check bool) "runs in calling domain" true (Domain.self () = self);
+        x + 1)
+      xs
+  in
+  Alcotest.(check (list int)) "results" (List.map succ xs) res;
+  Alcotest.(check (list int)) "side effects in input order" xs (List.rev !order)
 
 let test_parallel_real_workload () =
   (* Actual domain-parallel packing: results identical to sequential. *)
@@ -194,6 +228,25 @@ let test_parallel_real_workload () =
   in
   Alcotest.(check (list int)) "parallel = sequential" (List.map pack seeds)
     (Parallel.map ~workers:3 pack seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+module Clock = Spp_util.Clock
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now_ms ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now_ms () in
+    if t < !prev then Alcotest.fail "clock went backwards";
+    prev := t
+  done
+
+let test_clock_elapsed_nonnegative () =
+  let t0 = Clock.now_ms () in
+  Alcotest.(check bool) "elapsed >= 0" true (Clock.elapsed_ms t0 >= 0.0);
+  (* Even against a reference in the future. *)
+  Alcotest.(check (float 0.0)) "clamped at zero" 0.0 (Clock.elapsed_ms (t0 +. 1e9))
 
 (* ------------------------------------------------------------------ *)
 (* Table *)
@@ -246,8 +299,16 @@ let () =
       ( "parallel",
         [
           Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "1k items vs List.map" `Quick test_parallel_large_matches_list_map;
           Alcotest.test_case "exception propagation" `Quick test_parallel_propagates_exception;
+          Alcotest.test_case "workers:1 sequential fallback" `Quick
+            test_parallel_single_worker_sequential;
           Alcotest.test_case "real workload" `Quick test_parallel_real_workload;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "elapsed nonnegative" `Quick test_clock_elapsed_nonnegative;
         ] );
       ( "table",
         [
