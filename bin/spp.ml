@@ -8,7 +8,10 @@
      aptas     run the release-time APTAS
      bounds    print the lower bounds of an instance
      exact     exact/reference solutions for small instances
-     simulate  pack and execute on the simulated FPGA, print a Gantt chart *)
+     simulate  pack and execute on the simulated FPGA, print a Gantt chart
+     serve     long-running engine daemon on a Unix/TCP socket
+     client    one request against a running spp serve
+     loadgen   closed-loop load generator with latency percentiles *)
 
 module Q = Spp_num.Rat
 module Rect = Spp_geom.Rect
@@ -20,6 +23,13 @@ module Io = Spp_core.Io
 module Validate = Spp_core.Validate
 module Engine = Spp_engine.Engine
 module Telemetry = Spp_engine.Telemetry
+module Framing = Spp_server.Framing
+module Protocol = Spp_server.Protocol
+module Server = Spp_server.Server
+module Client = Spp_server.Client
+module Signals = Spp_server.Signals
+module Clock = Spp_util.Clock
+module Stats = Spp_util.Stats
 open Cmdliner
 
 (* Distinct failure exit codes (sysexits.h): a malformed instance file is
@@ -191,9 +201,21 @@ let cache_dir_arg =
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the disk cache for this run.")
 
-let make_engine ~cache_dir ~no_cache =
+let cache_max_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cache-max" ]
+           ~doc:(Printf.sprintf
+                   "Disk cache entry cap; oldest entries are pruned above it (default %d)."
+                   Spp_engine.Store.default_max_entries))
+
+let make_engine ~cache_dir ~no_cache ~cache_max =
+  (match cache_max with
+   | Some n when n < 1 ->
+     Printf.eprintf "error: --cache-max must be >= 1\n";
+     exit 1
+   | _ -> ());
   let store_dir = if no_cache then None else (match cache_dir with Some d -> Some d | None -> default_cache_dir ()) in
-  Engine.create ?store_dir ()
+  Engine.create ?store_dir ?store_max_entries:cache_max ()
 
 let write_stats engine = function
   | None -> ()
@@ -230,9 +252,9 @@ let solve_cmd =
     Arg.(value & opt int 1
          & info [ "repeat" ] ~doc:"Solve the instance N times (exercises the instance cache).")
   in
-  let run file budget_ms algos workers stats_json cache_dir no_cache repeat =
+  let run file budget_ms algos workers stats_json cache_dir no_cache cache_max repeat =
     let parsed = read_instance file in
-    let engine = make_engine ~cache_dir ~no_cache in
+    let engine = make_engine ~cache_dir ~no_cache ~cache_max in
     let res = ref None in
     for _ = 1 to max 1 repeat do
       res := Some (run_engine_solve engine ?budget_ms ?algos ?workers parsed)
@@ -243,11 +265,22 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve with the portfolio engine (auto algorithm choice, budget, cache)")
     Term.(const run $ file $ budget_arg $ algos_arg $ workers_arg $ stats_json_arg
-          $ cache_dir_arg $ no_cache_arg $ repeat)
+          $ cache_dir_arg $ no_cache_arg $ cache_max_arg $ repeat)
 
 let batch_cmd =
   let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
-  let run dir budget_ms algos workers stats_json cache_dir no_cache =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ]
+             ~doc:"Solve up to N files concurrently. The engine (and both caches) is shared \
+                   across jobs; per-solve racing narrows so jobs * racers stays near the core \
+                   count unless $(b,--workers) is given.")
+  in
+  let run dir budget_ms algos workers stats_json cache_dir no_cache cache_max jobs =
+    if jobs < 1 then begin
+      Printf.eprintf "error: --jobs must be >= 1\n";
+      exit 1
+    end;
     let files =
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f -> Filename.check_suffix f ".spp")
@@ -257,24 +290,47 @@ let batch_cmd =
       Printf.eprintf "error: no *.spp files in %s\n" dir;
       exit exit_io_error
     end;
-    let engine = make_engine ~cache_dir ~no_cache in
+    let engine = make_engine ~cache_dir ~no_cache ~cache_max in
+    let solve_workers =
+      match workers with
+      | Some _ -> workers
+      | None ->
+        if jobs > 1 then Some (max 1 (Spp_util.Parallel.available_workers () / jobs)) else None
+    in
+    let t0 = Clock.now_ms () in
+    let results =
+      Spp_util.Parallel.map ~workers:jobs
+        (fun f ->
+          let path = Filename.concat dir f in
+          match Io.read_file path with
+          | exception (Failure msg | Sys_error msg) -> (f, Error msg)
+          | parsed -> (
+            let variant, n =
+              match parsed with
+              | Io.Prec inst -> ("prec", I.Prec.size inst)
+              | Io.Release inst -> ("release", I.Release.size inst)
+            in
+            match Engine.solve ?budget_ms ?algos ?workers:solve_workers engine parsed with
+            | res -> (f, Ok (variant, n, res))
+            | exception Invalid_argument msg -> (f, Error msg)))
+        files
+    in
+    let wall_ms = Clock.elapsed_ms t0 in
     let t = Table.create ~columns:[ "file"; "variant"; "n"; "winner"; "height"; "ms"; "source" ] in
-    let parse_failures = ref 0 in
+    let failures = ref 0 and hits = ref 0 and wins = Hashtbl.create 8 in
     List.iter
-      (fun f ->
-        let path = Filename.concat dir f in
-        match Io.read_file path with
-        | exception Failure msg ->
-          incr parse_failures;
+      (fun (f, r) ->
+        match r with
+        | Error msg ->
+          incr failures;
           Printf.eprintf "error: %s\n" msg;
-          Table.add_row t [ f; "-"; "-"; "parse error"; "-"; "-"; "-" ]
-        | parsed ->
-          let variant, n =
-            match parsed with
-            | Io.Prec inst -> ("prec", I.Prec.size inst)
-            | Io.Release inst -> ("release", I.Release.size inst)
-          in
-          let res = run_engine_solve engine ?budget_ms ?algos ?workers parsed in
+          Table.add_row t [ f; "-"; "-"; "error"; "-"; "-"; "-" ]
+        | Ok (variant, n, res) ->
+          (match res.Engine.source with
+           | Engine.Computed ->
+             Hashtbl.replace wins res.Engine.winner
+               (1 + Option.value ~default:0 (Hashtbl.find_opt wins res.Engine.winner))
+           | Engine.Memory_cache | Engine.Disk_cache -> incr hits);
           Table.add_row t
             [ f; variant; string_of_int n; res.Engine.winner;
               Q.to_string res.Engine.height; Printf.sprintf "%.1f" res.Engine.time_ms;
@@ -282,15 +338,26 @@ let batch_cmd =
                | Engine.Computed -> "computed"
                | Engine.Memory_cache -> "cache.memory"
                | Engine.Disk_cache -> "cache.disk") ])
-      files;
+      results;
+    let win_counts =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) wins []
+      |> List.sort (fun (a, x) (b, y) -> match compare y x with 0 -> compare a b | c -> c)
+      |> List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v)
+      |> String.concat " "
+    in
+    Table.add_row t
+      [ "(total)"; "-"; string_of_int (List.length files);
+        (if win_counts = "" then "-" else win_counts); "-";
+        Printf.sprintf "%.1f" wall_ms;
+        Printf.sprintf "%d cache hit%s" !hits (if !hits = 1 then "" else "s") ];
     Table.print t;
     write_stats engine stats_json;
-    if !parse_failures > 0 then exit exit_parse_error
+    if !failures > 0 then exit exit_parse_error
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Run the portfolio engine over every *.spp file in a directory")
     Term.(const run $ dir $ budget_arg $ algos_arg $ workers_arg $ stats_json_arg
-          $ cache_dir_arg $ no_cache_arg)
+          $ cache_dir_arg $ no_cache_arg $ cache_max_arg $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* aptas *)
@@ -471,6 +538,281 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Check a placement file against an instance (exit 0 iff valid)")
     Term.(const run $ inst_file $ placement_file)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client / loadgen — the network serving layer *)
+
+(* More sysexits: a transient refusal (queue full) is EX_TEMPFAIL so shell
+   loops can retry; a draining server is EX_UNAVAILABLE; a server-side
+   crash is EX_SOFTWARE. *)
+let exit_temp_fail = 75
+let exit_unavailable = 69
+let exit_software = 70
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"TCP port.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port)).")
+
+let resolve_address socket port host =
+  match (socket, port) with
+  | Some path, None -> Framing.Unix_sock path
+  | None, Some p -> Framing.Tcp (host, p)
+  | Some _, Some _ ->
+    Printf.eprintf "error: pass --socket or --port, not both\n";
+    exit 64
+  | None, None ->
+    Printf.eprintf "error: pass --socket PATH or --port PORT\n";
+    exit 64
+
+let connect_or_die address =
+  try Client.connect address with
+  | Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "error: cannot connect to %s: %s\n" (Framing.address_to_string address)
+      (Unix.error_message e);
+    exit exit_io_error
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ]
+             ~doc:"Worker domains sharing the engine (default: one per core, up to 8).")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64
+         & info [ "queue-depth" ]
+             ~doc:"Admission queue bound; solve requests beyond it get an immediate \
+                   $(i,overloaded) error.")
+  in
+  let run socket port host workers queue_depth budget_ms cache_dir no_cache cache_max stats_json =
+    let address = resolve_address socket port host in
+    (match workers with
+     | Some w when w < 1 ->
+       Printf.eprintf "error: --workers must be >= 1\n";
+       exit 1
+     | _ -> ());
+    if queue_depth < 1 then begin
+      Printf.eprintf "error: --queue-depth must be >= 1\n";
+      exit 1
+    end;
+    let available = Spp_util.Parallel.available_workers () in
+    let workers = match workers with Some w -> w | None -> max 1 available in
+    let engine = make_engine ~cache_dir ~no_cache ~cache_max in
+    let cfg =
+      { Server.address; workers; queue_depth; engine; default_budget_ms = budget_ms;
+        (* Each worker races portfolio members on its own domains; narrow the
+           per-solve width so workers * racers stays near the core count. *)
+        solve_workers = Some (max 1 (available / workers));
+        max_request_bytes = Server.default_max_request_bytes }
+    in
+    let srv =
+      try Server.start cfg with
+      | Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "error: cannot listen on %s: %s%s\n" (Framing.address_to_string address)
+          (Unix.error_message e) (if arg = "" then "" else " (" ^ arg ^ ")");
+        exit exit_io_error
+    in
+    Printf.eprintf "spp serve: listening on %s (%d worker%s, queue depth %d)\n%!"
+      (Framing.address_to_string address) workers (if workers = 1 then "" else "s") queue_depth;
+    Signals.on_termination (fun () -> Server.stop srv);
+    Server.wait srv;
+    Printf.eprintf "spp serve: drained, exiting\n%!";
+    write_stats engine stats_json
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the portfolio engine as a daemon on a Unix or TCP socket (see README.md for \
+             the wire protocol)")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue_depth $ budget_arg
+          $ cache_dir_arg $ no_cache_arg $ cache_max_arg $ stats_json_arg)
+
+let exit_code_of_error = function
+  | Protocol.Parse | Protocol.Bad_request | Protocol.Bad_instance -> exit_parse_error
+  | Protocol.Overloaded -> exit_temp_fail
+  | Protocol.Shutting_down -> exit_unavailable
+  | Protocol.Internal -> exit_software
+
+let print_metrics (m : Protocol.metrics_reply) =
+  Printf.printf "uptime_ms       %.0f\n" m.Protocol.uptime_ms;
+  Printf.printf "workers         %d\n" m.Protocol.workers;
+  Printf.printf "queue           %d/%d\n" m.Protocol.queue_length m.Protocol.queue_capacity;
+  let c = m.Protocol.cache in
+  Printf.printf "lru             size %d/%d, hits %d, misses %d, evictions %d\n"
+    c.Protocol.size c.Protocol.capacity c.Protocol.hits c.Protocol.misses c.Protocol.evictions;
+  (match m.Protocol.store_dir with
+   | Some d -> Printf.printf "store           %s\n" d
+   | None -> Printf.printf "store           disabled\n");
+  List.iter (fun (k, v) -> Printf.printf "counter %-24s %d\n" k v) m.Protocol.counters
+
+let client_cmd =
+  let op =
+    Arg.(required
+         & pos 0
+             (some (enum
+                      [ ("solve", `Solve); ("metrics", `Metrics); ("health", `Health);
+                        ("shutdown", `Shutdown) ]))
+             None
+         & info [] ~docv:"OP" ~doc:"One of solve, metrics, health, shutdown.")
+  in
+  let file =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Instance file (required for solve).")
+  in
+  let run op file socket port host budget_ms algos =
+    let address = resolve_address socket port host in
+    let req =
+      match op with
+      | `Metrics -> Protocol.Metrics
+      | `Health -> Protocol.Health
+      | `Shutdown -> Protocol.Shutdown
+      | `Solve -> (
+        match file with
+        | None ->
+          Printf.eprintf "error: solve needs an instance FILE\n";
+          exit 64
+        | Some path ->
+          let instance =
+            try In_channel.with_open_text path In_channel.input_all with
+            | Sys_error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit exit_io_error
+          in
+          Protocol.Solve { instance; budget_ms; algos })
+    in
+    let resp =
+      let c = connect_or_die address in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          try Client.request c req with
+          | Failure msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit exit_io_error)
+    in
+    match resp with
+    | Protocol.Error { code; message } ->
+      Printf.eprintf "error (%s): %s\n" (Protocol.error_code_to_string code) message;
+      exit (exit_code_of_error code)
+    | Protocol.Health_ok -> print_endline "ok"
+    | Protocol.Shutdown_ok -> print_endline "draining"
+    | Protocol.Metrics_ok m -> print_metrics m
+    | Protocol.Solve_ok r ->
+      Printf.printf "# winner %s\n" r.Protocol.winner;
+      Printf.printf "# source %s\n" r.Protocol.source;
+      Printf.printf "# ms %.2f\n" r.Protocol.time_ms;
+      print_string r.Protocol.placement
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Send one request to a running spp serve")
+    Term.(const run $ op $ file $ socket_arg $ port_arg $ host_arg $ budget_arg $ algos_arg)
+
+let loadgen_cmd =
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let connections =
+    Arg.(value & opt int 8
+         & info [ "connections" ] ~doc:"Concurrent client connections (closed loop).")
+  in
+  let requests =
+    Arg.(value & opt int 20 & info [ "requests" ] ~doc:"Solve requests per connection.")
+  in
+  let run dir connections requests socket port host budget_ms algos =
+    let address = resolve_address socket port host in
+    if connections < 1 || requests < 1 then begin
+      Printf.eprintf "error: --connections and --requests must be >= 1\n";
+      exit 1
+    end;
+    (* Pre-read and pre-parse the corpus: each reply's placement text is
+       re-bound to the instance's rects and re-validated, so "ok" below
+       means "valid packing", not just "200". *)
+    let instances =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".spp")
+      |> List.sort compare
+      |> List.filter_map (fun f ->
+             let path = Filename.concat dir f in
+             let text = try Some (In_channel.with_open_text path In_channel.input_all) with Sys_error _ -> None in
+             Option.bind text (fun text ->
+                 match Io.parse_string text with
+                 | exception Failure msg ->
+                   Printf.eprintf "warning: skipping %s: %s\n" f msg;
+                   None
+                 | parsed -> Some (f, text, parsed)))
+    in
+    if instances = [] then begin
+      Printf.eprintf "error: no parsable *.spp files in %s\n" dir;
+      exit exit_io_error
+    end;
+    let instances = Array.of_list instances in
+    let check parsed placement_text =
+      let rects =
+        match parsed with
+        | Io.Prec inst -> inst.I.Prec.rects
+        | Io.Release inst -> I.Release.rects inst
+      in
+      match Io.parse_placement ~rects placement_text with
+      | exception Failure _ -> false
+      | p -> (
+        match parsed with
+        | Io.Prec inst -> Validate.check_prec inst p = []
+        | Io.Release inst -> Validate.check_release inst p = [])
+    in
+    let ok = Atomic.make 0 and failed = Atomic.make 0 and invalid = Atomic.make 0 in
+    let latencies = Array.make connections [] in
+    let worker ci () =
+      match Client.connect address with
+      | c ->
+        Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+            for r = 0 to requests - 1 do
+              let _, text, parsed =
+                instances.((ci + (r * connections)) mod Array.length instances)
+              in
+              let t0 = Clock.now_ms () in
+              (match Client.request c (Protocol.Solve { instance = text; budget_ms; algos }) with
+               | Protocol.Solve_ok reply ->
+                 latencies.(ci) <- Clock.elapsed_ms t0 :: latencies.(ci);
+                 if check parsed reply.Protocol.placement then Atomic.incr ok
+                 else Atomic.incr invalid
+               | Protocol.Error _ -> Atomic.incr failed
+               | _ -> Atomic.incr failed
+               | exception Failure _ -> Atomic.incr failed)
+            done)
+      | exception _ -> ignore (Atomic.fetch_and_add failed requests)
+    in
+    let t0 = Clock.now_ms () in
+    let threads = List.init connections (fun ci -> Thread.create (worker ci) ()) in
+    List.iter Thread.join threads;
+    let wall_ms = Clock.elapsed_ms t0 in
+    let lats = Array.to_list latencies |> List.concat in
+    let total = Atomic.get ok + Atomic.get invalid + Atomic.get failed in
+    Printf.printf "connections     %d\n" connections;
+    Printf.printf "requests        %d (%d ok, %d invalid, %d failed)\n" total (Atomic.get ok)
+      (Atomic.get invalid) (Atomic.get failed);
+    Printf.printf "wall clock      %.1f ms\n" wall_ms;
+    Printf.printf "throughput      %.1f req/s\n" (float_of_int total /. (wall_ms /. 1000.));
+    if lats <> [] then begin
+      Printf.printf "latency p50     %.2f ms\n" (Stats.quantile 0.5 lats);
+      Printf.printf "latency p95     %.2f ms\n" (Stats.quantile 0.95 lats);
+      Printf.printf "latency p99     %.2f ms\n" (Stats.quantile 0.99 lats)
+    end;
+    (match Client.with_connection address (fun c -> Client.request c Protocol.Metrics) with
+     | Protocol.Metrics_ok m ->
+       let c = m.Protocol.cache in
+       Printf.printf "server lru      hits %d, misses %d, size %d/%d\n" c.Protocol.hits
+         c.Protocol.misses c.Protocol.size c.Protocol.capacity
+     | _ -> ()
+     | exception _ -> ());
+    if Atomic.get failed > 0 || Atomic.get invalid > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Closed-loop load generator against a running spp serve: N connections cycling \
+             the *.spp files in DIR, validating every reply")
+    Term.(const run $ dir $ connections $ requests $ socket_arg $ port_arg $ host_arg
+          $ budget_arg $ algos_arg)
+
 let () =
   let doc = "strip packing with precedence constraints and release times (Augustine-Banerjee-Irani)" in
   let info = Cmd.info "spp" ~version:"1.0.0" ~doc in
@@ -478,4 +820,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; pack_cmd; solve_cmd; batch_cmd; aptas_cmd; bounds_cmd; exact_cmd;
-            simulate_cmd; online_cmd; verify_cmd ]))
+            simulate_cmd; online_cmd; verify_cmd; serve_cmd; client_cmd; loadgen_cmd ]))

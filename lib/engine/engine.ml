@@ -38,12 +38,15 @@ type t = {
   tm : Telemetry.t;
 }
 
-let create ?(cache_capacity = 128) ?store_dir ?telemetry () =
+let create ?(cache_capacity = 128) ?store_dir ?store_max_entries ?telemetry () =
   { cache = Lru.create ~capacity:cache_capacity;
-    store = Option.map (fun dir -> Store.create ~dir) store_dir;
+    store = Option.map (fun dir -> Store.create ?max_entries:store_max_entries ~dir ()) store_dir;
     tm = Option.value telemetry ~default:(Telemetry.create ()) }
 
 let telemetry t = t.tm
+let cache_stats t = Lru.stats t.cache
+let cache_capacity t = Lru.capacity t.cache
+let store_dir t = Option.map Store.dir t.store
 
 let pp_status fmt = function
   | Solved -> Format.pp_print_string fmt "solved"

@@ -45,11 +45,23 @@ type t
 
 (** [create ()] builds an engine. [cache_capacity] bounds the in-memory
     LRU (default 128 instances). [store_dir] adds a disk cache shared
-    across processes. [telemetry] shares an external log (default: a
-    fresh one, retrievable via {!telemetry}). *)
-val create : ?cache_capacity:int -> ?store_dir:string -> ?telemetry:Telemetry.t -> unit -> t
+    across processes, bounded to [store_max_entries] files (default
+    {!Store.default_max_entries}). [telemetry] shares an external log
+    (default: a fresh one, retrievable via {!telemetry}). *)
+val create :
+  ?cache_capacity:int -> ?store_dir:string -> ?store_max_entries:int ->
+  ?telemetry:Telemetry.t -> unit -> t
 
 val telemetry : t -> Telemetry.t
+
+(** Hit/miss/eviction counters and current size of the in-memory LRU —
+    what the [spp serve] metrics endpoint reports. *)
+val cache_stats : t -> Lru.stats
+
+val cache_capacity : t -> int
+
+(** The disk cache directory, if the engine was created with one. *)
+val store_dir : t -> string option
 
 (** [solve t parsed] races the portfolio (or the cache) as described
     above. [budget_ms]: wall-clock budget shared by all racers (default:

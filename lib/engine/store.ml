@@ -1,4 +1,12 @@
-type t = { dir : string }
+type t = {
+  dir : string;
+  max_entries : int;
+  lock : Mutex.t;  (* guards count and the rename+prune sequence *)
+  mutable count : int;  (* .sol files currently in dir (approximate
+                           across processes, exact within one) *)
+}
+
+let default_max_entries = 512
 
 let rec mkdir_p path =
   if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path) then begin
@@ -6,11 +14,38 @@ let rec mkdir_p path =
     try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ~dir =
+let is_sol f = Filename.check_suffix f ".sol"
+
+(* Temp files are "<fp>.sol.tmp.<pid>.<seq>"; any file with ".tmp." in its
+   name is an orphan from a crashed writer (live ones exist only for the
+   microseconds between write and rename). *)
+let is_tmp f =
+  let marker = ".tmp." in
+  let nm = String.length marker and nf = String.length f in
+  let rec scan i = i + nm <= nf && (String.sub f i nm = marker || scan (i + 1)) in
+  scan 0
+
+let entries dir = try Sys.readdir dir with Sys_error _ -> [||]
+
+let create ?(max_entries = default_max_entries) ~dir () =
+  if max_entries < 1 then invalid_arg "Store.create: max_entries must be >= 1";
   mkdir_p dir;
-  { dir }
+  let count = ref 0 in
+  Array.iter
+    (fun f ->
+      if is_tmp f then (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      else if is_sol f then incr count)
+    (entries dir);
+  { dir; max_entries; lock = Mutex.create (); count = !count }
 
 let dir t = t.dir
+let max_entries t = t.max_entries
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> t.count)
 
 let path t fingerprint = Filename.concat t.dir (fingerprint ^ ".sol")
 
@@ -31,10 +66,42 @@ let find t ~rects ~fingerprint =
         | exception Failure _ -> None)
       | _ -> None))
 
+(* Over capacity: re-count from the directory (another process may have
+   pruned concurrently) and delete oldest-mtime entries down to the cap. *)
+let prune_locked t =
+  if t.count > t.max_entries then begin
+    let sols =
+      entries t.dir |> Array.to_list
+      |> List.filter is_sol
+      |> List.filter_map (fun f ->
+             let p = Filename.concat t.dir f in
+             match Unix.stat p with
+             | s -> Some (s.Unix.st_mtime, p)
+             | exception Unix.Unix_error _ -> None)
+      |> List.sort compare
+    in
+    t.count <- List.length sols;
+    let excess = t.count - t.max_entries in
+    if excess > 0 then begin
+      List.iteri
+        (fun i (_, p) -> if i < excess then try Sys.remove p with Sys_error _ -> ())
+        sols;
+      t.count <- t.count - excess
+    end
+  end
+
+let tmp_seq = Atomic.make 0
+
 let add t ~fingerprint ~winner placement =
   let file = path t fingerprint in
-  let tmp = file ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ()) (Atomic.fetch_and_add tmp_seq 1)
+  in
   Out_channel.with_open_text tmp (fun oc ->
       Out_channel.output_string oc (Printf.sprintf "winner %s\n" winner);
       Out_channel.output_string oc (Spp_core.Io.placement_to_string placement));
-  Sys.rename tmp file
+  locked t (fun () ->
+      let existed = Sys.file_exists file in
+      Sys.rename tmp file;
+      if not existed then t.count <- t.count + 1;
+      prune_locked t)

@@ -12,15 +12,33 @@
     (the body is exactly {!Spp_core.Io.placement_to_string}, so entries are
     exact-rational and round-trip bit-identically). Lets separate [spp]
     processes share work; the engine validates every loaded placement
-    before trusting it, so a corrupt or stale file degrades to a miss. *)
+    before trusting it, so a corrupt or stale file degrades to a miss.
+
+    The store is bounded: above [max_entries] the oldest entries (by file
+    mtime) are pruned on insertion, so a long-running daemon cannot grow
+    the directory without limit. Orphaned temp files left by crashed
+    writers are removed on {!create}. Mutex-protected — one store may be
+    shared by worker domains. *)
 
 type t
 
+(** Default entry cap for {!create} (512). *)
+val default_max_entries : int
+
 (** [create ~dir] opens (creating directories as needed) a store rooted at
-    [dir]. @raise Sys_error / Unix errors if the path cannot be created. *)
-val create : dir:string -> t
+    [dir], removing any orphaned [*.tmp.*] files. [max_entries] bounds the
+    number of [.sol] entries (default {!default_max_entries}).
+    @raise Sys_error / Unix errors if the path cannot be created.
+    @raise Invalid_argument on [max_entries < 1]. *)
+val create : ?max_entries:int -> dir:string -> unit -> t
 
 val dir : t -> string
+val max_entries : t -> int
+
+(** [length t] is the current entry count (exact for this process's
+    writes; other processes writing the same directory are re-counted at
+    each prune). *)
+val length : t -> int
 
 (** [find t ~rects ~fingerprint] loads and parses the entry, binding
     positions to [rects] by id. Any error (absent, unreadable, malformed,
@@ -30,5 +48,6 @@ val find :
   (string * Spp_geom.Placement.t) option
 
 (** [add t ~fingerprint ~winner placement] writes the entry atomically
-    (temp file + rename), replacing any previous one. *)
+    (unique temp file + rename), replacing any previous one, then prunes
+    oldest-mtime entries while the store exceeds its cap. *)
 val add : t -> fingerprint:string -> winner:string -> Spp_geom.Placement.t -> unit

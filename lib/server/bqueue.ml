@@ -1,0 +1,41 @@
+type 'a t = {
+  cap : int;
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  { cap = capacity; items = Queue.create (); lock = Mutex.create ();
+    nonempty = Condition.create (); closed = false }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let try_push t x =
+  locked t (fun () ->
+      if t.closed || Queue.length t.items >= t.cap then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  locked t (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      if Queue.is_empty t.items then None else Some (Queue.pop t.items))
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let is_closed t = locked t (fun () -> t.closed)
+let length t = locked t (fun () -> Queue.length t.items)
+let capacity t = t.cap

@@ -1,0 +1,34 @@
+(** Bounded, closeable, domain-safe FIFO queue.
+
+    The server's admission queue: connection handlers {!try_push} work
+    items (failing immediately when the queue is full — that failure is
+    what becomes the protocol's [overloaded] reply), worker domains
+    {!pop} them. {!close} starts a drain: pushes are refused but queued
+    items are still handed out, and once empty every popper receives
+    [None] — which is how the worker pool learns to exit.
+
+    A capacity-1 queue doubles as a one-shot mailbox (single producer,
+    single consumer), which is how solve replies travel back from the
+    worker to the connection handler. *)
+
+type 'a t
+
+(** [create ~capacity] — at most [capacity] queued items ([>= 1]).
+    @raise Invalid_argument on [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** [try_push t x] enqueues and returns [true], or returns [false] without
+    blocking when the queue is full or closed. *)
+val try_push : 'a t -> 'a -> bool
+
+(** [pop t] blocks until an item is available ([Some x]) or the queue is
+    closed and drained ([None]). FIFO order. *)
+val pop : 'a t -> 'a option
+
+(** [close t] refuses further pushes and wakes all blocked poppers.
+    Idempotent. *)
+val close : 'a t -> unit
+
+val is_closed : 'a t -> bool
+val length : 'a t -> int
+val capacity : 'a t -> int

@@ -1,0 +1,21 @@
+type t = { fd : Unix.file_descr; reader : Framing.reader }
+
+let connect addr =
+  Signals.ignore_sigpipe ();
+  let fd = Framing.connect addr in
+  { fd; reader = Framing.reader fd }
+
+let request t req =
+  Framing.write_line t.fd (Protocol.encode_request req);
+  match Framing.read_line t.reader with
+  | None -> failwith "server closed the connection"
+  | Some line -> (
+    match Protocol.decode_response line with
+    | Ok r -> r
+    | Error msg -> failwith ("undecodable server reply: " ^ msg))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection addr f =
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

@@ -1,0 +1,21 @@
+(** Blocking client for the `spp serve` protocol.
+
+    One connection, synchronous request/response — the shape `spp client`,
+    `spp loadgen` and the test suite all use. A closed-loop load generator
+    is just [connections] threads each looping {!request}. *)
+
+type t
+
+(** [connect addr] opens a connection (and ignores SIGPIPE process-wide).
+    @raise Unix.Unix_error when the server is unreachable. *)
+val connect : Framing.address -> t
+
+(** [request t req] sends one request and blocks for its reply.
+    @raise Failure if the server closes the connection or replies with
+    something that does not decode. *)
+val request : t -> Protocol.request -> Protocol.response
+
+val close : t -> unit
+
+(** [with_connection addr f] — connect, run [f], always close. *)
+val with_connection : Framing.address -> (t -> 'a) -> 'a

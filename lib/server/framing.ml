@@ -1,0 +1,123 @@
+type address =
+  | Unix_sock of string
+  | Tcp of string * int
+
+let address_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let inet_addr_of host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host))
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found -> raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+
+let sockaddr_of = function
+  | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (inet_addr_of host, port))
+
+let listen ?(backlog = 64) addr =
+  let domain, sockaddr = sockaddr_of addr in
+  (match addr with
+   | Unix_sock path when Sys.file_exists path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+   | _ -> ());
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     if domain = Unix.PF_INET then Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sockaddr;
+     Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let connect addr =
+  let domain, sockaddr = sockaddr_of addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+(* ------------------------------------------------------------------ *)
+(* Line reading *)
+
+exception Line_too_long
+
+type reader = {
+  fd : Unix.file_descr;
+  max_line : int;
+  chunk : Bytes.t;
+  acc : Buffer.t;  (** current partial line *)
+  mutable queued : string list;  (** complete lines not yet handed out *)
+  mutable eof : bool;
+}
+
+let default_max_line = 8 * 1024 * 1024
+
+let reader ?(max_line_bytes = default_max_line) fd =
+  { fd; max_line = max_line_bytes; chunk = Bytes.create 65536; acc = Buffer.create 256;
+    queued = []; eof = false }
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let rec split_last acc = function
+  | [ x ] -> (List.rev acc, x)
+  | x :: tl -> split_last (x :: acc) tl
+  | [] -> invalid_arg "split_last"
+
+let read_line r =
+  let check_len s = if String.length s > r.max_line then raise Line_too_long in
+  let rec go () =
+    match r.queued with
+    | l :: rest ->
+      r.queued <- rest;
+      Some (strip_cr l)
+    | [] ->
+      if r.eof then
+        if Buffer.length r.acc = 0 then None
+        else begin
+          let s = Buffer.contents r.acc in
+          Buffer.clear r.acc;
+          Some (strip_cr s)
+        end
+      else begin
+        (match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | 0 -> r.eof <- true
+         | n -> (
+           let data = Bytes.sub_string r.chunk 0 n in
+           match String.split_on_char '\n' data with
+           | [ only ] ->
+             Buffer.add_string r.acc only;
+             if Buffer.length r.acc > r.max_line then raise Line_too_long
+           | first :: rest ->
+             let complete, partial = split_last [] rest in
+             let first_line = Buffer.contents r.acc ^ first in
+             Buffer.clear r.acc;
+             Buffer.add_string r.acc partial;
+             check_len first_line;
+             List.iter check_len complete;
+             if Buffer.length r.acc > r.max_line then raise Line_too_long;
+             r.queued <- first_line :: complete
+           | [] -> assert false));
+        go ()
+      end
+  in
+  go ()
+
+let write_line fd s =
+  let data = Bytes.of_string (s ^ "\n") in
+  let len = Bytes.length data in
+  let rec go off =
+    if off < len then
+      match Unix.write fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0

@@ -1,0 +1,46 @@
+(** Socket addresses and newline framing over raw file descriptors.
+
+    The byte layer under {!Protocol}: a server listens on (and a client
+    connects to) a Unix-domain or TCP address, and messages are framed as
+    lines — one message per ['\n']-terminated line. The reader is buffered,
+    tolerates messages split across arbitrary [read] boundaries, strips an
+    optional trailing ['\r'], and enforces a maximum line length so a
+    malicious or broken peer cannot make the server buffer unbounded
+    garbage. *)
+
+type address =
+  | Unix_sock of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host (name or dotted quad), port *)
+
+val address_to_string : address -> string
+
+(** [listen addr] binds and listens. For [Unix_sock] a pre-existing socket
+    file at the path is unlinked first; for [Tcp] the socket is bound with
+    [SO_REUSEADDR]. @raise Unix.Unix_error on failure. *)
+val listen : ?backlog:int -> address -> Unix.file_descr
+
+(** [connect addr] connects a fresh stream socket.
+    @raise Unix.Unix_error on failure (e.g. nobody listening). *)
+val connect : address -> Unix.file_descr
+
+type reader
+
+(** Default {!reader} line limit (8 MiB). *)
+val default_max_line : int
+
+(** Raised by {!read_line} when a line exceeds the reader's limit. *)
+exception Line_too_long
+
+(** [reader fd] wraps [fd] for buffered line reading.
+    [max_line_bytes] defaults to 8 MiB. *)
+val reader : ?max_line_bytes:int -> Unix.file_descr -> reader
+
+(** [read_line r] is the next line without its terminator ([None] at EOF;
+    a final unterminated line is returned before EOF is reported). Retries
+    [EINTR]; other I/O errors propagate as [Unix.Unix_error]. *)
+val read_line : reader -> string option
+
+(** [write_line fd s] writes [s] followed by ['\n'], looping until all
+    bytes are written. [s] must not contain ['\n'] (callers encode with
+    {!Protocol}/{!Json}, which escape it). *)
+val write_line : Unix.file_descr -> string -> unit

@@ -1,0 +1,17 @@
+type t = { domains : unit Domain.t list }
+
+let start ~workers f q =
+  let worker () =
+    let rec loop () =
+      match Bqueue.pop q with
+      | None -> ()
+      | Some job ->
+        (try f job with _ -> ());
+        loop ()
+    in
+    loop ()
+  in
+  { domains = List.init (max 1 workers) (fun _ -> Domain.spawn worker) }
+
+let size t = List.length t.domains
+let join t = List.iter Domain.join t.domains

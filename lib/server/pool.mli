@@ -1,0 +1,22 @@
+(** Worker pool: OCaml 5 domains draining a {!Bqueue}.
+
+    Each worker loops [Bqueue.pop]: [Some job] is handed to the job
+    function (exceptions are caught and dropped — a job function that
+    needs to report failure must do so through its own channel, as the
+    server's does via the reply mailbox), [None] (queue closed and
+    drained) makes the worker exit. All workers share whatever state the
+    job function closes over — for the server that is one
+    {!Spp_engine.Engine.t}, which is the whole point: its LRU, disk store
+    and telemetry are mutex-protected and shared across every request. *)
+
+type t
+
+(** [start ~workers f q] spawns [max 1 workers] domains popping from [q].
+    Returns immediately. *)
+val start : workers:int -> ('a -> unit) -> 'a Bqueue.t -> t
+
+val size : t -> int
+
+(** [join t] blocks until every worker has exited — i.e. until the queue
+    has been {!Bqueue.close}d and fully drained. *)
+val join : t -> unit

@@ -1,0 +1,212 @@
+type request =
+  | Solve of { instance : string; budget_ms : float option; algos : string list option }
+  | Metrics
+  | Health
+  | Shutdown
+
+type error_code = Parse | Bad_request | Bad_instance | Overloaded | Shutting_down | Internal
+
+type solve_reply = {
+  winner : string;
+  source : string;
+  height : string;
+  time_ms : float;
+  placement : string;
+}
+
+type cache_stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }
+
+type metrics_reply = {
+  uptime_ms : float;
+  counters : (string * int) list;
+  cache : cache_stats;
+  store_dir : string option;
+  workers : int;
+  queue_length : int;
+  queue_capacity : int;
+}
+
+type response =
+  | Solve_ok of solve_reply
+  | Metrics_ok of metrics_reply
+  | Health_ok
+  | Shutdown_ok
+  | Error of { code : error_code; message : string }
+
+let error_code_to_string = function
+  | Parse -> "parse"
+  | Bad_request -> "bad_request"
+  | Bad_instance -> "bad_instance"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "parse" -> Some Parse
+  | "bad_request" -> Some Bad_request
+  | "bad_instance" -> Some Bad_instance
+  | "overloaded" -> Some Overloaded
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let encode_request = function
+  | Solve { instance; budget_ms; algos } ->
+    let fields =
+      [ ("op", Json.String "solve"); ("instance", Json.String instance) ]
+      @ (match budget_ms with Some b -> [ ("budget_ms", Json.Float b) ] | None -> [])
+      @ (match algos with
+         | Some names -> [ ("algos", Json.List (List.map (fun a -> Json.String a) names)) ]
+         | None -> [])
+    in
+    Json.to_string (Json.Obj fields)
+  | Metrics -> Json.to_string (Json.Obj [ ("op", Json.String "metrics") ])
+  | Health -> Json.to_string (Json.Obj [ ("op", Json.String "health") ])
+  | Shutdown -> Json.to_string (Json.Obj [ ("op", Json.String "shutdown") ])
+
+let encode_response = function
+  | Solve_ok r ->
+    Json.to_string
+      (Json.Obj
+         [ ("ok", Json.Bool true); ("op", Json.String "solve");
+           ("winner", Json.String r.winner); ("source", Json.String r.source);
+           ("height", Json.String r.height); ("ms", Json.Float r.time_ms);
+           ("placement", Json.String r.placement) ])
+  | Metrics_ok m ->
+    Json.to_string
+      (Json.Obj
+         [ ("ok", Json.Bool true); ("op", Json.String "metrics");
+           ("uptime_ms", Json.Float m.uptime_ms);
+           ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) m.counters));
+           ( "cache",
+             Json.Obj
+               [ ("size", Json.Int m.cache.size); ("capacity", Json.Int m.cache.capacity);
+                 ("hits", Json.Int m.cache.hits); ("misses", Json.Int m.cache.misses);
+                 ("evictions", Json.Int m.cache.evictions) ] );
+           ("store_dir", match m.store_dir with Some d -> Json.String d | None -> Json.Null);
+           ("workers", Json.Int m.workers); ("queue_length", Json.Int m.queue_length);
+           ("queue_capacity", Json.Int m.queue_capacity) ])
+  | Health_ok ->
+    Json.to_string
+      (Json.Obj [ ("ok", Json.Bool true); ("op", Json.String "health"); ("status", Json.String "ok") ])
+  | Shutdown_ok ->
+    Json.to_string
+      (Json.Obj
+         [ ("ok", Json.Bool true); ("op", Json.String "shutdown");
+           ("status", Json.String "draining") ])
+  | Error { code; message } ->
+    Json.to_string
+      (Json.Obj
+         [ ("ok", Json.Bool false); ("error", Json.String (error_code_to_string code));
+           ("message", Json.String message) ])
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+let ( let* ) r f = Result.bind r f
+
+let require what = function Some v -> Ok v | None -> Result.Error ("missing or ill-typed " ^ what)
+
+let optional field conv j =
+  match Json.member field j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok (Some x)
+    | None -> Result.Error (Printf.sprintf "ill-typed field %S" field))
+
+let string_list j =
+  match Json.get_list j with
+  | None -> None
+  | Some xs ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | x :: tl -> (match Json.get_string x with Some s -> go (s :: acc) tl | None -> None)
+    in
+    go [] xs
+
+let decode_request line =
+  match Json.of_string line with
+  | Error msg -> Result.Error ("invalid JSON: " ^ msg)
+  | Ok (Json.Obj _ as j) -> (
+    let* op = require "field \"op\"" (Option.bind (Json.member "op" j) Json.get_string) in
+    match op with
+    | "solve" ->
+      let* instance =
+        require "field \"instance\"" (Option.bind (Json.member "instance" j) Json.get_string)
+      in
+      let* budget_ms = optional "budget_ms" Json.get_float j in
+      let* algos = optional "algos" string_list j in
+      Ok (Solve { instance; budget_ms; algos })
+    | "metrics" -> Ok Metrics
+    | "health" -> Ok Health
+    | "shutdown" -> Ok Shutdown
+    | other -> Result.Error (Printf.sprintf "unknown op %S" other))
+  | Ok _ -> Result.Error "request must be a JSON object"
+
+let decode_response line =
+  match Json.of_string line with
+  | Error msg -> Result.Error ("invalid JSON: " ^ msg)
+  | Ok (Json.Obj _ as j) -> (
+    let* ok = require "field \"ok\"" (Option.bind (Json.member "ok" j) Json.get_bool) in
+    if not ok then
+      let* code_s =
+        require "field \"error\"" (Option.bind (Json.member "error" j) Json.get_string)
+      in
+      let* code = require "known error code" (error_code_of_string code_s) in
+      let message =
+        Option.value ~default:"" (Option.bind (Json.member "message" j) Json.get_string)
+      in
+      Ok (Error { code; message })
+    else
+      let* op = require "field \"op\"" (Option.bind (Json.member "op" j) Json.get_string) in
+      match op with
+      | "solve" ->
+        let str f = require ("field \"" ^ f ^ "\"") (Option.bind (Json.member f j) Json.get_string) in
+        let* winner = str "winner" in
+        let* source = str "source" in
+        let* height = str "height" in
+        let* time_ms = require "field \"ms\"" (Option.bind (Json.member "ms" j) Json.get_float) in
+        let* placement = str "placement" in
+        Ok (Solve_ok { winner; source; height; time_ms; placement })
+      | "metrics" ->
+        let* uptime_ms =
+          require "field \"uptime_ms\"" (Option.bind (Json.member "uptime_ms" j) Json.get_float)
+        in
+        let* counters_obj = require "field \"counters\"" (Json.member "counters" j) in
+        let* counters =
+          match counters_obj with
+          | Json.Obj fields ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (k, v) :: tl -> (
+                match Json.get_int v with
+                | Some n -> go ((k, n) :: acc) tl
+                | None -> Result.Error "ill-typed counter value")
+            in
+            go [] fields
+          | _ -> Result.Error "ill-typed field \"counters\""
+        in
+        let* cache_obj = require "field \"cache\"" (Json.member "cache" j) in
+        let cint f = require ("cache field \"" ^ f ^ "\"") (Option.bind (Json.member f cache_obj) Json.get_int) in
+        let* size = cint "size" in
+        let* capacity = cint "capacity" in
+        let* hits = cint "hits" in
+        let* misses = cint "misses" in
+        let* evictions = cint "evictions" in
+        let* store_dir = optional "store_dir" Json.get_string j in
+        let int f = require ("field \"" ^ f ^ "\"") (Option.bind (Json.member f j) Json.get_int) in
+        let* workers = int "workers" in
+        let* queue_length = int "queue_length" in
+        let* queue_capacity = int "queue_capacity" in
+        Ok
+          (Metrics_ok
+             { uptime_ms; counters; cache = { size; capacity; hits; misses; evictions };
+               store_dir; workers; queue_length; queue_capacity })
+      | "health" -> Ok Health_ok
+      | "shutdown" -> Ok Shutdown_ok
+      | other -> Result.Error (Printf.sprintf "unknown response op %S" other))
+  | Ok _ -> Result.Error "response must be a JSON object"

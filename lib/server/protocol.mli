@@ -1,0 +1,79 @@
+(** The `spp serve` wire protocol: newline-delimited JSON.
+
+    Every message is one JSON object on one line (JSON escaping guarantees
+    the encoded form contains no ['\n'], so instance texts with embedded
+    newlines travel safely). Requests carry an ["op"] field; responses
+    carry ["ok"] — [true] with an op-specific payload, or [false] with an
+    ["error"] code and human-readable ["message"].
+
+    Requests:
+    {v
+    {"op":"solve","instance":"rect 0 1/2 1\n...","budget_ms":100,"algos":["dc","bb"]}
+    {"op":"metrics"}
+    {"op":"health"}
+    {"op":"shutdown"}
+    v}
+
+    [budget_ms] and [algos] are optional. Responses are documented on the
+    constructors below; the full shapes (with examples) are specified in
+    README.md. Encoding and decoding are exact inverses — round-tripping
+    is property-tested on adversarial payloads. *)
+
+type request =
+  | Solve of {
+      instance : string;  (** instance file text, {!Spp_core.Io} format *)
+      budget_ms : float option;
+      algos : string list option;
+    }
+  | Metrics
+  | Health
+  | Shutdown
+
+type error_code =
+  | Parse  (** request line is not valid JSON / not a known request shape *)
+  | Bad_request  (** well-formed but unservable (e.g. unknown algorithm) *)
+  | Bad_instance  (** the inline instance text failed to parse *)
+  | Overloaded  (** admission queue full — retry later *)
+  | Shutting_down  (** server is draining; no new work accepted *)
+  | Internal  (** unexpected server-side failure *)
+
+type solve_reply = {
+  winner : string;
+  source : string;  (** ["computed"], ["cache.memory"] or ["cache.disk"] *)
+  height : string;  (** exact rational, e.g. ["7/2"] *)
+  time_ms : float;  (** engine wall clock for this solve *)
+  placement : string;  (** {!Spp_core.Io.placement_to_string} text *)
+}
+
+type cache_stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }
+
+type metrics_reply = {
+  uptime_ms : float;
+  counters : (string * int) list;  (** engine telemetry counters, sorted *)
+  cache : cache_stats;  (** the shared in-memory LRU *)
+  store_dir : string option;  (** disk cache directory, if enabled *)
+  workers : int;
+  queue_length : int;
+  queue_capacity : int;
+}
+
+type response =
+  | Solve_ok of solve_reply
+  | Metrics_ok of metrics_reply
+  | Health_ok
+  | Shutdown_ok  (** acknowledged; the server begins draining *)
+  | Error of { code : error_code; message : string }
+
+val error_code_to_string : error_code -> string
+
+(** [error_code_of_string s] — inverse of {!error_code_to_string}. *)
+val error_code_of_string : string -> error_code option
+
+(** [encode_request r] is one line of JSON (no trailing newline). *)
+val encode_request : request -> string
+
+(** [decode_request line] — never raises; junk bytes yield [Error]. *)
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

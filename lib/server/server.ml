@@ -1,0 +1,218 @@
+module Engine = Spp_engine.Engine
+module Telemetry = Spp_engine.Telemetry
+module Lru = Spp_engine.Lru
+module Io = Spp_core.Io
+module Q = Spp_num.Rat
+module Clock = Spp_util.Clock
+
+type config = {
+  address : Framing.address;
+  workers : int;
+  queue_depth : int;
+  engine : Engine.t;
+  default_budget_ms : float option;
+  solve_workers : int option;
+  max_request_bytes : int;
+}
+
+let default_max_request_bytes = Framing.default_max_line
+
+type job = {
+  parsed : Io.parsed;
+  budget_ms : float option;
+  algos : string list option;
+  reply : Protocol.response Bqueue.t;  (* capacity-1 mailbox *)
+}
+
+type conn = { fd : Unix.file_descr }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  queue : job Bqueue.t;
+  stopping : bool Atomic.t;
+  lock : Mutex.t;  (* guards conns and threads *)
+  mutable conns : conn list;
+  mutable threads : Thread.t list;
+  pool : Pool.t;
+  started_ms : float;
+  mutable acceptor : Thread.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request handling *)
+
+let source_to_string = function
+  | Engine.Computed -> "computed"
+  | Engine.Memory_cache -> "cache.memory"
+  | Engine.Disk_cache -> "cache.disk"
+
+(* Runs on a worker domain; must never raise (the reply mailbox is the
+   only failure channel the connection thread watches). *)
+let process cfg (job : job) =
+  let resp =
+    match
+      Engine.solve ?budget_ms:job.budget_ms ?algos:job.algos ?workers:cfg.solve_workers
+        cfg.engine job.parsed
+    with
+    | r ->
+      Protocol.Solve_ok
+        { winner = r.Engine.winner; source = source_to_string r.Engine.source;
+          height = Q.to_string r.Engine.height; time_ms = r.Engine.time_ms;
+          placement = Io.placement_to_string r.Engine.placement }
+    | exception Invalid_argument msg ->
+      Protocol.Error { code = Protocol.Bad_request; message = msg }
+    | exception e -> Protocol.Error { code = Protocol.Internal; message = Printexc.to_string e }
+  in
+  ignore (Bqueue.try_push job.reply resp)
+
+let stop t = Atomic.set t.stopping true
+
+let metrics t =
+  let s = Engine.cache_stats t.cfg.engine in
+  Protocol.Metrics_ok
+    { uptime_ms = Clock.elapsed_ms t.started_ms;
+      counters = Telemetry.counters (Engine.telemetry t.cfg.engine);
+      cache =
+        { size = s.Lru.size; capacity = Engine.cache_capacity t.cfg.engine; hits = s.Lru.hits;
+          misses = s.Lru.misses; evictions = s.Lru.evictions };
+      store_dir = Engine.store_dir t.cfg.engine; workers = t.cfg.workers;
+      queue_length = Bqueue.length t.queue; queue_capacity = Bqueue.capacity t.queue }
+
+let respond t line =
+  match Protocol.decode_request line with
+  | Error msg -> Protocol.Error { code = Protocol.Parse; message = msg }
+  | Ok Protocol.Health -> Protocol.Health_ok
+  | Ok Protocol.Metrics -> metrics t
+  | Ok Protocol.Shutdown ->
+    stop t;
+    Protocol.Shutdown_ok
+  | Ok (Protocol.Solve { instance; budget_ms; algos }) ->
+    if Atomic.get t.stopping then
+      Protocol.Error { code = Protocol.Shutting_down; message = "server is draining" }
+    else (
+      match Io.parse_string instance with
+      | exception Failure msg -> Protocol.Error { code = Protocol.Bad_instance; message = msg }
+      | parsed ->
+        let budget_ms =
+          match budget_ms with Some _ -> budget_ms | None -> t.cfg.default_budget_ms
+        in
+        let reply = Bqueue.create ~capacity:1 in
+        if not (Bqueue.try_push t.queue { parsed; budget_ms; algos; reply }) then
+          Protocol.Error
+            { code = Protocol.Overloaded;
+              message =
+                Printf.sprintf "admission queue full (depth %d)" (Bqueue.capacity t.queue) }
+        else (
+          match Bqueue.pop reply with
+          | Some r -> r
+          | None -> Protocol.Error { code = Protocol.Internal; message = "worker pool closed" }))
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+let unregister t conn =
+  Mutex.lock t.lock;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Mutex.unlock t.lock
+
+let serve_conn t conn =
+  let reader = Framing.reader ~max_line_bytes:t.cfg.max_request_bytes conn.fd in
+  let send resp =
+    try
+      Framing.write_line conn.fd (Protocol.encode_response resp);
+      true
+    with Unix.Unix_error _ | Sys_error _ -> false
+  in
+  let rec loop () =
+    match Framing.read_line reader with
+    | None -> ()
+    | exception Framing.Line_too_long ->
+      ignore
+        (send
+           (Protocol.Error
+              { code = Protocol.Parse;
+                message =
+                  Printf.sprintf "request exceeds %d bytes" t.cfg.max_request_bytes }))
+    | exception (Unix.Unix_error _ | Sys_error _) -> ()
+    | Some line when String.trim line = "" -> if not (Atomic.get t.stopping) then loop ()
+    | Some line ->
+      let resp = respond t line in
+      let written = send resp in
+      (* After a drain began, finish this (in-flight) reply but take no
+         further requests from the connection. *)
+      if written && not (Atomic.get t.stopping) then loop ()
+  in
+  (try loop () with _ -> ());
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  unregister t conn
+
+(* ------------------------------------------------------------------ *)
+(* Accepting and shutdown *)
+
+let accept_loop t =
+  let fd = t.listen_fd in
+  Unix.set_nonblock fd;
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ fd ] [] [] 0.05 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | [], _, _ -> ()
+       | _ :: _, _, _ -> (
+         match Unix.accept ~cloexec:true fd with
+         | exception
+             Unix.Unix_error
+               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+           ()
+         | cfd, _ ->
+           if Atomic.get t.stopping then (try Unix.close cfd with Unix.Unix_error _ -> ())
+           else begin
+             let conn = { fd = cfd } in
+             Mutex.lock t.lock;
+             t.conns <- conn :: t.conns;
+             t.threads <- Thread.create (fun () -> serve_conn t conn) () :: t.threads;
+             Mutex.unlock t.lock
+           end));
+      loop ()
+    end
+  in
+  loop ();
+  (* Drain. New connections first: close the listener (and unlink the
+     socket path so clients get a clean "no such server"). *)
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (match t.cfg.address with
+   | Framing.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+   | Framing.Tcp _ -> ());
+  (* Wake idle connection threads blocked in read: shutting down the
+     receive side delivers EOF without touching replies still being
+     written for in-flight requests. *)
+  Mutex.lock t.lock;
+  let conns = t.conns in
+  Mutex.unlock t.lock;
+  List.iter
+    (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  (* In-flight requests finish on the still-running worker pool; their
+     connection threads write the replies and exit. *)
+  Mutex.lock t.lock;
+  let threads = t.threads in
+  t.threads <- [];
+  Mutex.unlock t.lock;
+  List.iter Thread.join threads;
+  (* Nothing can enqueue any more: let the workers drain out and exit. *)
+  Bqueue.close t.queue;
+  Pool.join t.pool
+
+let start cfg =
+  Signals.ignore_sigpipe ();
+  let listen_fd = Framing.listen cfg.address in
+  let queue = Bqueue.create ~capacity:cfg.queue_depth in
+  let pool = Pool.start ~workers:cfg.workers (process cfg) queue in
+  let t =
+    { cfg; listen_fd; queue; stopping = Atomic.make false; lock = Mutex.create (); conns = [];
+      threads = []; pool; started_ms = Clock.now_ms (); acceptor = None }
+  in
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t = match t.acceptor with Some th -> Thread.join th | None -> ()

@@ -1,0 +1,65 @@
+(** The `spp serve` daemon: a long-running network front end over one
+    shared {!Spp_engine.Engine.t}.
+
+    Concurrency shape:
+
+    {v
+    acceptor thread --accept--> connection threads (one per client)
+                                   | parse line, admission-check,
+                                   | try_push job  ----------------+
+                                   | block on reply mailbox        |
+                                   v                               v
+                             bounded Bqueue  <--pop--  worker pool (domains)
+                                                         Engine.solve
+    v}
+
+    - The acceptor feeds connections to lightweight threads; each thread
+      handles its client's requests strictly in order (the protocol is
+      synchronous per connection).
+    - [solve] requests are admitted to a bounded queue; when it is full
+      the client gets an immediate [overloaded] error instead of
+      unbounded latency (load shedding).
+    - Worker domains share one engine, so the in-memory LRU, the disk
+      store and the telemetry counters accumulate across all clients —
+      repeats are served from cache at memory speed.
+    - Per-request deadlines ([budget_ms], or the server default) become
+      {!Spp_util.Cancel} tokens inside the engine, so exact solvers are
+      cancelled cooperatively and every request still returns a valid
+      packing via the engine's fallback.
+    - {!stop} (from a signal handler, a [shutdown] request, or a test)
+      only flips a flag; the acceptor notices within ~50 ms and drains:
+      the listener closes (new connections refused), idle connections are
+      woken and closed, in-flight requests complete and their replies are
+      written, then the queue closes and the workers exit. *)
+
+type config = {
+  address : Framing.address;
+  workers : int;  (** worker domains sharing the engine *)
+  queue_depth : int;  (** admission queue bound (load shedding above it) *)
+  engine : Spp_engine.Engine.t;
+  default_budget_ms : float option;
+      (** applied to [solve] requests that carry no budget *)
+  solve_workers : int option;
+      (** domains racing portfolio members inside one solve (default:
+          engine default; keep [workers * solve_workers] near the core
+          count) *)
+  max_request_bytes : int;  (** request-line size cap, see {!Framing} *)
+}
+
+val default_max_request_bytes : int
+
+type t
+
+(** [start cfg] binds the address, spawns the worker pool and the acceptor
+    thread, and returns immediately.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+val start : config -> t
+
+(** [stop t] initiates graceful shutdown. Async-signal-light (an atomic
+    store), idempotent, returns immediately — pair with {!wait}. *)
+val stop : t -> unit
+
+(** [wait t] blocks until shutdown has fully drained: all connection
+    threads joined, queue closed, worker domains exited, listener closed
+    (and a Unix socket path unlinked). *)
+val wait : t -> unit

@@ -1,4 +1,10 @@
-let available_workers () = min 8 (Domain.recommended_domain_count ())
+let available_workers () =
+  match Sys.getenv_opt "SPP_WORKERS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> min 8 (Domain.recommended_domain_count ()))
+  | None -> min 8 (Domain.recommended_domain_count ())
 
 let map ?workers f xs =
   let n = List.length xs in

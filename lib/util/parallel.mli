@@ -7,11 +7,17 @@
     mutable state across calls). *)
 
 (** [map ?workers f xs] is [List.map f xs] computed on up to [workers]
-    domains (default: [Domain.recommended_domain_count ()], capped at 8 and
-    at [List.length xs]). Preserves order. The first exception raised by
+    domains (default {!available_workers}, additionally capped at
+    [List.length xs]). Preserves order. The first exception raised by
     any worker is re-raised after all domains join. Falls back to plain
     [List.map] for lists of fewer than 2 elements or [workers <= 1]. *)
 val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
 
-(** [available_workers ()] is the default worker count used by {!map}. *)
+(** [available_workers ()] is the default worker count used by {!map}:
+    [Domain.recommended_domain_count ()] capped at 8 (past that, domain
+    spawn/teardown overhead outweighs the parallel win for the short
+    tasks raced here). The environment variable [SPP_WORKERS], when set
+    to a positive integer, overrides both the detection and the cap —
+    useful under cgroup CPU limits the runtime cannot see, and for
+    pinning benchmarks to a fixed width. Malformed values are ignored. *)
 val available_workers : unit -> int

@@ -159,7 +159,7 @@ let temp_store_dir () =
 
 let test_store_roundtrip () =
   let dir = temp_store_dir () in
-  let store = Store.create ~dir in
+  let store = Store.create ~dir () in
   let inst = random_prec 7 8 in
   let p = Spp_core.List_schedule.prec inst in
   let fingerprint = Fingerprint.prec inst in
@@ -177,6 +177,44 @@ let test_store_roundtrip () =
       Out_channel.output_string oc "garbage\n");
   Alcotest.(check bool) "corrupt entry is a miss" true
     (Store.find store ~rects:inst.rects ~fingerprint = None)
+
+let test_store_bounded () =
+  let dir = temp_store_dir () in
+  (* A pre-existing orphaned temp file (crashed writer) is cleaned up. *)
+  let orphan = Filename.concat dir "deadbeef.sol.tmp.1234.0" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Out_channel.with_open_text orphan (fun oc -> Out_channel.output_string oc "partial");
+  let store = Store.create ~max_entries:2 ~dir () in
+  Alcotest.(check bool) "orphan tmp removed" false (Sys.file_exists orphan);
+  Alcotest.(check int) "starts empty" 0 (Store.length store);
+  let add_inst seed age =
+    let inst = random_prec seed 6 in
+    let fingerprint = Fingerprint.prec inst in
+    Store.add store ~fingerprint ~winner:"ls" (Spp_core.List_schedule.prec inst);
+    (* Prune order is by file mtime; pin it so "oldest" is unambiguous even
+       on coarse-granularity filesystems. *)
+    let path = Filename.concat dir (fingerprint ^ ".sol") in
+    let t = Unix.gettimeofday () -. age in
+    Unix.utimes path t t;
+    (inst, fingerprint)
+  in
+  let _, fp_old = add_inst 21 300.0 in
+  let _, fp_mid = add_inst 22 200.0 in
+  Alcotest.(check int) "at cap" 2 (Store.length store);
+  let _, fp_new = add_inst 23 100.0 in
+  Alcotest.(check int) "pruned back to cap" 2 (Store.length store);
+  Alcotest.(check bool) "oldest entry evicted" false
+    (Sys.file_exists (Filename.concat dir (fp_old ^ ".sol")));
+  Alcotest.(check bool) "newer entries survive" true
+    (Sys.file_exists (Filename.concat dir (fp_mid ^ ".sol"))
+     && Sys.file_exists (Filename.concat dir (fp_new ^ ".sol")));
+  (* Re-adding an existing fingerprint replaces in place: no growth. *)
+  let inst = random_prec 23 6 in
+  Store.add store ~fingerprint:fp_new ~winner:"dc" (Spp_core.List_schedule.prec inst);
+  Alcotest.(check int) "replace does not grow" 2 (Store.length store);
+  Alcotest.check_raises "max_entries must be positive"
+    (Invalid_argument "Store.create: max_entries must be >= 1") (fun () ->
+      ignore (Store.create ~max_entries:0 ~dir ()))
 
 (* ------------------------------------------------------------------ *)
 (* Engine *)
@@ -294,7 +332,11 @@ let () =
           Alcotest.test_case "tokens" `Quick test_cancel_tokens;
           Alcotest.test_case "stops exact search" `Quick test_cancel_stops_exact_search;
         ] );
-      ("store", [ Alcotest.test_case "roundtrip" `Quick test_store_roundtrip ]);
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "bounded with mtime pruning" `Quick test_store_bounded;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "cache returns bit-identical packing" `Quick

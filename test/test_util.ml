@@ -217,6 +217,26 @@ let test_parallel_single_worker_sequential () =
   Alcotest.(check (list int)) "results" (List.map succ xs) res;
   Alcotest.(check (list int)) "side effects in input order" xs (List.rev !order)
 
+let test_parallel_workers_env_override () =
+  (* SPP_WORKERS overrides both core detection and the cap of 8; malformed
+     or non-positive values fall back to the default. putenv cannot unset,
+     so the default case is exercised via values that must be ignored. *)
+  let default = ref 0 in
+  Unix.putenv "SPP_WORKERS" "";
+  default := Parallel.available_workers ();
+  Alcotest.(check bool) "default is positive" true (!default >= 1);
+  Unix.putenv "SPP_WORKERS" "3";
+  Alcotest.(check int) "override honored" 3 (Parallel.available_workers ());
+  Unix.putenv "SPP_WORKERS" "12";
+  Alcotest.(check int) "override beats the cap of 8" 12 (Parallel.available_workers ());
+  Unix.putenv "SPP_WORKERS" " 5 ";
+  Alcotest.(check int) "whitespace tolerated" 5 (Parallel.available_workers ());
+  Unix.putenv "SPP_WORKERS" "0";
+  Alcotest.(check int) "non-positive ignored" !default (Parallel.available_workers ());
+  Unix.putenv "SPP_WORKERS" "lots";
+  Alcotest.(check int) "malformed ignored" !default (Parallel.available_workers ());
+  Unix.putenv "SPP_WORKERS" ""
+
 let test_parallel_real_workload () =
   (* Actual domain-parallel packing: results identical to sequential. *)
   let seeds = List.init 12 Fun.id in
@@ -303,6 +323,7 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_parallel_propagates_exception;
           Alcotest.test_case "workers:1 sequential fallback" `Quick
             test_parallel_single_worker_sequential;
+          Alcotest.test_case "SPP_WORKERS override" `Quick test_parallel_workers_env_override;
           Alcotest.test_case "real workload" `Quick test_parallel_real_workload;
         ] );
       ( "clock",
