@@ -11,7 +11,8 @@
      simulate  pack and execute on the simulated FPGA, print a Gantt chart
      serve     long-running engine daemon on a Unix/TCP socket
      client    one request against a running spp serve
-     loadgen   closed-loop load generator with latency percentiles *)
+     loadgen   closed-loop load generator with latency percentiles
+     trace     solve one instance locally and print its span tree *)
 
 module Q = Spp_num.Rat
 module Rect = Spp_geom.Rect
@@ -28,8 +29,13 @@ module Protocol = Spp_server.Protocol
 module Server = Spp_server.Server
 module Client = Spp_server.Client
 module Signals = Spp_server.Signals
+module Metrics_http = Spp_server.Metrics_http
+module Json = Spp_server.Json
 module Clock = Spp_util.Clock
 module Stats = Spp_util.Stats
+module Log = Spp_obs.Log
+module Trace = Spp_obs.Trace
+module Field = Spp_obs.Field
 open Cmdliner
 
 (* Distinct failure exit codes (sysexits.h): a malformed instance file is
@@ -589,7 +595,24 @@ let serve_cmd =
              ~doc:"Admission queue bound; solve requests beyond it get an immediate \
                    $(i,overloaded) error.")
   in
-  let run socket port host workers queue_depth budget_ms cache_dir no_cache cache_max stats_json =
+  let metrics_port =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ]
+             ~doc:"Serve Prometheus text-format metrics over HTTP on this TCP port \
+                   (GET /metrics; port 0 picks a free one).")
+  in
+  let log_file =
+    Arg.(value & opt (some string) None
+         & info [ "log-file" ] ~doc:"Append JSON log lines to this file instead of stderr.")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ]
+             ~doc:"Log requests slower than this many milliseconds at warn level, with their \
+                   span tree attached. Forces every solve request to be traced.")
+  in
+  let run socket port host workers queue_depth budget_ms cache_dir no_cache cache_max stats_json
+      metrics_port log_file slow_ms =
     let address = resolve_address socket port host in
     (match workers with
      | Some w when w < 1 ->
@@ -600,6 +623,19 @@ let serve_cmd =
       Printf.eprintf "error: --queue-depth must be >= 1\n";
       exit 1
     end;
+    (match slow_ms with
+     | Some s when s < 0.0 ->
+       Printf.eprintf "error: --slow-ms must be >= 0\n";
+       exit 1
+     | _ -> ());
+    Log.init_from_env ();
+    (match log_file with
+     | None -> ()
+     | Some path -> (
+       try Log.set_file path with
+       | Sys_error msg ->
+         Printf.eprintf "error: cannot open log file: %s\n" msg;
+         exit exit_io_error));
     let available = Spp_util.Parallel.available_workers () in
     let workers = match workers with Some w -> w | None -> max 1 available in
     let engine = make_engine ~cache_dir ~no_cache ~cache_max in
@@ -608,7 +644,7 @@ let serve_cmd =
         (* Each worker races portfolio members on its own domains; narrow the
            per-solve width so workers * racers stays near the core count. *)
         solve_workers = Some (max 1 (available / workers));
-        max_request_bytes = Server.default_max_request_bytes }
+        max_request_bytes = Server.default_max_request_bytes; slow_ms }
     in
     let srv =
       try Server.start cfg with
@@ -617,10 +653,26 @@ let serve_cmd =
           (Unix.error_message e) (if arg = "" then "" else " (" ^ arg ^ ")");
         exit exit_io_error
     in
+    let scrape =
+      match metrics_port with
+      | None -> None
+      | Some p -> (
+        let registry = Telemetry.metrics (Engine.telemetry engine) in
+        try Some (Metrics_http.start ~port:p registry) with
+        | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: cannot bind metrics port %d: %s\n" p (Unix.error_message e);
+          Server.stop srv;
+          Server.wait srv;
+          exit exit_io_error)
+    in
     Printf.eprintf "spp serve: listening on %s (%d worker%s, queue depth %d)\n%!"
       (Framing.address_to_string address) workers (if workers = 1 then "" else "s") queue_depth;
+    Option.iter
+      (fun s -> Printf.eprintf "spp serve: metrics on http://127.0.0.1:%d/metrics\n%!" (Metrics_http.port s))
+      scrape;
     Signals.on_termination (fun () -> Server.stop srv);
     Server.wait srv;
+    Option.iter Metrics_http.stop scrape;
     Printf.eprintf "spp serve: drained, exiting\n%!";
     write_stats engine stats_json
   in
@@ -629,7 +681,8 @@ let serve_cmd =
        ~doc:"Run the portfolio engine as a daemon on a Unix or TCP socket (see README.md for \
              the wire protocol)")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue_depth $ budget_arg
-          $ cache_dir_arg $ no_cache_arg $ cache_max_arg $ stats_json_arg)
+          $ cache_dir_arg $ no_cache_arg $ cache_max_arg $ stats_json_arg $ metrics_port
+          $ log_file $ slow_ms)
 
 let exit_code_of_error = function
   | Protocol.Parse | Protocol.Bad_request | Protocol.Bad_instance -> exit_parse_error
@@ -647,7 +700,18 @@ let print_metrics (m : Protocol.metrics_reply) =
   (match m.Protocol.store_dir with
    | Some d -> Printf.printf "store           %s\n" d
    | None -> Printf.printf "store           disabled\n");
-  List.iter (fun (k, v) -> Printf.printf "counter %-24s %d\n" k v) m.Protocol.counters
+  List.iter
+    (fun (name, (a : Protocol.algo_reply)) ->
+      Printf.printf "algo %-18s wins %-5d solved %-5d timeout %-5d invalid %-3d failed %d\n"
+        name a.Protocol.wins a.Protocol.solved a.Protocol.timeouts a.Protocol.invalid
+        a.Protocol.failed)
+    m.Protocol.algos;
+  List.iter
+    (fun (name, (h : Protocol.hist_reply)) ->
+      Printf.printf "hist %-22s count %-7d p50 %-9.2f p90 %-9.2f p99 %.2f\n" name
+        h.Protocol.count h.Protocol.p50 h.Protocol.p90 h.Protocol.p99)
+    m.Protocol.histograms;
+  List.iter (fun (k, v) -> Printf.printf "counter %-32s %d\n" k v) m.Protocol.counters
 
 let client_cmd =
   let op =
@@ -663,7 +727,17 @@ let client_cmd =
     Arg.(value & pos 1 (some string) None
          & info [] ~docv:"FILE" ~doc:"Instance file (required for solve).")
   in
-  let run op file socket port host budget_ms algos =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the raw JSON response line instead of the human form.")
+  in
+  let trace_id =
+    Arg.(value & opt (some string) None
+         & info [ "trace-id" ]
+             ~doc:"Attach this trace id to a solve request (turns on server-side tracing; the \
+                   id is echoed in the reply and in the server's slow-request log).")
+  in
+  let run op file socket port host budget_ms algos json trace_id =
     let address = resolve_address socket port host in
     let req =
       match op with
@@ -682,7 +756,7 @@ let client_cmd =
               Printf.eprintf "error: %s\n" msg;
               exit exit_io_error
           in
-          Protocol.Solve { instance; budget_ms; algos })
+          Protocol.Solve { instance; budget_ms; algos; trace_id })
     in
     let resp =
       let c = connect_or_die address in
@@ -694,20 +768,29 @@ let client_cmd =
     in
     match resp with
     | Protocol.Error { code; message } ->
+      if json then print_endline (Protocol.encode_response resp);
       Printf.eprintf "error (%s): %s\n" (Protocol.error_code_to_string code) message;
       exit (exit_code_of_error code)
-    | Protocol.Health_ok -> print_endline "ok"
+    | _ when json -> print_endline (Protocol.encode_response resp)
+    | Protocol.Health_ok h ->
+      print_endline "ok";
+      Printf.printf "uptime_s        %.1f\n" h.Protocol.uptime_s;
+      Printf.printf "cache_capacity  %d\n" h.Protocol.cache_capacity
     | Protocol.Shutdown_ok -> print_endline "draining"
     | Protocol.Metrics_ok m -> print_metrics m
     | Protocol.Solve_ok r ->
       Printf.printf "# winner %s\n" r.Protocol.winner;
       Printf.printf "# source %s\n" r.Protocol.source;
       Printf.printf "# ms %.2f\n" r.Protocol.time_ms;
+      (match r.Protocol.trace_id with
+       | Some id -> Printf.printf "# trace %s\n" id
+       | None -> ());
       print_string r.Protocol.placement
   in
   Cmd.v
     (Cmd.info "client" ~doc:"Send one request to a running spp serve")
-    Term.(const run $ op $ file $ socket_arg $ port_arg $ host_arg $ budget_arg $ algos_arg)
+    Term.(const run $ op $ file $ socket_arg $ port_arg $ host_arg $ budget_arg $ algos_arg
+          $ json $ trace_id)
 
 let loadgen_cmd =
   let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
@@ -718,7 +801,13 @@ let loadgen_cmd =
   let requests =
     Arg.(value & opt int 20 & info [ "requests" ] ~doc:"Solve requests per connection.")
   in
-  let run dir connections requests socket port host budget_ms algos =
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ]
+             ~doc:"Write the run summary (counts, throughput, latency percentiles) as one JSON \
+                   object to this file ('-' for stdout).")
+  in
+  let run dir connections requests socket port host budget_ms algos stats_json =
     let address = resolve_address socket port host in
     if connections < 1 || requests < 1 then begin
       Printf.eprintf "error: --connections and --requests must be >= 1\n";
@@ -770,7 +859,10 @@ let loadgen_cmd =
                 instances.((ci + (r * connections)) mod Array.length instances)
               in
               let t0 = Clock.now_ms () in
-              (match Client.request c (Protocol.Solve { instance = text; budget_ms; algos }) with
+              (match
+                 Client.request c
+                   (Protocol.Solve { instance = text; budget_ms; algos; trace_id = None })
+               with
                | Protocol.Solve_ok reply ->
                  latencies.(ci) <- Clock.elapsed_ms t0 :: latencies.(ci);
                  if check parsed reply.Protocol.placement then Atomic.incr ok
@@ -787,16 +879,29 @@ let loadgen_cmd =
     let wall_ms = Clock.elapsed_ms t0 in
     let lats = Array.to_list latencies |> List.concat in
     let total = Atomic.get ok + Atomic.get invalid + Atomic.get failed in
+    let throughput = float_of_int total /. (wall_ms /. 1000.) in
+    (* Percentiles by rank interpolation over the sorted sample, computed in
+       one pass — not repeated ad-hoc quantile calls. *)
+    let percentiles =
+      match lats with
+      | [] -> None
+      | _ -> (
+        match Stats.percentiles [ 50.0; 90.0; 95.0; 99.0 ] lats with
+        | [ p50; p90; p95; p99 ] -> Some (p50, p90, p95, p99)
+        | _ -> None)
+    in
     Printf.printf "connections     %d\n" connections;
     Printf.printf "requests        %d (%d ok, %d invalid, %d failed)\n" total (Atomic.get ok)
       (Atomic.get invalid) (Atomic.get failed);
     Printf.printf "wall clock      %.1f ms\n" wall_ms;
-    Printf.printf "throughput      %.1f req/s\n" (float_of_int total /. (wall_ms /. 1000.));
-    if lats <> [] then begin
-      Printf.printf "latency p50     %.2f ms\n" (Stats.quantile 0.5 lats);
-      Printf.printf "latency p95     %.2f ms\n" (Stats.quantile 0.95 lats);
-      Printf.printf "latency p99     %.2f ms\n" (Stats.quantile 0.99 lats)
-    end;
+    Printf.printf "throughput      %.1f req/s\n" throughput;
+    Option.iter
+      (fun (p50, p90, p95, p99) ->
+        Printf.printf "latency p50     %.2f ms\n" p50;
+        Printf.printf "latency p90     %.2f ms\n" p90;
+        Printf.printf "latency p95     %.2f ms\n" p95;
+        Printf.printf "latency p99     %.2f ms\n" p99)
+      percentiles;
     (match Client.with_connection address (fun c -> Client.request c Protocol.Metrics) with
      | Protocol.Metrics_ok m ->
        let c = m.Protocol.cache in
@@ -804,6 +909,30 @@ let loadgen_cmd =
          c.Protocol.misses c.Protocol.size c.Protocol.capacity
      | _ -> ()
      | exception _ -> ());
+    (match stats_json with
+     | None -> ()
+     | Some path ->
+       let latency_obj =
+         match (percentiles, lats) with
+         | Some (p50, p90, p95, p99), _ :: _ ->
+           let lo, hi = Stats.min_max lats in
+           Json.Obj
+             [ ("mean", Json.Float (Stats.mean lats)); ("min", Json.Float lo);
+               ("max", Json.Float hi); ("p50", Json.Float p50); ("p90", Json.Float p90);
+               ("p95", Json.Float p95); ("p99", Json.Float p99) ]
+         | _ -> Json.Null
+       in
+       let obj =
+         Json.Obj
+           [ ("connections", Json.Int connections);
+             ("requests_per_connection", Json.Int requests); ("requests", Json.Int total);
+             ("ok", Json.Int (Atomic.get ok)); ("invalid", Json.Int (Atomic.get invalid));
+             ("failed", Json.Int (Atomic.get failed)); ("wall_ms", Json.Float wall_ms);
+             ("throughput_rps", Json.Float throughput); ("latency_ms", latency_obj) ]
+       in
+       let line = Json.to_string obj ^ "\n" in
+       if path = "-" then print_string line
+       else Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc line));
     if Atomic.get failed > 0 || Atomic.get invalid > 0 then exit 1
   in
   Cmd.v
@@ -811,7 +940,46 @@ let loadgen_cmd =
        ~doc:"Closed-loop load generator against a running spp serve: N connections cycling \
              the *.spp files in DIR, validating every reply")
     Term.(const run $ dir $ connections $ requests $ socket_arg $ port_arg $ host_arg
-          $ budget_arg $ algos_arg)
+          $ budget_arg $ algos_arg $ stats_json)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the trace as one JSON line instead of the tree.")
+  in
+  let run file budget_ms algos workers json =
+    let parsed = read_instance file in
+    (* A fresh engine with no disk cache: the point is to watch the race,
+       not to replay a cached answer. *)
+    let engine = Engine.create () in
+    let tr = Trace.create ~name:"solve" () in
+    let res =
+      try Engine.solve ?budget_ms ?algos ?workers ~trace:tr engine parsed with
+      | Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    Trace.close
+      ~fields:
+        [ ("winner", Field.String res.Engine.winner);
+          ("height", Field.String (Q.to_string res.Engine.height)) ]
+      tr;
+    if json then print_endline (Trace.to_json tr)
+    else begin
+      Printf.printf "winner %s  height %s  %.2f ms\n\n" res.Engine.winner
+        (Q.to_string res.Engine.height) res.Engine.time_ms;
+      print_string (Trace.render tr)
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Solve one instance locally with tracing on and print the span tree (queue-free \
+             view of what spp serve records per request)")
+    Term.(const run $ file $ budget_arg $ algos_arg $ workers_arg $ json)
 
 let () =
   let doc = "strip packing with precedence constraints and release times (Augustine-Banerjee-Irani)" in
@@ -820,4 +988,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; pack_cmd; solve_cmd; batch_cmd; aptas_cmd; bounds_cmd; exact_cmd;
-            simulate_cmd; online_cmd; verify_cmd; serve_cmd; client_cmd; loadgen_cmd ]))
+            simulate_cmd; online_cmd; verify_cmd; serve_cmd; client_cmd; loadgen_cmd;
+            trace_cmd ]))

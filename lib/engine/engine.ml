@@ -4,6 +4,8 @@ module Io = Spp_core.Io
 module Validate = Spp_core.Validate
 module Cancel = Spp_util.Cancel
 module Clock = Spp_util.Clock
+module Metrics = Spp_obs.Metrics
+module Trace = Spp_obs.Trace
 
 type status =
   | Solved
@@ -36,12 +38,35 @@ type t = {
   cache : entry Lru.t;
   store : Store.t option;
   tm : Telemetry.t;
+  m_solve_ms : Metrics.histogram;
+  m_cancel_polls : Metrics.counter;
 }
 
 let create ?(cache_capacity = 128) ?store_dir ?store_max_entries ?telemetry () =
-  { cache = Lru.create ~capacity:cache_capacity;
-    store = Option.map (fun dir -> Store.create ?max_entries:store_max_entries ~dir ()) store_dir;
-    tm = Option.value telemetry ~default:(Telemetry.create ()) }
+  let cache = Lru.create ~capacity:cache_capacity in
+  let store =
+    Option.map (fun dir -> Store.create ?max_entries:store_max_entries ~dir ()) store_dir
+  in
+  let tm = Option.value telemetry ~default:(Telemetry.create ()) in
+  let reg = Telemetry.metrics tm in
+  Metrics.counter_fn reg ~help:"In-memory LRU evictions" "spp_cache_evictions_total"
+    (fun () -> (Lru.stats cache).Lru.evictions);
+  Metrics.gauge_fn reg ~help:"Entries in the in-memory LRU" "spp_cache_entries"
+    (fun () -> float_of_int (Lru.stats cache).Lru.size);
+  Option.iter
+    (fun store ->
+      Metrics.gauge_fn reg ~help:"Entries in the disk store" "spp_store_entries"
+        (fun () -> float_of_int (Store.length store));
+      Metrics.counter_fn reg ~help:"Disk store entries deleted by capacity pruning"
+        "spp_store_prunes_total"
+        (fun () -> Store.prunes store))
+    store;
+  { cache; store; tm;
+    m_solve_ms =
+      Metrics.histogram reg ~help:"End-to-end solve latency in milliseconds" "spp_solve_ms";
+    m_cancel_polls =
+      Metrics.counter reg ~help:"Cancellation points reached by raced solvers"
+        "spp_cancel_polls_total" }
 
 let telemetry t = t.tm
 let cache_stats t = Lru.stats t.cache
@@ -62,6 +87,13 @@ let status_counter = function
   | Failed _ -> Some "solver.failed"
   | Skipped _ -> None
 
+let status_label = function
+  | Solved -> "solved"
+  | Timed_out -> "timeout"
+  | Invalid -> "invalid"
+  | Failed _ -> "failed"
+  | Skipped _ -> "skipped"
+
 let rects_of = function
   | Io.Prec inst -> inst.Spp_core.Instance.Prec.rects
   | Io.Release inst -> Spp_core.Instance.Release.rects inst
@@ -71,23 +103,55 @@ let violations parsed p =
   | Io.Prec inst -> Validate.check_prec inst p
   | Io.Release inst -> Validate.check_release inst p
 
+(* Open [name] under the trace's root when tracing is on; [k] receives the
+   span only for attaching child spans and fields. *)
+let traced trace name ?fields k =
+  match trace with
+  | None -> k None
+  | Some tr ->
+    Trace.with_span tr ~parent:(Trace.root tr) name (fun s ->
+        Option.iter (Trace.add_fields tr s) fields;
+        k (Some s))
+
 (* One raced member: run under the shared token, validate, classify. *)
-let race_one parsed cancel (spec : Portfolio.spec) =
+let race_one parsed cancel trace (spec : Portfolio.spec) =
   let t0 = Clock.now_ms () in
+  let s =
+    match trace with
+    | None -> None
+    | Some (tr, race_span) -> Some (tr, Trace.span tr ~parent:race_span ("algo:" ^ spec.Portfolio.name))
+  in
   let finish status height placement =
+    Option.iter
+      (fun (tr, s) ->
+        Trace.finish ~fields:[ ("status", Spp_obs.Field.String (status_label status)) ] tr s)
+      s;
     ({ solver = spec.Portfolio.name; status; height; time_ms = Clock.elapsed_ms t0 }, placement)
   in
   match spec.Portfolio.run ~cancel parsed with
   | p -> (
-    match violations parsed p with
+    let faults =
+      match s with
+      | None -> violations parsed p
+      | Some (tr, s) -> Trace.with_span tr ~parent:s "validate" (fun _ -> violations parsed p)
+    in
+    match faults with
     | [] -> finish Solved (Some (Placement.height p)) (Some p)
     | _ :: _ -> finish Invalid None None)
   | exception Cancel.Cancelled -> finish Timed_out None None
   | exception e -> finish (Failed (Printexc.to_string e)) None None
 
-let record_outcome tm (o : outcome) =
-  Option.iter (Telemetry.incr tm) (status_counter o.status);
-  Telemetry.record tm ~name:"solver"
+let record_outcome t (o : outcome) =
+  Option.iter (Telemetry.incr t.tm) (status_counter o.status);
+  (match o.status with
+   | Skipped _ -> ()
+   | status ->
+     Metrics.incr
+       (Metrics.counter (Telemetry.metrics t.tm)
+          ~help:"Raced solver outcomes by algorithm"
+          ~labels:[ ("algo", o.solver); ("outcome", status_label status) ]
+          "spp_algo_outcomes_total"));
+  Telemetry.record t.tm ~name:"solver"
     ([ ("solver", Telemetry.String o.solver);
        ("status", Telemetry.String (Format.asprintf "%a" pp_status o.status));
        ("ms", Telemetry.Float o.time_ms) ]
@@ -95,7 +159,13 @@ let record_outcome tm (o : outcome) =
        | Some h -> [ ("height", Telemetry.String (Q.to_string h)) ]
        | None -> [])
 
+let record_win t winner =
+  Metrics.incr
+    (Metrics.counter (Telemetry.metrics t.tm) ~help:"Races won by algorithm"
+       ~labels:[ ("algo", winner) ] "spp_algo_wins_total")
+
 let finish_result t fp (r : result) =
+  Metrics.observe t.m_solve_ms r.time_ms;
   Telemetry.record t.tm ~name:"solve"
     [ ("fingerprint", Telemetry.String fp);
       ("winner", Telemetry.String r.winner);
@@ -109,88 +179,100 @@ let finish_result t fp (r : result) =
       ("ms", Telemetry.Float r.time_ms) ];
   r
 
-let solve ?budget_ms ?algos ?workers t parsed =
+let solve ?budget_ms ?algos ?workers ?trace t parsed =
   let t0 = Clock.now_ms () in
   Telemetry.incr t.tm "solve.runs";
   let fp = Fingerprint.parsed parsed in
-  match Lru.find t.cache fp with
-  | Some e ->
+  let probe =
+    traced trace "cache.probe" (fun _ ->
+        match Lru.find t.cache fp with
+        | Some e -> `Memory e
+        | None -> (
+          match t.store with
+          | None -> `Miss
+          | Some store -> (
+            match Store.find store ~rects:(rects_of parsed) ~fingerprint:fp with
+            | Some (winner, p) when violations parsed p = [] -> `Disk (winner, p)
+            | Some _ | None -> `Miss)))
+  in
+  match probe with
+  | `Memory e ->
     Telemetry.incr t.tm "cache.hit";
     Telemetry.incr t.tm "cache.hit.memory";
     finish_result t fp
       { placement = e.e_placement; height = e.e_height; winner = e.e_winner;
         source = Memory_cache; outcomes = []; time_ms = Clock.elapsed_ms t0 }
-  | None -> (
-    let disk =
-      match t.store with
-      | None -> None
-      | Some store -> (
-        match Store.find store ~rects:(rects_of parsed) ~fingerprint:fp with
-        | Some (winner, p) when violations parsed p = [] -> Some (winner, p)
-        | Some _ | None -> None)
+  | `Disk (winner, p) ->
+    Telemetry.incr t.tm "cache.hit";
+    Telemetry.incr t.tm "cache.hit.disk";
+    let height = Placement.height p in
+    Lru.add t.cache fp { e_placement = p; e_height = height; e_winner = winner };
+    finish_result t fp
+      { placement = p; height; winner; source = Disk_cache; outcomes = [];
+        time_ms = Clock.elapsed_ms t0 }
+  | `Miss ->
+    Telemetry.incr t.tm "cache.miss";
+    let specs =
+      match algos with Some names -> Portfolio.of_names names | None -> Portfolio.defaults parsed
     in
-    match disk with
-    | Some (winner, p) ->
-      Telemetry.incr t.tm "cache.hit";
-      Telemetry.incr t.tm "cache.hit.disk";
-      let height = Placement.height p in
-      Lru.add t.cache fp { e_placement = p; e_height = height; e_winner = winner };
-      finish_result t fp
-        { placement = p; height; winner; source = Disk_cache; outcomes = [];
-          time_ms = Clock.elapsed_ms t0 }
-    | None ->
-      Telemetry.incr t.tm "cache.miss";
-      let specs =
-        match algos with Some names -> Portfolio.of_names names | None -> Portfolio.defaults parsed
-      in
-      let runnable, skipped =
-        List.partition (fun (s : Portfolio.spec) -> s.Portfolio.applies parsed) specs
-      in
-      let skipped =
-        List.map
-          (fun (s : Portfolio.spec) ->
-            { solver = s.Portfolio.name; status = Skipped "inapplicable"; height = None;
-              time_ms = 0.0 })
-          skipped
-      in
-      let cancel =
-        match budget_ms with None -> Cancel.never | Some ms -> Cancel.with_deadline_ms ms
-      in
-      let raced =
-        Spp_util.Parallel.map ?workers (race_one parsed cancel) runnable
-      in
-      let outcomes = List.map fst raced @ skipped in
-      let best =
-        List.fold_left
-          (fun acc ((o : outcome), p) ->
-            match (p, acc) with
-            | None, _ -> acc
-            | Some p, None -> Some (o, p)
-            | Some p, Some (o', _) -> (
-              match (o.height, o'.height) with
-              | Some h, Some h' when Q.compare h h' < 0 -> Some (o, p)
-              | _ -> acc))
-          None raced
-      in
-      let winner, placement, outcomes =
-        match best with
-        | Some (o, p) -> (o.solver, p, outcomes)
-        | None ->
-          (* Every member timed out / failed: uncancellable safety net. *)
-          let t1 = Clock.now_ms () in
-          let p = Portfolio.fallback parsed in
-          assert (violations parsed p = []);
-          let o =
-            { solver = "ls(fallback)"; status = Solved;
-              height = Some (Placement.height p); time_ms = Clock.elapsed_ms t1 }
+    let runnable, skipped =
+      List.partition (fun (s : Portfolio.spec) -> s.Portfolio.applies parsed) specs
+    in
+    let skipped =
+      List.map
+        (fun (s : Portfolio.spec) ->
+          { solver = s.Portfolio.name; status = Skipped "inapplicable"; height = None;
+            time_ms = 0.0 })
+        skipped
+    in
+    let cancel =
+      match budget_ms with None -> Cancel.never | Some ms -> Cancel.with_deadline_ms ms
+    in
+    let raced =
+      traced trace "race" (fun race_span ->
+          let sub =
+            match (trace, race_span) with Some tr, Some s -> Some (tr, s) | _ -> None
           in
-          Telemetry.incr t.tm "solver.fallback";
-          (o.solver, p, outcomes @ [ o ])
-      in
-      List.iter (record_outcome t.tm) outcomes;
-      let height = Placement.height placement in
-      Lru.add t.cache fp { e_placement = placement; e_height = height; e_winner = winner };
-      Option.iter (fun store -> Store.add store ~fingerprint:fp ~winner placement) t.store;
-      finish_result t fp
-        { placement; height; winner; source = Computed; outcomes;
-          time_ms = Clock.elapsed_ms t0 })
+          Spp_util.Parallel.map ?workers (race_one parsed cancel sub) runnable)
+    in
+    (match Cancel.polls cancel with
+     | 0 -> ()
+     | n -> Metrics.incr ~by:n t.m_cancel_polls);
+    let outcomes = List.map fst raced @ skipped in
+    let best =
+      List.fold_left
+        (fun acc ((o : outcome), p) ->
+          match (p, acc) with
+          | None, _ -> acc
+          | Some p, None -> Some (o, p)
+          | Some p, Some (o', _) -> (
+            match (o.height, o'.height) with
+            | Some h, Some h' when Q.compare h h' < 0 -> Some (o, p)
+            | _ -> acc))
+        None raced
+    in
+    let winner, placement, outcomes =
+      match best with
+      | Some (o, p) -> (o.solver, p, outcomes)
+      | None ->
+        (* Every member timed out / failed: uncancellable safety net. *)
+        let t1 = Clock.now_ms () in
+        let p =
+          traced trace "fallback" (fun _ -> Portfolio.fallback parsed)
+        in
+        assert (violations parsed p = []);
+        let o =
+          { solver = "ls(fallback)"; status = Solved;
+            height = Some (Placement.height p); time_ms = Clock.elapsed_ms t1 }
+        in
+        Telemetry.incr t.tm "solver.fallback";
+        (o.solver, p, outcomes @ [ o ])
+    in
+    List.iter (record_outcome t) outcomes;
+    record_win t winner;
+    let height = Placement.height placement in
+    Lru.add t.cache fp { e_placement = placement; e_height = height; e_winner = winner };
+    Option.iter (fun store -> Store.add store ~fingerprint:fp ~winner placement) t.store;
+    finish_result t fp
+      { placement; height; winner; source = Computed; outcomes;
+        time_ms = Clock.elapsed_ms t0 }

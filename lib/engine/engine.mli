@@ -14,7 +14,18 @@
     events (name ["solver"]), per-solve summaries (name ["solve"]), and
     counters ([solve.runs], [cache.hit], [cache.hit.memory],
     [cache.hit.disk], [cache.miss], [solver.solved], [solver.timeout],
-    [solver.invalid], [solver.failed]). *)
+    [solver.invalid], [solver.failed]).
+
+    The telemetry's backing {!Spp_obs.Metrics} registry additionally
+    carries richer instruments the scrape endpoint exposes: the
+    [spp_solve_ms] latency histogram, [spp_algo_outcomes_total]{[algo],
+    [outcome]} and [spp_algo_wins_total]{[algo]} labelled counters,
+    [spp_cancel_polls_total], LRU occupancy/eviction metrics
+    ([spp_cache_entries], [spp_cache_evictions_total]) and — when a disk
+    store is attached — [spp_store_entries] and [spp_store_prunes_total].
+    Passing [?trace] to {!solve} records a span tree of the request
+    (cache probe, the race with one span per algorithm and its
+    validation, the fallback) under the trace's root. *)
 
 type status =
   | Solved  (** finished in budget and validated *)
@@ -68,10 +79,12 @@ val store_dir : t -> string option
     unlimited). [algos]: explicit member list instead of
     {!Portfolio.defaults} — inapplicable ones are reported as [Skipped].
     [workers]: domains racing at once (default
-    {!Spp_util.Parallel.available_workers}).
+    {!Spp_util.Parallel.available_workers}). [trace]: record this solve
+    as spans under the trace's root.
     @raise Invalid_argument on an unknown name in [algos]. *)
 val solve :
   ?budget_ms:float -> ?algos:string list -> ?workers:int ->
+  ?trace:Spp_obs.Trace.t ->
   t -> Spp_core.Io.parsed -> result
 
 val pp_status : Format.formatter -> status -> unit

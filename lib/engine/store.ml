@@ -4,6 +4,7 @@ type t = {
   lock : Mutex.t;  (* guards count and the rename+prune sequence *)
   mutable count : int;  (* .sol files currently in dir (approximate
                            across processes, exact within one) *)
+  mutable prunes : int;  (* entries deleted by capacity pruning *)
 }
 
 let default_max_entries = 512
@@ -36,7 +37,7 @@ let create ?(max_entries = default_max_entries) ~dir () =
       if is_tmp f then (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
       else if is_sol f then incr count)
     (entries dir);
-  { dir; max_entries; lock = Mutex.create (); count = !count }
+  { dir; max_entries; lock = Mutex.create (); count = !count; prunes = 0 }
 
 let dir t = t.dir
 let max_entries t = t.max_entries
@@ -46,6 +47,7 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let length t = locked t (fun () -> t.count)
+let prunes t = locked t (fun () -> t.prunes)
 
 let path t fingerprint = Filename.concat t.dir (fingerprint ^ ".sol")
 
@@ -86,7 +88,8 @@ let prune_locked t =
       List.iteri
         (fun i (_, p) -> if i < excess then try Sys.remove p with Sys_error _ -> ())
         sols;
-      t.count <- t.count - excess
+      t.count <- t.count - excess;
+      t.prunes <- t.prunes + excess
     end
   end
 

@@ -40,6 +40,10 @@ val max_entries : t -> int
     each prune). *)
 val length : t -> int
 
+(** [prunes t] is how many entries capacity pruning has deleted over this
+    store's lifetime — surfaced as the [spp_store_prunes_total] metric. *)
+val prunes : t -> int
+
 (** [find t ~rects ~fingerprint] loads and parses the entry, binding
     positions to [rects] by id. Any error (absent, unreadable, malformed,
     unknown ids) is [None]. Returns [(winner, placement)]. *)

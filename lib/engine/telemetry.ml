@@ -1,6 +1,8 @@
 module Clock = Spp_util.Clock
+module Metrics = Spp_obs.Metrics
+module Field = Spp_obs.Field
 
-type field =
+type field = Field.t =
   | String of string
   | Int of int
   | Float of float
@@ -14,14 +16,20 @@ type event = {
 
 type t = {
   epoch_ms : float;
+  metrics : Metrics.t;
+  handles : (string, Metrics.counter) Hashtbl.t;  (* incr-by-name fast path *)
   mutable events : event list;  (* newest first *)
-  counters : (string, int) Hashtbl.t;
   lock : Mutex.t;
 }
 
-let create () =
-  { epoch_ms = Clock.now_ms (); events = []; counters = Hashtbl.create 16;
+let create ?metrics () =
+  { epoch_ms = Clock.now_ms ();
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    handles = Hashtbl.create 16;
+    events = [];
     lock = Mutex.create () }
+
+let metrics t = t.metrics
 
 let locked t f =
   Mutex.lock t.lock;
@@ -31,16 +39,20 @@ let record t ~name fields =
   let at_ms = Clock.elapsed_ms t.epoch_ms in
   locked t (fun () -> t.events <- { name; at_ms; fields } :: t.events)
 
-let incr ?(by = 1) t name =
+let handle t name =
   locked t (fun () ->
-      Hashtbl.replace t.counters name (by + Option.value ~default:0 (Hashtbl.find_opt t.counters name)))
+      match Hashtbl.find_opt t.handles name with
+      | Some h -> h
+      | None ->
+        let h = Metrics.counter t.metrics name in
+        Hashtbl.replace t.handles name h;
+        h)
 
-let counter t name =
-  locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.counters name))
+let incr ?(by = 1) t name = Metrics.incr ~by (handle t name)
 
-let counters t =
-  locked t (fun () ->
-      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []))
+let counter t name = Option.value ~default:0 (Metrics.find_counter t.metrics name)
+
+let counters t = Metrics.counters t.metrics
 
 let events t = locked t (fun () -> List.rev t.events)
 
@@ -58,29 +70,8 @@ let time t ~name ~fields f =
     finish "raised";
     raise e
 
-(* Minimal JSON emission; no external dependency. *)
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let field_to_json = function
-  | String s -> Printf.sprintf "\"%s\"" (escape s)
-  | Int i -> string_of_int i
-  | Float f ->
-    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-    else Printf.sprintf "%.6g" f
-  | Bool b -> string_of_bool b
+let escape = Field.escape
+let field_to_json = Field.to_json
 
 let to_json_lines t =
   let buf = Buffer.create 1024 in
@@ -89,10 +80,7 @@ let to_json_lines t =
       Buffer.add_string buf
         (Printf.sprintf "{\"event\":\"%s\",\"t_ms\":%s" (escape e.name)
            (field_to_json (Float e.at_ms)));
-      List.iter
-        (fun (k, v) ->
-          Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" (escape k) (field_to_json v)))
-        e.fields;
+      Field.add_fields buf e.fields;
       Buffer.add_string buf "}\n")
     (events t);
   List.iter

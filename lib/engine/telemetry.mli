@@ -3,9 +3,16 @@
 
     One value is shared by an engine and all its racing domains
     (mutex-protected). Timestamps come from the monotonic
-    {!Spp_util.Clock}, measured in milliseconds since {!create}. *)
+    {!Spp_util.Clock}, measured in milliseconds since {!create}.
 
-type field =
+    Counters live in a {!Spp_obs.Metrics} registry rather than a private
+    table, so engine telemetry, server metrics, and the Prometheus scrape
+    endpoint are views of one system: [incr t "cache.hit"] and a handle
+    obtained directly from {!metrics} bump the same cells, and
+    {!counters} reports every counter the registry holds. The event log
+    stays local to this value. *)
+
+type field = Spp_obs.Field.t =
   | String of string
   | Int of int
   | Float of float
@@ -19,7 +26,14 @@ type event = {
 
 type t
 
-val create : unit -> t
+(** [create ()] starts a log backed by a fresh registry; [metrics] backs
+    it by a shared one instead (what [spp serve] does, so solver counters
+    land on the scrape endpoint). *)
+val create : ?metrics:Spp_obs.Metrics.t -> unit -> t
+
+(** The backing registry — register richer instruments (histograms,
+    gauges) next to the counters. *)
+val metrics : t -> Spp_obs.Metrics.t
 
 (** [record t ~name fields] appends an event stamped now. *)
 val record : t -> name:string -> (string * field) list -> unit
@@ -29,7 +43,8 @@ val incr : ?by:int -> t -> string -> unit
 
 val counter : t -> string -> int
 
-(** All counters, sorted by name. *)
+(** All counters in the backing registry, sorted by name (labelled
+    counters render as [name{k="v"}]). *)
 val counters : t -> (string * int) list
 
 (** Events in chronological order. *)

@@ -1,0 +1,103 @@
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = ':'
+
+let sanitize_name name =
+  if name = "" then "_"
+  else begin
+    let b = Bytes.of_string name in
+    Bytes.iteri (fun i c -> if not (is_name_char c) then Bytes.set b i '_') b;
+    let s = Bytes.to_string b in
+    match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+  end
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let labels_text labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* Same, with extra label pairs appended (histogram "le"). *)
+let labels_text_with labels extra = labels_text (labels @ extra)
+
+let type_of = function
+  | Metrics.Counter _ -> "counter"
+  | Metrics.Gauge _ -> "gauge"
+  | Metrics.Histogram _ -> "histogram"
+
+let render t =
+  let samples = Metrics.snapshot t in
+  let buf = Buffer.create 4096 in
+  let last_header = ref "" in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = sanitize_name s.Metrics.name in
+      (* One HELP/TYPE block per family; samples arrive sorted by name. *)
+      if !last_header <> name then begin
+        last_header := name;
+        if s.Metrics.help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help s.Metrics.help));
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name (type_of s.Metrics.value))
+      end;
+      match s.Metrics.value with
+      | Metrics.Counter v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" name (labels_text s.Metrics.labels) v)
+      | Metrics.Gauge v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" name (labels_text s.Metrics.labels) (number v))
+      | Metrics.Histogram h ->
+        List.iter
+          (fun (bound, cum) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (labels_text_with s.Metrics.labels [ ("le", number bound) ])
+                 cum))
+          h.Metrics.buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" name
+             (labels_text_with s.Metrics.labels [ ("le", "+Inf") ])
+             h.Metrics.total);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" name (labels_text s.Metrics.labels)
+             (number h.Metrics.sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" name (labels_text s.Metrics.labels)
+             h.Metrics.total))
+    samples;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Prometheus text exposition format (version 0.0.4) for a
+    {!Metrics} registry.
+
+    Metric names are sanitised (characters outside [[a-zA-Z0-9_:]]
+    become ['_'], a leading digit is prefixed), so legacy dotted
+    telemetry counters like [cache.hit] scrape as [cache_hit]. Label
+    values are escaped per the format spec (backslash, double quote,
+    newline). Histograms render the standard cumulative [_bucket]
+    series (with a closing [le] of +Inf), [_sum], and [_count]. *)
+
+val render : Metrics.t -> string
+
+(** Exposed for tests. *)
+val sanitize_name : string -> string
+
+val escape_label_value : string -> string

@@ -1,0 +1,20 @@
+(** The structured-data atom shared by the whole observability layer:
+    log lines, telemetry events, and trace span annotations all carry
+    [(string * Field.t) list] payloads and serialise them the same way. *)
+
+type t =
+  | String of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+(** JSON string-body escaping (quotes, backslashes, control chars). *)
+val escape : string -> string
+
+(** [to_json f] is the JSON value text for one field ([Float nan] and
+    infinities print [null], like {!Spp_server.Json}). *)
+val to_json : t -> string
+
+(** [add_fields buf fields] appends [,"k":v] for each field — the tail of
+    a JSON object whose opening fields are already in [buf]. *)
+val add_fields : Buffer.t -> (string * t) list -> unit

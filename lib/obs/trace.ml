@@ -1,0 +1,165 @@
+module Clock = Spp_util.Clock
+module Prng = Spp_util.Prng
+
+type span = {
+  s_name : string;
+  s_start_ms : float;  (* relative to the trace epoch *)
+  mutable s_dur_ms : float option;
+  mutable s_fields : (string * Field.t) list;
+  mutable s_children : span list;  (* newest first *)
+}
+
+type t = {
+  trace_id : string;
+  epoch_ms : float;
+  s_root : span;
+  lock : Mutex.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Trace-id generation: one process-wide PRNG, seeded from wall clock
+   and pid so concurrent daemons do not collide. *)
+
+let id_rng =
+  lazy
+    (let seed =
+       (int_of_float (Unix.gettimeofday () *. 1e6) lxor (Unix.getpid () lsl 20)) land max_int
+     in
+     (Mutex.create (), Prng.create seed))
+
+let gen_id () =
+  let lock, rng = Lazy.force id_rng in
+  Mutex.lock lock;
+  let bits = Prng.bits64 rng in
+  Mutex.unlock lock;
+  Printf.sprintf "%016Lx" bits
+
+(* ------------------------------------------------------------------ *)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?id ~name () =
+  let trace_id = match id with Some i when i <> "" -> i | _ -> gen_id () in
+  { trace_id;
+    epoch_ms = Clock.now_ms ();
+    s_root = { s_name = name; s_start_ms = 0.0; s_dur_ms = None; s_fields = []; s_children = [] };
+    lock = Mutex.create () }
+
+let id t = t.trace_id
+let root t = t.s_root
+
+let span t ~parent name =
+  let start = Clock.elapsed_ms t.epoch_ms in
+  let s =
+    { s_name = name; s_start_ms = start; s_dur_ms = None; s_fields = []; s_children = [] }
+  in
+  locked t (fun () -> parent.s_children <- s :: parent.s_children);
+  s
+
+let finish ?(fields = []) t s =
+  let now = Clock.elapsed_ms t.epoch_ms in
+  locked t (fun () ->
+      (match s.s_dur_ms with
+       | None -> s.s_dur_ms <- Some (Float.max 0.0 (now -. s.s_start_ms))
+       | Some _ -> ());
+      if fields <> [] then s.s_fields <- s.s_fields @ fields)
+
+let with_span t ~parent name f =
+  let s = span t ~parent name in
+  match f s with
+  | v ->
+    finish t s;
+    v
+  | exception e ->
+    finish ~fields:[ ("outcome", Field.String "raised") ] t s;
+    raise e
+
+let add_fields t s fields = locked t (fun () -> s.s_fields <- s.s_fields @ fields)
+
+let close ?fields t = finish ?fields t t.s_root
+
+let total_ms t =
+  match t.s_root.s_dur_ms with
+  | Some d -> d
+  | None -> Clock.elapsed_ms t.epoch_ms
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation. Children are stored newest-first; emit chronological. *)
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  let rec emit s =
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":\"%s\",\"start_ms\":%s" (Field.escape s.s_name)
+         (Field.to_json (Field.Float s.s_start_ms)));
+    (match s.s_dur_ms with
+     | Some d -> Buffer.add_string buf (Printf.sprintf ",\"ms\":%s" (Field.to_json (Field.Float d)))
+     | None -> ());
+    (match s.s_fields with
+     | [] -> ()
+     | fields ->
+       Buffer.add_string buf ",\"fields\":{";
+       List.iteri
+         (fun i (k, v) ->
+           if i > 0 then Buffer.add_char buf ',';
+           Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (Field.escape k) (Field.to_json v)))
+         fields;
+       Buffer.add_char buf '}');
+    (match List.rev s.s_children with
+     | [] -> ()
+     | children ->
+       Buffer.add_string buf ",\"spans\":[";
+       List.iteri
+         (fun i c ->
+           if i > 0 then Buffer.add_char buf ',';
+           emit c)
+         children;
+       Buffer.add_char buf ']');
+    Buffer.add_char buf '}'
+  in
+  locked t (fun () ->
+      Buffer.add_string buf (Printf.sprintf "{\"trace_id\":\"%s\",\"root\":" (Field.escape t.trace_id));
+      emit t.s_root;
+      Buffer.add_char buf '}');
+  Buffer.contents buf
+
+let render t =
+  let buf = Buffer.create 512 in
+  let field_text (k, v) =
+    Printf.sprintf "%s=%s"
+      k
+      (match v with
+       | Field.String s -> s
+       | Field.Int i -> string_of_int i
+       | Field.Float f -> Printf.sprintf "%.6g" f
+       | Field.Bool b -> string_of_bool b)
+  in
+  let rec emit prefix is_last s =
+    let dur =
+      match s.s_dur_ms with Some d -> Printf.sprintf "%.2fms" d | None -> "(open)"
+    in
+    let fields =
+      match s.s_fields with
+      | [] -> ""
+      | fs -> "  [" ^ String.concat " " (List.map field_text fs) ^ "]"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %-24s %8s @%.2fms%s\n" prefix
+         (if prefix = "" then "" else if is_last then "`- " else "|- ")
+         s.s_name dur s.s_start_ms fields);
+    let children = List.rev s.s_children in
+    let n = List.length children in
+    List.iteri
+      (fun i c ->
+        let child_prefix =
+          if prefix = "" then "  " else prefix ^ (if is_last then "   " else "|  ")
+        in
+        emit child_prefix (i = n - 1) c)
+      children
+  in
+  locked t (fun () ->
+      Buffer.add_string buf (Printf.sprintf "trace %s  total %.2fms\n" t.trace_id (total_ms t));
+      emit "" true t.s_root);
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Per-request trace span trees.
+
+    A trace is one root span plus nested children, each stamped with a
+    start offset and duration on the monotonic {!Spp_util.Clock}. The
+    serving stack opens a trace at admission (honouring a client-supplied
+    id), threads it through the queue, the worker pool, the engine, and
+    each racing algorithm, then renders it — as an ASCII tree for
+    [spp trace], or as one JSON line for the slow-request log.
+
+    All mutation is under the trace's mutex, so racing domains may open
+    and finish sibling spans concurrently. *)
+
+type t
+type span
+
+(** A fresh 16-hex-digit id (process-wide PRNG, seeded per process). *)
+val gen_id : unit -> string
+
+(** [create ~name ()] starts a trace whose root span [name] begins now.
+    [id] overrides the generated trace id (client-supplied propagation);
+    an empty [id] is replaced by a generated one. *)
+val create : ?id:string -> name:string -> unit -> t
+
+val id : t -> string
+val root : t -> span
+
+(** [span t ~parent name] opens a child span starting now. *)
+val span : t -> parent:span -> string -> span
+
+(** [finish t s] stamps the duration (first call wins) and appends
+    [fields]. *)
+val finish : ?fields:(string * Field.t) list -> t -> span -> unit
+
+(** [with_span t ~parent name f] runs [f] inside a fresh span, finishing
+    it on the way out ([outcome=raised] is recorded when [f] escapes with
+    an exception, which is re-raised). *)
+val with_span : t -> parent:span -> string -> (span -> 'a) -> 'a
+
+val add_fields : t -> span -> (string * Field.t) list -> unit
+
+(** [close t] finishes the root span. *)
+val close : ?fields:(string * Field.t) list -> t -> unit
+
+(** Root duration if closed, else elapsed-so-far. *)
+val total_ms : t -> float
+
+(** One JSON line:
+    [{"trace_id":...,"root":{"name":...,"start_ms":...,"ms":...,
+    "fields":{...},"spans":[...]}}]. *)
+val to_json : t -> string
+
+(** Human-readable tree with durations, offsets, and span fields. *)
+val render : t -> string

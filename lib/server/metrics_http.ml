@@ -1,0 +1,108 @@
+module Metrics = Spp_obs.Metrics
+module Expo = Spp_obs.Expo
+module Log = Spp_obs.Log
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  try go 0 with Unix.Unix_error _ -> ()
+
+(* One request per connection, handled inline: scrapers send a small GET
+   and read the reply. A 2 s budget bounds how long a stuck peer can hold
+   the accept loop. *)
+let handle registry fd =
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let reader = Framing.reader ~max_line_bytes:8192 fd in
+  let readable () =
+    let left = deadline -. Unix.gettimeofday () in
+    left > 0.0
+    && (match Unix.select [ fd ] [] [] left with
+        | _ :: _, _, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false)
+  in
+  let request_line = if readable () then Framing.read_line reader else None in
+  (* Drain headers until the blank line so the peer's send completes. *)
+  let rec drain_headers () =
+    match Framing.read_line reader with
+    | Some s when String.trim s <> "" -> drain_headers ()
+    | _ -> ()
+  in
+  (match request_line with
+   | None -> ()
+   | Some line ->
+     (try drain_headers () with Framing.Line_too_long | Unix.Unix_error _ | Sys_error _ -> ());
+     let reply =
+       match String.split_on_char ' ' line with
+       | "GET" :: path :: _ when path = "/metrics" || path = "/metrics/" ->
+         http_response ~status:"200 OK"
+           ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+           (Expo.render registry)
+       | "GET" :: _ ->
+         http_response ~status:"404 Not Found" ~content_type:"text/plain"
+           "only /metrics is served here\n"
+       | _ ->
+         http_response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+           "only GET is supported\n"
+     in
+     write_all fd reply);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t registry =
+  let fd = t.listen_fd in
+  Unix.set_nonblock fd;
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ fd ] [] [] 0.05 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | [], _, _ -> ()
+       | _ :: _, _, _ -> (
+         match Unix.accept ~cloexec:true fd with
+         | exception
+             Unix.Unix_error
+               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+           ()
+         | cfd, _ ->
+           (try handle registry cfd
+            with Framing.Line_too_long | Unix.Unix_error _ | Sys_error _ -> (
+              try Unix.close cfd with Unix.Unix_error _ -> ()))));
+      loop ()
+    end
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let start ?(host = "127.0.0.1") ~port registry =
+  let listen_fd = Framing.listen (Framing.Tcp (host, port)) in
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { listen_fd; port; stopping = Atomic.make false; thread = None } in
+  t.thread <- Some (Thread.create (fun () -> accept_loop t registry) ());
+  Log.info "metrics endpoint listening"
+    [ ("host", Spp_obs.Field.String host); ("port", Spp_obs.Field.Int port) ];
+  t
+
+let port t = t.port
+
+let stop t =
+  Atomic.set t.stopping true;
+  match t.thread with
+  | Some th ->
+    t.thread <- None;
+    Thread.join th
+  | None -> ()

@@ -1,0 +1,20 @@
+(** Minimal HTTP exposition endpoint for Prometheus scrapes.
+
+    Serves [GET /metrics] with {!Spp_obs.Expo.render} of one registry
+    over plain HTTP/1.1, one request per connection ([Connection: close]
+    — exactly the shape Prometheus and [curl] speak). Anything else gets
+    a 404/405. Not a general web server: requests are handled inline on
+    the accept thread under a 2-second budget, which is plenty for a
+    scrape every few seconds and keeps the daemon's thread count flat. *)
+
+type t
+
+(** [start ~port registry] binds [host] (default loopback) and serves
+    until {!stop}. [port] 0 picks a free port — read it back with
+    {!port}. @raise Unix.Unix_error if the address cannot be bound. *)
+val start : ?host:string -> port:int -> Spp_obs.Metrics.t -> t
+
+val port : t -> int
+
+(** [stop t] shuts the endpoint down and joins its thread. Idempotent. *)
+val stop : t -> unit

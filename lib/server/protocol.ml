@@ -1,5 +1,10 @@
 type request =
-  | Solve of { instance : string; budget_ms : float option; algos : string list option }
+  | Solve of {
+      instance : string;
+      budget_ms : float option;
+      algos : string list option;
+      trace_id : string option;
+    }
   | Metrics
   | Health
   | Shutdown
@@ -12,9 +17,21 @@ type solve_reply = {
   height : string;
   time_ms : float;
   placement : string;
+  trace_id : string option;
 }
 
 type cache_stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }
+
+type hist_reply = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  buckets : (float * int) list;
+}
+
+type algo_reply = { wins : int; solved : int; timeouts : int; invalid : int; failed : int }
 
 type metrics_reply = {
   uptime_ms : float;
@@ -24,12 +41,16 @@ type metrics_reply = {
   workers : int;
   queue_length : int;
   queue_capacity : int;
+  histograms : (string * hist_reply) list;
+  algos : (string * algo_reply) list;
 }
+
+type health_reply = { uptime_s : float; cache_capacity : int }
 
 type response =
   | Solve_ok of solve_reply
   | Metrics_ok of metrics_reply
-  | Health_ok
+  | Health_ok of health_reply
   | Shutdown_ok
   | Error of { code : error_code; message : string }
 
@@ -53,28 +74,48 @@ let error_code_of_string = function
 (* ------------------------------------------------------------------ *)
 (* Encoding *)
 
+let opt_string_field name = function
+  | Some s -> [ (name, Json.String s) ]
+  | None -> []
+
 let encode_request = function
-  | Solve { instance; budget_ms; algos } ->
+  | Solve { instance; budget_ms; algos; trace_id } ->
     let fields =
       [ ("op", Json.String "solve"); ("instance", Json.String instance) ]
       @ (match budget_ms with Some b -> [ ("budget_ms", Json.Float b) ] | None -> [])
       @ (match algos with
          | Some names -> [ ("algos", Json.List (List.map (fun a -> Json.String a) names)) ]
          | None -> [])
+      @ opt_string_field "trace_id" trace_id
     in
     Json.to_string (Json.Obj fields)
   | Metrics -> Json.to_string (Json.Obj [ ("op", Json.String "metrics") ])
   | Health -> Json.to_string (Json.Obj [ ("op", Json.String "health") ])
   | Shutdown -> Json.to_string (Json.Obj [ ("op", Json.String "shutdown") ])
 
+let encode_hist (h : hist_reply) =
+  Json.Obj
+    [ ("count", Json.Int h.count); ("sum", Json.Float h.sum); ("p50", Json.Float h.p50);
+      ("p90", Json.Float h.p90); ("p99", Json.Float h.p99);
+      ( "buckets",
+        Json.List
+          (List.map (fun (le, c) -> Json.List [ Json.Float le; Json.Int c ]) h.buckets) ) ]
+
+let encode_algo (a : algo_reply) =
+  Json.Obj
+    [ ("wins", Json.Int a.wins); ("solved", Json.Int a.solved);
+      ("timeouts", Json.Int a.timeouts); ("invalid", Json.Int a.invalid);
+      ("failed", Json.Int a.failed) ]
+
 let encode_response = function
   | Solve_ok r ->
     Json.to_string
       (Json.Obj
-         [ ("ok", Json.Bool true); ("op", Json.String "solve");
-           ("winner", Json.String r.winner); ("source", Json.String r.source);
-           ("height", Json.String r.height); ("ms", Json.Float r.time_ms);
-           ("placement", Json.String r.placement) ])
+         ([ ("ok", Json.Bool true); ("op", Json.String "solve");
+            ("winner", Json.String r.winner); ("source", Json.String r.source);
+            ("height", Json.String r.height); ("ms", Json.Float r.time_ms);
+            ("placement", Json.String r.placement) ]
+          @ opt_string_field "trace_id" r.trace_id))
   | Metrics_ok m ->
     Json.to_string
       (Json.Obj
@@ -88,10 +129,15 @@ let encode_response = function
                  ("evictions", Json.Int m.cache.evictions) ] );
            ("store_dir", match m.store_dir with Some d -> Json.String d | None -> Json.Null);
            ("workers", Json.Int m.workers); ("queue_length", Json.Int m.queue_length);
-           ("queue_capacity", Json.Int m.queue_capacity) ])
-  | Health_ok ->
+           ("queue_capacity", Json.Int m.queue_capacity);
+           ("histograms", Json.Obj (List.map (fun (k, h) -> (k, encode_hist h)) m.histograms));
+           ("algos", Json.Obj (List.map (fun (k, a) -> (k, encode_algo a)) m.algos)) ])
+  | Health_ok h ->
     Json.to_string
-      (Json.Obj [ ("ok", Json.Bool true); ("op", Json.String "health"); ("status", Json.String "ok") ])
+      (Json.Obj
+         [ ("ok", Json.Bool true); ("op", Json.String "health"); ("status", Json.String "ok");
+           ("uptime_s", Json.Float h.uptime_s);
+           ("cache_capacity", Json.Int h.cache_capacity) ])
   | Shutdown_ok ->
     Json.to_string
       (Json.Obj
@@ -140,12 +186,68 @@ let decode_request line =
       in
       let* budget_ms = optional "budget_ms" Json.get_float j in
       let* algos = optional "algos" string_list j in
-      Ok (Solve { instance; budget_ms; algos })
+      let* trace_id = optional "trace_id" Json.get_string j in
+      Ok (Solve { instance; budget_ms; algos; trace_id })
     | "metrics" -> Ok Metrics
     | "health" -> Ok Health
     | "shutdown" -> Ok Shutdown
     | other -> Result.Error (Printf.sprintf "unknown op %S" other))
   | Ok _ -> Result.Error "request must be a JSON object"
+
+let int_fields what fields =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (k, v) :: tl -> (
+      match Json.get_int v with
+      | Some n -> go ((k, n) :: acc) tl
+      | None -> Result.Error ("ill-typed " ^ what))
+  in
+  go [] fields
+
+let decode_hist j =
+  let int f = require ("histogram field \"" ^ f ^ "\"") (Option.bind (Json.member f j) Json.get_int) in
+  let flt f = require ("histogram field \"" ^ f ^ "\"") (Option.bind (Json.member f j) Json.get_float) in
+  let* count = int "count" in
+  let* sum = flt "sum" in
+  let* p50 = flt "p50" in
+  let* p90 = flt "p90" in
+  let* p99 = flt "p99" in
+  let* bucket_list =
+    require "histogram field \"buckets\"" (Option.bind (Json.member "buckets" j) Json.get_list)
+  in
+  let* buckets =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.List [ le; c ] :: tl -> (
+        match (Json.get_float le, Json.get_int c) with
+        | Some le, Some c -> go ((le, c) :: acc) tl
+        | _ -> Result.Error "ill-typed histogram bucket")
+      | _ -> Result.Error "ill-typed histogram bucket"
+    in
+    go [] bucket_list
+  in
+  Ok { count; sum; p50; p90; p99; buckets }
+
+let decode_algo j =
+  let int f = require ("algo field \"" ^ f ^ "\"") (Option.bind (Json.member f j) Json.get_int) in
+  let* wins = int "wins" in
+  let* solved = int "solved" in
+  let* timeouts = int "timeouts" in
+  let* invalid = int "invalid" in
+  let* failed = int "failed" in
+  Ok { wins; solved; timeouts; invalid; failed }
+
+let decode_assoc what decode_one j =
+  match j with
+  | Json.Obj fields ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, v) :: tl ->
+        let* x = decode_one v in
+        go ((k, x) :: acc) tl
+    in
+    go [] fields
+  | _ -> Result.Error ("ill-typed field \"" ^ what ^ "\"")
 
 let decode_response line =
   match Json.of_string line with
@@ -171,7 +273,8 @@ let decode_response line =
         let* height = str "height" in
         let* time_ms = require "field \"ms\"" (Option.bind (Json.member "ms" j) Json.get_float) in
         let* placement = str "placement" in
-        Ok (Solve_ok { winner; source; height; time_ms; placement })
+        let* trace_id = optional "trace_id" Json.get_string j in
+        Ok (Solve_ok { winner; source; height; time_ms; placement; trace_id })
       | "metrics" ->
         let* uptime_ms =
           require "field \"uptime_ms\"" (Option.bind (Json.member "uptime_ms" j) Json.get_float)
@@ -179,15 +282,7 @@ let decode_response line =
         let* counters_obj = require "field \"counters\"" (Json.member "counters" j) in
         let* counters =
           match counters_obj with
-          | Json.Obj fields ->
-            let rec go acc = function
-              | [] -> Ok (List.rev acc)
-              | (k, v) :: tl -> (
-                match Json.get_int v with
-                | Some n -> go ((k, n) :: acc) tl
-                | None -> Result.Error "ill-typed counter value")
-            in
-            go [] fields
+          | Json.Obj fields -> int_fields "counter value" fields
           | _ -> Result.Error "ill-typed field \"counters\""
         in
         let* cache_obj = require "field \"cache\"" (Json.member "cache" j) in
@@ -202,11 +297,23 @@ let decode_response line =
         let* workers = int "workers" in
         let* queue_length = int "queue_length" in
         let* queue_capacity = int "queue_capacity" in
+        let* hist_obj = require "field \"histograms\"" (Json.member "histograms" j) in
+        let* histograms = decode_assoc "histograms" decode_hist hist_obj in
+        let* algos_obj = require "field \"algos\"" (Json.member "algos" j) in
+        let* algos = decode_assoc "algos" decode_algo algos_obj in
         Ok
           (Metrics_ok
              { uptime_ms; counters; cache = { size; capacity; hits; misses; evictions };
-               store_dir; workers; queue_length; queue_capacity })
-      | "health" -> Ok Health_ok
+               store_dir; workers; queue_length; queue_capacity; histograms; algos })
+      | "health" ->
+        let* uptime_s =
+          require "field \"uptime_s\"" (Option.bind (Json.member "uptime_s" j) Json.get_float)
+        in
+        let* cache_capacity =
+          require "field \"cache_capacity\""
+            (Option.bind (Json.member "cache_capacity" j) Json.get_int)
+        in
+        Ok (Health_ok { uptime_s; cache_capacity })
       | "shutdown" -> Ok Shutdown_ok
       | other -> Result.Error (Printf.sprintf "unknown response op %S" other))
   | Ok _ -> Result.Error "response must be a JSON object"

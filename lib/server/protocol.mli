@@ -8,22 +8,26 @@
 
     Requests:
     {v
-    {"op":"solve","instance":"rect 0 1/2 1\n...","budget_ms":100,"algos":["dc","bb"]}
+    {"op":"solve","instance":"rect 0 1/2 1\n...","budget_ms":100,"algos":["dc","bb"],"trace_id":"beef"}
     {"op":"metrics"}
     {"op":"health"}
     {"op":"shutdown"}
     v}
 
-    [budget_ms] and [algos] are optional. Responses are documented on the
-    constructors below; the full shapes (with examples) are specified in
-    README.md. Encoding and decoding are exact inverses — round-tripping
-    is property-tested on adversarial payloads. *)
+    [budget_ms], [algos] and [trace_id] are optional; a supplied
+    [trace_id] turns on span recording for that request and is echoed in
+    the reply, so a caller can correlate its own ids with the server's
+    slow-request log. Responses are documented on the constructors below;
+    the full shapes (with examples) are specified in README.md. Encoding
+    and decoding are exact inverses — round-tripping is property-tested
+    on adversarial payloads. *)
 
 type request =
   | Solve of {
       instance : string;  (** instance file text, {!Spp_core.Io} format *)
       budget_ms : float option;
       algos : string list option;
+      trace_id : string option;  (** client-chosen id; enables tracing *)
     }
   | Metrics
   | Health
@@ -43,24 +47,44 @@ type solve_reply = {
   height : string;  (** exact rational, e.g. ["7/2"] *)
   time_ms : float;  (** engine wall clock for this solve *)
   placement : string;  (** {!Spp_core.Io.placement_to_string} text *)
+  trace_id : string option;  (** present iff the request was traced *)
 }
 
 type cache_stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }
 
+(** One server-side histogram: observation count, sum, interpolated
+    percentiles, and the cumulative finite buckets (the implicit [+Inf]
+    bucket count equals [count]). *)
+type hist_reply = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  buckets : (float * int) list;  (** (upper bound, cumulative count) *)
+}
+
+(** Per-algorithm race record, aggregated over the server's lifetime. *)
+type algo_reply = { wins : int; solved : int; timeouts : int; invalid : int; failed : int }
+
 type metrics_reply = {
   uptime_ms : float;
-  counters : (string * int) list;  (** engine telemetry counters, sorted *)
+  counters : (string * int) list;  (** registry counters, sorted *)
   cache : cache_stats;  (** the shared in-memory LRU *)
   store_dir : string option;  (** disk cache directory, if enabled *)
   workers : int;
   queue_length : int;
   queue_capacity : int;
+  histograms : (string * hist_reply) list;  (** e.g. [spp_solve_ms] *)
+  algos : (string * algo_reply) list;  (** keyed by portfolio member *)
 }
+
+type health_reply = { uptime_s : float; cache_capacity : int }
 
 type response =
   | Solve_ok of solve_reply
   | Metrics_ok of metrics_reply
-  | Health_ok
+  | Health_ok of health_reply
   | Shutdown_ok  (** acknowledged; the server begins draining *)
   | Error of { code : error_code; message : string }
 

@@ -4,6 +4,10 @@ module Lru = Spp_engine.Lru
 module Io = Spp_core.Io
 module Q = Spp_num.Rat
 module Clock = Spp_util.Clock
+module Metrics = Spp_obs.Metrics
+module Trace = Spp_obs.Trace
+module Log = Spp_obs.Log
+module Field = Spp_obs.Field
 
 type config = {
   address : Framing.address;
@@ -13,6 +17,7 @@ type config = {
   default_budget_ms : float option;
   solve_workers : int option;
   max_request_bytes : int;
+  slow_ms : float option;
 }
 
 let default_max_request_bytes = Framing.default_max_line
@@ -22,9 +27,27 @@ type job = {
   budget_ms : float option;
   algos : string list option;
   reply : Protocol.response Bqueue.t;  (* capacity-1 mailbox *)
+  trace : Trace.t option;
+  queue_span : Trace.span option;
+  enqueued_ms : float;
 }
 
 type conn = { fd : Unix.file_descr }
+
+(* Handles registered once at [start]; every request touches these, so
+   they must not go through the registry's name lookup on the hot path. *)
+type instruments = {
+  reg : Metrics.t;
+  m_shed : Metrics.counter;
+  m_inflight : Metrics.gauge;
+  m_connections : Metrics.counter;
+  m_bytes_in : Metrics.counter;
+  m_bytes_out : Metrics.counter;
+  m_request_ms : Metrics.histogram;
+  m_queue_wait_ms : Metrics.histogram;
+  m_request_bytes : Metrics.histogram;
+  m_response_bytes : Metrics.histogram;
+}
 
 type t = {
   cfg : config;
@@ -37,6 +60,7 @@ type t = {
   pool : Pool.t;
   started_ms : float;
   mutable acceptor : Thread.t option;
+  mx : instruments;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -47,19 +71,29 @@ let source_to_string = function
   | Engine.Memory_cache -> "cache.memory"
   | Engine.Disk_cache -> "cache.disk"
 
+let count_request mx op =
+  Metrics.incr
+    (Metrics.counter mx.reg ~help:"Requests received by op" ~labels:[ ("op", op) ]
+       "spp_requests_total")
+
 (* Runs on a worker domain; must never raise (the reply mailbox is the
    only failure channel the connection thread watches). *)
-let process cfg (job : job) =
+let process cfg mx (job : job) =
+  (match (job.trace, job.queue_span) with
+   | Some tr, Some s -> Trace.finish tr s
+   | _ -> ());
+  Metrics.observe mx.m_queue_wait_ms (Clock.elapsed_ms job.enqueued_ms);
   let resp =
     match
       Engine.solve ?budget_ms:job.budget_ms ?algos:job.algos ?workers:cfg.solve_workers
-        cfg.engine job.parsed
+        ?trace:job.trace cfg.engine job.parsed
     with
     | r ->
       Protocol.Solve_ok
         { winner = r.Engine.winner; source = source_to_string r.Engine.source;
           height = Q.to_string r.Engine.height; time_ms = r.Engine.time_ms;
-          placement = Io.placement_to_string r.Engine.placement }
+          placement = Io.placement_to_string r.Engine.placement;
+          trace_id = Option.map Trace.id job.trace }
     | exception Invalid_argument msg ->
       Protocol.Error { code = Protocol.Bad_request; message = msg }
     | exception e -> Protocol.Error { code = Protocol.Internal; message = Printexc.to_string e }
@@ -67,6 +101,41 @@ let process cfg (job : job) =
   ignore (Bqueue.try_push job.reply resp)
 
 let stop t = Atomic.set t.stopping true
+
+let histograms_of reg =
+  List.filter_map
+    (fun (s : Metrics.sample) ->
+      match s.value with
+      | Metrics.Histogram h when s.labels = [] ->
+        Some
+          ( s.name,
+            { Protocol.count = h.Metrics.total; sum = h.Metrics.sum;
+              p50 = Metrics.hist_quantile h 0.5; p90 = Metrics.hist_quantile h 0.9;
+              p99 = Metrics.hist_quantile h 0.99; buckets = h.Metrics.buckets } )
+      | _ -> None)
+    (Metrics.snapshot reg)
+
+let algos_of reg =
+  let outcomes = Metrics.labeled_counters reg "spp_algo_outcomes_total" in
+  let wins = Metrics.labeled_counters reg "spp_algo_wins_total" in
+  let algo_of labels = List.assoc_opt "algo" labels in
+  let names =
+    List.sort_uniq compare (List.filter_map (fun (ls, _) -> algo_of ls) (outcomes @ wins))
+  in
+  List.map
+    (fun name ->
+      let sum_where pred rows =
+        List.fold_left (fun acc (ls, v) -> if pred ls then acc + v else acc) 0 rows
+      in
+      let mine ls = algo_of ls = Some name in
+      let outcome o ls = mine ls && List.assoc_opt "outcome" ls = Some o in
+      ( name,
+        { Protocol.wins = sum_where mine wins;
+          solved = sum_where (outcome "solved") outcomes;
+          timeouts = sum_where (outcome "timeout") outcomes;
+          invalid = sum_where (outcome "invalid") outcomes;
+          failed = sum_where (outcome "failed") outcomes } ))
+    names
 
 let metrics t =
   let s = Engine.cache_stats t.cfg.engine in
@@ -77,36 +146,79 @@ let metrics t =
         { size = s.Lru.size; capacity = Engine.cache_capacity t.cfg.engine; hits = s.Lru.hits;
           misses = s.Lru.misses; evictions = s.Lru.evictions };
       store_dir = Engine.store_dir t.cfg.engine; workers = t.cfg.workers;
-      queue_length = Bqueue.length t.queue; queue_capacity = Bqueue.capacity t.queue }
+      queue_length = Bqueue.length t.queue; queue_capacity = Bqueue.capacity t.queue;
+      histograms = histograms_of t.mx.reg; algos = algos_of t.mx.reg }
 
+let health t =
+  Protocol.Health_ok
+    { uptime_s = Clock.elapsed_ms t.started_ms /. 1000.0;
+      cache_capacity = Engine.cache_capacity t.cfg.engine }
+
+(* [respond] returns the request's trace alongside the response so the
+   connection thread can span the reply write and run the slow-log check
+   after the bytes are actually on the wire. *)
 let respond t line =
   match Protocol.decode_request line with
-  | Error msg -> Protocol.Error { code = Protocol.Parse; message = msg }
-  | Ok Protocol.Health -> Protocol.Health_ok
-  | Ok Protocol.Metrics -> metrics t
+  | Error msg ->
+    count_request t.mx "invalid";
+    (Protocol.Error { code = Protocol.Parse; message = msg }, None)
+  | Ok Protocol.Health ->
+    count_request t.mx "health";
+    (health t, None)
+  | Ok Protocol.Metrics ->
+    count_request t.mx "metrics";
+    (metrics t, None)
   | Ok Protocol.Shutdown ->
+    count_request t.mx "shutdown";
+    Log.info "shutdown requested" [];
     stop t;
-    Protocol.Shutdown_ok
-  | Ok (Protocol.Solve { instance; budget_ms; algos }) ->
+    (Protocol.Shutdown_ok, None)
+  | Ok (Protocol.Solve { instance; budget_ms; algos; trace_id }) ->
+    count_request t.mx "solve";
+    let trace =
+      if trace_id <> None || t.cfg.slow_ms <> None || Log.enabled Log.Debug then
+        Some (Trace.create ?id:trace_id ~name:"request" ())
+      else None
+    in
     if Atomic.get t.stopping then
-      Protocol.Error { code = Protocol.Shutting_down; message = "server is draining" }
+      (Protocol.Error { code = Protocol.Shutting_down; message = "server is draining" }, trace)
     else (
       match Io.parse_string instance with
-      | exception Failure msg -> Protocol.Error { code = Protocol.Bad_instance; message = msg }
+      | exception Failure msg ->
+        (Protocol.Error { code = Protocol.Bad_instance; message = msg }, trace)
       | parsed ->
         let budget_ms =
           match budget_ms with Some _ -> budget_ms | None -> t.cfg.default_budget_ms
         in
         let reply = Bqueue.create ~capacity:1 in
-        if not (Bqueue.try_push t.queue { parsed; budget_ms; algos; reply }) then
-          Protocol.Error
-            { code = Protocol.Overloaded;
-              message =
-                Printf.sprintf "admission queue full (depth %d)" (Bqueue.capacity t.queue) }
-        else (
-          match Bqueue.pop reply with
-          | Some r -> r
-          | None -> Protocol.Error { code = Protocol.Internal; message = "worker pool closed" }))
+        let queue_span =
+          Option.map (fun tr -> Trace.span tr ~parent:(Trace.root tr) "queue.wait") trace
+        in
+        Metrics.gauge_add t.mx.m_inflight 1.0;
+        let resp =
+          if
+            not
+              (Bqueue.try_push t.queue
+                 { parsed; budget_ms; algos; reply; trace; queue_span;
+                   enqueued_ms = Clock.now_ms () })
+          then begin
+            Metrics.incr t.mx.m_shed;
+            (match (trace, queue_span) with
+             | Some tr, Some s ->
+               Trace.finish ~fields:[ ("outcome", Field.String "shed") ] tr s
+             | _ -> ());
+            Protocol.Error
+              { code = Protocol.Overloaded;
+                message =
+                  Printf.sprintf "admission queue full (depth %d)" (Bqueue.capacity t.queue) }
+          end
+          else (
+            match Bqueue.pop reply with
+            | Some r -> r
+            | None -> Protocol.Error { code = Protocol.Internal; message = "worker pool closed" })
+        in
+        Metrics.gauge_add t.mx.m_inflight (-1.0);
+        (resp, trace))
 
 (* ------------------------------------------------------------------ *)
 (* Connections *)
@@ -116,13 +228,45 @@ let unregister t conn =
   t.conns <- List.filter (fun c -> c != conn) t.conns;
   Mutex.unlock t.lock
 
+let finish_trace t trace =
+  Option.iter
+    (fun tr ->
+      Trace.close tr;
+      let total = Trace.total_ms tr in
+      match t.cfg.slow_ms with
+      | Some thr when total >= thr ->
+        Log.warn "slow request"
+          [ ("trace_id", Field.String (Trace.id tr)); ("ms", Field.Float total);
+            ("trace", Field.String (Trace.to_json tr)) ]
+      | _ ->
+        if Log.enabled Log.Debug then
+          Log.debug "request"
+            [ ("trace_id", Field.String (Trace.id tr)); ("ms", Field.Float total) ])
+    trace
+
 let serve_conn t conn =
+  Metrics.incr t.mx.m_connections;
   let reader = Framing.reader ~max_line_bytes:t.cfg.max_request_bytes conn.fd in
-  let send resp =
-    try
-      Framing.write_line conn.fd (Protocol.encode_response resp);
-      true
-    with Unix.Unix_error _ | Sys_error _ -> false
+  let send ?trace resp =
+    let line = Protocol.encode_response resp in
+    let span =
+      Option.map
+        (fun tr -> (tr, Trace.span tr ~parent:(Trace.root tr) "reply.write"))
+        trace
+    in
+    let ok =
+      try
+        Framing.write_line conn.fd line;
+        true
+      with Unix.Unix_error _ | Sys_error _ -> false
+    in
+    Option.iter
+      (fun (tr, s) ->
+        Trace.finish ~fields:[ ("bytes", Field.Int (String.length line + 1)) ] tr s)
+      span;
+    Metrics.incr ~by:(String.length line + 1) t.mx.m_bytes_out;
+    Metrics.observe t.mx.m_response_bytes (float_of_int (String.length line + 1));
+    ok
   in
   let rec loop () =
     match Framing.read_line reader with
@@ -137,8 +281,13 @@ let serve_conn t conn =
     | exception (Unix.Unix_error _ | Sys_error _) -> ()
     | Some line when String.trim line = "" -> if not (Atomic.get t.stopping) then loop ()
     | Some line ->
-      let resp = respond t line in
-      let written = send resp in
+      Metrics.incr ~by:(String.length line + 1) t.mx.m_bytes_in;
+      Metrics.observe t.mx.m_request_bytes (float_of_int (String.length line + 1));
+      let t0 = Clock.now_ms () in
+      let resp, trace = respond t line in
+      let written = send ?trace resp in
+      finish_trace t trace;
+      Metrics.observe t.mx.m_request_ms (Clock.elapsed_ms t0);
       (* After a drain began, finish this (in-flight) reply but take no
          further requests from the connection. *)
       if written && not (Atomic.get t.stopping) then loop ()
@@ -201,18 +350,52 @@ let accept_loop t =
   List.iter Thread.join threads;
   (* Nothing can enqueue any more: let the workers drain out and exit. *)
   Bqueue.close t.queue;
-  Pool.join t.pool
+  Pool.join t.pool;
+  Log.info "server drained" []
+
+let instruments reg queue =
+  Metrics.gauge_fn reg ~help:"Jobs waiting in the admission queue" "spp_queue_depth"
+    (fun () -> float_of_int (Bqueue.length queue));
+  { reg;
+    m_shed =
+      Metrics.counter reg ~help:"Solve requests refused because the queue was full"
+        "spp_requests_shed_total";
+    m_inflight =
+      Metrics.gauge reg ~help:"Solve requests admitted and not yet answered"
+        "spp_inflight_requests";
+    m_connections = Metrics.counter reg ~help:"Client connections accepted" "spp_connections_total";
+    m_bytes_in = Metrics.counter reg ~help:"Request bytes read" "spp_bytes_read_total";
+    m_bytes_out = Metrics.counter reg ~help:"Response bytes written" "spp_bytes_written_total";
+    m_request_ms =
+      Metrics.histogram reg ~help:"Wall-clock per request, receipt to reply (ms)"
+        "spp_request_ms";
+    m_queue_wait_ms =
+      Metrics.histogram reg ~help:"Time jobs spent in the admission queue (ms)"
+        "spp_queue_wait_ms";
+    m_request_bytes =
+      Metrics.histogram reg ~help:"Request line sizes (bytes)"
+        ~buckets:Metrics.default_size_buckets "spp_request_bytes";
+    m_response_bytes =
+      Metrics.histogram reg ~help:"Response line sizes (bytes)"
+        ~buckets:Metrics.default_size_buckets "spp_response_bytes" }
 
 let start cfg =
   Signals.ignore_sigpipe ();
   let listen_fd = Framing.listen cfg.address in
   let queue = Bqueue.create ~capacity:cfg.queue_depth in
-  let pool = Pool.start ~workers:cfg.workers (process cfg) queue in
+  let reg = Telemetry.metrics (Engine.telemetry cfg.engine) in
+  let mx = instruments reg queue in
+  let pool = Pool.start ~workers:cfg.workers (process cfg mx) queue in
   let t =
     { cfg; listen_fd; queue; stopping = Atomic.make false; lock = Mutex.create (); conns = [];
-      threads = []; pool; started_ms = Clock.now_ms (); acceptor = None }
+      threads = []; pool; started_ms = Clock.now_ms (); acceptor = None; mx }
   in
+  Metrics.gauge_fn reg ~help:"Seconds since the server started" "spp_uptime_seconds"
+    (fun () -> Clock.elapsed_ms t.started_ms /. 1000.0);
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  Log.info "server listening"
+    [ ("address", Field.String (Framing.address_to_string cfg.address));
+      ("workers", Field.Int cfg.workers); ("queue_depth", Field.Int cfg.queue_depth) ];
   t
 
 let wait t = match t.acceptor with Some th -> Thread.join th | None -> ()

@@ -30,7 +30,19 @@
       only flips a flag; the acceptor notices within ~50 ms and drains:
       the listener closes (new connections refused), idle connections are
       woken and closed, in-flight requests complete and their replies are
-      written, then the queue closes and the workers exit. *)
+      written, then the queue closes and the workers exit.
+
+    Observability: the server registers its instruments on the engine
+    telemetry's {!Spp_obs.Metrics} registry — [spp_requests_total]{[op]},
+    [spp_requests_shed_total], [spp_connections_total], queue depth and
+    in-flight gauges, bytes in/out, and [spp_request_ms] /
+    [spp_queue_wait_ms] / request-and-response size histograms — so one
+    registry feeds the [metrics] op and the scrape endpoint
+    ({!Metrics_http}). A solve request is traced ({!Spp_obs.Trace}) when
+    the client supplies a [trace_id], when [slow_ms] is set, or when the
+    log level is [Debug]; its span tree covers queue wait, the engine's
+    cache probe and race, and the reply write. Requests slower than
+    [slow_ms] are logged at [warn] with the rendered trace attached. *)
 
 type config = {
   address : Framing.address;
@@ -44,6 +56,9 @@ type config = {
           engine default; keep [workers * solve_workers] near the core
           count) *)
   max_request_bytes : int;  (** request-line size cap, see {!Framing} *)
+  slow_ms : float option;
+      (** log requests slower than this at [warn] with their span tree;
+          also forces every solve request to be traced *)
 }
 
 val default_max_request_bytes : int

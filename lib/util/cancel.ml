@@ -1,16 +1,19 @@
 type t = {
   flag : bool Atomic.t;
   deadline_ms : float;  (** absolute, [infinity] = none *)
+  polls : int Atomic.t;
 }
 
 exception Cancelled
 
-let never = { flag = Atomic.make false; deadline_ms = infinity }
+let never = { flag = Atomic.make false; deadline_ms = infinity; polls = Atomic.make 0 }
 
-let create () = { flag = Atomic.make false; deadline_ms = infinity }
+let create () = { flag = Atomic.make false; deadline_ms = infinity; polls = Atomic.make 0 }
 
 let with_deadline_ms ms =
-  { flag = Atomic.make false; deadline_ms = Clock.now_ms () +. Float.max 0.0 ms }
+  { flag = Atomic.make false;
+    deadline_ms = Clock.now_ms () +. Float.max 0.0 ms;
+    polls = Atomic.make 0 }
 
 let cancel t = if t != never then Atomic.set t.flag true
 
@@ -18,7 +21,14 @@ let cancelled t =
   Atomic.get t.flag
   || (t.deadline_ms < infinity && Clock.now_ms () >= t.deadline_ms)
 
-let check t = if cancelled t then raise Cancelled
+(* [never] is a single shared token polled from every domain at once; counting
+   its polls would put one contended cache line on every solver's hot loop for
+   a number nobody reads. Real tokens are per-request, so the count is cheap. *)
+let check t =
+  if t != never then ignore (Atomic.fetch_and_add t.polls 1);
+  if cancelled t then raise Cancelled
+
+let polls t = Atomic.get t.polls
 
 let remaining_ms t =
   if Atomic.get t.flag then Some 0.0

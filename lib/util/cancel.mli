@@ -31,8 +31,16 @@ val cancel : t -> unit
 
 val cancelled : t -> bool
 
-(** [check t] raises {!Cancelled} iff the token has tripped. *)
+(** [check t] raises {!Cancelled} iff the token has tripped. Each call
+    also bumps the token's poll count (except on {!never}, whose single
+    shared cache line must stay read-only on the hot path). *)
 val check : t -> unit
+
+(** [polls t] is the number of {!check} calls made against [t] so far —
+    a cheap measure of how often a solver reached a cancellation point,
+    surfaced as the [spp_cancel_polls_total] metric. Always 0 for
+    {!never}. *)
+val polls : t -> int
 
 (** [remaining_ms t] is the wall-clock budget left: [None] when unlimited,
     [Some 0.] once tripped. *)

@@ -1,10 +1,30 @@
+let parse_workers s =
+  let s = String.trim s in
+  if s = "" then Error "empty value"
+  else
+    match int_of_string_opt s with
+    | None -> Error (Printf.sprintf "not an integer: %S" s)
+    | Some n when n < 1 -> Error (Printf.sprintf "must be >= 1, got %d" n)
+    | Some n -> Ok n
+
+(* Warn once per process, not once per call: available_workers sits on the
+   solve path and a daemon would otherwise spam stderr on every request. *)
+let warned = Atomic.make false
+
+let default_workers () = min 8 (Domain.recommended_domain_count ())
+
 let available_workers () =
   match Sys.getenv_opt "SPP_WORKERS" with
+  | None -> default_workers ()
+  | Some s when String.trim s = "" -> default_workers ()
   | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> min 8 (Domain.recommended_domain_count ()))
-  | None -> min 8 (Domain.recommended_domain_count ())
+    match parse_workers s with
+    | Ok n -> n
+    | Error why ->
+      if not (Atomic.exchange warned true) then
+        Printf.eprintf "warning: ignoring SPP_WORKERS=%S (%s); using %d workers\n%!" s why
+          (default_workers ());
+      default_workers ())
 
 let map ?workers f xs =
   let n = List.length xs in

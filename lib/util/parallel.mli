@@ -19,5 +19,11 @@ val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
     tasks raced here). The environment variable [SPP_WORKERS], when set
     to a positive integer, overrides both the detection and the cap —
     useful under cgroup CPU limits the runtime cannot see, and for
-    pinning benchmarks to a fixed width. Malformed values are ignored. *)
+    pinning benchmarks to a fixed width. Malformed or non-positive
+    values fall back to the default with a one-time stderr warning;
+    an empty value counts as unset. *)
 val available_workers : unit -> int
+
+(** [parse_workers s] validates an [SPP_WORKERS]-style value: a positive
+    integer after trimming whitespace. Errors name the offending value. *)
+val parse_workers : string -> (int, string) result

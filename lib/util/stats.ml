@@ -18,10 +18,8 @@ let min_max xs =
 
 let sorted xs = List.sort Float.compare xs
 
-let quantile q xs =
-  check_nonempty "Stats.quantile" xs;
-  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
-  let arr = Array.of_list (sorted xs) in
+let quantile_of_sorted name arr q =
+  if q < 0.0 || q > 1.0 then invalid_arg (name ^ ": quantile outside [0,1]");
   let n = Array.length arr in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
@@ -31,6 +29,24 @@ let quantile q xs =
     let frac = pos -. float_of_int lo in
     (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
   end
+
+let quantile q xs =
+  check_nonempty "Stats.quantile" xs;
+  quantile_of_sorted "Stats.quantile" (Array.of_list (sorted xs)) q
+
+let percentile p xs =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  quantile_of_sorted "Stats.percentile" (Array.of_list (sorted xs)) (p /. 100.0)
+
+let percentiles ps xs =
+  check_nonempty "Stats.percentiles" xs;
+  let arr = Array.of_list (sorted xs) in
+  List.map
+    (fun p ->
+      if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentiles: p outside [0,100]";
+      quantile_of_sorted "Stats.percentiles" arr (p /. 100.0))
+    ps
 
 let median xs = quantile 0.5 xs
 

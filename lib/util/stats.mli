@@ -15,6 +15,14 @@ val median : float list -> float
     interpolation over the sorted sample. *)
 val quantile : float -> float list -> float
 
+(** [percentile p xs] is [quantile (p /. 100.) xs] for [p] in [0,100] —
+    the latency-reporting convention (p50/p95/p99). *)
+val percentile : float -> float list -> float
+
+(** [percentiles ps xs] computes several percentiles sorting the sample
+    once; equal to [List.map (fun p -> percentile p xs) ps]. *)
+val percentiles : float list -> float list -> float list
+
 (** [geometric_mean xs] for positive samples; used for approximation-ratio
     aggregation (ratios multiply, so the geometric mean is the honest
     average). *)

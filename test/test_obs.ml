@@ -1,0 +1,414 @@
+(* Tests for Spp_obs: the sharded metrics registry (bucket boundary
+   semantics, cross-domain merge under hammering), Prometheus text
+   exposition (name sanitisation, label escaping), span-tree traces
+   (including the trace_id round-trip over the live wire protocol), and
+   the structured logger with the server's slow-request log. *)
+
+module Metrics = Spp_obs.Metrics
+module Expo = Spp_obs.Expo
+module Trace = Spp_obs.Trace
+module Log = Spp_obs.Log
+module Field = Spp_obs.Field
+module Prng = Spp_util.Prng
+module Io = Spp_core.Io
+module Generators = Spp_workloads.Generators
+module Engine = Spp_engine.Engine
+module Protocol = Spp_server.Protocol
+module Framing = Spp_server.Framing
+module Server = Spp_server.Server
+module Client = Spp_server.Client
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters and gauges *)
+
+let test_counters_and_gauges () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t "requests" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "counter accumulates" 42 (Metrics.counter_value c);
+  (* Same name+labels yields the same cells; different labels are distinct
+     series. *)
+  let c' = Metrics.counter t "requests" in
+  Metrics.incr c';
+  Alcotest.(check int) "same handle" 43 (Metrics.counter_value c);
+  let cs = Metrics.counter t ~labels:[ ("op", "solve") ] "requests" in
+  Metrics.incr cs;
+  Alcotest.(check int) "labeled series independent" 43 (Metrics.counter_value c);
+  Alcotest.(check (option int)) "find_counter unlabeled" (Some 43)
+    (Metrics.find_counter t "requests");
+  Alcotest.(check (option int)) "find_counter labeled" (Some 1)
+    (Metrics.find_counter t ~labels:[ ("op", "solve") ] "requests");
+  Alcotest.(check (option int)) "find_counter missing" None (Metrics.find_counter t "nope");
+  let g = Metrics.gauge t "depth" in
+  Metrics.gauge_set g 5.0;
+  Metrics.gauge_add g 2.5;
+  Metrics.gauge_add g (-1.5);
+  Alcotest.(check (float 1e-9)) "gauge set/add" 6.0 (Metrics.gauge_value g);
+  (* Kind clash on an existing name must be rejected. *)
+  (match Metrics.gauge t "requests" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "kind clash accepted");
+  (* Callback metrics are sampled at snapshot time. *)
+  let v = ref 7 in
+  Metrics.counter_fn t "sampled" (fun () -> !v);
+  v := 9;
+  Alcotest.(check (option int)) "counter_fn sees latest" (Some 9)
+    (Metrics.find_counter t "sampled")
+
+let test_disabled_registry () =
+  let t = Metrics.create ~enabled:false () in
+  Alcotest.(check bool) "reports disabled" false (Metrics.enabled t);
+  let c = Metrics.counter t "x" in
+  Metrics.incr ~by:1000 c;
+  Alcotest.(check int) "no-op counter" 0 (Metrics.counter_value c);
+  let h = Metrics.histogram t "h" in
+  Metrics.observe h 1.0;
+  Alcotest.(check int) "snapshot is empty" 0 (List.length (Metrics.snapshot t));
+  Alcotest.(check string) "nothing to scrape" "" (Expo.render t)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: histogram bucket boundaries *)
+
+let test_histogram_bucket_boundaries () =
+  let t = Metrics.create () in
+  let h = Metrics.histogram t ~buckets:[| 1.0; 5.0; 10.0 |] "lat" in
+  (* Prometheus le semantics: a value on a bound belongs to that bucket. *)
+  List.iter (Metrics.observe h) [ 0.2; 1.0; 1.0001; 5.0; 10.0; 11.0 ];
+  let s = Option.get (Metrics.find_histogram t "lat") in
+  Alcotest.(check int) "total includes overflow" 6 s.Metrics.total;
+  Alcotest.(check (float 1e-9)) "sum" 28.2001 s.Metrics.sum;
+  (match s.Metrics.buckets with
+   | [ (1.0, a); (5.0, b); (10.0, c) ] ->
+     Alcotest.(check int) "le=1 cumulative" 2 a;
+     Alcotest.(check int) "le=5 cumulative" 4 b;
+     Alcotest.(check int) "le=10 cumulative" 5 c
+   | other ->
+     Alcotest.failf "unexpected buckets: %s"
+       (String.concat ";" (List.map (fun (le, n) -> Printf.sprintf "%g:%d" le n) other)));
+  (* Quantiles: interpolated within the holding bucket; overflow ranks
+     report the largest finite bound; empty histograms report 0. *)
+  Alcotest.(check bool) "p50 inside (1,5]" true
+    (let q = Metrics.hist_quantile s 0.5 in
+     q > 1.0 && q <= 5.0);
+  Alcotest.(check (float 1e-9)) "overflow rank clamps" 10.0 (Metrics.hist_quantile s 0.999);
+  let empty = Metrics.histogram t ~buckets:[| 1.0 |] "empty" in
+  ignore empty;
+  Alcotest.(check (float 1e-9)) "empty quantile" 0.0
+    (Metrics.hist_quantile (Option.get (Metrics.find_histogram t "empty")) 0.5);
+  (* Bad bounds are rejected up front. *)
+  List.iter
+    (fun bad ->
+      match Metrics.histogram t ~buckets:bad "bad" with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad bounds accepted")
+    [ [||]; [| 2.0; 1.0 |]; [| 1.0; 1.0 |]; [| 1.0; Float.infinity |] ]
+
+let test_histogram_default_ladder () =
+  (* The default latency ladder is strictly increasing and spans
+     sub-millisecond to ten seconds, so both cache hits and budgeted
+     solves land in interior buckets. *)
+  let b = Metrics.default_latency_buckets in
+  Alcotest.(check bool) "spans down to 0.05 ms" true (b.(0) <= 0.05);
+  Alcotest.(check bool) "spans up to 10 s" true (b.(Array.length b - 1) >= 10_000.0);
+  Array.iteri (fun i v -> if i > 0 && v <= b.(i - 1) then Alcotest.fail "ladder not increasing") b
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: multi-domain hammer *)
+
+let test_multi_domain_merge () =
+  let t = Metrics.create ~shards:4 () in
+  let c = Metrics.counter t "hits" in
+  let h = Metrics.histogram t ~buckets:[| 10.0; 100.0 |] "obs" in
+  let g = Metrics.gauge t "level" in
+  let domains = 4 and per_domain = 25_000 in
+  let worker seed () =
+    let rng = Prng.create seed in
+    for _ = 1 to per_domain do
+      Metrics.incr c;
+      Metrics.observe h (Prng.float rng 200.0);
+      Metrics.gauge_add g 1.0
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker (100 + i))) in
+  List.iter Domain.join ds;
+  let n = domains * per_domain in
+  Alcotest.(check int) "counter merged across domains" n (Metrics.counter_value c);
+  Alcotest.(check (float 1e-9)) "gauge adds merged" (float_of_int n) (Metrics.gauge_value g);
+  let s = Option.get (Metrics.find_histogram t "obs") in
+  Alcotest.(check int) "histogram total merged" n s.Metrics.total;
+  (match List.rev s.Metrics.buckets with
+   | (_, le_last) :: _ ->
+     Alcotest.(check bool) "cumulative counts monotone" true (le_last <= n)
+   | [] -> Alcotest.fail "no buckets")
+
+(* ------------------------------------------------------------------ *)
+(* Exposition *)
+
+let test_expo_sanitize_and_escape () =
+  Alcotest.(check string) "dots to underscores" "cache_hit" (Expo.sanitize_name "cache.hit");
+  Alcotest.(check string) "leading digit prefixed" "_9lives" (Expo.sanitize_name "9lives");
+  Alcotest.(check string) "colons kept" "spp:ratio" (Expo.sanitize_name "spp:ratio");
+  Alcotest.(check string) "escapes" "a\\\\b\\\"c\\nd" (Expo.escape_label_value "a\\b\"c\nd")
+
+let test_expo_render () =
+  let t = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter t ~help:"Cache hits" "cache.hit");
+  Metrics.incr (Metrics.counter t ~labels:[ ("algo", "dc\"x") ] "spp_algo_wins_total");
+  Metrics.gauge_set (Metrics.gauge t "spp_queue_depth") 2.0;
+  let h = Metrics.histogram t ~buckets:[| 1.0; 5.0 |] "spp_solve_ms" in
+  List.iter (Metrics.observe h) [ 0.5; 3.0; 30.0 ];
+  let out = Expo.render t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (contains ~needle out))
+    [ "# HELP cache_hit Cache hits"; "# TYPE cache_hit counter"; "cache_hit 3";
+      "spp_algo_wins_total{algo=\"dc\\\"x\"} 1"; "# TYPE spp_queue_depth gauge";
+      "spp_queue_depth 2"; "# TYPE spp_solve_ms histogram"; "spp_solve_ms_bucket{le=\"1\"} 1";
+      "spp_solve_ms_bucket{le=\"5\"} 2"; "spp_solve_ms_bucket{le=\"+Inf\"} 3";
+      "spp_solve_ms_count 3" ];
+  Alcotest.(check bool) "ends with newline" true
+    (String.length out > 0 && out.[String.length out - 1] = '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Traces *)
+
+let is_hex s = String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let test_trace_ids () =
+  let a = Trace.gen_id () and b = Trace.gen_id () in
+  Alcotest.(check int) "16 hex digits" 16 (String.length a);
+  Alcotest.(check bool) "hex alphabet" true (is_hex a && is_hex b);
+  Alcotest.(check bool) "ids distinct" true (a <> b);
+  let t = Trace.create ~id:"client-chosen" ~name:"req" () in
+  Alcotest.(check string) "client id honoured" "client-chosen" (Trace.id t);
+  let t' = Trace.create ~id:"" ~name:"req" () in
+  Alcotest.(check bool) "empty id replaced" true (String.length (Trace.id t') = 16)
+
+let test_trace_span_tree () =
+  let t = Trace.create ~id:"abc" ~name:"request" () in
+  let root = Trace.root t in
+  let q = Trace.span t ~parent:root "queue.wait" in
+  Trace.finish t q;
+  let solved =
+    Trace.with_span t ~parent:root "solve" (fun solve ->
+        let v = Trace.span t ~parent:solve "validate" in
+        Trace.finish ~fields:[ ("ok", Field.Bool true) ] t v;
+        17)
+  in
+  Alcotest.(check int) "with_span returns" 17 solved;
+  (match Trace.with_span t ~parent:root "boom" (fun _ -> failwith "kaput") with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "exception swallowed");
+  Trace.close ~fields:[ ("winner", Field.String "dc") ] t;
+  Alcotest.(check bool) "total stamped" true (Trace.total_ms t >= 0.0);
+  let js = Trace.to_json t in
+  Alcotest.(check bool) "one line" false (String.contains js '\n');
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json has %S" needle) true (contains ~needle js))
+    [ "\"trace_id\":\"abc\""; "\"name\":\"request\""; "\"queue.wait\""; "\"validate\"";
+      "\"outcome\":\"raised\""; "\"winner\":\"dc\"" ];
+  let tree = Trace.render t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "render has %S" needle) true (contains ~needle tree))
+    [ "request"; "queue.wait"; "solve"; "validate" ];
+  (* Children must render chronologically: queue.wait before solve. *)
+  let idx needle =
+    let nl = String.length needle in
+    let rec go i =
+      if i + nl > String.length tree then Alcotest.failf "%S not rendered" needle
+      else if String.sub tree i nl = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "chronological order" true (idx "queue.wait" < idx "solve")
+
+let test_trace_finish_idempotent () =
+  let t = Trace.create ~name:"r" () in
+  let s = Trace.span t ~parent:(Trace.root t) "once" in
+  Trace.finish t s;
+  let js1 = Trace.to_json t in
+  Thread.delay 0.01;
+  Trace.finish t s;
+  (* A second finish must not restamp the duration (the fields and tree
+     are unchanged, so the whole encoding is identical). *)
+  Alcotest.(check string) "duration stamped once" js1 (Trace.to_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Trace id over the wire *)
+
+let test_trace_id_wire_roundtrip () =
+  let req =
+    Protocol.Solve
+      { instance = "rect 0 1/2 1"; budget_ms = Some 50.0; algos = None;
+        trace_id = Some "0123456789abcdef" }
+  in
+  (match Protocol.decode_request (Protocol.encode_request req) with
+   | Ok req' -> Alcotest.(check bool) "request round-trips" true (req = req')
+   | Error e -> Alcotest.failf "decode failed: %s" e);
+  let resp =
+    Protocol.Solve_ok
+      { winner = "dc"; source = "computed"; height = "1"; time_ms = 1.0;
+        placement = "rect 0 0 0"; trace_id = Some "0123456789abcdef" }
+  in
+  match Protocol.decode_response (Protocol.encode_response resp) with
+  | Ok resp' -> Alcotest.(check bool) "response round-trips" true (resp = resp')
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let temp_path ext =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "spp_obs_%d_%d.%s" (Unix.getpid ()) (Random.int 1_000_000) ext)
+
+let instance_text seed n =
+  let rng = Prng.create seed in
+  Io.prec_to_string (Generators.random_prec rng ~n ~k:8 ~h_den:4 ~shape:`Series_parallel)
+
+let with_server ?slow_ms f =
+  let sock = temp_path "sock" in
+  let address = Framing.Unix_sock sock in
+  let srv =
+    Server.start
+      { Server.address; workers = 1; queue_depth = 8; engine = Engine.create ();
+        default_budget_ms = Some 2000.0; solve_workers = Some 1;
+        max_request_bytes = 1 lsl 16; slow_ms }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv)
+    (fun () -> f address)
+
+let test_trace_id_live_echo () =
+  with_server (fun address ->
+      Client.with_connection address (fun c ->
+          match
+            Client.request c
+              (Protocol.Solve
+                 { instance = instance_text 61 6; budget_ms = None; algos = None;
+                   trace_id = Some "feedface00000001" })
+          with
+          | Protocol.Solve_ok r ->
+            Alcotest.(check (option string)) "server echoes the client trace id"
+              (Some "feedface00000001") r.Protocol.trace_id
+          | other -> Alcotest.failf "unexpected reply: %s" (Protocol.encode_response other));
+      (* Untraced requests carry no id. *)
+      Client.with_connection address (fun c ->
+          match
+            Client.request c
+              (Protocol.Solve
+                 { instance = instance_text 61 6; budget_ms = None; algos = None;
+                   trace_id = None })
+          with
+          | Protocol.Solve_ok r ->
+            Alcotest.(check (option string)) "no id unless requested" None r.Protocol.trace_id
+          | other -> Alcotest.failf "unexpected reply: %s" (Protocol.encode_response other)))
+
+(* ------------------------------------------------------------------ *)
+(* Logging *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The logger is process-global; every test that redirects it must restore
+   stderr/Info on the way out so later suites are unaffected. *)
+let with_log_file f =
+  let path = temp_path "log" in
+  Log.set_file path;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_channel stderr;
+      Log.set_level Log.Info;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_log_levels_and_shape () =
+  Alcotest.(check bool) "level names parse" true
+    (Log.level_of_string "warn" = Some Log.Warn
+     && Log.level_of_string "WARNING" = Some Log.Warn
+     && Log.level_of_string "debug" = Some Log.Debug
+     && Log.level_of_string "nope" = None);
+  with_log_file (fun path ->
+      Log.set_level Log.Warn;
+      Alcotest.(check bool) "debug disabled at warn" false (Log.enabled Log.Debug);
+      Alcotest.(check bool) "error enabled at warn" true (Log.enabled Log.Error);
+      Log.debug "hidden" [];
+      Log.info "hidden too" [];
+      Log.warn "shown" [ ("n", Field.Int 3); ("f", Field.Float 0.5); ("b", Field.Bool true) ];
+      Log.error "also shown" [ ("msg", Field.String "a\"b\nc") ];
+      let out = read_file path in
+      Alcotest.(check bool) "below-threshold dropped" false (contains ~needle:"hidden" out);
+      let lines = String.split_on_char '\n' (String.trim out) in
+      Alcotest.(check int) "one line per event" 2 (List.length lines);
+      List.iter
+        (fun needle -> Alcotest.(check bool) needle true (contains ~needle out))
+        [ "\"level\":\"warn\""; "\"msg\":\"shown\""; "\"n\":3"; "\"f\":0.5"; "\"b\":true";
+          "\"level\":\"error\""; "\"msg\":\"a\\\"b\\nc\"" ];
+      (* Every line is one of our JSON objects: starts with the ts field. *)
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "line starts a JSON object" true
+            (String.length l > 6 && String.sub l 0 6 = "{\"ts\":"))
+        lines)
+
+let test_slow_request_log () =
+  with_log_file (fun path ->
+      (* slow_ms = 0: every request is slow, so one solve must produce a
+         warn line with its trace id and rendered span tree. *)
+      with_server ~slow_ms:0.0 (fun address ->
+          Client.with_connection address (fun c ->
+              match
+                Client.request c
+                  (Protocol.Solve
+                     { instance = instance_text 71 6; budget_ms = None; algos = None;
+                       trace_id = Some "slowslowslowslow" })
+              with
+              | Protocol.Solve_ok _ -> ()
+              | other ->
+                Alcotest.failf "unexpected reply: %s" (Protocol.encode_response other)));
+      let out = read_file path in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "log has %S" needle) true (contains ~needle out))
+        [ "slow request"; "slowslowslowslow"; "queue.wait"; "solve" ])
+
+let () =
+  Alcotest.run "spp_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+          Alcotest.test_case "disabled registry is a no-op" `Quick test_disabled_registry;
+          Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_bucket_boundaries;
+          Alcotest.test_case "default latency ladder" `Quick test_histogram_default_ladder;
+          Alcotest.test_case "multi-domain hammer merge" `Quick test_multi_domain_merge;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "sanitize and escape" `Quick test_expo_sanitize_and_escape;
+          Alcotest.test_case "prometheus text render" `Quick test_expo_render;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ids" `Quick test_trace_ids;
+          Alcotest.test_case "span tree" `Quick test_trace_span_tree;
+          Alcotest.test_case "finish is idempotent" `Quick test_trace_finish_idempotent;
+          Alcotest.test_case "trace id wire round-trip" `Quick test_trace_id_wire_roundtrip;
+          Alcotest.test_case "live server echoes trace id" `Quick test_trace_id_live_echo;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels and line shape" `Quick test_log_levels_and_shape;
+          Alcotest.test_case "slow-request log" `Quick test_slow_request_log;
+        ] );
+    ]

@@ -106,6 +106,9 @@ let test_protocol_request_roundtrip () =
             algos =
               (if Prng.bool rng then
                  Some (List.init (Prng.int rng 3) (fun _ -> random_payload rng))
+               else None);
+            trace_id =
+              (if Prng.bool rng then Some (Printf.sprintf "t%08x" (Prng.int rng 0xffffff))
                else None) }
       | 1 -> Protocol.Metrics
       | 2 -> Protocol.Health
@@ -121,10 +124,12 @@ let test_protocol_request_roundtrip () =
 let test_protocol_response_roundtrip () =
   let rng = Prng.create 8 in
   let responses () =
-    [ Protocol.Health_ok; Protocol.Shutdown_ok;
+    [ Protocol.Health_ok { uptime_s = Prng.float rng 3600.; cache_capacity = 128 };
+      Protocol.Shutdown_ok;
       Protocol.Solve_ok
         { winner = "dc"; source = "computed"; height = "27/4";
-          time_ms = Prng.float rng 100.; placement = random_payload rng };
+          time_ms = Prng.float rng 100.; placement = random_payload rng;
+          trace_id = (if Prng.bool rng then Some "deadbeefcafef00d" else None) };
       Protocol.Metrics_ok
         { uptime_ms = Prng.float rng 1e6;
           counters = [ ("cache.hit", Prng.int rng 100); ("solve.runs", Prng.int rng 100) ];
@@ -132,7 +137,18 @@ let test_protocol_response_roundtrip () =
             { size = Prng.int rng 10; capacity = 128; hits = Prng.int rng 50;
               misses = Prng.int rng 50; evictions = 0 };
           store_dir = (if Prng.bool rng then Some "/tmp/x" else None);
-          workers = 1 + Prng.int rng 8; queue_length = Prng.int rng 64; queue_capacity = 64 };
+          workers = 1 + Prng.int rng 8; queue_length = Prng.int rng 64; queue_capacity = 64;
+          histograms =
+            [ ( "spp_solve_ms",
+                { Protocol.count = 1 + Prng.int rng 100; sum = Prng.float rng 1e4;
+                  p50 = Prng.float rng 10.; p90 = Prng.float rng 100.;
+                  p99 = Prng.float rng 1000.;
+                  buckets = [ (0.5, Prng.int rng 5); (5.0, 5 + Prng.int rng 5) ] } ) ];
+          algos =
+            [ ( "dc",
+                { Protocol.wins = Prng.int rng 10; solved = Prng.int rng 20;
+                  timeouts = Prng.int rng 3; invalid = 0; failed = Prng.int rng 2 } );
+              ("bl", { Protocol.wins = 0; solved = 1; timeouts = 0; invalid = 1; failed = 0 }) ] };
       Protocol.Error { code = Protocol.Overloaded; message = random_payload rng };
       Protocol.Error { code = Protocol.Bad_instance; message = "" } ]
   in
@@ -263,7 +279,7 @@ let with_server ?(workers = 2) ?(queue_depth = 16) f =
     Server.start
       { Server.address; workers; queue_depth; engine = Engine.create ();
         default_budget_ms = Some 2000.0; solve_workers = Some 1;
-        max_request_bytes = 1 lsl 16 }
+        max_request_bytes = 1 lsl 16; slow_ms = None }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -285,7 +301,9 @@ let test_server_concurrent_clients () =
                       let text = corpus.((ci + r) mod Array.length corpus) in
                       match
                         Client.request c
-                          (Protocol.Solve { instance = text; budget_ms = None; algos = None })
+                          (Protocol.Solve
+                             { instance = text; budget_ms = None; algos = None;
+                               trace_id = None })
                       with
                       | Protocol.Solve_ok reply -> check_solve_reply text reply
                       | other ->
@@ -334,13 +352,16 @@ let test_server_junk_and_errors () =
       (match Framing.read_line r with
        | Some line ->
          Alcotest.(check bool) "health after junk" true
-           (Protocol.decode_response line = Ok Protocol.Health_ok)
+           (match Protocol.decode_response line with
+            | Ok (Protocol.Health_ok h) -> h.Protocol.uptime_s >= 0. && h.Protocol.cache_capacity > 0
+            | _ -> false)
        | None -> Alcotest.fail "connection closed after junk");
       Unix.close fd;
       Client.with_connection address (fun c ->
           (match
              Client.request c
-               (Protocol.Solve { instance = "rect nope"; budget_ms = None; algos = None })
+               (Protocol.Solve
+                  { instance = "rect nope"; budget_ms = None; algos = None; trace_id = None })
            with
            | Protocol.Error { code = Protocol.Bad_instance; _ } -> ()
            | other ->
@@ -349,7 +370,7 @@ let test_server_junk_and_errors () =
             Client.request c
               (Protocol.Solve
                  { instance = instance_text 41 6; budget_ms = None;
-                   algos = Some [ "no-such-algorithm" ] })
+                   algos = Some [ "no-such-algorithm" ]; trace_id = None })
           with
           | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
           | other ->
@@ -362,7 +383,7 @@ let test_server_graceful_shutdown () =
     Server.start
       { Server.address; workers = 1; queue_depth = 4; engine = Engine.create ();
         default_budget_ms = Some 2000.0; solve_workers = Some 1;
-        max_request_bytes = 1 lsl 16 }
+        max_request_bytes = 1 lsl 16; slow_ms = None }
   in
   (* An in-flight request must complete and its reply arrive even though
      stop() lands while it is being served. *)
@@ -373,7 +394,10 @@ let test_server_graceful_shutdown () =
       (fun () ->
         Client.with_connection address (fun c ->
             Atomic.set result
-              (Some (Client.request c (Protocol.Solve { instance = text; budget_ms = None; algos = None })))))
+              (Some
+                 (Client.request c
+                    (Protocol.Solve
+                       { instance = text; budget_ms = None; algos = None; trace_id = None })))))
       ()
   in
   Thread.delay 0.02;
@@ -400,7 +424,8 @@ let test_server_shutdown_request () =
   let srv =
     Server.start
       { Server.address; workers = 1; queue_depth = 4; engine = Engine.create ();
-        default_budget_ms = None; solve_workers = Some 1; max_request_bytes = 1 lsl 16 }
+        default_budget_ms = None; solve_workers = Some 1; max_request_bytes = 1 lsl 16;
+        slow_ms = None }
   in
   let resp = Client.with_connection address (fun c -> Client.request c Protocol.Shutdown) in
   Alcotest.(check bool) "acknowledged" true (resp = Protocol.Shutdown_ok);

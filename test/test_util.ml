@@ -150,6 +150,20 @@ let test_stats_median_quantile () =
   Alcotest.(check (float 1e-9)) "q0" 1.0 (Stats.quantile 0.0 [ 3.0; 1.0; 2.0 ]);
   Alcotest.(check (float 1e-9)) "q1" 3.0 (Stats.quantile 1.0 [ 3.0; 1.0; 2.0 ])
 
+let test_stats_percentiles () =
+  let xs = [ 5.0; 1.0; 4.0; 2.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p100 is max" 5.0 (Stats.percentile 100.0 xs);
+  Alcotest.(check (float 1e-9)) "p50 is median" 3.0 (Stats.percentile 50.0 xs);
+  (* Rank interpolation, not nearest-rank: p90 over 5 samples sits 60% of
+     the way from the 4th to the 5th order statistic. *)
+  Alcotest.(check (float 1e-9)) "p90 interpolates" 4.6 (Stats.percentile 90.0 xs);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.percentile 99.0 [ 7.0 ]);
+  Alcotest.(check (list (float 1e-9)))
+    "percentiles = map percentile"
+    (List.map (fun p -> Stats.percentile p xs) [ 50.0; 90.0; 95.0; 99.0 ])
+    (Stats.percentiles [ 50.0; 90.0; 95.0; 99.0 ] xs)
+
 let test_stats_geometric_mean () =
   Alcotest.(check (float 1e-9)) "gm" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ]);
   Alcotest.check_raises "nonpositive" (Invalid_argument "Stats.geometric_mean: nonpositive sample")
@@ -237,6 +251,29 @@ let test_parallel_workers_env_override () =
   Alcotest.(check int) "malformed ignored" !default (Parallel.available_workers ());
   Unix.putenv "SPP_WORKERS" ""
 
+let test_parallel_parse_workers () =
+  let ok s n =
+    Alcotest.(check bool) (Printf.sprintf "parse %S" s) true (Parallel.parse_workers s = Ok n)
+  in
+  let err s =
+    match Parallel.parse_workers s with
+    | Error msg ->
+      Alcotest.(check bool) (Printf.sprintf "error for %S names it" s) true (msg <> "")
+    | Ok n -> Alcotest.failf "parse_workers %S unexpectedly accepted as %d" s n
+  in
+  ok "1" 1;
+  ok "8" 8;
+  ok "12" 12;
+  ok " 5 " 5;
+  ok "\t3\n" 3;
+  err "";
+  err " ";
+  err "0";
+  err "-2";
+  err "lots";
+  err "4 cores";
+  err "3.5"
+
 let test_parallel_real_workload () =
   (* Actual domain-parallel packing: results identical to sequential. *)
   let seeds = List.init 12 Fun.id in
@@ -312,6 +349,7 @@ let () =
         [
           Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
           Alcotest.test_case "median/quantile" `Quick test_stats_median_quantile;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
           Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
           Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
           Alcotest.test_case "min/max" `Quick test_stats_min_max;
@@ -324,6 +362,7 @@ let () =
           Alcotest.test_case "workers:1 sequential fallback" `Quick
             test_parallel_single_worker_sequential;
           Alcotest.test_case "SPP_WORKERS override" `Quick test_parallel_workers_env_override;
+          Alcotest.test_case "parse_workers" `Quick test_parallel_parse_workers;
           Alcotest.test_case "real workload" `Quick test_parallel_real_workload;
         ] );
       ( "clock",
