@@ -728,7 +728,9 @@ let e14 () =
     Server.start
       { Server.address; workers = 2; queue_depth = 32; engine = Engine.create ();
         default_budget_ms = Some budget_ms; solve_workers = Some 1;
-        max_request_bytes = Server.default_max_request_bytes; slow_ms = None }
+        max_request_bytes = Server.default_max_request_bytes; slow_ms = None;
+        idle_timeout_ms = None; read_timeout_ms = None;
+        retry_after_ms = Server.default_retry_after_ms; max_worker_restarts = None }
   in
   let lats = Array.make connections [] in
   let t0 = Clock.now_ms () in

@@ -549,10 +549,22 @@ let verify_cmd =
 
 (* More sysexits: a transient refusal (queue full) is EX_TEMPFAIL so shell
    loops can retry; a draining server is EX_UNAVAILABLE; a server-side
-   crash is EX_SOFTWARE. *)
+   crash is EX_SOFTWARE; a connection that broke mid-exchange is EX_IOERR;
+   an undecodable reply is EX_PROTOCOL. *)
 let exit_temp_fail = 75
 let exit_unavailable = 69
 let exit_software = 70
+let exit_transport = 74
+let exit_protocol = 76
+
+(* Typed client transport errors map to distinct exit codes, so scripts can
+   tell "server never reachable" from "reply timed out" from "garbage on
+   the wire" without parsing stderr. *)
+let exit_code_of_client_error = function
+  | Client.Connect_failed -> exit_unavailable
+  | Client.Timed_out -> exit_temp_fail
+  | Client.Connection_closed | Client.Io -> exit_transport
+  | Client.Bad_reply -> exit_protocol
 
 let socket_arg =
   Arg.(value & opt (some string) None
@@ -576,12 +588,27 @@ let resolve_address socket port host =
     Printf.eprintf "error: pass --socket PATH or --port PORT\n";
     exit 64
 
-let connect_or_die address =
-  try Client.connect address with
-  | Unix.Unix_error (e, _, _) ->
-    Printf.eprintf "error: cannot connect to %s: %s\n" (Framing.address_to_string address)
-      (Unix.error_message e);
-    exit exit_io_error
+(* Arm Spp_util.Fault from --faults / SPP_FAULTS (flag wins). Exits with
+   EX_USAGE on a malformed spec: silently injecting nothing would make a
+   chaos run vacuously green. *)
+let arm_faults ~flag ~seed_flag =
+  let spec = match flag with Some s -> Some s | None -> Sys.getenv_opt "SPP_FAULTS" in
+  match spec with
+  | None -> ()
+  | Some spec -> (
+    let seed =
+      match seed_flag with
+      | Some s -> Some s
+      | None -> Option.bind (Sys.getenv_opt "SPP_FAULT_SEED") int_of_string_opt
+    in
+    match Spp_util.Fault.configure ?seed spec with
+    | Ok () ->
+      if Spp_util.Fault.active () then
+        Printf.eprintf "spp serve: fault injection armed: %s\n%!"
+          (Spp_util.Fault.describe ())
+    | Error msg ->
+      Printf.eprintf "error: --faults: %s\n" msg;
+      exit 64)
 
 let serve_cmd =
   let workers =
@@ -611,8 +638,44 @@ let serve_cmd =
              ~doc:"Log requests slower than this many milliseconds at warn level, with their \
                    span tree attached. Forces every solve request to be traced.")
   in
+  let idle_timeout_ms =
+    Arg.(value & opt float 30_000.0
+         & info [ "idle-timeout-ms" ]
+             ~doc:"Reap connections idle (no new request) for this many milliseconds; 0 \
+                   disables the timeout.")
+  in
+  let read_timeout_ms =
+    Arg.(value & opt float 10_000.0
+         & info [ "read-timeout-ms" ]
+             ~doc:"Reap connections whose request line takes longer than this to arrive after \
+                   its first byte (slow-loris guard); 0 disables the timeout.")
+  in
+  let retry_after_ms =
+    Arg.(value & opt int Server.default_retry_after_ms
+         & info [ "retry-after-ms" ]
+             ~doc:"Backoff hint (milliseconds) attached to $(i,overloaded) replies.")
+  in
+  let max_worker_restarts =
+    Arg.(value & opt (some int) None
+         & info [ "max-worker-restarts" ]
+             ~doc:"Restart budget per worker slot before the slot is retired (default 16).")
+  in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Arm deterministic fault injection, e.g. \
+                   $(b,store.read=0.5,pool.job=once,engine.solve=delay200\\@0.1). Points: \
+                   store.read, store.write, framing.read, framing.write, pool.job, \
+                   engine.solve. Also read from $(b,SPP_FAULTS) (this flag wins).")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ]
+             ~doc:"PRNG seed for fault probabilities (also $(b,SPP_FAULT_SEED); default 0).")
+  in
   let run socket port host workers queue_depth budget_ms cache_dir no_cache cache_max stats_json
-      metrics_port log_file slow_ms =
+      metrics_port log_file slow_ms idle_timeout_ms read_timeout_ms retry_after_ms
+      max_worker_restarts faults fault_seed =
     let address = resolve_address socket port host in
     (match workers with
      | Some w when w < 1 ->
@@ -628,6 +691,16 @@ let serve_cmd =
        Printf.eprintf "error: --slow-ms must be >= 0\n";
        exit 1
      | _ -> ());
+    if retry_after_ms < 0 then begin
+      Printf.eprintf "error: --retry-after-ms must be >= 0\n";
+      exit 1
+    end;
+    (match max_worker_restarts with
+     | Some r when r < 0 ->
+       Printf.eprintf "error: --max-worker-restarts must be >= 0\n";
+       exit 1
+     | _ -> ());
+    arm_faults ~flag:faults ~seed_flag:fault_seed;
     Log.init_from_env ();
     (match log_file with
      | None -> ()
@@ -644,7 +717,10 @@ let serve_cmd =
         (* Each worker races portfolio members on its own domains; narrow the
            per-solve width so workers * racers stays near the core count. *)
         solve_workers = Some (max 1 (available / workers));
-        max_request_bytes = Server.default_max_request_bytes; slow_ms }
+        max_request_bytes = Server.default_max_request_bytes; slow_ms;
+        idle_timeout_ms = (if idle_timeout_ms > 0.0 then Some idle_timeout_ms else None);
+        read_timeout_ms = (if read_timeout_ms > 0.0 then Some read_timeout_ms else None);
+        retry_after_ms; max_worker_restarts }
     in
     let srv =
       try Server.start cfg with
@@ -682,7 +758,8 @@ let serve_cmd =
              the wire protocol)")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue_depth $ budget_arg
           $ cache_dir_arg $ no_cache_arg $ cache_max_arg $ stats_json_arg $ metrics_port
-          $ log_file $ slow_ms)
+          $ log_file $ slow_ms $ idle_timeout_ms $ read_timeout_ms $ retry_after_ms
+          $ max_worker_restarts $ faults $ fault_seed)
 
 let exit_code_of_error = function
   | Protocol.Parse | Protocol.Bad_request | Protocol.Bad_instance -> exit_parse_error
@@ -737,7 +814,19 @@ let client_cmd =
              ~doc:"Attach this trace id to a solve request (turns on server-side tracing; the \
                    id is echoed in the reply and in the server's slow-request log).")
   in
-  let run op file socket port host budget_ms algos json trace_id =
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ]
+             ~doc:"Extra attempts after a transport failure or an $(i,overloaded) reply \
+                   (exponential backoff with jitter, honoring the server's retry_after_ms \
+                   hint). Only idempotent ops retry; shutdown never does.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some float) None
+         & info [ "timeout-ms" ]
+             ~doc:"Bound the connect and each reply wait by this many milliseconds.")
+  in
+  let run op file socket port host budget_ms algos json trace_id retries timeout_ms =
     let address = resolve_address socket port host in
     let req =
       match op with
@@ -758,16 +847,19 @@ let client_cmd =
           in
           Protocol.Solve { instance; budget_ms; algos; trace_id })
     in
+    if retries < 0 then begin
+      Printf.eprintf "error: --retries must be >= 0\n";
+      exit 64
+    end;
     let resp =
-      let c = connect_or_die address in
-      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
-          try Client.request c req with
-          | Failure msg ->
-            Printf.eprintf "error: %s\n" msg;
-            exit exit_io_error)
+      try Client.call ~retries ?timeout_ms address req with
+      | Client.Error { kind; attempts; message } ->
+        Printf.eprintf "error: %s%s\n" message
+          (if attempts > 1 then Printf.sprintf " (after %d attempts)" attempts else "");
+        exit (exit_code_of_client_error kind)
     in
     match resp with
-    | Protocol.Error { code; message } ->
+    | Protocol.Error { code; message; _ } ->
       if json then print_endline (Protocol.encode_response resp);
       Printf.eprintf "error (%s): %s\n" (Protocol.error_code_to_string code) message;
       exit (exit_code_of_error code)
@@ -790,7 +882,7 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc:"Send one request to a running spp serve")
     Term.(const run $ op $ file $ socket_arg $ port_arg $ host_arg $ budget_arg $ algos_arg
-          $ json $ trace_id)
+          $ json $ trace_id $ retries $ timeout_ms)
 
 let loadgen_cmd =
   let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
@@ -848,7 +940,14 @@ let loadgen_cmd =
         | Io.Prec inst -> Validate.check_prec inst p = []
         | Io.Release inst -> Validate.check_release inst p = [])
     in
+    (* Outcome classes: ok = valid packing; invalid = decoded but wrong
+       packing; shed = overloaded reply; failed = any other structured
+       server error (the server answered — degraded, not broken);
+       transport = no protocol-valid reply at all (reset, hang, garbage).
+       Only invalid and transport make the run exit nonzero: under fault
+       injection sheds and internal errors are expected degradations. *)
     let ok = Atomic.make 0 and failed = Atomic.make 0 and invalid = Atomic.make 0 in
+    let shed = Atomic.make 0 and transport = Atomic.make 0 in
     let latencies = Array.make connections [] in
     let worker ci () =
       match Client.connect address with
@@ -867,18 +966,22 @@ let loadgen_cmd =
                  latencies.(ci) <- Clock.elapsed_ms t0 :: latencies.(ci);
                  if check parsed reply.Protocol.placement then Atomic.incr ok
                  else Atomic.incr invalid
+               | Protocol.Error { code = Protocol.Overloaded; _ } -> Atomic.incr shed
                | Protocol.Error _ -> Atomic.incr failed
-               | _ -> Atomic.incr failed
-               | exception Failure _ -> Atomic.incr failed)
+               | _ -> Atomic.incr transport
+               | exception Client.Error _ -> Atomic.incr transport)
             done)
-      | exception _ -> ignore (Atomic.fetch_and_add failed requests)
+      | exception Client.Error _ -> ignore (Atomic.fetch_and_add transport requests)
     in
     let t0 = Clock.now_ms () in
     let threads = List.init connections (fun ci -> Thread.create (worker ci) ()) in
     List.iter Thread.join threads;
     let wall_ms = Clock.elapsed_ms t0 in
     let lats = Array.to_list latencies |> List.concat in
-    let total = Atomic.get ok + Atomic.get invalid + Atomic.get failed in
+    let total =
+      Atomic.get ok + Atomic.get invalid + Atomic.get shed + Atomic.get failed
+      + Atomic.get transport
+    in
     let throughput = float_of_int total /. (wall_ms /. 1000.) in
     (* Percentiles by rank interpolation over the sorted sample, computed in
        one pass — not repeated ad-hoc quantile calls. *)
@@ -891,8 +994,9 @@ let loadgen_cmd =
         | _ -> None)
     in
     Printf.printf "connections     %d\n" connections;
-    Printf.printf "requests        %d (%d ok, %d invalid, %d failed)\n" total (Atomic.get ok)
-      (Atomic.get invalid) (Atomic.get failed);
+    Printf.printf "requests        %d (%d ok, %d invalid, %d shed, %d failed, %d transport)\n"
+      total (Atomic.get ok) (Atomic.get invalid) (Atomic.get shed) (Atomic.get failed)
+      (Atomic.get transport);
     Printf.printf "wall clock      %.1f ms\n" wall_ms;
     Printf.printf "throughput      %.1f req/s\n" throughput;
     Option.iter
@@ -927,13 +1031,14 @@ let loadgen_cmd =
            [ ("connections", Json.Int connections);
              ("requests_per_connection", Json.Int requests); ("requests", Json.Int total);
              ("ok", Json.Int (Atomic.get ok)); ("invalid", Json.Int (Atomic.get invalid));
-             ("failed", Json.Int (Atomic.get failed)); ("wall_ms", Json.Float wall_ms);
+             ("shed", Json.Int (Atomic.get shed)); ("failed", Json.Int (Atomic.get failed));
+             ("transport", Json.Int (Atomic.get transport)); ("wall_ms", Json.Float wall_ms);
              ("throughput_rps", Json.Float throughput); ("latency_ms", latency_obj) ]
        in
        let line = Json.to_string obj ^ "\n" in
        if path = "-" then print_string line
        else Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc line));
-    if Atomic.get failed > 0 || Atomic.get invalid > 0 then exit 1
+    if Atomic.get transport > 0 || Atomic.get invalid > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "loadgen"

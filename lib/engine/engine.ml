@@ -59,7 +59,10 @@ let create ?(cache_capacity = 128) ?store_dir ?store_max_entries ?telemetry () =
         (fun () -> float_of_int (Store.length store));
       Metrics.counter_fn reg ~help:"Disk store entries deleted by capacity pruning"
         "spp_store_prunes_total"
-        (fun () -> Store.prunes store))
+        (fun () -> Store.prunes store);
+      Metrics.counter_fn reg ~help:"Disk store entries rejected by checksum on load"
+        "spp_store_corrupt_total"
+        (fun () -> Store.corrupt store))
     store;
   { cache; store; tm;
     m_solve_ms =
@@ -180,6 +183,7 @@ let finish_result t fp (r : result) =
   r
 
 let solve ?budget_ms ?algos ?workers ?trace t parsed =
+  Spp_util.Fault.hit "engine.solve";
   let t0 = Clock.now_ms () in
   Telemetry.incr t.tm "solve.runs";
   let fp = Fingerprint.parsed parsed in
@@ -272,7 +276,12 @@ let solve ?budget_ms ?algos ?workers ?trace t parsed =
     record_win t winner;
     let height = Placement.height placement in
     Lru.add t.cache fp { e_placement = placement; e_height = height; e_winner = winner };
-    Option.iter (fun store -> Store.add store ~fingerprint:fp ~winner placement) t.store;
+    (* A failed cache write must never fail the solve we just computed. *)
+    Option.iter
+      (fun store ->
+        try Store.add store ~fingerprint:fp ~winner placement
+        with _ -> Telemetry.incr t.tm "store.write.failed")
+      t.store;
     finish_result t fp
       { placement; height; winner; source = Computed; outcomes;
         time_ms = Clock.elapsed_ms t0 }

@@ -5,6 +5,7 @@ type t = {
   mutable count : int;  (* .sol files currently in dir (approximate
                            across processes, exact within one) *)
   mutable prunes : int;  (* entries deleted by capacity pruning *)
+  mutable corrupt : int;  (* entries rejected by checksum on load *)
 }
 
 let default_max_entries = 512
@@ -37,7 +38,7 @@ let create ?(max_entries = default_max_entries) ~dir () =
       if is_tmp f then (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
       else if is_sol f then incr count)
     (entries dir);
-  { dir; max_entries; lock = Mutex.create (); count = !count; prunes = 0 }
+  { dir; max_entries; lock = Mutex.create (); count = !count; prunes = 0; corrupt = 0 }
 
 let dir t = t.dir
 let max_entries t = t.max_entries
@@ -48,25 +49,53 @@ let locked t f =
 
 let length t = locked t (fun () -> t.count)
 let prunes t = locked t (fun () -> t.prunes)
+let corrupt t = locked t (fun () -> t.corrupt)
 
 let path t fingerprint = Filename.concat t.dir (fingerprint ^ ".sol")
 
+let crc_prefix = "crc32 "
+
+(* Entries start with "crc32 <hex>" covering every byte after that line.
+   Pre-checksum entries (no crc line) are still accepted: the engine
+   re-validates loaded placements anyway, so the checksum is an early,
+   cheap corruption gate rather than the only line of defense. *)
+let verify_checksum t contents =
+  match String.index_opt contents '\n' with
+  | Some nl
+    when nl > String.length crc_prefix
+         && String.sub contents 0 (String.length crc_prefix) = crc_prefix ->
+    let hex = String.sub contents (String.length crc_prefix) (nl - String.length crc_prefix) in
+    let rest = String.sub contents (nl + 1) (String.length contents - nl - 1) in
+    if Spp_util.Crc32.digest_hex rest = String.lowercase_ascii hex then Some rest
+    else begin
+      locked t (fun () -> t.corrupt <- t.corrupt + 1);
+      None
+    end
+  | _ -> Some contents
+
 let find t ~rects ~fingerprint =
   let file = path t fingerprint in
-  match In_channel.with_open_text file In_channel.input_all with
+  match
+    Spp_util.Fault.hit "store.read";
+    In_channel.with_open_text file In_channel.input_all
+  with
   | exception Sys_error _ -> None
-  | contents -> (
-    match String.index_opt contents '\n' with
+  | exception Spp_util.Fault.Injected _ -> None
+  | raw -> (
+    match verify_checksum t raw with
     | None -> None
-    | Some nl -> (
-      let first = String.sub contents 0 nl in
-      let body = String.sub contents (nl + 1) (String.length contents - nl - 1) in
-      match String.split_on_char ' ' first with
-      | [ "winner"; name ] -> (
-        match Spp_core.Io.parse_placement ~rects body with
-        | placement -> Some (name, placement)
-        | exception Failure _ -> None)
-      | _ -> None))
+    | Some contents -> (
+      match String.index_opt contents '\n' with
+      | None -> None
+      | Some nl -> (
+        let first = String.sub contents 0 nl in
+        let body = String.sub contents (nl + 1) (String.length contents - nl - 1) in
+        match String.split_on_char ' ' first with
+        | [ "winner"; name ] -> (
+          match Spp_core.Io.parse_placement ~rects body with
+          | placement -> Some (name, placement)
+          | exception Failure _ -> None)
+        | _ -> None)))
 
 (* Over capacity: re-count from the directory (another process may have
    pruned concurrently) and delete oldest-mtime entries down to the cap. *)
@@ -96,13 +125,17 @@ let prune_locked t =
 let tmp_seq = Atomic.make 0
 
 let add t ~fingerprint ~winner placement =
+  Spp_util.Fault.hit "store.write";
   let file = path t fingerprint in
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ()) (Atomic.fetch_and_add tmp_seq 1)
   in
+  let body =
+    Printf.sprintf "winner %s\n%s" winner (Spp_core.Io.placement_to_string placement)
+  in
   Out_channel.with_open_text tmp (fun oc ->
-      Out_channel.output_string oc (Printf.sprintf "winner %s\n" winner);
-      Out_channel.output_string oc (Spp_core.Io.placement_to_string placement));
+      Out_channel.output_string oc (crc_prefix ^ Spp_util.Crc32.digest_hex body ^ "\n");
+      Out_channel.output_string oc body);
   locked t (fun () ->
       let existed = Sys.file_exists file in
       Sys.rename tmp file;

@@ -3,16 +3,25 @@
     One file per fingerprint under a cache directory:
 
     {v
+    crc32 <hex>
     winner <solver-name>
     height <h>
     place <id> <x> <y>
     ...
     v}
 
-    (the body is exactly {!Spp_core.Io.placement_to_string}, so entries are
-    exact-rational and round-trip bit-identically). Lets separate [spp]
-    processes share work; the engine validates every loaded placement
-    before trusting it, so a corrupt or stale file degrades to a miss.
+    (the body after the checksum line is exactly
+    {!Spp_core.Io.placement_to_string}, so entries are exact-rational and
+    round-trip bit-identically). The [crc32] line covers every byte after
+    it; a mismatch on load degrades to a miss and bumps {!corrupt}
+    (surfaced as [spp_store_corrupt_total]). Entries written before the
+    checksum existed (no [crc32] line) still load. Lets separate [spp]
+    processes share work; the engine additionally validates every loaded
+    placement before trusting it, so even a checksum-clean-but-stale file
+    degrades to a miss.
+
+    Fault points (see {!Spp_util.Fault}): [store.read] makes {!find}
+    return [None]; [store.write] makes {!add} raise [Injected].
 
     The store is bounded: above [max_entries] the oldest entries (by file
     mtime) are pruned on insertion, so a long-running daemon cannot grow
@@ -43,6 +52,10 @@ val length : t -> int
 (** [prunes t] is how many entries capacity pruning has deleted over this
     store's lifetime — surfaced as the [spp_store_prunes_total] metric. *)
 val prunes : t -> int
+
+(** [corrupt t] is how many entries failed their checksum on load over
+    this store's lifetime — surfaced as [spp_store_corrupt_total]. *)
+val corrupt : t -> int
 
 (** [find t ~rects ~fingerprint] loads and parses the entry, binding
     positions to [rects] by id. Any error (absent, unreadable, malformed,

@@ -1,21 +1,99 @@
-type t = { fd : Unix.file_descr; reader : Framing.reader }
+type t = { fd : Unix.file_descr; reader : Framing.reader; timeout_ms : float option }
 
-let connect addr =
+type error_kind =
+  | Connect_failed
+  | Timed_out
+  | Connection_closed
+  | Io
+  | Bad_reply
+
+exception Error of { kind : error_kind; attempts : int; message : string }
+
+let kind_to_string = function
+  | Connect_failed -> "connect_failed"
+  | Timed_out -> "timed_out"
+  | Connection_closed -> "connection_closed"
+  | Io -> "io"
+  | Bad_reply -> "bad_reply"
+
+let fail ?(attempts = 1) kind message = raise (Error { kind; attempts; message })
+
+let connect ?timeout_ms addr =
   Signals.ignore_sigpipe ();
-  let fd = Framing.connect addr in
-  { fd; reader = Framing.reader fd }
+  match Framing.connect ?timeout_ms addr with
+  | fd -> { fd; reader = Framing.reader fd; timeout_ms }
+  | exception Framing.Timeout ->
+    fail Timed_out
+      (Printf.sprintf "connect to %s timed out" (Framing.address_to_string addr))
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+    fail Connect_failed
+      (Printf.sprintf "cannot connect to %s" (Framing.address_to_string addr))
 
 let request t req =
-  Framing.write_line t.fd (Protocol.encode_request req);
-  match Framing.read_line t.reader with
-  | None -> failwith "server closed the connection"
+  (match Framing.write_line t.fd (Protocol.encode_request req) with
+   | () -> ()
+   | exception (Unix.Unix_error _ | Sys_error _) -> fail Io "send failed");
+  (* The reply wait is dominated by server-side compute, so the timeout is
+     applied both to the first byte (idle) and to line completion (read). *)
+  match
+    Framing.read_line ?idle_timeout_ms:t.timeout_ms ?read_timeout_ms:t.timeout_ms
+      t.reader
+  with
+  | None -> fail Connection_closed "server closed the connection"
+  | exception Framing.Timeout -> fail Timed_out "timed out waiting for the reply"
+  | exception (Unix.Unix_error _ | Sys_error _) -> fail Io "receive failed"
   | Some line -> (
     match Protocol.decode_response line with
     | Ok r -> r
-    | Error msg -> failwith ("undecodable server reply: " ^ msg))
+    | Error msg -> fail Bad_reply ("undecodable server reply: " ^ msg))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let with_connection addr f =
-  let c = connect addr in
+let with_connection ?timeout_ms addr f =
+  let c = connect ?timeout_ms addr in
   Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+(* ------------------------------------------------------------------ *)
+(* Retrying one-shot calls *)
+
+let idempotent = function
+  | Protocol.Solve _ | Protocol.Health | Protocol.Metrics -> true
+  | Protocol.Shutdown -> false
+
+let default_backoff_base_ms = 25.0
+let default_backoff_cap_ms = 2_000.0
+
+let call ?(retries = 0) ?timeout_ms ?(backoff_base_ms = default_backoff_base_ms)
+    ?(backoff_cap_ms = default_backoff_cap_ms) ?seed addr req =
+  let retries = if idempotent req then max 0 retries else 0 in
+  let rng =
+    Spp_util.Prng.create
+      (match seed with
+       | Some s -> s
+       | None -> Unix.getpid () lxor int_of_float (Spp_util.Clock.now_ms ()))
+  in
+  (* Decorrelated jitter: each sleep is uniform in [base, prev * 3],
+     capped — spreads concurrent retriers instead of synchronizing them. *)
+  let next_sleep prev = Float.min backoff_cap_ms (Spp_util.Prng.float_in rng backoff_base_ms (Float.max backoff_base_ms (prev *. 3.0))) in
+  let sleep_for hint prev =
+    let s = next_sleep prev in
+    let s = match hint with Some ms -> Float.max s (float_of_int ms) | None -> s in
+    Unix.sleepf (s /. 1000.0);
+    s
+  in
+  let rec attempt n prev_sleep =
+    let outcome =
+      match with_connection ?timeout_ms addr (fun c -> request c req) with
+      | Protocol.Error { code = Protocol.Overloaded; retry_after_ms; _ } as resp ->
+        if n <= retries then `Retry retry_after_ms else `Done resp
+      | resp -> `Done resp
+      | exception Error { kind; message; _ } ->
+        if n <= retries then `Retry None else fail ~attempts:n kind message
+    in
+    match outcome with
+    | `Done resp -> resp
+    | `Retry hint ->
+      let slept = sleep_for hint prev_sleep in
+      attempt (n + 1) slept
+  in
+  attempt 1 backoff_base_ms

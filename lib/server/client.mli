@@ -2,20 +2,68 @@
 
     One connection, synchronous request/response — the shape `spp client`,
     `spp loadgen` and the test suite all use. A closed-loop load generator
-    is just [connections] threads each looping {!request}. *)
+    is just [connections] threads each looping {!request}.
+
+    Every transport-level failure is a typed {!Error} (never a bare
+    [Failure] or a leaked [Unix.Unix_error]), so callers can map outcomes
+    to exit codes or retry policies without string-matching. {!call} adds
+    bounded retries with decorrelated-jitter exponential backoff for
+    one-shot use. *)
 
 type t
 
+(** Why a request could not be completed at the transport level. Server-
+    side failures (a decoded [Error] response) are {e not} errors here —
+    they are returned as values. *)
+type error_kind =
+  | Connect_failed  (** unreachable, refused, or no such socket *)
+  | Timed_out  (** connect or reply deadline passed *)
+  | Connection_closed  (** EOF where a reply was expected *)
+  | Io  (** other socket-level read/write failure *)
+  | Bad_reply  (** reply line did not decode as the protocol *)
+
+(** [attempts] is how many tries {!call} made (always 1 from {!request}). *)
+exception Error of { kind : error_kind; attempts : int; message : string }
+
+val kind_to_string : error_kind -> string
+
 (** [connect addr] opens a connection (and ignores SIGPIPE process-wide).
-    @raise Unix.Unix_error when the server is unreachable. *)
-val connect : Framing.address -> t
+    [timeout_ms] bounds the connect and every subsequent {!request}'s
+    reply wait. @raise Error on failure. *)
+val connect : ?timeout_ms:float -> Framing.address -> t
 
 (** [request t req] sends one request and blocks for its reply.
-    @raise Failure if the server closes the connection or replies with
-    something that does not decode. *)
+    @raise Error ([attempts = 1]) on transport failure or timeout. *)
 val request : t -> Protocol.request -> Protocol.response
 
 val close : t -> unit
 
 (** [with_connection addr f] — connect, run [f], always close. *)
-val with_connection : Framing.address -> (t -> 'a) -> 'a
+val with_connection : ?timeout_ms:float -> Framing.address -> (t -> 'a) -> 'a
+
+val default_backoff_base_ms : float
+val default_backoff_cap_ms : float
+
+(** [call addr req] — one-shot: fresh connection, one request, close; on
+    failure, up to [retries] further attempts (total [retries + 1]), each
+    on a fresh connection.
+
+    Retried: transport errors, and [overloaded] replies (sleeping at least
+    the reply's [retry_after_ms] hint). Not retried: any other decoded
+    response (including other server errors — the server answered), and
+    non-idempotent requests ([shutdown] is always single-attempt).
+
+    Sleeps between attempts use decorrelated jitter: uniform in
+    [\[backoff_base_ms, 3 × previous\]], capped at [backoff_cap_ms], from a
+    {!Spp_util.Prng} stream ([seed] defaults to pid-and-time derived; fix
+    it for reproducible tests).
+
+    @raise Error with [attempts] = total tries when the last attempt still
+    failed at the transport level. *)
+val call :
+  ?retries:int ->
+  ?timeout_ms:float ->
+  ?backoff_base_ms:float ->
+  ?backoff_cap_ms:float ->
+  ?seed:int ->
+  Framing.address -> Protocol.request -> Protocol.response

@@ -20,23 +20,25 @@ let write_all fd s =
   try go 0 with Unix.Unix_error _ -> ()
 
 (* One request per connection, handled inline: scrapers send a small GET
-   and read the reply. A 2 s budget bounds how long a stuck peer can hold
-   the accept loop. *)
+   and read the reply. A 2 s budget — on the monotonic clock, so a stepped
+   wall clock can neither hang nor prematurely kill a scrape — bounds how
+   long a stuck peer can hold the accept loop. *)
 let handle registry fd =
-  let deadline = Unix.gettimeofday () +. 2.0 in
+  let deadline = Spp_util.Clock.now_ms () +. 2_000.0 in
   let reader = Framing.reader ~max_line_bytes:8192 fd in
-  let readable () =
-    let left = deadline -. Unix.gettimeofday () in
-    left > 0.0
-    && (match Unix.select [ fd ] [] [] left with
-        | _ :: _, _, _ -> true
-        | _ -> false
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false)
+  let next_line () =
+    let left = deadline -. Spp_util.Clock.now_ms () in
+    if left <= 0.0 then None
+    else
+      match Framing.read_line ~idle_timeout_ms:left ~read_timeout_ms:left reader with
+      | line -> line
+      | exception Framing.Timeout -> None
   in
-  let request_line = if readable () then Framing.read_line reader else None in
-  (* Drain headers until the blank line so the peer's send completes. *)
+  let request_line = next_line () in
+  (* Drain headers until the blank line (or the budget) so the peer's
+     send completes; a peer that stalls mid-headers no longer blocks. *)
   let rec drain_headers () =
-    match Framing.read_line reader with
+    match next_line () with
     | Some s when String.trim s <> "" -> drain_headers ()
     | _ -> ()
   in

@@ -52,7 +52,7 @@ type response =
   | Metrics_ok of metrics_reply
   | Health_ok of health_reply
   | Shutdown_ok
-  | Error of { code : error_code; message : string }
+  | Error of { code : error_code; message : string; retry_after_ms : int option }
 
 let error_code_to_string = function
   | Parse -> "parse"
@@ -143,11 +143,14 @@ let encode_response = function
       (Json.Obj
          [ ("ok", Json.Bool true); ("op", Json.String "shutdown");
            ("status", Json.String "draining") ])
-  | Error { code; message } ->
+  | Error { code; message; retry_after_ms } ->
     Json.to_string
       (Json.Obj
-         [ ("ok", Json.Bool false); ("error", Json.String (error_code_to_string code));
-           ("message", Json.String message) ])
+         ([ ("ok", Json.Bool false); ("error", Json.String (error_code_to_string code));
+            ("message", Json.String message) ]
+          @ match retry_after_ms with
+            | Some ms -> [ ("retry_after_ms", Json.Int ms) ]
+            | None -> []))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding *)
@@ -262,7 +265,8 @@ let decode_response line =
       let message =
         Option.value ~default:"" (Option.bind (Json.member "message" j) Json.get_string)
       in
-      Ok (Error { code; message })
+      let* retry_after_ms = optional "retry_after_ms" Json.get_int j in
+      Ok (Error { code; message; retry_after_ms })
     else
       let* op = require "field \"op\"" (Option.bind (Json.member "op" j) Json.get_string) in
       match op with

@@ -86,7 +86,10 @@ type response =
   | Metrics_ok of metrics_reply
   | Health_ok of health_reply
   | Shutdown_ok  (** acknowledged; the server begins draining *)
-  | Error of { code : error_code; message : string }
+  | Error of { code : error_code; message : string; retry_after_ms : int option }
+      (** [retry_after_ms] is a backoff hint, set on [Overloaded] replies:
+          clients that retry should wait at least this long. Omitted from
+          the wire when [None]. *)
 
 val error_code_to_string : error_code -> string
 

@@ -18,9 +18,14 @@ type config = {
   solve_workers : int option;
   max_request_bytes : int;
   slow_ms : float option;
+  idle_timeout_ms : float option;
+  read_timeout_ms : float option;
+  retry_after_ms : int;
+  max_worker_restarts : int option;
 }
 
 let default_max_request_bytes = Framing.default_max_line
+let default_retry_after_ms = 100
 
 type job = {
   parsed : Io.parsed;
@@ -47,6 +52,7 @@ type instruments = {
   m_queue_wait_ms : Metrics.histogram;
   m_request_bytes : Metrics.histogram;
   m_response_bytes : Metrics.histogram;
+  m_reaped : Metrics.counter;
 }
 
 type t = {
@@ -95,8 +101,14 @@ let process cfg mx (job : job) =
           placement = Io.placement_to_string r.Engine.placement;
           trace_id = Option.map Trace.id job.trace }
     | exception Invalid_argument msg ->
-      Protocol.Error { code = Protocol.Bad_request; message = msg }
-    | exception e -> Protocol.Error { code = Protocol.Internal; message = Printexc.to_string e }
+      Protocol.Error { code = Protocol.Bad_request; message = msg; retry_after_ms = None }
+    | exception Spp_util.Fault.Injected point ->
+      Protocol.Error
+        { code = Protocol.Internal; message = "fault injected: " ^ point;
+          retry_after_ms = None }
+    | exception e ->
+      Protocol.Error
+        { code = Protocol.Internal; message = Printexc.to_string e; retry_after_ms = None }
   in
   ignore (Bqueue.try_push job.reply resp)
 
@@ -161,7 +173,7 @@ let respond t line =
   match Protocol.decode_request line with
   | Error msg ->
     count_request t.mx "invalid";
-    (Protocol.Error { code = Protocol.Parse; message = msg }, None)
+    (Protocol.Error { code = Protocol.Parse; message = msg; retry_after_ms = None }, None)
   | Ok Protocol.Health ->
     count_request t.mx "health";
     (health t, None)
@@ -181,11 +193,16 @@ let respond t line =
       else None
     in
     if Atomic.get t.stopping then
-      (Protocol.Error { code = Protocol.Shutting_down; message = "server is draining" }, trace)
+      ( Protocol.Error
+          { code = Protocol.Shutting_down; message = "server is draining";
+            retry_after_ms = None },
+        trace )
     else (
       match Io.parse_string instance with
       | exception Failure msg ->
-        (Protocol.Error { code = Protocol.Bad_instance; message = msg }, trace)
+        ( Protocol.Error
+            { code = Protocol.Bad_instance; message = msg; retry_after_ms = None },
+          trace )
       | parsed ->
         let budget_ms =
           match budget_ms with Some _ -> budget_ms | None -> t.cfg.default_budget_ms
@@ -207,15 +224,26 @@ let respond t line =
              | Some tr, Some s ->
                Trace.finish ~fields:[ ("outcome", Field.String "shed") ] tr s
              | _ -> ());
-            Protocol.Error
-              { code = Protocol.Overloaded;
-                message =
-                  Printf.sprintf "admission queue full (depth %d)" (Bqueue.capacity t.queue) }
+            if Bqueue.is_closed t.queue then
+              (* The pool died (every slot out of restart budget): shed
+                 with a non-retryable error, not a misleading "queue full". *)
+              Protocol.Error
+                { code = Protocol.Internal; message = "worker pool closed";
+                  retry_after_ms = None }
+            else
+              Protocol.Error
+                { code = Protocol.Overloaded;
+                  message =
+                    Printf.sprintf "admission queue full (depth %d)" (Bqueue.capacity t.queue);
+                  retry_after_ms = Some t.cfg.retry_after_ms }
           end
           else (
             match Bqueue.pop reply with
             | Some r -> r
-            | None -> Protocol.Error { code = Protocol.Internal; message = "worker pool closed" })
+            | None ->
+              Protocol.Error
+                { code = Protocol.Internal; message = "worker pool closed";
+                  retry_after_ms = None })
         in
         Metrics.gauge_add t.mx.m_inflight (-1.0);
         (resp, trace))
@@ -269,15 +297,23 @@ let serve_conn t conn =
     ok
   in
   let rec loop () =
-    match Framing.read_line reader with
+    match
+      Framing.read_line ?idle_timeout_ms:t.cfg.idle_timeout_ms
+        ?read_timeout_ms:t.cfg.read_timeout_ms reader
+    with
     | None -> ()
+    | exception Framing.Timeout ->
+      (* Idle too long or trickling a request too slowly: reap. *)
+      Metrics.incr t.mx.m_reaped;
+      Log.info "connection reaped" []
     | exception Framing.Line_too_long ->
       ignore
         (send
            (Protocol.Error
               { code = Protocol.Parse;
                 message =
-                  Printf.sprintf "request exceeds %d bytes" t.cfg.max_request_bytes }))
+                  Printf.sprintf "request exceeds %d bytes" t.cfg.max_request_bytes;
+                retry_after_ms = None }))
     | exception (Unix.Unix_error _ | Sys_error _) -> ()
     | Some line when String.trim line = "" -> if not (Atomic.get t.stopping) then loop ()
     | Some line ->
@@ -377,7 +413,10 @@ let instruments reg queue =
         ~buckets:Metrics.default_size_buckets "spp_request_bytes";
     m_response_bytes =
       Metrics.histogram reg ~help:"Response line sizes (bytes)"
-        ~buckets:Metrics.default_size_buckets "spp_response_bytes" }
+        ~buckets:Metrics.default_size_buckets "spp_response_bytes";
+    m_reaped =
+      Metrics.counter reg ~help:"Connections closed for idling or trickling past a deadline"
+        "spp_connections_reaped_total" }
 
 let start cfg =
   Signals.ignore_sigpipe ();
@@ -385,7 +424,27 @@ let start cfg =
   let queue = Bqueue.create ~capacity:cfg.queue_depth in
   let reg = Telemetry.metrics (Engine.telemetry cfg.engine) in
   let mx = instruments reg queue in
-  let pool = Pool.start ~workers:cfg.workers (process cfg mx) queue in
+  (* A worker that dies mid-job must still answer that job's client: the
+     supervisor fails the reply mailbox with a structured internal error. *)
+  let on_crash (job : job) exn =
+    let message =
+      match exn with
+      | Spp_util.Fault.Injected point -> "worker crashed: fault injected: " ^ point
+      | Pool.Pool_dead -> "worker pool dead: restart budget exhausted"
+      | e -> "worker crashed: " ^ Printexc.to_string e
+    in
+    ignore
+      (Bqueue.try_push job.reply
+         (Protocol.Error { code = Protocol.Internal; message; retry_after_ms = None }))
+  in
+  let pool =
+    Pool.start ?max_restarts:cfg.max_worker_restarts ~on_crash ~workers:cfg.workers
+      (process cfg mx) queue
+  in
+  Metrics.counter_fn reg ~help:"Worker domain deaths observed by the supervisor"
+    "spp_worker_deaths_total" (fun () -> Pool.deaths pool);
+  Metrics.counter_fn reg ~help:"Worker domain restarts performed by the supervisor"
+    "spp_worker_restarts_total" (fun () -> Pool.restarts pool);
   let t =
     { cfg; listen_fd; queue; stopping = Atomic.make false; lock = Mutex.create (); conns = [];
       threads = []; pool; started_ms = Clock.now_ms (); acceptor = None; mx }

@@ -31,6 +31,13 @@
       the listener closes (new connections refused), idle connections are
       woken and closed, in-flight requests complete and their replies are
       written, then the queue closes and the workers exit.
+    - Robustness: worker domains are supervised (see {!Pool}) — a job
+      whose worker dies still receives a structured [internal] reply, and
+      deaths/restarts surface as [spp_worker_deaths_total] /
+      [spp_worker_restarts_total]. Connections that idle past
+      [idle_timeout_ms] or trickle a request past [read_timeout_ms] are
+      reaped ([spp_connections_reaped_total]); [overloaded] replies carry
+      a [retry_after_ms] hint.
 
     Observability: the server registers its instruments on the engine
     telemetry's {!Spp_obs.Metrics} registry — [spp_requests_total]{[op]},
@@ -59,9 +66,25 @@ type config = {
   slow_ms : float option;
       (** log requests slower than this at [warn] with their span tree;
           also forces every solve request to be traced *)
+  idle_timeout_ms : float option;
+      (** reap a connection that starts no new request for this long
+          ([None] = never); counted in [spp_connections_reaped_total] *)
+  read_timeout_ms : float option;
+      (** reap a connection whose request line takes longer than this to
+          complete from its first byte — the slow-loris guard ([None] =
+          never) *)
+  retry_after_ms : int;
+      (** backoff hint attached to [overloaded] replies (see
+          {!Protocol.response}) *)
+  max_worker_restarts : int option;
+      (** per-slot worker restart budget ([None] =
+          {!Pool.default_max_restarts}) *)
 }
 
 val default_max_request_bytes : int
+
+(** Default [retry_after_ms] (100). *)
+val default_retry_after_ms : int
 
 type t
 

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    Used by the disk store to detect torn or corrupted cache entries
+    before any parsing happens. Not a cryptographic digest — it guards
+    against accidental corruption only. *)
+
+(** [digest s] is the CRC-32 of the whole string. *)
+val digest : string -> int32
+
+(** [hex c] renders a checksum as 8 lowercase hex digits, zero-padded. *)
+val hex : int32 -> string
+
+(** [digest_hex s] is [hex (digest s)]. *)
+val digest_hex : string -> string

@@ -1,0 +1,201 @@
+exception Injected of string
+
+let points =
+  [ "store.read"; "store.write"; "framing.read"; "framing.write"; "pool.job";
+    "engine.solve" ]
+
+type action =
+  | Fail of float                        (* fail with probability p *)
+  | Fail_once                            (* fail on first hit, then disarm *)
+  | Delay of { ms : float; prob : float }
+
+type rule = {
+  point : string;
+  action : action;
+  mutable armed : bool;                  (* Fail_once: still loaded? *)
+  mutable injections : int;
+}
+
+type state = { rules : rule list; rng : Prng.t; seed : int }
+
+(* One mutex guards both the rule list and the PRNG stream; probes only
+   take it after the [enabled] fast-path check, so the disabled cost is a
+   single atomic load. *)
+let lock = Mutex.create ()
+let state : state option ref = ref None
+let enabled = Atomic.make false
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing *)
+
+let is_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let parse_prob what s =
+  match float_of_string_opt s with
+  | Some p when p > 0.0 && p <= 1.0 -> Ok p
+  | _ -> Error (Printf.sprintf "%s: probability must be in (0, 1], got %S" what s)
+
+let parse_action ~point s =
+  if s = "once" then Ok Fail_once
+  else if is_prefix ~prefix:"delay" s then begin
+    let rest = String.sub s 5 (String.length s - 5) in
+    let ms_s, prob_s =
+      match String.index_opt rest '@' with
+      | None -> (rest, None)
+      | Some i ->
+        (String.sub rest 0 i, Some (String.sub rest (i + 1) (String.length rest - i - 1)))
+    in
+    match float_of_string_opt ms_s with
+    | Some ms when ms >= 0.0 -> (
+      match prob_s with
+      | None -> Ok (Delay { ms; prob = 1.0 })
+      | Some p_s -> (
+        match parse_prob point p_s with
+        | Ok prob -> Ok (Delay { ms; prob })
+        | Error _ as e -> e))
+    | _ -> Error (Printf.sprintf "%s: bad delay %S (want delayMS[@PROB])" point s)
+  end
+  else
+    match parse_prob point s with
+    | Ok p -> Ok (Fail p)
+    | Error _ ->
+      Error
+        (Printf.sprintf "%s: bad action %S (want a probability, 'once', or 'delayMS[@PROB]')"
+           point s)
+
+let parse_entry s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad entry %S (want point=action)" s)
+  | Some i ->
+    let point = String.trim (String.sub s 0 i) in
+    let action_s = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    if not (List.mem point points) then
+      Error
+        (Printf.sprintf "unknown fault point %S (valid: %s)" point
+           (String.concat ", " points))
+    else
+      Result.map
+        (fun action -> { point; action; armed = true; injections = 0 })
+        (parse_action ~point action_s)
+
+let parse spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+      match parse_entry e with
+      | Error _ as err -> err
+      | Ok rule ->
+        if List.exists (fun r -> r.point = rule.point) acc then
+          Error (Printf.sprintf "duplicate fault point %S" rule.point)
+        else go (rule :: acc) rest)
+  in
+  go [] entries
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let install st =
+  with_lock (fun () ->
+      state := st;
+      Atomic.set enabled (match st with Some s -> s.rules <> [] | None -> false))
+
+let configure ?(seed = 0) spec =
+  match parse spec with
+  | Error _ as e -> e
+  | Ok [] -> install None; Ok ()
+  | Ok rules ->
+    install (Some { rules; rng = Prng.create seed; seed });
+    Ok ()
+
+let configure_from_env () =
+  match Sys.getenv_opt "SPP_FAULTS" with
+  | None | Some "" -> Ok ()
+  | Some spec ->
+    let seed =
+      match Sys.getenv_opt "SPP_FAULT_SEED" with
+      | None -> 0
+      | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0)
+    in
+    configure ~seed spec
+
+let clear () = install None
+let active () = Atomic.get enabled
+
+(* ------------------------------------------------------------------ *)
+(* Probes *)
+
+type decision = Pass | Raise | Sleep of float
+
+let decide point =
+  with_lock (fun () ->
+      match !state with
+      | None -> Pass
+      | Some st -> (
+        match List.find_opt (fun r -> r.point = point) st.rules with
+        | None -> Pass
+        | Some r -> (
+          match r.action with
+          | Fail p ->
+            if Prng.bernoulli st.rng p then (r.injections <- r.injections + 1; Raise)
+            else Pass
+          | Fail_once ->
+            if r.armed then begin
+              r.armed <- false;
+              r.injections <- r.injections + 1;
+              Raise
+            end
+            else Pass
+          | Delay { ms; prob } ->
+            if Prng.bernoulli st.rng prob then begin
+              r.injections <- r.injections + 1;
+              Sleep ms
+            end
+            else Pass)))
+
+(* The sleep happens outside the lock so a delay rule on one point cannot
+   stall probes at every other point. *)
+let slow_hit point =
+  match decide point with
+  | Pass -> ()
+  | Raise -> raise (Injected point)
+  | Sleep ms -> Unix.sleepf (ms /. 1000.0)
+
+let[@inline] hit point = if Atomic.get enabled then slow_hit point
+
+let injected point =
+  with_lock (fun () ->
+      match !state with
+      | None -> 0
+      | Some st ->
+        List.fold_left
+          (fun acc r -> if r.point = point then acc + r.injections else acc)
+          0 st.rules)
+
+let describe () =
+  with_lock (fun () ->
+      match !state with
+      | None -> "off"
+      | Some st ->
+        st.rules
+        |> List.map (fun r ->
+               let action =
+                 match r.action with
+                 | Fail p -> Printf.sprintf "%g" p
+                 | Fail_once -> if r.armed then "once" else "once(spent)"
+                 | Delay { ms; prob = 1.0 } -> Printf.sprintf "delay%g" ms
+                 | Delay { ms; prob } -> Printf.sprintf "delay%g@%g" ms prob
+               in
+               r.point ^ "=" ^ action)
+        |> String.concat ","
+        |> fun s -> Printf.sprintf "%s seed=%d" s st.seed)

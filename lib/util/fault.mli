@@ -1,0 +1,62 @@
+(** Deterministic fault injection.
+
+    A process-global registry of named injection points threaded through the
+    storage, framing, worker-pool, and engine layers. Probes are free when
+    injection is disabled (one atomic load and branch), and deterministic
+    when enabled: all probability draws come from one seeded {!Prng} stream,
+    so a failing chaos run replays exactly from its spec and seed.
+
+    Spec grammar (comma-separated entries, also accepted from the
+    [SPP_FAULTS] environment variable):
+
+    {v
+      spec    ::= entry ("," entry)*
+      entry   ::= point "=" action
+      action  ::= FLOAT                  fail with probability FLOAT (0 < p <= 1)
+                | "once"                 fail on the first hit, then disarm
+                | "delay" MS             sleep MS milliseconds on every hit
+                | "delay" MS "@" FLOAT   sleep MS with probability FLOAT
+    v}
+
+    Example: [store.read=0.5,pool.job=once,engine.solve=delay200@0.1]. *)
+
+(** Raised by {!hit} when the point's rule fires with a failure action.
+    The payload is the point name. Probe sites translate this into the
+    layer's native failure (an I/O error, a worker crash, a miss). *)
+exception Injected of string
+
+(** The closed set of valid injection points. {!configure} rejects any
+    other name so typos in a chaos spec fail fast instead of silently
+    injecting nothing. *)
+val points : string list
+
+(** [configure ?seed spec] parses [spec] and arms the registry, replacing
+    any previous configuration. [Error msg] (and no state change) on a
+    malformed entry, an unknown point, a duplicate point, or an
+    out-of-range probability. An empty / all-whitespace [spec] disarms,
+    like {!clear}. Default [seed] is 0. *)
+val configure : ?seed:int -> string -> (unit, string) result
+
+(** [configure_from_env ()] reads [SPP_FAULTS] (spec) and [SPP_FAULT_SEED]
+    (integer seed, default 0). No-op [Ok ()] when [SPP_FAULTS] is unset. *)
+val configure_from_env : unit -> (unit, string) result
+
+(** Disarm every point and return {!hit} to its no-op fast path. *)
+val clear : unit -> unit
+
+(** [active ()] is true when at least one rule is armed. *)
+val active : unit -> bool
+
+(** [hit point] consults the registry: no-op when disabled or when no rule
+    matches [point]; otherwise draws from the seeded stream and either
+    returns, sleeps (delay rules), or raises {!Injected}. Thread- and
+    domain-safe. *)
+val hit : string -> unit
+
+(** [injected point] is how many times the rule at [point] has fired
+    (failures and delays both count). 0 for unarmed or unknown points. *)
+val injected : string -> int
+
+(** [describe ()] renders the armed rules back as a spec string
+    (["off"] when disarmed) — for startup logging. *)
+val describe : unit -> string

@@ -149,8 +149,11 @@ let test_protocol_response_roundtrip () =
                 { Protocol.wins = Prng.int rng 10; solved = Prng.int rng 20;
                   timeouts = Prng.int rng 3; invalid = 0; failed = Prng.int rng 2 } );
               ("bl", { Protocol.wins = 0; solved = 1; timeouts = 0; invalid = 1; failed = 0 }) ] };
-      Protocol.Error { code = Protocol.Overloaded; message = random_payload rng };
-      Protocol.Error { code = Protocol.Bad_instance; message = "" } ]
+      Protocol.Error
+        { code = Protocol.Overloaded; message = random_payload rng;
+          retry_after_ms = (if Prng.bool rng then Some (Prng.int rng 5000) else None) };
+      Protocol.Error
+        { code = Protocol.Bad_instance; message = ""; retry_after_ms = None } ]
   in
   for _ = 1 to 60 do
     List.iter
@@ -217,6 +220,28 @@ let test_bqueue_blocking_pop () =
   Thread.join th;
   Alcotest.(check bool) "received" true (Atomic.get got = Some (Some 42))
 
+let test_bqueue_close_wakes_blocked () =
+  (* Shutdown path: several poppers are parked on an empty queue when
+     close() lands. Every one of them must wake with None — a popper
+     left sleeping would be a worker domain the server can never join. *)
+  let q = Bqueue.create ~capacity:4 in
+  let woken = Atomic.make 0 in
+  let threads =
+    List.init 3 (fun _ ->
+        Thread.create
+          (fun () -> if Bqueue.pop q = None then Atomic.incr woken)
+          ())
+  in
+  Thread.delay 0.05;
+  Alcotest.(check int) "all still blocked" 0 (Atomic.get woken);
+  Bqueue.close q;
+  List.iter Thread.join threads;
+  Alcotest.(check int) "every popper woken with None" 3 (Atomic.get woken);
+  (* After the drain the queue stays terminal. *)
+  Alcotest.(check bool) "closed" true (Bqueue.is_closed q);
+  Alcotest.(check bool) "push refused" false (Bqueue.try_push q 1);
+  Alcotest.(check bool) "pop still None" true (Bqueue.pop q = None)
+
 (* ------------------------------------------------------------------ *)
 (* Framing *)
 
@@ -279,7 +304,10 @@ let with_server ?(workers = 2) ?(queue_depth = 16) f =
     Server.start
       { Server.address; workers; queue_depth; engine = Engine.create ();
         default_budget_ms = Some 2000.0; solve_workers = Some 1;
-        max_request_bytes = 1 lsl 16; slow_ms = None }
+        max_request_bytes = 1 lsl 16; slow_ms = None;
+        idle_timeout_ms = None; read_timeout_ms = None;
+        retry_after_ms = Server.default_retry_after_ms;
+        max_worker_restarts = None }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -383,7 +411,10 @@ let test_server_graceful_shutdown () =
     Server.start
       { Server.address; workers = 1; queue_depth = 4; engine = Engine.create ();
         default_budget_ms = Some 2000.0; solve_workers = Some 1;
-        max_request_bytes = 1 lsl 16; slow_ms = None }
+        max_request_bytes = 1 lsl 16; slow_ms = None;
+        idle_timeout_ms = None; read_timeout_ms = None;
+        retry_after_ms = Server.default_retry_after_ms;
+        max_worker_restarts = None }
   in
   (* An in-flight request must complete and its reply arrive even though
      stop() lands while it is being served. *)
@@ -413,7 +444,7 @@ let test_server_graceful_shutdown () =
    | c ->
      Client.close c;
      Alcotest.fail "connect succeeded after shutdown"
-   | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) -> ());
+   | exception Client.Error { kind = Client.Connect_failed; _ } -> ());
   (* stop/wait are idempotent. *)
   Server.stop srv;
   Server.wait srv
@@ -425,7 +456,9 @@ let test_server_shutdown_request () =
     Server.start
       { Server.address; workers = 1; queue_depth = 4; engine = Engine.create ();
         default_budget_ms = None; solve_workers = Some 1; max_request_bytes = 1 lsl 16;
-        slow_ms = None }
+        slow_ms = None; idle_timeout_ms = None; read_timeout_ms = None;
+        retry_after_ms = Server.default_retry_after_ms;
+        max_worker_restarts = None }
   in
   let resp = Client.with_connection address (fun c -> Client.request c Protocol.Shutdown) in
   Alcotest.(check bool) "acknowledged" true (resp = Protocol.Shutdown_ok);
@@ -452,6 +485,8 @@ let () =
         [
           Alcotest.test_case "bounds and order" `Quick test_bqueue_bounds_and_order;
           Alcotest.test_case "blocking pop" `Quick test_bqueue_blocking_pop;
+          Alcotest.test_case "close wakes blocked poppers" `Quick
+            test_bqueue_close_wakes_blocked;
         ] );
       ( "framing",
         [

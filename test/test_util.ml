@@ -2,6 +2,7 @@
    ordering laws, statistics, and table rendering. *)
 
 module Prng = Spp_util.Prng
+module Cancel = Spp_util.Cancel
 module Heap = Spp_util.Heap
 module Stats = Spp_util.Stats
 module Table = Spp_util.Table
@@ -306,6 +307,28 @@ let test_clock_elapsed_nonnegative () =
   Alcotest.(check (float 0.0)) "clamped at zero" 0.0 (Clock.elapsed_ms (t0 +. 1e9))
 
 (* ------------------------------------------------------------------ *)
+(* Cancel: the deadline boundary cases live here; behavioural tests of
+   tokens inside solvers are in test_engine. *)
+
+let test_cancel_deadline_now () =
+  (* A zero (or negative) budget must trip immediately — the engine
+     builds such tokens when a request arrives with its budget already
+     spent, and solvers must hit the fallback rather than start work. *)
+  List.iter
+    (fun ms ->
+      let t = Cancel.with_deadline_ms ms in
+      Alcotest.(check bool)
+        (Printf.sprintf "deadline %g tripped at birth" ms)
+        true (Cancel.cancelled t);
+      Alcotest.check_raises "check raises" Cancel.Cancelled (fun () -> Cancel.check t);
+      Alcotest.(check (option (float 0.0))) "no budget left" (Some 0.0) (Cancel.remaining_ms t))
+    [ 0.0; -1.0; -1e9 ];
+  (* And stays tripped: cancel on an already-expired token is a no-op. *)
+  let t = Cancel.with_deadline_ms 0.0 in
+  Cancel.cancel t;
+  Alcotest.(check bool) "still tripped" true (Cancel.cancelled t)
+
+(* ------------------------------------------------------------------ *)
 (* Table *)
 
 let test_table_render () =
@@ -370,6 +393,8 @@ let () =
           Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
           Alcotest.test_case "elapsed nonnegative" `Quick test_clock_elapsed_nonnegative;
         ] );
+      ( "cancel",
+        [ Alcotest.test_case "deadline already passed" `Quick test_cancel_deadline_now ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
