@@ -12,7 +12,8 @@
      serve     long-running engine daemon on a Unix/TCP socket
      client    one request against a running spp serve
      loadgen   closed-loop load generator with latency percentiles
-     trace     solve one instance locally and print its span tree *)
+     trace     solve one instance locally and print its span tree
+     fuzz      property-based differential fuzzer with shrinking *)
 
 module Q = Spp_num.Rat
 module Rect = Spp_geom.Rect
@@ -1086,6 +1087,172 @@ let trace_cmd =
              view of what spp serve records per request)")
     Term.(const run $ file $ budget_arg $ algos_arg $ workers_arg $ json)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+let fuzz_cmd =
+  let module Runner = Spp_check.Runner in
+  let module Props = Spp_check.Props in
+  let module Arb = Spp_check.Arb in
+  let cases_arg =
+    Arg.(value & opt (some int) None
+         & info [ "cases" ]
+             ~doc:"Number of generated instances (default 1000, unbounded when --seconds is given).")
+  in
+  let seconds_arg =
+    Arg.(value & opt (some float) None
+         & info [ "seconds" ]
+             ~doc:"Wall-clock budget; generation stops when either --cases or --seconds is hit.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:"Run seed. Every case derives its own replay seed, printed on failure.")
+  in
+  let variant_arg =
+    Arg.(value
+         & opt (enum [ ("prec", `Prec); ("release", `Release); ("both", `Both) ]) `Both
+         & info [ "variant" ] ~doc:"Instance family to generate: prec, release or both.")
+  in
+  let algos_arg =
+    Arg.(value & opt (some (list string)) None
+         & info [ "algos" ]
+             ~doc:"Comma-separated algorithm names; only properties tagged with one of them run.")
+  in
+  let self_test_arg =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"Fuzz a deliberately broken solver instead; succeeds only if the harness \
+                   catches the planted bug and shrinks it.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some int) None
+         & info [ "replay-seed" ]
+             ~doc:"Replay the single case with this seed (from an earlier failure report) \
+                   instead of running fresh cases.")
+  in
+  let out_arg =
+    Arg.(value & opt string "fuzz-out"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for failure artefacts: JSON report and minimized .spp instances. \
+                   Only created when something fails.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the selected properties and exit.")
+  in
+  let variant_name = function `Prec -> "prec" | `Release -> "release" | `Both -> "both" in
+  let parsed_rects = function
+    | Io.Prec inst -> List.length inst.I.Prec.rects
+    | Io.Release inst -> List.length inst.I.Release.tasks
+  in
+  let run cases_opt seconds seed variant algos self_test replay_seed out list_props =
+    let props =
+      if self_test then [ Props.planted_bug ]
+      else
+        try Props.select ?algos ~variant ()
+        with Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+    in
+    (* The planted bug lives in the precedence solver; generating release
+       instances for it would only produce skips. *)
+    let gen_variant = if self_test then `Prec else variant in
+    if list_props then begin
+      let t = Table.create ~columns:[ "property"; "tags"; "invariant" ] in
+      List.iter
+        (fun (p : _ Runner.property) ->
+          Table.add_row t [ p.Runner.name; String.concat "," p.Runner.tags; p.Runner.doc ])
+        props;
+      Table.print t
+    end
+    else begin
+      let arb = Arb.parsed ~variant:gen_variant in
+      let report =
+        match replay_seed with
+        | Some case_seed -> Runner.replay ~case_seed arb props
+        | None ->
+          let cases =
+            match (cases_opt, seconds) with
+            | Some c, _ -> c
+            | None, Some _ -> max_int
+            | None, None -> 1000
+          in
+          let deadline_ms = Option.map (fun s -> s *. 1000.) seconds in
+          Runner.run ~cases ?deadline_ms ~seed arb props
+      in
+      let failed name =
+        List.exists (fun (f : _ Runner.failure) -> f.Runner.property = name) report.Runner.failures
+      in
+      let t = Table.create ~columns:[ "property"; "checks"; "status" ] in
+      List.iter
+        (fun (name, n) ->
+          Table.add_row t [ name; string_of_int n; (if failed name then "FAIL" else "ok") ])
+        report.Runner.per_property;
+      Table.print t;
+      let nfail = List.length report.Runner.failures in
+      Printf.printf "\n%d cases, %d checks, %d skips, %d failure%s in %.0f ms (seed %d)\n"
+        report.Runner.cases report.Runner.checks report.Runner.skips nfail
+        (if nfail = 1 then "" else "s")
+        report.Runner.elapsed_ms report.Runner.run_seed;
+      if report.Runner.failures <> [] then begin
+        (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let sanitize = String.map (fun c -> if c = '.' then '-' else c) in
+        let describe (f : _ Runner.failure) =
+          let path =
+            Filename.concat out
+              (Printf.sprintf "fuzz-%s-%d.spp" (sanitize f.Runner.property) f.Runner.case_seed)
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (arb.Runner.print f.Runner.minimized));
+          Printf.printf
+            "\nFAIL %s\n  %s\n  replay: spp fuzz --replay-seed %d --variant %s%s\n  minimized: %s (%d rects, %d shrink steps, %d candidates tried)\n"
+            f.Runner.property f.Runner.message f.Runner.case_seed (variant_name gen_variant)
+            (if self_test then " --self-test" else "")
+            path (parsed_rects f.Runner.minimized) f.Runner.shrink_steps f.Runner.shrink_tried;
+          Json.Obj
+            [ ("property", Json.String f.Runner.property);
+              ("message", Json.String f.Runner.message);
+              ("replay_seed", Json.Int f.Runner.case_seed);
+              ("case_index", Json.Int f.Runner.case_index);
+              ("shrink_steps", Json.Int f.Runner.shrink_steps);
+              ("shrink_tried", Json.Int f.Runner.shrink_tried);
+              ("minimized_rects", Json.Int (parsed_rects f.Runner.minimized));
+              ("minimized_file", Json.String path) ]
+        in
+        let entries = List.map describe report.Runner.failures in
+        let report_path = Filename.concat out "fuzz-report.json" in
+        Out_channel.with_open_text report_path (fun oc ->
+            Out_channel.output_string oc
+              (Json.to_string
+                 (Json.Obj
+                    [ ("run_seed", Json.Int report.Runner.run_seed);
+                      ("variant", Json.String (variant_name gen_variant));
+                      ("self_test", Json.Bool self_test);
+                      ("cases", Json.Int report.Runner.cases);
+                      ("checks", Json.Int report.Runner.checks);
+                      ("skips", Json.Int report.Runner.skips);
+                      ("elapsed_ms", Json.Float report.Runner.elapsed_ms);
+                      ("failures", Json.List entries) ])
+              ^ "\n"));
+        Printf.printf "report: %s\n" report_path
+      end;
+      if self_test then begin
+        if report.Runner.failures = [] then begin
+          Printf.eprintf "self-test FAILED: the planted bug was not detected\n";
+          exit 1
+        end
+        else Printf.printf "self-test OK: planted bug caught and minimized\n"
+      end
+      else if report.Runner.failures <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Property-based differential fuzzer: random instances through every solver, \
+             checked against the paper's theorems, with counterexample shrinking")
+    Term.(const run $ cases_arg $ seconds_arg $ seed_arg $ variant_arg $ algos_arg
+          $ self_test_arg $ replay_arg $ out_arg $ list_arg)
+
 let () =
   let doc = "strip packing with precedence constraints and release times (Augustine-Banerjee-Irani)" in
   let info = Cmd.info "spp" ~version:"1.0.0" ~doc in
@@ -1094,4 +1261,4 @@ let () =
        (Cmd.group info
           [ gen_cmd; pack_cmd; solve_cmd; batch_cmd; aptas_cmd; bounds_cmd; exact_cmd;
             simulate_cmd; online_cmd; verify_cmd; serve_cmd; client_cmd; loadgen_cmd;
-            trace_cmd ]))
+            trace_cmd; fuzz_cmd ]))

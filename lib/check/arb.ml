@@ -1,0 +1,72 @@
+module Prng = Spp_util.Prng
+module Io = Spp_core.Io
+module Prec = Spp_core.Instance.Prec
+module G = Spp_workloads.Generators
+module Adversarial = Spp_workloads.Adversarial
+module Mutate = Spp_workloads.Mutate
+
+type variant = [ `Prec | `Release | `Both ]
+
+(* Sizes biased small: min of two uniforms keeps ~half the mass at n <= 7,
+   where the exact-solver differential properties apply. *)
+let small_biased rng hi = 1 + min (Prng.int rng hi) (Prng.int rng hi)
+
+let shapes = [| `Layered; `Series_parallel; `Fork_join; `Chain; `Independent |]
+
+let gen_prec rng =
+  let params = Prng.split rng in
+  let data = Prng.split rng in
+  let n = small_biased params 24 in
+  let k = Prng.int_in params 1 8 in
+  let h_den = Prng.int_in params 1 4 in
+  let die = Prng.int params 100 in
+  if die < 50 then G.random_prec data ~n ~k ~h_den ~shape:(Prng.choose params shapes)
+  else if die < 75 then G.random_uniform_prec data ~n ~k ~shape:(Prng.choose params shapes)
+  else if die < 90 then begin
+    (* Tall rectangles (heights up to 3): legal only without the release
+       variant's height cap, so DC must handle bands taller than 1. *)
+    let rects = G.random_rects_wide data ~n ~k ~h_den ~max_h_num:(3 * h_den) in
+    let ids = List.map (fun (r : Spp_geom.Rect.t) -> r.Spp_geom.Rect.id) rects in
+    let dag =
+      if Prng.bool params then
+        G.layered_dag data ~ids ~layers:(Prng.int_in params 2 4) ~p:(Prng.float_in params 0.2 0.6)
+      else G.series_parallel data ~ids
+    in
+    Prec.make rects dag
+  end
+  else begin
+    let eps_den = Prng.int_in params 8 1000 in
+    if Prng.bool params then Adversarial.fig1 ~k:(Prng.int_in params 1 4) ~eps_den
+    else Adversarial.fig2 ~k:(Prng.int_in params 1 5) ~eps_den
+  end
+
+let gen_release rng =
+  let params = Prng.split rng in
+  let data = Prng.split rng in
+  let n = small_biased params 16 in
+  let k = Prng.int_in params 2 5 in
+  let h_den = Prng.int_in params 2 4 in
+  let r_den = Prng.int_in params 1 4 in
+  if Prng.int params 100 < 70 then
+    G.random_release data ~n ~k ~h_den ~r_den ~load:(Prng.float_in params 0.5 2.0)
+  else
+    G.bursty_release data ~n ~k ~h_den ~r_den ~burst_len:(Prng.int_in params 2 5)
+      ~idle_gap:(Prng.float_in params 0.5 3.0)
+
+let generate variant rng =
+  match variant with
+  | `Prec -> Io.Prec (gen_prec rng)
+  | `Release -> Io.Release (gen_release rng)
+  | `Both ->
+    if Prng.int rng 100 < 55 then Io.Prec (gen_prec (Prng.split rng))
+    else Io.Release (gen_release (Prng.split rng))
+
+let shrink = function
+  | Io.Prec inst -> Seq.map (fun i -> Io.Prec i) (Mutate.shrink_prec inst)
+  | Io.Release inst -> Seq.map (fun i -> Io.Release i) (Mutate.shrink_release inst)
+
+let print = function
+  | Io.Prec inst -> Io.prec_to_string inst
+  | Io.Release inst -> Io.release_to_string inst
+
+let parsed ~variant = { Runner.generate = generate variant; shrink; print }

@@ -1,0 +1,21 @@
+(** Arbitrary instances: generators with shrinkers over {!Spp_core.Io.parsed}.
+
+    Generation is family-based so every property family gets exercised:
+    precedence cases mix random DAG shapes, uniform-height instances
+    (Section 2.2's regime), tall rectangles (heights > 1, legal only in the
+    precedence variant) and the paper's adversarial Figure 1/2 families;
+    release cases mix Poisson-like and bursty arrivals. Sizes are biased
+    small so the exact-solver differential properties fire often.
+
+    Each phase of generation draws from its own {!Spp_util.Prng.split}
+    child stream, so changing one phase (say, the size draw) never shifts
+    another phase's draws — shrink-and-replay stays aligned with what the
+    original seed generated. *)
+
+type variant = [ `Prec | `Release | `Both ]
+
+(** [parsed ~variant] generates (and shrinks, via {!Spp_workloads.Mutate})
+    instances of the given variant; [`Both] mixes the two. Printing uses
+    the {!Spp_core.Io} file format, so every counterexample is a parseable
+    instance file. *)
+val parsed : variant:variant -> Spp_core.Io.parsed Runner.arbitrary

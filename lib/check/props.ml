@@ -1,0 +1,491 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Placement = Spp_geom.Placement
+module Dag = Spp_dag.Dag
+module Io = Spp_core.Io
+module I = Spp_core.Instance
+module Validate = Spp_core.Validate
+module LB = Spp_core.Lower_bounds
+module Mutate = Spp_workloads.Mutate
+open Runner
+
+type t = Io.parsed Runner.property
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let on_prec check = function Io.Prec inst -> check inst | Io.Release _ -> Skip
+let on_release check = function Io.Release inst -> check inst | Io.Prec _ -> Skip
+
+let pp_violations vs =
+  let shown = List.filteri (fun i _ -> i < 3) vs in
+  Printf.sprintf "%d violation(s): %s" (List.length vs)
+    (String.concat "; " (List.map (Format.asprintf "%a" Validate.pp_violation) shown))
+
+let prec_valid inst p =
+  match Validate.check_prec inst p with [] -> Pass | vs -> Fail (pp_violations vs)
+
+let release_valid inst p =
+  match Validate.check_release inst p with [] -> Pass | vs -> Fail (pp_violations vs)
+
+let qs = Q.to_string
+
+let all_pass checks =
+  let rec go = function
+    | [] -> Pass
+    | (true, _) :: rest -> go rest
+    | (false, msg) :: _ -> Fail (msg ())
+  in
+  go checks
+
+(* Size gates for the exponential reference solvers: generous enough to
+   fire on roughly half the generated cases, small enough that a 2000-case
+   run stays in CI budget. *)
+let exact_gate = 7
+let uniform_dp_gate = 9
+let aptas_gate_n = 12
+let aptas_gate_k = 4
+let engine_gate = 8
+
+(* Wall-clock fuse for the exponential reference solvers: Normal_bb
+   branches over subset-sum grids (up to 2^n distinct coordinates per
+   axis), so even n = 7 can run for minutes on instances whose dimensions
+   are all distinct rationals. A tripped fuse makes the property Skip —
+   heuristic soundness is still checked by the sound.* family, and the
+   skip shows up in the per-property counts rather than stalling a run. *)
+let exact_budget_ms = 2_000.
+
+let with_exact_budget f =
+  let cancel = Spp_util.Cancel.with_deadline_ms exact_budget_ms in
+  try f cancel with Spp_util.Cancel.Cancelled -> Skip
+
+let prop name doc tags check = { name; doc; tags; check }
+
+(* ------------------------------------------------------------------ *)
+(* Soundness *)
+
+let sound_dc =
+  prop "sound.dc" "DC output passes Validate.check_prec (Algorithm 1)" [ "prec"; "dc" ]
+    (on_prec (fun inst -> prec_valid inst (fst (Spp_core.Dc.pack inst))))
+
+let sound_ls_prec =
+  prop "sound.ls.prec" "greedy list scheduler respects geometry and the DAG" [ "prec"; "ls" ]
+    (on_prec (fun inst -> prec_valid inst (Spp_core.List_schedule.prec inst)))
+
+let uniform_only check inst =
+  match Spp_core.Uniform.uniform_height inst with None -> Skip | Some c -> check c inst
+
+let sound_uniform_f =
+  prop "sound.uniform.f" "algorithm F (next-fit shelf) output is valid" [ "prec"; "f" ]
+    (on_prec (uniform_only (fun _ inst -> prec_valid inst (fst (Spp_core.Uniform.next_fit_shelf inst)))))
+
+let sound_uniform_pff =
+  prop "sound.uniform.pff" "precedence first-fit output is valid" [ "prec"; "pff" ]
+    (on_prec (uniform_only (fun _ inst -> prec_valid inst (fst (Spp_core.Uniform.prec_first_fit inst)))))
+
+let sound_uniform_wave =
+  prop "sound.uniform.wave" "wave FFD output is valid" [ "prec"; "wave" ]
+    (on_prec (uniform_only (fun _ inst -> prec_valid inst (fst (Spp_core.Uniform.wave_ffd inst)))))
+
+let sound_ls_release =
+  prop "sound.ls.release" "release list scheduler respects geometry and releases"
+    [ "release"; "ls" ]
+    (on_release (fun inst -> release_valid inst (Spp_core.List_schedule.release inst)))
+
+let sound_shelf =
+  prop "sound.shelf" "release shelf heuristic (next-fit) output is valid" [ "release"; "shelf" ]
+    (on_release (fun inst -> release_valid inst (fst (Spp_core.Release_shelf.pack inst))))
+
+let sound_shelf_ff =
+  prop "sound.shelf.ff" "release shelf heuristic (first-fit) output is valid"
+    [ "release"; "shelf" ]
+    (on_release (fun inst -> release_valid inst (fst (Spp_core.Release_shelf.pack_first_fit inst))))
+
+(* ------------------------------------------------------------------ *)
+(* Guarantee certification *)
+
+let guar_dc_thm23 =
+  prop "guar.dc.thm2.3" "DC height <= log2(n+1)*F + 2*AREA (Theorem 2.3 induction bound)"
+    [ "prec"; "dc" ]
+    (on_prec (fun inst ->
+         let h = Q.to_float (Placement.height (fst (Spp_core.Dc.pack inst))) in
+         let bound = Spp_core.Dc.theorem_2_3_bound inst in
+         if h <= bound +. 1e-9 then Pass
+         else Fail (Printf.sprintf "DC height %.6f exceeds Theorem 2.3 bound %.6f" h bound)))
+
+let guar_prec_lb =
+  prop "guar.prec.lb" "DC and LS heights at or above max(AREA, F) (Section 2 lower bounds)"
+    [ "prec"; "dc"; "ls" ]
+    (on_prec (fun inst ->
+         let lb = LB.prec inst in
+         let dc = Placement.height (fst (Spp_core.Dc.pack inst)) in
+         let ls = Placement.height (Spp_core.List_schedule.prec inst) in
+         all_pass
+           [ (Q.compare dc lb >= 0, fun () -> Printf.sprintf "DC height %s below LB %s" (qs dc) (qs lb));
+             (Q.compare ls lb >= 0, fun () -> Printf.sprintf "LS height %s below LB %s" (qs ls) (qs lb)) ]))
+
+let guar_uniform_f_thm26 =
+  prop "guar.uniform.f.thm2.6"
+    "algorithm F: skips <= longest path (Lemma 2.5) and height <= 2*AREA + F(S) + c (Theorem 2.6 accounting)"
+    [ "prec"; "f" ]
+    (on_prec
+       (uniform_only (fun c inst ->
+            let p, stats = Spp_core.Uniform.next_fit_shelf inst in
+            let area = LB.area inst and cp = LB.critical_path inst in
+            let bound = Q.add (Q.add (Q.mul_int area 2) cp) c in
+            let h = Placement.height p in
+            let path = Dag.longest_path_length inst.I.Prec.dag in
+            all_pass
+              [ (stats.Spp_core.Uniform.skips <= path,
+                 fun () -> Printf.sprintf "%d skips exceed longest path %d (Lemma 2.5)"
+                     stats.Spp_core.Uniform.skips path);
+                (Q.compare h bound <= 0,
+                 fun () -> Printf.sprintf "F height %s exceeds 2*AREA + F + c = %s" (qs h) (qs bound)) ])))
+
+let guar_release_lb =
+  prop "guar.release.lb" "release heuristics at or above max(AREA, max r+h) (Section 3 bounds)"
+    [ "release"; "ls"; "shelf" ]
+    (on_release (fun inst ->
+         let lb = LB.release inst in
+         let ls = Placement.height (Spp_core.List_schedule.release inst) in
+         let sh = Placement.height (fst (Spp_core.Release_shelf.pack inst)) in
+         all_pass
+           [ (Q.compare ls lb >= 0, fun () -> Printf.sprintf "LS height %s below LB %s" (qs ls) (qs lb));
+             (Q.compare sh lb >= 0, fun () -> Printf.sprintf "shelf height %s below LB %s" (qs sh) (qs lb)) ]))
+
+let guar_aptas =
+  prop "guar.aptas.thm3.5"
+    "APTAS: valid, height <= fractional + occurrences (Lemma 3.4), occurrences within the \
+     Lemma 3.3 cap, certified lower_bound below every valid packing, no fallback rects"
+    [ "release"; "aptas" ]
+    (on_release (fun inst ->
+         if I.Release.size inst > aptas_gate_n || inst.I.Release.k > aptas_gate_k then Skip
+         else begin
+           let res = Spp_core.Aptas.solve ~epsilon:Q.one inst in
+           match Validate.check_release inst res.Spp_core.Aptas.placement with
+           | _ :: _ as vs -> Fail (pp_violations vs)
+           | [] ->
+             let open Spp_core.Aptas in
+             let ls = Placement.height (Spp_core.List_schedule.release inst) in
+             let sh = Placement.height (fst (Spp_core.Release_shelf.pack inst)) in
+             let rounding = Q.add res.fractional_height (Q.of_int res.occurrences) in
+             all_pass
+               [ (Q.compare res.height rounding <= 0,
+                  fun () -> Printf.sprintf "height %s exceeds fractional + occurrences = %s"
+                      (qs res.height) (qs rounding));
+                 (res.occurrences <= res.max_occurrences,
+                  fun () -> Printf.sprintf "%d occurrences exceed the (W+1)(R+1) cap %d"
+                      res.occurrences res.max_occurrences);
+                 (res.fallback_rects = 0,
+                  fun () -> Printf.sprintf "%d rects fell through to the NFDH safety net"
+                      res.fallback_rects);
+                 (Q.compare res.lower_bound res.height <= 0,
+                  fun () -> Printf.sprintf "certified LB %s above own height %s"
+                      (qs res.lower_bound) (qs res.height));
+                 (Q.compare res.lower_bound ls <= 0,
+                  fun () -> Printf.sprintf "certified LB %s above LS height %s"
+                      (qs res.lower_bound) (qs ls));
+                 (Q.compare res.lower_bound sh <= 0,
+                  fun () -> Printf.sprintf "certified LB %s above shelf height %s"
+                      (qs res.lower_bound) (qs sh)) ]
+         end))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: exact solvers as ground truth on small instances *)
+
+let diff_exact_prec =
+  prop "diff.exact.prec"
+    "on n <= 7: Normal_bb optimum is valid, sandwiched by the lower bounds, never above \
+     order-search/DC/LS, and equal to the uniform DP when heights are uniform"
+    [ "prec"; "bb"; "order"; "dc"; "ls" ]
+    (on_prec (fun inst ->
+         if I.Prec.size inst > exact_gate then Skip
+         else with_exact_budget @@ fun cancel ->
+           let bb = Spp_exact.Normal_bb.solve ~cancel inst in
+           let opt = bb.Spp_exact.Normal_bb.height in
+           match Validate.check_prec inst bb.Spp_exact.Normal_bb.placement with
+           | _ :: _ as vs -> Fail ("optimal placement invalid: " ^ pp_violations vs)
+           | [] ->
+             let lb = LB.prec inst in
+             let order =
+               (Spp_exact.Order_search.best_prec ~cancel inst).Spp_exact.Order_search.height
+             in
+             let dc = Placement.height (fst (Spp_core.Dc.pack inst)) in
+             let ls = Placement.height (Spp_core.List_schedule.prec inst) in
+             let uniform_agrees =
+               match Spp_core.Uniform.uniform_height inst with
+               | None -> (true, fun () -> "")
+               | Some _ ->
+                 let dp = Spp_exact.Prec_binpack.min_height inst in
+                 ( Q.equal dp opt,
+                   fun () -> Printf.sprintf "uniform DP optimum %s /= normal-position optimum %s"
+                       (qs dp) (qs opt) )
+             in
+             all_pass
+               [ (Q.compare opt lb >= 0,
+                  fun () -> Printf.sprintf "exact OPT %s below lower bound %s" (qs opt) (qs lb));
+                 (Q.compare opt order <= 0,
+                  fun () -> Printf.sprintf "exact OPT %s above order-search height %s" (qs opt) (qs order));
+                 (Q.compare opt dc <= 0,
+                  fun () -> Printf.sprintf "exact OPT %s above DC height %s" (qs opt) (qs dc));
+                 (Q.compare opt ls <= 0,
+                  fun () -> Printf.sprintf "exact OPT %s above LS height %s" (qs opt) (qs ls));
+                 uniform_agrees ]))
+
+let diff_uniform_dp =
+  prop "diff.uniform.dp"
+    "on uniform heights, n <= 9: the GGJY DP optimum lower-bounds F/PFF/wave and achieves \
+     the absolute factor 3 of Theorem 2.6"
+    [ "prec"; "f"; "pff"; "wave" ]
+    (on_prec
+       (uniform_only (fun _ inst ->
+            if I.Prec.size inst > uniform_dp_gate then Skip
+            else begin
+              let opt = Spp_exact.Prec_binpack.min_height inst in
+              let f = Placement.height (fst (Spp_core.Uniform.next_fit_shelf inst)) in
+              let pff = Placement.height (fst (Spp_core.Uniform.prec_first_fit inst)) in
+              let wave = Placement.height (fst (Spp_core.Uniform.wave_ffd inst)) in
+              all_pass
+                [ (Q.compare opt f <= 0,
+                   fun () -> Printf.sprintf "DP optimum %s above F height %s" (qs opt) (qs f));
+                  (Q.compare opt pff <= 0,
+                   fun () -> Printf.sprintf "DP optimum %s above PFF height %s" (qs opt) (qs pff));
+                  (Q.compare opt wave <= 0,
+                   fun () -> Printf.sprintf "DP optimum %s above wave height %s" (qs opt) (qs wave));
+                  (Q.compare f (Q.mul_int opt 3) <= 0,
+                   fun () -> Printf.sprintf "F height %s exceeds 3*OPT = %s (Theorem 2.6)"
+                       (qs f) (qs (Q.mul_int opt 3))) ]
+            end)))
+
+let diff_exact_release =
+  prop "diff.exact.release"
+    "on n <= 7: best bottom-left release packing is valid, above the Section 3 lower bound, \
+     and never above LS/shelf"
+    [ "release"; "order"; "ls"; "shelf" ]
+    (on_release (fun inst ->
+         if I.Release.size inst > exact_gate then Skip
+         else with_exact_budget @@ fun cancel ->
+           let best = Spp_exact.Order_search.best_release ~cancel inst in
+           let h = best.Spp_exact.Order_search.height in
+           match Validate.check_release inst best.Spp_exact.Order_search.placement with
+           | _ :: _ as vs -> Fail ("order-search placement invalid: " ^ pp_violations vs)
+           | [] ->
+             let lb = LB.release inst in
+             let ls = Placement.height (Spp_core.List_schedule.release inst) in
+             let sh = Placement.height (fst (Spp_core.Release_shelf.pack inst)) in
+             all_pass
+               [ (Q.compare h lb >= 0,
+                  fun () -> Printf.sprintf "best bottom-left %s below lower bound %s" (qs h) (qs lb));
+                 (Q.compare h ls <= 0,
+                  fun () -> Printf.sprintf "best bottom-left %s above LS height %s" (qs h) (qs ls));
+                 (Q.compare h sh <= 0,
+                  fun () -> Printf.sprintf "best bottom-left %s above shelf height %s" (qs h) (qs sh)) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic *)
+
+let meta_relabel =
+  prop "meta.relabel"
+    "strictly monotone id relabeling preserves DC, LS and F heights exactly (all tie-breaks \
+     are order-based)"
+    [ "prec"; "dc"; "ls"; "f" ]
+    (on_prec (fun inst ->
+         let inst' = Mutate.relabel_prec ~f:(fun id -> (2 * id) + 3) inst in
+         let dc = Placement.height (fst (Spp_core.Dc.pack inst))
+         and dc' = Placement.height (fst (Spp_core.Dc.pack inst')) in
+         let ls = Placement.height (Spp_core.List_schedule.prec inst)
+         and ls' = Placement.height (Spp_core.List_schedule.prec inst') in
+         let f_pair =
+           match Spp_core.Uniform.uniform_height inst with
+           | None -> None
+           | Some _ ->
+             Some
+               ( Placement.height (fst (Spp_core.Uniform.next_fit_shelf inst)),
+                 Placement.height (fst (Spp_core.Uniform.next_fit_shelf inst')) )
+         in
+         all_pass
+           ([ (Q.equal dc dc', fun () -> Printf.sprintf "DC height changed %s -> %s" (qs dc) (qs dc'));
+              (Q.equal ls ls', fun () -> Printf.sprintf "LS height changed %s -> %s" (qs ls) (qs ls')) ]
+           @
+           match f_pair with
+           | None -> []
+           | Some (f, f') ->
+             [ (Q.equal f f', fun () -> Printf.sprintf "F height changed %s -> %s" (qs f) (qs f')) ])))
+
+let meta_edge_drop =
+  prop "meta.edge.drop"
+    "removing a precedence edge never raises the critical path, and never raises the exact \
+     optimum on n <= 7"
+    [ "prec"; "bb" ]
+    (on_prec (fun inst ->
+         match Dag.edges inst.I.Prec.dag with
+         | [] -> Skip
+         | e :: _ ->
+           let inst' = Mutate.drop_edge inst e in
+           let cp = LB.critical_path inst and cp' = LB.critical_path inst' in
+           let exact_mono =
+             if I.Prec.size inst > exact_gate then (true, fun () -> "")
+             else begin
+               (* The critical-path check below is cheap and still runs when
+                  the exact solver blows its fuse on this pair. *)
+               let cancel = Spp_util.Cancel.with_deadline_ms exact_budget_ms in
+               match
+                 ( (Spp_exact.Normal_bb.solve ~cancel inst).Spp_exact.Normal_bb.height,
+                   (Spp_exact.Normal_bb.solve ~cancel inst').Spp_exact.Normal_bb.height )
+               with
+               | h, h' ->
+                 ( Q.compare h' h <= 0,
+                   fun () -> Printf.sprintf "OPT rose from %s to %s after dropping edge (%d,%d)"
+                       (qs h) (qs h') (fst e) (snd e) )
+               | exception Spp_util.Cancel.Cancelled -> (true, fun () -> "")
+             end
+           in
+           all_pass
+             [ (Q.compare cp' cp <= 0,
+                fun () -> Printf.sprintf "critical path rose from %s to %s after dropping (%d,%d)"
+                    (qs cp) (qs cp') (fst e) (snd e));
+               exact_mono ]))
+
+let meta_release_slacken =
+  prop "meta.release.slacken"
+    "halving (and zeroing) release times never raises the Section 3 lower bound, and the \
+     heuristics stay sound on the slackened instances"
+    [ "release"; "ls"; "shelf" ]
+    (on_release (fun inst ->
+         let half = Mutate.slacken_releases ~factor:(Q.of_ints 1 2) inst in
+         let zero = Mutate.slacken_releases ~factor:Q.zero inst in
+         let lb = LB.release inst and lb_h = LB.release half and lb_z = LB.release zero in
+         let sound i =
+           match Validate.check_release i (Spp_core.List_schedule.release i) with
+           | [] -> (
+             match Validate.check_release i (fst (Spp_core.Release_shelf.pack i)) with
+             | [] -> (true, fun () -> "")
+             | vs -> (false, fun () -> "shelf on slackened: " ^ pp_violations vs))
+           | vs -> (false, fun () -> "LS on slackened: " ^ pp_violations vs)
+         in
+         all_pass
+           [ (Q.compare lb_h lb <= 0,
+              fun () -> Printf.sprintf "LB rose from %s to %s after halving releases" (qs lb) (qs lb_h));
+             (Q.compare lb_z lb_h <= 0,
+              fun () -> Printf.sprintf "LB rose from %s to %s after zeroing releases" (qs lb_h) (qs lb_z));
+             sound half; sound zero ]))
+
+(* ------------------------------------------------------------------ *)
+(* Engine / store round trip *)
+
+let tmp_counter = ref 0
+
+let with_temp_dir f =
+  let rec fresh () =
+    incr tmp_counter;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "spp-fuzz-%d-%d" (Unix.getpid ()) !tmp_counter)
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> fresh ()
+  in
+  let dir = fresh () in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let diff_engine =
+  prop "diff.engine"
+    "the portfolio engine returns the best member height, validated, and identically through \
+     a disk-store round trip"
+    [ "prec"; "dc"; "ls"; "engine" ]
+    (on_prec (fun inst ->
+         if I.Prec.size inst > engine_gate then Skip
+         else begin
+           let parsed = Io.Prec inst in
+           let dc = Placement.height (fst (Spp_core.Dc.pack inst)) in
+           let ls = Placement.height (Spp_core.List_schedule.prec inst) in
+           let expected = Q.min dc ls in
+           with_temp_dir (fun dir ->
+               let e1 = Spp_engine.Engine.create ~store_dir:dir () in
+               let r1 = Spp_engine.Engine.solve ~algos:[ "dc"; "ls" ] ~workers:1 e1 parsed in
+               let e2 = Spp_engine.Engine.create ~store_dir:dir () in
+               let r2 = Spp_engine.Engine.solve ~algos:[ "dc"; "ls" ] ~workers:1 e2 parsed in
+               let valid label (r : Spp_engine.Engine.result) =
+                 match Validate.check_prec inst r.Spp_engine.Engine.placement with
+                 | [] -> (true, fun () -> "")
+                 | vs -> (false, fun () -> label ^ ": " ^ pp_violations vs)
+               in
+               all_pass
+                 [ (Q.equal r1.Spp_engine.Engine.height expected,
+                    fun () -> Printf.sprintf "engine height %s /= best member height %s"
+                        (qs r1.Spp_engine.Engine.height) (qs expected));
+                   valid "engine result" r1;
+                   (r2.Spp_engine.Engine.source = Spp_engine.Engine.Disk_cache,
+                    fun () -> "second engine did not hit the disk store");
+                   (Q.equal r2.Spp_engine.Engine.height r1.Spp_engine.Engine.height,
+                    fun () -> Printf.sprintf "store round trip changed height %s -> %s"
+                        (qs r1.Spp_engine.Engine.height) (qs r2.Spp_engine.Engine.height));
+                   valid "store round trip" r2 ])
+         end))
+
+(* ------------------------------------------------------------------ *)
+(* Planted bug (self test) *)
+
+let buggy_pack (inst : I.Prec.t) =
+  let p = Spp_core.List_schedule.prec inst in
+  let h_min =
+    List.fold_left (fun acc (r : Rect.t) -> Q.min acc r.Rect.h)
+      (Rect.max_height inst.I.Prec.rects) inst.I.Prec.rects
+  in
+  let delta = Q.div h_min Q.two in
+  Placement.of_items
+    (List.map
+       (fun (it : Placement.item) ->
+         let y = it.Placement.pos.Placement.y in
+         if Q.is_zero y then it
+         else { it with Placement.pos = { it.Placement.pos with Placement.y = Q.sub y (Q.min delta y) } })
+       (Placement.items p))
+
+let planted_bug =
+  prop "sound.planted.offbyone"
+    "SELF TEST: a solver that lowers every stacked rectangle by half the minimum height \
+     must be caught by Validate and shrunk to a minimal stacked pair"
+    [ "prec"; "planted" ]
+    (on_prec (fun inst -> prec_valid inst (buggy_pack inst)))
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let all =
+  [
+    sound_dc; sound_ls_prec; sound_uniform_f; sound_uniform_pff; sound_uniform_wave;
+    sound_ls_release; sound_shelf; sound_shelf_ff;
+    guar_dc_thm23; guar_prec_lb; guar_uniform_f_thm26; guar_release_lb; guar_aptas;
+    diff_exact_prec; diff_uniform_dp; diff_exact_release; diff_engine;
+    meta_relabel; meta_edge_drop; meta_release_slacken;
+  ]
+
+let select ?algos ~variant () =
+  let by_variant =
+    match variant with
+    | `Both -> all
+    | `Prec -> List.filter (fun p -> List.mem "prec" p.tags) all
+    | `Release -> List.filter (fun p -> List.mem "release" p.tags) all
+  in
+  match algos with
+  | None -> by_variant
+  | Some names ->
+    let known =
+      List.sort_uniq compare
+        (List.concat_map (fun p -> List.filter (fun t -> t <> "prec" && t <> "release") p.tags) all)
+    in
+    List.iter
+      (fun n ->
+        if not (List.mem n known) then
+          invalid_arg
+            (Printf.sprintf "unknown algo %S in --algos; known: %s" n (String.concat ", " known)))
+      names;
+    List.filter (fun p -> List.exists (fun n -> List.mem n p.tags) names) by_variant

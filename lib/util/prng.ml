@@ -42,6 +42,8 @@ let split t =
   let s3 = splitmix64 st in
   { s0; s1; s2; s3 }
 
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
 (* Non-negative 62-bit int from the top bits (avoids sign issues). *)
 let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

@@ -12,8 +12,14 @@ val create : int -> t
 
 (** [split t] derives a fresh generator whose stream is independent of
     subsequent draws from [t] (used to give each workload component its own
-    stream). *)
+    stream, and by {!Spp_check} to keep generator and shrink phases from
+    perturbing each other's draws). Splitting consumes exactly one draw
+    from [t], so a fixed split discipline is itself reproducible. *)
 val split : t -> t
+
+(** [copy t] snapshots the current state: the copy replays exactly the
+    stream [t] would produce from this point, without advancing [t]. *)
+val copy : t -> t
 
 (** [bits64 t] is the next raw 64-bit output (as an OCaml [int64]). *)
 val bits64 : t -> int64

@@ -1,0 +1,177 @@
+module Q = Spp_num.Rat
+module Rect = Spp_geom.Rect
+module Dag = Spp_dag.Dag
+module Prec = Spp_core.Instance.Prec
+module Release = Spp_core.Instance.Release
+
+module IntSet = Set.Make (Int)
+
+(* Candidates are thunks so the (lazy) shrink loop only pays for the
+   prefixes it inspects; constructor failures drop the candidate. *)
+let seq_of_thunks thunks =
+  Seq.filter_map
+    (fun f -> match f () with v -> v | exception Invalid_argument _ -> None)
+    (List.to_seq thunks)
+
+let side_complexity (r : Rect.t) =
+  (if Q.equal r.Rect.w Q.one then 0 else 1) + if Q.equal r.Rect.h Q.one then 0 else 1
+
+let prec_measure (inst : Prec.t) =
+  List.length inst.Prec.rects
+  + Dag.num_edges inst.Prec.dag
+  + List.fold_left (fun acc r -> acc + side_complexity r) 0 inst.Prec.rects
+
+let release_measure (inst : Release.t) =
+  List.fold_left
+    (fun acc (t : Release.task) ->
+      acc + 1 + (if Q.is_zero t.Release.release then 0 else 1) + side_complexity t.Release.rect)
+    0 inst.Release.tasks
+
+let halves ids =
+  let n = List.length ids in
+  if n < 2 then []
+  else begin
+    let cut = n / 2 in
+    let first = IntSet.of_list (List.filteri (fun i _ -> i < cut) ids) in
+    let second = IntSet.of_list (List.filteri (fun i _ -> i >= cut) ids) in
+    [ first; second ]
+  end
+
+let shrink_prec (inst : Prec.t) =
+  let ids = List.map (fun (r : Rect.t) -> r.Rect.id) inst.Prec.rects in
+  let keep set = Prec.induced inst (fun id -> IntSet.mem id set) in
+  let half_thunks = List.map (fun set () -> Some (keep set)) (halves ids) in
+  let drop_rect_thunks =
+    if List.length ids < 2 then []
+    else List.map (fun id () -> Some (Prec.induced inst (fun i -> i <> id))) ids
+  in
+  let edges = Dag.edges inst.Prec.dag in
+  let drop_all_edges_thunk =
+    if edges = [] then []
+    else [ (fun () -> Some (Prec.make inst.Prec.rects (Dag.of_edges ~nodes:ids ~edges:[]))) ]
+  in
+  let drop_edge_thunks =
+    if List.length edges < 2 then []
+    else
+      List.map
+        (fun e () ->
+          let edges' = List.filter (fun e' -> e' <> e) edges in
+          Some (Prec.make inst.Prec.rects (Dag.of_edges ~nodes:ids ~edges:edges')))
+        edges
+  in
+  let simplify_thunks =
+    List.concat_map
+      (fun (r : Rect.t) ->
+        let replace r' () =
+          Some
+            (Prec.make
+               (List.map (fun (x : Rect.t) -> if x.Rect.id = r.Rect.id then r' else x)
+                  inst.Prec.rects)
+               inst.Prec.dag)
+        in
+        (if Q.equal r.Rect.h Q.one then []
+         else [ replace (Rect.make ~id:r.Rect.id ~w:r.Rect.w ~h:Q.one) ])
+        @
+        if Q.equal r.Rect.w Q.one then []
+        else [ replace (Rect.make ~id:r.Rect.id ~w:Q.one ~h:r.Rect.h) ])
+      inst.Prec.rects
+  in
+  seq_of_thunks
+    (half_thunks @ drop_rect_thunks @ drop_all_edges_thunk @ drop_edge_thunks @ simplify_thunks)
+
+let shrink_release (inst : Release.t) =
+  let k = inst.Release.k in
+  let tasks = inst.Release.tasks in
+  let ids = List.map (fun (t : Release.task) -> t.Release.rect.Rect.id) tasks in
+  let keep set =
+    Release.make ~k
+      (List.filter (fun (t : Release.task) -> IntSet.mem t.Release.rect.Rect.id set) tasks)
+  in
+  let half_thunks = List.map (fun set () -> Some (keep set)) (halves ids) in
+  let drop_task_thunks =
+    if List.length ids < 2 then []
+    else List.map (fun id () -> Some (keep (IntSet.of_list (List.filter (( <> ) id) ids)))) ids
+  in
+  let with_task t' =
+    Release.make ~k
+      (List.map
+         (fun (t : Release.task) ->
+           if t.Release.rect.Rect.id = t'.Release.rect.Rect.id then t' else t)
+         tasks)
+  in
+  let nonzero = List.filter (fun (t : Release.task) -> not (Q.is_zero t.Release.release)) tasks in
+  let zero_all_thunk =
+    if List.length nonzero < 2 then []
+    else
+      [ (fun () ->
+          Some
+            (Release.make ~k
+               (List.map (fun (t : Release.task) -> { t with Release.release = Q.zero }) tasks)))
+      ]
+  in
+  let zero_one_thunks =
+    List.map (fun t () -> Some (with_task { t with Release.release = Q.zero })) nonzero
+  in
+  let simplify_thunks =
+    List.concat_map
+      (fun (t : Release.task) ->
+        let r = t.Release.rect in
+        (if Q.equal r.Rect.h Q.one then []
+         else
+           [ (fun () ->
+               Some (with_task { t with Release.rect = Rect.make ~id:r.Rect.id ~w:r.Rect.w ~h:Q.one }))
+           ])
+        @
+        if Q.equal r.Rect.w Q.one then []
+        else
+          [ (fun () ->
+              Some (with_task { t with Release.rect = Rect.make ~id:r.Rect.id ~w:Q.one ~h:r.Rect.h }))
+          ])
+      tasks
+  in
+  seq_of_thunks
+    (half_thunks @ drop_task_thunks @ zero_all_thunk @ zero_one_thunks @ simplify_thunks)
+
+let check_monotone ~f ids =
+  let sorted = List.sort_uniq compare ids in
+  let images = List.map f sorted in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  if not (strictly_increasing images) then
+    invalid_arg "Mutate.relabel: map must be strictly monotone on the instance ids"
+
+let relabel_prec ~f (inst : Prec.t) =
+  check_monotone ~f (List.map (fun (r : Rect.t) -> r.Rect.id) inst.Prec.rects);
+  let rects = List.map (fun (r : Rect.t) -> Rect.make ~id:(f r.Rect.id) ~w:r.Rect.w ~h:r.Rect.h) inst.Prec.rects in
+  let nodes = List.map (fun (r : Rect.t) -> r.Rect.id) rects in
+  let edges = List.map (fun (u, v) -> (f u, f v)) (Dag.edges inst.Prec.dag) in
+  Prec.make rects (Dag.of_edges ~nodes ~edges)
+
+let relabel_release ~f (inst : Release.t) =
+  check_monotone ~f
+    (List.map (fun (t : Release.task) -> t.Release.rect.Rect.id) inst.Release.tasks);
+  Release.make ~k:inst.Release.k
+    (List.map
+       (fun (t : Release.task) ->
+         let r = t.Release.rect in
+         { t with Release.rect = Rect.make ~id:(f r.Rect.id) ~w:r.Rect.w ~h:r.Rect.h })
+       inst.Release.tasks)
+
+let drop_edge (inst : Prec.t) edge =
+  if not (List.mem edge (Dag.edges inst.Prec.dag)) then
+    invalid_arg "Mutate.drop_edge: no such edge";
+  let nodes = List.map (fun (r : Rect.t) -> r.Rect.id) inst.Prec.rects in
+  let edges = List.filter (( <> ) edge) (Dag.edges inst.Prec.dag) in
+  Prec.make inst.Prec.rects (Dag.of_edges ~nodes ~edges)
+
+let drop_all_edges (inst : Prec.t) = Prec.unconstrained inst.Prec.rects
+
+let slacken_releases ~factor (inst : Release.t) =
+  if Q.compare factor Q.zero < 0 || Q.compare factor Q.one > 0 then
+    invalid_arg "Mutate.slacken_releases: factor must be in [0, 1]";
+  Release.make ~k:inst.Release.k
+    (List.map
+       (fun (t : Release.task) -> { t with Release.release = Q.mul factor t.Release.release })
+       inst.Release.tasks)

@@ -1,0 +1,50 @@
+(** Instance transformations for property-based testing: shrinking toward
+    minimal instances and the metamorphic mutations of {!Spp_check}.
+
+    Shrinkers return lazy sequences of candidate instances, most aggressive
+    first (half the rectangles, then single-rectangle and single-edge
+    deletions, then dimension simplifications). Every candidate is a valid
+    instance (constructor-checked; candidates that would violate the
+    variant's standing assumptions are silently dropped) and strictly
+    smaller under {!prec_measure}/{!release_measure}, so greedy shrinking
+    always terminates. *)
+
+(** {1 Size measures (strictly decreased by every shrink candidate)} *)
+
+(** [prec_measure inst] = rects + edges + "dimension complexity" (count of
+    rect sides different from 1). *)
+val prec_measure : Spp_core.Instance.Prec.t -> int
+
+(** [release_measure inst] = tasks + nonzero releases + sides ≠ their
+    simplest admissible value. *)
+val release_measure : Spp_core.Instance.Release.t -> int
+
+(** {1 Shrinkers} *)
+
+val shrink_prec : Spp_core.Instance.Prec.t -> Spp_core.Instance.Prec.t Seq.t
+val shrink_release : Spp_core.Instance.Release.t -> Spp_core.Instance.Release.t Seq.t
+
+(** {1 Metamorphic mutations} *)
+
+(** [relabel_prec ~f inst] renames every id by [f] (must be injective and
+    strictly monotone on the instance's ids, so deterministic id
+    tie-breaks are preserved and packings transfer verbatim).
+    @raise Invalid_argument if [f] is not strictly monotone on the ids. *)
+val relabel_prec : f:(int -> int) -> Spp_core.Instance.Prec.t -> Spp_core.Instance.Prec.t
+
+(** [relabel_release ~f inst] — same contract as {!relabel_prec}. *)
+val relabel_release :
+  f:(int -> int) -> Spp_core.Instance.Release.t -> Spp_core.Instance.Release.t
+
+(** [drop_edge inst (u, v)] removes one precedence edge (the DAG keeps its
+    nodes). @raise Invalid_argument if the edge is absent. *)
+val drop_edge : Spp_core.Instance.Prec.t -> int * int -> Spp_core.Instance.Prec.t
+
+(** [drop_all_edges inst] keeps the rectangles, forgets the order. *)
+val drop_all_edges : Spp_core.Instance.Prec.t -> Spp_core.Instance.Prec.t
+
+(** [slacken_releases ~factor inst] scales every release time by [factor]
+    (in [0, 1]: 0 releases everything at time zero).
+    @raise Invalid_argument if [factor] is outside [0, 1]. *)
+val slacken_releases :
+  factor:Spp_num.Rat.t -> Spp_core.Instance.Release.t -> Spp_core.Instance.Release.t

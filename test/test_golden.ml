@@ -54,6 +54,49 @@ let test_dataset_inventory () =
   Alcotest.(check int) "random24" 24 (size "random24.spp");
   Alcotest.(check int) "release14" 14 (size "release14.spp")
 
+(* ------------------------------------------------------------------ *)
+(* Regression corpus: data/corpus/ holds minimized fuzz counterexamples
+   and the paper's adversarial families. Every file must pass the whole
+   property suite — a finding that once slipped through (or a family
+   engineered to be nasty) stays covered forever, independent of the
+   fuzzer's random exploration. *)
+
+let corpus_dir () =
+  if Sys.file_exists "../data/corpus" then "../data/corpus" else "data/corpus"
+
+let corpus_files () =
+  let dir = corpus_dir () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".spp")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun path ->
+      let parsed = Io.read_file path in
+      List.iter
+        (fun (p : _ Spp_check.Runner.property) ->
+          match p.Spp_check.Runner.check parsed with
+          | Spp_check.Runner.Pass | Spp_check.Runner.Skip -> ()
+          | Spp_check.Runner.Fail msg ->
+            Alcotest.failf "%s: property %s failed: %s" path p.Spp_check.Runner.name msg)
+        Spp_check.Props.all)
+    files
+
+let test_corpus_planted_detects () =
+  (* The minimized planted-bug counterexample must keep triggering the
+     planted detector: if the buggy reference solver or the shrinker drifts
+     so that this pair no longer exposes the off-by-one, the self-test has
+     silently lost its teeth. *)
+  let parsed = Io.read_file (Filename.concat (corpus_dir ()) "planted_offbyone.spp") in
+  match Spp_check.Props.planted_bug.Spp_check.Runner.check parsed with
+  | Spp_check.Runner.Fail _ -> ()
+  | Spp_check.Runner.Pass | Spp_check.Runner.Skip ->
+    Alcotest.fail "planted bug no longer detected on its minimized counterexample"
+
 let () =
   Alcotest.run "spp_golden"
     [
@@ -66,5 +109,11 @@ let () =
           Alcotest.test_case "fig2_k3 DC" `Quick (prec_case "fig2_k3.spp" "9");
           Alcotest.test_case "random24 DC" `Quick (prec_case "random24.spp" "47/2");
           Alcotest.test_case "release14 APTAS" `Quick test_release14;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "replay through property suite" `Quick test_corpus_replay;
+          Alcotest.test_case "planted counterexample still detects" `Quick
+            test_corpus_planted_detects;
         ] );
     ]

@@ -143,6 +143,24 @@ let prop_prec_roundtrip =
         && List.for_all2 Rect.equal inst.rects inst'.rects
       | Io.Release _ -> false)
 
+let prop_release_roundtrip =
+  QCheck.Test.make ~name:"release instances round-trip through the file format" ~count:100
+    (QCheck.int_range 0 100_000) (fun seed ->
+      let rng = Spp_util.Prng.create seed in
+      let inst =
+        Spp_workloads.Generators.random_release rng ~n:(1 + (seed mod 16))
+          ~k:(2 + (seed mod 6)) ~h_den:4 ~r_den:2 ~load:1.2
+      in
+      match Io.parse_string (Io.release_to_string inst) with
+      | Io.Release inst' ->
+        inst.k = inst'.k
+        && I.Release.size inst = I.Release.size inst'
+        && List.for_all2
+             (fun (a : I.Release.task) (b : I.Release.task) ->
+               Rect.equal a.rect b.rect && Q.equal a.release b.release)
+             inst.tasks inst'.tasks
+      | Io.Prec _ -> false)
+
 let prop_parser_total =
   (* Robustness fuzz: arbitrary input never crashes the parser with
      anything but the documented Failure. *)
@@ -261,5 +279,5 @@ let () =
         :: Alcotest.test_case "release" `Quick test_release_roundtrip
         :: Alcotest.test_case "placement output" `Quick test_placement_output
         :: Alcotest.test_case "placement parsing" `Quick test_parse_placement
-        :: qt [ prop_prec_roundtrip; prop_placement_roundtrip ] );
+        :: qt [ prop_prec_roundtrip; prop_release_roundtrip; prop_placement_roundtrip ] );
     ]

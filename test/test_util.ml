@@ -92,6 +92,39 @@ let test_prng_split_independent () =
   ignore (Prng.bits64 child);
   Alcotest.(check int64) "parent unaffected by child draws" (Prng.bits64 t2) (Prng.bits64 t)
 
+let test_prng_split_deterministic () =
+  (* The split discipline itself must be reproducible: the same seed and
+     the same sequence of splits yields the same child streams, and splits
+     consume exactly one parent draw (the contract Spp_check's per-case
+     seeding relies on). *)
+  let stream t = List.init 8 (fun _ -> Prng.bits64 t) in
+  let a = Prng.create 42 and b = Prng.create 42 in
+  Alcotest.(check (list int64)) "first children agree" (stream (Prng.split a))
+    (stream (Prng.split b));
+  Alcotest.(check (list int64)) "second children agree" (stream (Prng.split a))
+    (stream (Prng.split b));
+  Alcotest.(check (list int64)) "parents still in lockstep" (stream a) (stream b);
+  (* One draw per split: split-then-draw equals draw-skip-then-draw. *)
+  let c = Prng.create 17 and d = Prng.create 17 in
+  ignore (Prng.split c);
+  ignore (Prng.bits64 d);
+  Alcotest.(check int64) "split consumes exactly one draw" (Prng.bits64 d) (Prng.bits64 c)
+
+let test_prng_copy_replays () =
+  let t = Prng.create 23 in
+  ignore (Prng.bits64 t);
+  let snap = Prng.copy t in
+  let from_orig = List.init 16 (fun _ -> Prng.bits64 t) in
+  let from_copy = List.init 16 (fun _ -> Prng.bits64 snap) in
+  Alcotest.(check (list int64)) "copy replays the original stream" from_orig from_copy;
+  (* And the copy is detached: drawing from it must not advance [t]. *)
+  let t2 = Prng.create 23 in
+  ignore (Prng.bits64 t2);
+  let snap2 = Prng.copy t2 in
+  ignore (Prng.bits64 snap2);
+  Alcotest.(check int64) "original unaffected by copy draws"
+    (List.hd from_orig) (Prng.bits64 t2)
+
 (* ------------------------------------------------------------------ *)
 (* Heap *)
 
@@ -361,6 +394,8 @@ let () =
           Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "split determinism" `Quick test_prng_split_deterministic;
+          Alcotest.test_case "copy replays stream" `Quick test_prng_copy_replays;
         ] );
       ( "heap",
         Alcotest.test_case "basic" `Quick test_heap_basic
