@@ -841,9 +841,134 @@ let e15 () =
      matters, and its per-request cost is a handful of atomic increments).\n"
     (pct on_computed off_computed) (pct on_hits off_hits)
 
+(* ------------------------------------------------------------------ *)
+(* E16 — cluster front tier: the same duplicate-heavy closed-loop load
+   against one spp serve vs an spp proxy over three backends. The proxy
+   adds a hop, but coalescing collapses concurrent duplicates into one
+   upstream solve and the snooped warm cache answers repeats without
+   touching a backend at all. *)
+
+let e16 () =
+  section
+    "E16  Cluster proxy — duplicate-heavy closed-loop clients against one\n\
+    \     spp serve vs an spp proxy sharding over three backends with\n\
+    \     request coalescing and a snooped warm cache";
+  let module Engine = Spp_engine.Engine in
+  let module Io = Spp_core.Io in
+  let module Clock = Spp_util.Clock in
+  let module Metrics = Spp_obs.Metrics in
+  let module Framing = Spp_server.Framing in
+  let module Protocol = Spp_server.Protocol in
+  let module Server = Spp_server.Server in
+  let module Client = Spp_server.Client in
+  let module Proxy = Spp_cluster.Proxy in
+  (* Two distinct instances cycled by four connections: every request
+     after the first sighting of each instance is a duplicate — the
+     regime proxies exist for. *)
+  let corpus =
+    [| Io.prec_to_string
+         (let rng = Prng.create 71 in
+          Generators.random_prec rng ~n:8 ~k:8 ~h_den:4 ~shape:`Series_parallel);
+       Io.prec_to_string
+         (let rng = Prng.create 72 in
+          Generators.random_prec rng ~n:10 ~k:8 ~h_den:4 ~shape:`Layered) |]
+  in
+  let budget_ms = 50.0 in
+  let connections = 4 and per_conn = 16 in
+  let total = connections * per_conn in
+  let pick i = corpus.(i mod Array.length corpus) in
+  let sock tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spp_bench_e16_%s_%d.sock" tag (Unix.getpid ()))
+  in
+  let start_server tag =
+    Server.start
+      { Server.address = Framing.Unix_sock (sock tag); workers = 1; queue_depth = 32;
+        engine = Engine.create (); default_budget_ms = Some budget_ms;
+        solve_workers = Some 1; max_request_bytes = Server.default_max_request_bytes;
+        slow_ms = None; idle_timeout_ms = None; read_timeout_ms = None;
+        retry_after_ms = Server.default_retry_after_ms; max_worker_restarts = None }
+  in
+  let hammer address =
+    let lats = Array.make connections [] in
+    let t0 = Clock.now_ms () in
+    let threads =
+      List.init connections (fun ci ->
+          Thread.create
+            (fun () ->
+              Client.with_connection address (fun c ->
+                  for r = 0 to per_conn - 1 do
+                    let r0 = Clock.now_ms () in
+                    (match
+                       Client.request c
+                         (Protocol.Solve
+                            { instance = pick (ci + (r * connections)); budget_ms = None;
+                              algos = None; trace_id = None })
+                     with
+                     | Protocol.Solve_ok _ -> ()
+                     | _ -> failwith "E16: unexpected reply");
+                    lats.(ci) <- Clock.elapsed_ms r0 :: lats.(ci)
+                  done))
+            ())
+    in
+    List.iter Thread.join threads;
+    (Clock.elapsed_ms t0, Array.to_list lats |> List.concat)
+  in
+  let t =
+    Table.create
+      ~columns:
+        [ "mode"; "requests"; "wall ms"; "req/s"; "p50 ms"; "p95 ms"; "p99 ms";
+          "coalesced"; "cache hits" ]
+  in
+  let row mode wall lats coalesced hits =
+    Table.add_row t
+      [ mode; string_of_int total; f2 wall; f2 (float_of_int total /. (wall /. 1000.));
+        f2 (Stats.quantile 0.5 lats); f2 (Stats.quantile 0.95 lats);
+        f2 (Stats.quantile 0.99 lats); coalesced; hits ]
+  in
+  (* Baseline: one server, its own LRU doing the duplicate absorption. *)
+  let solo = start_server "solo" in
+  let solo_addr = Framing.Unix_sock (sock "solo") in
+  let wall, lats = hammer solo_addr in
+  Server.stop solo;
+  Server.wait solo;
+  row "spp serve (single)" wall lats "-" "-";
+  (* Cluster: three backends behind a coalescing, snooping proxy. *)
+  let backends = List.map start_server [ "b0"; "b1"; "b2" ] in
+  let registry = Metrics.create () in
+  let proxy_addr = Framing.Unix_sock (sock "proxy") in
+  let px =
+    Proxy.start
+      { (Proxy.default_config ~address:proxy_addr
+           ~backends:(List.map (fun tag -> Framing.Unix_sock (sock tag)) [ "b0"; "b1"; "b2" ])
+           ())
+        with
+        Proxy.registry; seed = 16 }
+  in
+  let wall, lats = hammer proxy_addr in
+  let counter name =
+    match Metrics.find_counter registry name with Some v -> string_of_int v | None -> "0"
+  in
+  let coalesced = counter "spp_proxy_coalesced_total" in
+  let hits = counter "spp_proxy_cache_hits_total" in
+  Proxy.stop px;
+  Proxy.wait px;
+  List.iter
+    (fun srv ->
+      Server.stop srv;
+      Server.wait srv)
+    backends;
+  row "spp proxy (3 backends)" wall lats coalesced hits;
+  Table.print t;
+  Printf.printf
+    "\nShape: the proxy answers duplicate-heavy load at its own cache latency\n\
+     after one sighting per instance (cache hits), and concurrent first\n\
+     sightings share a single upstream solve (coalesced), so three backends\n\
+     behind one proxy see a fraction of the raw request stream.\n"
+
 let quality () =
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 (); e12 (); e13 ();
-  e14 (); e15 ()
+  e14 (); e15 (); e16 ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -862,11 +987,12 @@ let () =
   | "e13" | "portfolio" -> e13 ()
   | "e14" | "serve" -> e14 ()
   | "e15" | "obs" -> e15 ()
+  | "e16" | "cluster" -> e16 ()
   | "quality" -> quality ()
   | "timing" -> timing ()
   | "all" ->
     quality ();
     timing ()
   | other ->
-    Printf.eprintf "unknown experiment %S (expected e1..e15, portfolio, serve, obs, quality, timing, all)\n" other;
+    Printf.eprintf "unknown experiment %S (expected e1..e16, portfolio, serve, obs, cluster, quality, timing, all)\n" other;
     exit 2

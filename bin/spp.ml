@@ -10,6 +10,7 @@
      exact     exact/reference solutions for small instances
      simulate  pack and execute on the simulated FPGA, print a Gantt chart
      serve     long-running engine daemon on a Unix/TCP socket
+     proxy     cluster front tier: consistent-hash route over spp serve backends
      client    one request against a running spp serve
      loadgen   closed-loop load generator with latency percentiles
      trace     solve one instance locally and print its span tree
@@ -32,6 +33,7 @@ module Client = Spp_server.Client
 module Signals = Spp_server.Signals
 module Metrics_http = Spp_server.Metrics_http
 module Json = Spp_server.Json
+module Proxy = Spp_cluster.Proxy
 module Clock = Spp_util.Clock
 module Stats = Spp_util.Stats
 module Log = Spp_obs.Log
@@ -900,12 +902,23 @@ let loadgen_cmd =
              ~doc:"Write the run summary (counts, throughput, latency percentiles) as one JSON \
                    object to this file ('-' for stdout).")
   in
-  let run dir connections requests socket port host budget_ms algos stats_json =
+  let distinct =
+    Arg.(value & opt (some int) None
+         & info [ "distinct" ] ~docv:"N"
+             ~doc:"Cycle only the first N corpus files (sorted) — a duplicate-heavy workload \
+                   for exercising caches and request coalescing.")
+  in
+  let run dir connections requests socket port host budget_ms algos stats_json distinct =
     let address = resolve_address socket port host in
     if connections < 1 || requests < 1 then begin
       Printf.eprintf "error: --connections and --requests must be >= 1\n";
       exit 1
     end;
+    (match distinct with
+     | Some n when n < 1 ->
+       Printf.eprintf "error: --distinct must be >= 1\n";
+       exit 1
+     | _ -> ());
     (* Pre-read and pre-parse the corpus: each reply's placement text is
        re-bound to the instance's rects and re-validated, so "ok" below
        means "valid packing", not just "200". *)
@@ -922,6 +935,11 @@ let loadgen_cmd =
                    Printf.eprintf "warning: skipping %s: %s\n" f msg;
                    None
                  | parsed -> Some (f, text, parsed)))
+    in
+    let instances =
+      match distinct with
+      | Some n -> List.filteri (fun i _ -> i < n) instances
+      | None -> instances
     in
     if instances = [] then begin
       Printf.eprintf "error: no parsable *.spp files in %s\n" dir;
@@ -1046,7 +1064,178 @@ let loadgen_cmd =
        ~doc:"Closed-loop load generator against a running spp serve: N connections cycling \
              the *.spp files in DIR, validating every reply")
     Term.(const run $ dir $ connections $ requests $ socket_arg $ port_arg $ host_arg
-          $ budget_arg $ algos_arg $ stats_json)
+          $ budget_arg $ algos_arg $ stats_json $ distinct)
+
+(* ------------------------------------------------------------------ *)
+(* proxy *)
+
+(* Backend address forms: unix:PATH, tcp:HOST:PORT, HOST:PORT, or a bare
+   socket path (anything containing '/'). *)
+let parse_backend s =
+  let bad () =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad backend %S (want unix:PATH, tcp:HOST:PORT, HOST:PORT, or a socket path)" s))
+  in
+  let drop n = String.sub s n (String.length s - n) in
+  let host_port str =
+    match String.rindex_opt str ':' with
+    | None -> bad ()
+    | Some i -> (
+      let host = String.sub str 0 i in
+      let port = String.sub str (i + 1) (String.length str - i - 1) in
+      match int_of_string_opt port with
+      | Some p when host <> "" && p > 0 && p < 65536 -> Ok (Framing.Tcp (host, p))
+      | _ -> bad ())
+  in
+  if s = "" then bad ()
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then Ok (Framing.Unix_sock (drop 5))
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then host_port (drop 4)
+  else if String.contains s '/' then Ok (Framing.Unix_sock s)
+  else host_port s
+
+let proxy_cmd =
+  let backend_conv =
+    Arg.conv
+      (parse_backend, fun fmt a -> Format.pp_print_string fmt (Framing.address_to_string a))
+  in
+  let backends =
+    Arg.(non_empty & opt_all backend_conv []
+         & info [ "backend" ] ~docv:"ADDR"
+             ~doc:"A running $(b,spp serve) backend: $(b,unix:PATH), $(b,tcp:HOST:PORT), \
+                   $(b,HOST:PORT), or a socket path. Repeat once per backend.")
+  in
+  let replicas =
+    Arg.(value & opt int Spp_cluster.Ring.default_replicas
+         & info [ "replicas" ]
+             ~doc:"Virtual nodes per backend on the consistent-hash ring.")
+  in
+  let cache_cap =
+    Arg.(value & opt int 512
+         & info [ "cache-cap" ]
+             ~doc:"Entries in the proxy's warm cache of snooped solve replies; 0 disables it.")
+  in
+  let pool_size =
+    Arg.(value & opt int Spp_cluster.Upstream.default_pool_size
+         & info [ "pool-size" ] ~doc:"Idle upstream connections kept per backend.")
+  in
+  let upstream_timeout_ms =
+    Arg.(value & opt float 5_000.0
+         & info [ "upstream-timeout-ms" ]
+             ~doc:"Deadline on upstream connects and reply waits; 0 disables it.")
+  in
+  let failover =
+    Arg.(value & opt int 2
+         & info [ "failover" ]
+             ~doc:"Ring successors tried after the routed backend fails a solve.")
+  in
+  let probe_ms =
+    Arg.(value & opt float 1_000.0
+         & info [ "probe-ms" ]
+             ~doc:"Base health-probe interval (milliseconds); actual intervals are jittered.")
+  in
+  let fail_after =
+    Arg.(value & opt int 3
+         & info [ "fail-after" ]
+             ~doc:"Consecutive failures before a backend is evicted from the ring.")
+  in
+  let revive_after =
+    Arg.(value & opt int 2
+         & info [ "revive-after" ]
+             ~doc:"Consecutive probe successes before an evicted backend is readmitted.")
+  in
+  let metrics_port =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ]
+             ~doc:"Serve Prometheus text-format metrics over HTTP on this TCP port \
+                   (GET /metrics; port 0 picks a free one).")
+  in
+  let log_file =
+    Arg.(value & opt (some string) None
+         & info [ "log-file" ] ~doc:"Append JSON log lines to this file instead of stderr.")
+  in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Arm deterministic fault injection, e.g. \
+                   $(b,proxy.upstream=0.2,proxy.health=once). Also read from \
+                   $(b,SPP_FAULTS) (this flag wins).")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ]
+             ~doc:"PRNG seed for fault probabilities (also $(b,SPP_FAULT_SEED); default 0).")
+  in
+  let run socket port host backends replicas cache_cap pool_size upstream_timeout_ms failover
+      probe_ms fail_after revive_after metrics_port log_file faults fault_seed =
+    let address = resolve_address socket port host in
+    arm_faults ~flag:faults ~seed_flag:fault_seed;
+    Log.init_from_env ();
+    (match log_file with
+     | None -> ()
+     | Some path -> (
+       try Log.set_file path with
+       | Sys_error msg ->
+         Printf.eprintf "error: cannot open log file: %s\n" msg;
+         exit exit_io_error));
+    let registry = Spp_obs.Metrics.create () in
+    let cfg =
+      { (Proxy.default_config ~address ~backends ()) with
+        Proxy.replicas; cache_capacity = cache_cap; pool_size;
+        upstream_timeout_ms =
+          (if upstream_timeout_ms > 0.0 then Some upstream_timeout_ms else None);
+        failover; probe_interval_ms = probe_ms; fail_after; revive_after; registry;
+        (* Per-process jitter seed: a fleet of proxies must not probe in
+           lockstep. *)
+        seed = Unix.getpid () lxor int_of_float (Clock.now_ms ()) }
+    in
+    let px =
+      try Proxy.start cfg with
+      | Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 64
+      | Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "error: cannot listen on %s: %s%s\n"
+          (Framing.address_to_string address) (Unix.error_message e)
+          (if arg = "" then "" else " (" ^ arg ^ ")");
+        exit exit_io_error
+    in
+    let scrape =
+      match metrics_port with
+      | None -> None
+      | Some p -> (
+        try Some (Metrics_http.start ~port:p registry) with
+        | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: cannot bind metrics port %d: %s\n" p (Unix.error_message e);
+          Proxy.stop px;
+          Proxy.wait px;
+          exit exit_io_error)
+    in
+    Printf.eprintf "spp proxy: listening on %s over %d backend%s\n%!"
+      (Framing.address_to_string address) (List.length backends)
+      (if List.length backends = 1 then "" else "s");
+    List.iter
+      (fun b -> Printf.eprintf "spp proxy:   backend %s\n%!" (Framing.address_to_string b))
+      backends;
+    Option.iter
+      (fun s ->
+        Printf.eprintf "spp proxy: metrics on http://127.0.0.1:%d/metrics\n%!"
+          (Metrics_http.port s))
+      scrape;
+    Signals.on_termination (fun () -> Proxy.stop px);
+    Proxy.wait px;
+    Option.iter Metrics_http.stop scrape;
+    Printf.eprintf "spp proxy: drained, exiting\n%!"
+  in
+  Cmd.v
+    (Cmd.info "proxy"
+       ~doc:"Cluster front tier over spp serve backends: consistent-hash routing by instance \
+             fingerprint, request coalescing, a warm reply cache, and liveness-based ring \
+             membership")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ backends $ replicas $ cache_cap
+          $ pool_size $ upstream_timeout_ms $ failover $ probe_ms $ fail_after $ revive_after
+          $ metrics_port $ log_file $ faults $ fault_seed)
 
 (* ------------------------------------------------------------------ *)
 (* trace *)
@@ -1260,5 +1449,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; pack_cmd; solve_cmd; batch_cmd; aptas_cmd; bounds_cmd; exact_cmd;
-            simulate_cmd; online_cmd; verify_cmd; serve_cmd; client_cmd; loadgen_cmd;
-            trace_cmd; fuzz_cmd ]))
+            simulate_cmd; online_cmd; verify_cmd; serve_cmd; proxy_cmd; client_cmd;
+            loadgen_cmd; trace_cmd; fuzz_cmd ]))

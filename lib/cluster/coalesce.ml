@@ -1,0 +1,45 @@
+type 'a flight = {
+  mutable outcome : ('a, exn) result option;  (* None while the leader runs *)
+  mutable joined : int;
+  cv : Condition.t;
+}
+
+type 'a t = { mu : Mutex.t; flights : (string, 'a flight) Hashtbl.t }
+
+let create () = { mu = Mutex.create (); flights = Hashtbl.create 32 }
+
+let in_flight t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.flights in
+  Mutex.unlock t.mu;
+  n
+
+let run t key f =
+  Mutex.lock t.mu;
+  match Hashtbl.find_opt t.flights key with
+  | Some fl ->
+    fl.joined <- fl.joined + 1;
+    let rec wait () =
+      match fl.outcome with
+      | Some r -> r
+      | None ->
+        Condition.wait fl.cv t.mu;
+        wait ()
+    in
+    let r = wait () in
+    Mutex.unlock t.mu;
+    (match r with Ok v -> `Joined v | Error e -> raise e)
+  | None ->
+    let fl = { outcome = None; joined = 0; cv = Condition.create () } in
+    Hashtbl.replace t.flights key fl;
+    Mutex.unlock t.mu;
+    let r = try Ok (f ()) with e -> Error e in
+    Mutex.lock t.mu;
+    fl.outcome <- Some r;
+    (* Remove before waking: anyone arriving from here on starts a fresh
+       flight instead of reading a stale result. *)
+    Hashtbl.remove t.flights key;
+    Condition.broadcast fl.cv;
+    let joined = fl.joined in
+    Mutex.unlock t.mu;
+    (match r with Ok v -> `Led (v, joined) | Error e -> raise e)

@@ -1,0 +1,30 @@
+(** In-flight request coalescing (singleflight).
+
+    When several connection threads ask for the same key concurrently,
+    exactly one — the {e leader} — runs the computation; the others block
+    on the leader's flight and receive the same value. The flight is
+    removed {e before} followers wake, so a request arriving after the
+    result is published starts a fresh flight (coalescing is a
+    concurrency optimisation, not a cache — pair it with one for
+    memoisation across time).
+
+    The proxy keys flights by instance fingerprint: a duplicate-heavy
+    workload hits each backend once per distinct instance per flight,
+    however many clients are hammering the front. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Flights currently open — a gauge for observability. *)
+val in_flight : 'a t -> int
+
+(** [run t key f] — if no flight for [key] is open, open one, run [f]
+    (outside the lock), publish, and return [`Led (v, joined)] where
+    [joined] counts the followers served. Otherwise block until the open
+    flight publishes and return [`Joined v].
+
+    When the leader's [f] raises, the exception propagates to the leader
+    {e and} to every follower of that flight (they joined the same doomed
+    computation; each next arrival after removal leads its own retry). *)
+val run : 'a t -> string -> (unit -> 'a) -> [ `Led of 'a * int | `Joined of 'a ]

@@ -1,0 +1,594 @@
+module Client = Spp_server.Client
+module Framing = Spp_server.Framing
+module Protocol = Spp_server.Protocol
+module Lru = Spp_engine.Lru
+module Fingerprint = Spp_engine.Fingerprint
+module Io = Spp_core.Io
+module Clock = Spp_util.Clock
+module Prng = Spp_util.Prng
+module Metrics = Spp_obs.Metrics
+module Trace = Spp_obs.Trace
+module Log = Spp_obs.Log
+module Field = Spp_obs.Field
+
+type config = {
+  address : Framing.address;
+  backends : Framing.address list;
+  replicas : int;
+  cache_capacity : int;
+  pool_size : int;
+  upstream_timeout_ms : float option;
+  failover : int;
+  probe_interval_ms : float;
+  fail_after : int;
+  revive_after : int;
+  registry : Metrics.t;
+  seed : int;
+}
+
+let default_config ~address ~backends () =
+  { address; backends; replicas = Ring.default_replicas; cache_capacity = 512;
+    pool_size = Upstream.default_pool_size; upstream_timeout_ms = Some 5_000.0;
+    failover = 2; probe_interval_ms = 1_000.0; fail_after = 3; revive_after = 2;
+    registry = Metrics.create (); seed = 0 }
+
+(* Per-backend health state. [fails]/[oks] count *consecutive* outcomes;
+   all three fields are guarded by the proxy's [health_mu]. *)
+type backend = {
+  up : Upstream.t;
+  mutable alive : bool;
+  mutable fails : int;
+  mutable oks : int;
+}
+
+type instruments = {
+  reg : Metrics.t;
+  m_connections : Metrics.counter;
+  m_coalesced : Metrics.counter;
+  m_cache_hits : Metrics.counter;
+  m_cache_misses : Metrics.counter;
+  m_request_ms : Metrics.histogram;
+  m_upstream_ms : Metrics.histogram;
+}
+
+type conn = { fd : Unix.file_descr }
+
+type t = {
+  cfg : config;
+  backends : backend array;
+  by_name : (string, backend) Hashtbl.t;
+  health_mu : Mutex.t;  (* guards [ring] and every backend's health fields *)
+  mutable ring : Ring.t;  (* live members only *)
+  cache : Protocol.solve_reply Lru.t option;
+  coalesce : Protocol.response Coalesce.t;
+  listen_fd : Unix.file_descr;
+  stopping : bool Atomic.t;
+  lock : Mutex.t;  (* guards conns and threads *)
+  mutable conns : conn list;
+  mutable threads : Thread.t list;
+  mutable acceptor : Thread.t option;
+  mutable prober : Thread.t option;
+  started_ms : float;
+  mx : instruments;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Health and ring membership *)
+
+let live_names_locked t =
+  Array.to_list t.backends
+  |> List.filter_map (fun b -> if b.alive then Some (Upstream.name b.up) else None)
+
+let live_backends t =
+  Mutex.lock t.health_mu;
+  let names = live_names_locked t in
+  Mutex.unlock t.health_mu;
+  List.sort String.compare names
+
+let current_ring t =
+  Mutex.lock t.health_mu;
+  let r = t.ring in
+  Mutex.unlock t.health_mu;
+  r
+
+let count_membership t name metric =
+  Metrics.incr
+    (Metrics.counter t.mx.reg ~labels:[ ("backend", name) ] metric)
+
+(* One observation of backend [b]: [ok] from a probe or from live
+   traffic. Flips liveness on the configured consecutive streaks and
+   rebuilds the ring when membership changes. *)
+let note_result t b ok =
+  Mutex.lock t.health_mu;
+  let change =
+    if ok then
+      if b.alive then (b.fails <- 0; `None)
+      else begin
+        b.oks <- b.oks + 1;
+        if b.oks >= t.cfg.revive_after then begin
+          b.alive <- true;
+          b.fails <- 0;
+          b.oks <- 0;
+          `Readmitted
+        end
+        else `None
+      end
+    else if b.alive then begin
+      b.fails <- b.fails + 1;
+      if b.fails >= t.cfg.fail_after then begin
+        b.alive <- false;
+        b.oks <- 0;
+        `Evicted
+      end
+      else `None
+    end
+    else (b.oks <- 0; `None)
+  in
+  if change <> `None then
+    t.ring <- Ring.create ~replicas:t.cfg.replicas (live_names_locked t);
+  let live = Ring.size t.ring in
+  Mutex.unlock t.health_mu;
+  let name = Upstream.name b.up in
+  match change with
+  | `None -> ()
+  | `Evicted ->
+    count_membership t name "spp_proxy_evictions_total";
+    Log.warn "backend evicted from ring"
+      [ ("backend", Field.String name); ("live", Field.Int live) ]
+  | `Readmitted ->
+    count_membership t name "spp_proxy_readmissions_total";
+    Log.info "backend readmitted to ring"
+      [ ("backend", Field.String name); ("live", Field.Int live) ]
+
+let probe_backend t b =
+  let ok =
+    try
+      Spp_util.Fault.hit "proxy.health";
+      match
+        Client.with_connection ~timeout_ms:t.cfg.probe_interval_ms
+          (Upstream.address b.up)
+          (fun c -> Client.request c Protocol.Health)
+      with
+      | Protocol.Health_ok _ -> true
+      | _ -> false
+    with Spp_util.Fault.Injected _ | Client.Error _ -> false
+  in
+  if not ok then
+    count_membership t (Upstream.name b.up) "spp_proxy_probe_failures_total";
+  note_result t b ok
+
+let prober_loop t =
+  let rng = Prng.create t.cfg.seed in
+  let base = t.cfg.probe_interval_ms in
+  let cap = base *. 4.0 in
+  let prev = ref base in
+  (* Sleep in short slices so a drain is noticed within ~50 ms. *)
+  let rec nap ms =
+    if ms > 0.0 && not (Atomic.get t.stopping) then begin
+      Unix.sleepf (Float.min 0.05 (ms /. 1000.0));
+      nap (ms -. 50.0)
+    end
+  in
+  while not (Atomic.get t.stopping) do
+    Array.iter (fun b -> if not (Atomic.get t.stopping) then probe_backend t b) t.backends;
+    let any_down =
+      Mutex.lock t.health_mu;
+      let d = Array.exists (fun b -> not b.alive) t.backends in
+      Mutex.unlock t.health_mu;
+      d
+    in
+    (* Decorrelated jitter between cycles keeps a fleet of proxies from
+       probing in lockstep; while anything is down we pin to the base
+       interval so readmission never waits on a stretched sleep. *)
+    let s =
+      if any_down then base
+      else Float.min cap (Prng.float_in rng base (Float.max base (!prev *. 3.0)))
+    in
+    prev := s;
+    nap s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Upstream solve with ring walk *)
+
+let count_upstream t backend outcome =
+  Metrics.incr
+    (Metrics.counter t.mx.reg ~help:"Upstream solve attempts by backend and outcome"
+       ~labels:[ ("backend", backend); ("outcome", outcome) ] "spp_proxy_requests_total")
+
+let observe_upstream t backend ms =
+  Metrics.observe t.mx.m_upstream_ms ms;
+  Metrics.observe
+    (Metrics.histogram t.mx.reg ~labels:[ ("backend", backend) ] "spp_proxy_upstream_ms")
+    ms
+
+let no_backend_error t message =
+  Protocol.Error
+    { code = Protocol.Overloaded; message;
+      retry_after_ms = Some (int_of_float t.cfg.probe_interval_ms) }
+
+(* Walk [fp]'s ring successors, first to answer wins. Backend-state
+   errors (overloaded / shutting_down / internal) fail over like
+   transport errors but are remembered: if every candidate is in that
+   state, the client sees the last such reply (it carries the backend's
+   own retry hint) rather than a synthetic one. Instance-specific
+   rejections return immediately — every backend would say the same. *)
+let upstream_solve t ~fp ~instance ~budget_ms ~algos ~trace =
+  let req = Protocol.Solve { instance; budget_ms; algos; trace_id = None } in
+  let candidates =
+    let ring = current_ring t in
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    take (t.cfg.failover + 1) (Ring.successors ring fp)
+  in
+  let attempt b =
+    let call () = Upstream.call b.up req in
+    match trace with
+    | None -> call ()
+    | Some tr ->
+      Trace.with_span tr ~parent:(Trace.root tr) "upstream" (fun s ->
+          Trace.add_fields tr s [ ("backend", Field.String (Upstream.name b.up)) ];
+          call ())
+  in
+  let rec walk last = function
+    | [] -> (
+      match last with
+      | Some r -> r
+      | None ->
+        no_backend_error t
+          (if candidates = [] then "no live backend"
+           else "all candidate backends unreachable"))
+    | name :: rest -> (
+      let b = Hashtbl.find t.by_name name in
+      let t0 = Clock.now_ms () in
+      match attempt b with
+      | Protocol.Solve_ok _ as r ->
+        observe_upstream t name (Clock.elapsed_ms t0);
+        count_upstream t name "ok";
+        note_result t b true;
+        r
+      | Protocol.Error
+          { code = Protocol.Overloaded | Protocol.Shutting_down | Protocol.Internal; _ }
+        as r ->
+        count_upstream t name "failed";
+        note_result t b true;
+        walk (Some r) rest
+      | Protocol.Error _ as r ->
+        count_upstream t name "rejected";
+        note_result t b true;
+        r
+      | _other ->
+        count_upstream t name "failed";
+        note_result t b true;
+        walk
+          (Some
+             (Protocol.Error
+                { code = Protocol.Internal;
+                  message = "backend sent a non-solve reply to a solve";
+                  retry_after_ms = None }))
+          rest
+      | exception Client.Error { kind; message; _ } ->
+        count_upstream t name "transport";
+        note_result t b false;
+        Log.warn "upstream call failed"
+          [ ("backend", Field.String name);
+            ("kind", Field.String (Client.kind_to_string kind));
+            ("error", Field.String message) ];
+        walk last rest)
+  in
+  walk None candidates
+
+(* ------------------------------------------------------------------ *)
+(* Request handling *)
+
+let count_op t op =
+  Metrics.incr
+    (Metrics.counter t.mx.reg ~help:"Requests received by op" ~labels:[ ("op", op) ]
+       "spp_proxy_ops_total")
+
+let snoop t fp = function
+  | Protocol.Solve_ok r ->
+    Option.iter (fun lru -> Lru.add lru fp { r with Protocol.trace_id = None }) t.cache
+  | _ -> ()
+
+let handle_solve t ~instance ~budget_ms ~algos ~trace_id =
+  let trace = Option.map (fun id -> Trace.create ~id ~name:"proxy" ()) trace_id in
+  if Atomic.get t.stopping then
+    ( Protocol.Error
+        { code = Protocol.Shutting_down; message = "proxy is draining"; retry_after_ms = None },
+      trace )
+  else
+    match Io.parse_string instance with
+    | exception Failure msg ->
+      ( Protocol.Error { code = Protocol.Bad_instance; message = msg; retry_after_ms = None },
+        trace )
+    | parsed ->
+      let fp = Fingerprint.parsed parsed in
+      let cached =
+        match t.cache with
+        | None -> None
+        | Some lru ->
+          let hit = Lru.find lru fp in
+          Metrics.incr (if hit = None then t.mx.m_cache_misses else t.mx.m_cache_hits);
+          hit
+      in
+      Option.iter
+        (fun tr ->
+          let s = Trace.span tr ~parent:(Trace.root tr) "route" in
+          Trace.finish
+            ~fields:
+              [ ("fingerprint", Field.String fp);
+                ("cache", Field.String (if cached = None then "miss" else "hit")) ]
+            tr s)
+        trace;
+      (match cached with
+       | Some r ->
+         (Protocol.Solve_ok { r with Protocol.source = "cache.proxy"; trace_id }, trace)
+       | None ->
+         let lead () = upstream_solve t ~fp ~instance ~budget_ms ~algos ~trace in
+         let outcome =
+           match trace with
+           | None -> Coalesce.run t.coalesce fp lead
+           | Some tr ->
+             Trace.with_span tr ~parent:(Trace.root tr) "coalesce.wait" (fun s ->
+                 let o = Coalesce.run t.coalesce fp lead in
+                 Trace.add_fields tr s
+                   [ ( "role",
+                       Field.String (match o with `Led _ -> "led" | `Joined _ -> "joined") ) ];
+                 o)
+         in
+         let resp =
+           match outcome with
+           | `Led (r, _) -> snoop t fp r; r
+           | `Joined r -> Metrics.incr t.mx.m_coalesced; r
+         in
+         let resp =
+           match resp with
+           | Protocol.Solve_ok r -> Protocol.Solve_ok { r with Protocol.trace_id = trace_id }
+           | other -> other
+         in
+         (resp, trace))
+
+let histograms_of reg =
+  List.filter_map
+    (fun (s : Metrics.sample) ->
+      match s.value with
+      | Metrics.Histogram h when s.labels = [] ->
+        Some
+          ( s.name,
+            { Protocol.count = h.Metrics.total; sum = h.Metrics.sum;
+              p50 = Metrics.hist_quantile h 0.5; p90 = Metrics.hist_quantile h 0.9;
+              p99 = Metrics.hist_quantile h 0.99; buckets = h.Metrics.buckets } )
+      | _ -> None)
+    (Metrics.snapshot reg)
+
+(* The proxy answers [metrics] from its own registry. [workers] reports
+   live backends and [queue_length] open coalesced flights — the closest
+   cluster analogues of the single-server fields. *)
+let metrics t =
+  let cache =
+    match t.cache with
+    | Some lru ->
+      let s = Lru.stats lru in
+      { Protocol.size = s.Lru.size; capacity = Lru.capacity lru; hits = s.Lru.hits;
+        misses = s.Lru.misses; evictions = s.Lru.evictions }
+    | None -> { Protocol.size = 0; capacity = 0; hits = 0; misses = 0; evictions = 0 }
+  in
+  Protocol.Metrics_ok
+    { uptime_ms = Clock.elapsed_ms t.started_ms; counters = Metrics.counters t.mx.reg;
+      cache; store_dir = None; workers = List.length (live_backends t);
+      queue_length = Coalesce.in_flight t.coalesce; queue_capacity = 0;
+      histograms = histograms_of t.mx.reg; algos = [] }
+
+let health t =
+  Protocol.Health_ok
+    { uptime_s = Clock.elapsed_ms t.started_ms /. 1000.0;
+      cache_capacity = (match t.cache with Some lru -> Lru.capacity lru | None -> 0) }
+
+let stop t = Atomic.set t.stopping true
+
+let respond t line =
+  match Protocol.decode_request line with
+  | Error msg ->
+    count_op t "invalid";
+    (Protocol.Error { code = Protocol.Parse; message = msg; retry_after_ms = None }, None)
+  | Ok Protocol.Health ->
+    count_op t "health";
+    (health t, None)
+  | Ok Protocol.Metrics ->
+    count_op t "metrics";
+    (metrics t, None)
+  | Ok Protocol.Shutdown ->
+    (* Drains the proxy only — backends belong to whoever started them. *)
+    count_op t "shutdown";
+    Log.info "shutdown requested" [];
+    stop t;
+    (Protocol.Shutdown_ok, None)
+  | Ok (Protocol.Solve { instance; budget_ms; algos; trace_id }) ->
+    count_op t "solve";
+    handle_solve t ~instance ~budget_ms ~algos ~trace_id
+
+(* ------------------------------------------------------------------ *)
+(* Connections (same shape as Server: acceptor + thread per connection) *)
+
+let unregister t conn =
+  Mutex.lock t.lock;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Mutex.unlock t.lock
+
+let finish_trace trace =
+  Option.iter
+    (fun tr ->
+      Trace.close tr;
+      if Log.enabled Log.Debug then
+        Log.debug "proxy request"
+          [ ("trace_id", Field.String (Trace.id tr));
+            ("ms", Field.Float (Trace.total_ms tr));
+            ("trace", Field.String (Trace.to_json tr)) ])
+    trace
+
+let serve_conn t conn =
+  Metrics.incr t.mx.m_connections;
+  let reader = Framing.reader conn.fd in
+  let send resp =
+    try
+      Framing.write_line conn.fd (Protocol.encode_response resp);
+      true
+    with Unix.Unix_error _ | Sys_error _ -> false
+  in
+  let rec loop () =
+    match Framing.read_line reader with
+    | None -> ()
+    | exception Framing.Line_too_long ->
+      ignore
+        (send
+           (Protocol.Error
+              { code = Protocol.Parse;
+                message =
+                  Printf.sprintf "request exceeds %d bytes" Framing.default_max_line;
+                retry_after_ms = None }))
+    | exception (Unix.Unix_error _ | Sys_error _) -> ()
+    | Some line when String.trim line = "" -> if not (Atomic.get t.stopping) then loop ()
+    | Some line ->
+      let t0 = Clock.now_ms () in
+      let resp, trace = respond t line in
+      let written = send resp in
+      finish_trace trace;
+      Metrics.observe t.mx.m_request_ms (Clock.elapsed_ms t0);
+      if written && not (Atomic.get t.stopping) then loop ()
+  in
+  (try loop () with _ -> ());
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  unregister t conn
+
+let accept_loop t =
+  let fd = t.listen_fd in
+  Unix.set_nonblock fd;
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ fd ] [] [] 0.05 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | [], _, _ -> ()
+       | _ :: _, _, _ -> (
+         match Unix.accept ~cloexec:true fd with
+         | exception
+             Unix.Unix_error
+               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+           ()
+         | cfd, _ ->
+           if Atomic.get t.stopping then (try Unix.close cfd with Unix.Unix_error _ -> ())
+           else begin
+             let conn = { fd = cfd } in
+             Mutex.lock t.lock;
+             t.conns <- conn :: t.conns;
+             t.threads <- Thread.create (fun () -> serve_conn t conn) () :: t.threads;
+             Mutex.unlock t.lock
+           end));
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (match t.cfg.address with
+   | Framing.Unix_sock path -> (
+     try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+   | Framing.Tcp _ -> ());
+  Mutex.lock t.lock;
+  let conns = t.conns in
+  Mutex.unlock t.lock;
+  List.iter
+    (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  Mutex.lock t.lock;
+  let threads = t.threads in
+  t.threads <- [];
+  Mutex.unlock t.lock;
+  List.iter Thread.join threads;
+  Log.info "proxy drained" []
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let instruments reg =
+  { reg;
+    m_connections =
+      Metrics.counter reg ~help:"Client connections accepted" "spp_proxy_connections_total";
+    m_coalesced =
+      Metrics.counter reg
+        ~help:"Solve requests served by joining another request's in-flight upstream call"
+        "spp_proxy_coalesced_total";
+    m_cache_hits =
+      Metrics.counter reg ~help:"Solve requests answered from the proxy warm cache"
+        "spp_proxy_cache_hits_total";
+    m_cache_misses =
+      Metrics.counter reg ~help:"Solve requests that missed the proxy warm cache"
+        "spp_proxy_cache_misses_total";
+    m_request_ms =
+      Metrics.histogram reg ~help:"Wall-clock per proxied request, receipt to reply (ms)"
+        "spp_proxy_request_ms";
+    m_upstream_ms =
+      Metrics.histogram reg ~help:"Upstream solve latency over all backends (ms)"
+        "spp_proxy_upstream_ms" }
+
+let start (cfg : config) =
+  if cfg.backends = [] then invalid_arg "Proxy.start: no backends";
+  if cfg.replicas < 1 then invalid_arg "Proxy.start: replicas must be >= 1";
+  if cfg.cache_capacity < 0 then invalid_arg "Proxy.start: cache_capacity must be >= 0";
+  if cfg.pool_size < 1 then invalid_arg "Proxy.start: pool_size must be >= 1";
+  if cfg.failover < 0 then invalid_arg "Proxy.start: failover must be >= 0";
+  if cfg.probe_interval_ms <= 0.0 then
+    invalid_arg "Proxy.start: probe_interval_ms must be > 0";
+  if cfg.fail_after < 1 then invalid_arg "Proxy.start: fail_after must be >= 1";
+  if cfg.revive_after < 1 then invalid_arg "Proxy.start: revive_after must be >= 1";
+  Spp_server.Signals.ignore_sigpipe ();
+  let backends =
+    Array.of_list
+      (List.map
+         (fun addr ->
+           { up =
+               Upstream.create ~pool_size:cfg.pool_size
+                 ?timeout_ms:cfg.upstream_timeout_ms addr;
+             alive = true; fails = 0; oks = 0 })
+         cfg.backends)
+  in
+  let by_name = Hashtbl.create 8 in
+  Array.iter (fun b -> Hashtbl.replace by_name (Upstream.name b.up) b) backends;
+  if Hashtbl.length by_name <> Array.length backends then
+    invalid_arg "Proxy.start: duplicate backend address";
+  let listen_fd = Framing.listen cfg.address in
+  let t =
+    { cfg; backends; by_name; health_mu = Mutex.create ();
+      ring =
+        Ring.create ~replicas:cfg.replicas
+          (Array.to_list backends |> List.map (fun b -> Upstream.name b.up));
+      cache =
+        (if cfg.cache_capacity = 0 then None
+         else Some (Lru.create ~capacity:cfg.cache_capacity));
+      coalesce = Coalesce.create (); listen_fd; stopping = Atomic.make false;
+      lock = Mutex.create (); conns = []; threads = []; acceptor = None; prober = None;
+      started_ms = Clock.now_ms (); mx = instruments cfg.registry }
+  in
+  Metrics.gauge_fn cfg.registry ~help:"Backends currently in the routing ring"
+    "spp_proxy_ring_size" (fun () -> float_of_int (Ring.size (current_ring t)));
+  Metrics.gauge_fn cfg.registry ~help:"Configured backends, live or not"
+    "spp_proxy_backends" (fun () -> float_of_int (Array.length t.backends));
+  Metrics.gauge_fn cfg.registry ~help:"Coalesced upstream flights currently open"
+    "spp_proxy_inflight_flights" (fun () -> float_of_int (Coalesce.in_flight t.coalesce));
+  Metrics.gauge_fn cfg.registry ~help:"Seconds since the proxy started"
+    "spp_proxy_uptime_seconds" (fun () -> Clock.elapsed_ms t.started_ms /. 1000.0);
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.prober <- Some (Thread.create (fun () -> prober_loop t) ());
+  Log.info "proxy listening"
+    [ ("address", Field.String (Framing.address_to_string cfg.address));
+      ("backends", Field.Int (Array.length backends));
+      ("replicas", Field.Int cfg.replicas);
+      ("cache_capacity", Field.Int cfg.cache_capacity) ];
+  t
+
+let wait t =
+  (match t.acceptor with Some th -> Thread.join th | None -> ());
+  (match t.prober with Some th -> Thread.join th | None -> ());
+  Array.iter (fun b -> Upstream.close b.up) t.backends

@@ -1,0 +1,94 @@
+(** The `spp proxy` front tier: one NDJSON endpoint over a ring of
+    `spp serve` backends.
+
+    {v
+    clients --ndjson--> proxy ---+--> backend A (spp serve)
+                        | ring   +--> backend B
+                        | cache  +--> backend C
+                        +-- health prober (health op, jittered)
+    v}
+
+    - {b Routing}: each [solve] request's instance is parsed and
+      fingerprinted ({!Spp_engine.Fingerprint}), and the fingerprint is
+      consistent-hashed ({!Ring}) over the {e live} backends — the same
+      instance always lands on the same backend, so backend-local caches
+      concentrate instead of diluting across the fleet.
+    - {b Coalescing}: concurrent requests for the same fingerprint share
+      one upstream solve ({!Coalesce}); budgets and algorithm lists are
+      {e not} part of the key (the engine's own cache is keyed by
+      fingerprint alone, so coalesced sharers get exactly what a cache
+      hit would have given them).
+    - {b Warm cache}: successful replies are snooped into a bounded
+      fingerprint-keyed LRU; a repeat answers at the proxy with
+      [source = "cache.proxy"] without touching a backend — and keeps
+      answering even when every backend is dead.
+    - {b Health}: a prober thread issues [health] ops on
+      decorrelated-jitter intervals; [fail_after] consecutive failures
+      evict a backend from the ring (its keys move to their ring
+      successors), [revive_after] consecutive successes readmit it.
+      Transport failures observed by live traffic count against a backend
+      too, so eviction does not wait for the prober.
+    - {b Failover}: a [solve] whose routed backend fails (transport error,
+      or an [overloaded] / [shutting_down] / [internal] reply) walks the
+      ring successor list, up to [failover] further backends. Instance-
+      specific rejections ([bad_instance], [bad_request]) are returned
+      as-is — the next backend would say the same. With no backend left
+      the client gets [overloaded] with a [retry_after_ms] hint, which
+      retrying clients (and {!Spp_server.Client.call}) treat as a floor.
+
+    [metrics] and [health] ops are answered locally from the proxy's own
+    registry; [shutdown] drains the proxy and never propagates upstream.
+
+    Fault points: [proxy.upstream] (in {!Upstream.call}) and
+    [proxy.health] (fails individual probes). *)
+
+type config = {
+  address : Spp_server.Framing.address;  (** front listen address *)
+  backends : Spp_server.Framing.address list;  (** at least one *)
+  replicas : int;  (** ring vnodes per backend, see {!Ring} *)
+  cache_capacity : int;  (** snoop-LRU entries; [0] disables the cache *)
+  pool_size : int;  (** idle upstream connections kept per backend *)
+  upstream_timeout_ms : float option;
+      (** bounds upstream connects and reply waits ([None] = no deadline) *)
+  failover : int;
+      (** extra ring successors tried after the routed backend fails *)
+  probe_interval_ms : float;
+      (** base health-probe interval; actual intervals are decorrelated-
+          jittered up from this, and fall back to it while any backend is
+          down (so readmission is prompt); also the [retry_after_ms] hint
+          on no-backend [overloaded] replies *)
+  fail_after : int;  (** consecutive failures before ring eviction *)
+  revive_after : int;  (** consecutive probe successes before readmission *)
+  registry : Spp_obs.Metrics.t;  (** proxy metrics land here *)
+  seed : int;  (** prober-jitter PRNG seed *)
+}
+
+(** Defaults: 64 replicas, 512 cache entries, pool of 2, 5 s upstream
+    timeout, failover 2, 1 s probes, fail after 3, revive after 2,
+    seed 0. [registry] is fresh and enabled. *)
+val default_config :
+  address:Spp_server.Framing.address ->
+  backends:Spp_server.Framing.address list -> unit -> config
+
+type t
+
+(** [start cfg] binds the front address, spawns the acceptor and prober
+    threads, and returns immediately. All backends start presumed live;
+    the first probe cycle corrects that within roughly
+    [probe_interval_ms].
+    @raise Invalid_argument on an empty backend list or nonsensical
+    numeric fields.
+    @raise Unix.Unix_error if the front address cannot be bound. *)
+val start : config -> t
+
+(** Live backend names ({!Upstream.name} strings), sorted — the current
+    ring membership. *)
+val live_backends : t -> string list
+
+(** [stop t] initiates graceful drain (idempotent, returns immediately);
+    pair with {!wait}. *)
+val stop : t -> unit
+
+(** Block until drained: listener closed, connection threads joined,
+    prober joined, upstream pools closed. *)
+val wait : t -> unit

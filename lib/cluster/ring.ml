@@ -1,0 +1,84 @@
+type t = {
+  replicas : int;
+  members : string list;  (* sorted, distinct *)
+  points : (int64 * string) array;  (* sorted by point, unsigned *)
+}
+
+let default_replicas = 64
+
+(* First 8 bytes of the MD5, read big-endian. MD5 is stable across
+   processes and platforms, which is what makes the ring layout (and the
+   test suite's golden values) deterministic. *)
+let hash s = String.get_int64_be (Digest.string s) 0
+
+(* Vnode [i] of member [m] sits at hash "m#i". Ties between distinct
+   members at the same point (vanishingly rare) break by name so the
+   layout stays a pure function of the member set. *)
+let build replicas members =
+  let points =
+    List.concat_map
+      (fun m -> List.init replicas (fun i -> (hash (Printf.sprintf "%s#%d" m i), m)))
+      members
+    |> Array.of_list
+  in
+  Array.sort
+    (fun (a, ma) (b, mb) ->
+      match Int64.unsigned_compare a b with 0 -> String.compare ma mb | c -> c)
+    points;
+  points
+
+let create ?(replicas = default_replicas) members =
+  if replicas < 1 then invalid_arg "Ring.create: replicas must be >= 1";
+  let members = List.sort_uniq String.compare members in
+  { replicas; members; points = build replicas members }
+
+let members t = t.members
+let size t = List.length t.members
+let mem t m = List.mem m t.members
+
+let add t m =
+  if mem t m then t
+  else
+    let members = List.sort String.compare (m :: t.members) in
+    { t with members; points = build t.replicas members }
+
+let remove t m =
+  if not (mem t m) then t
+  else
+    let members = List.filter (fun x -> x <> m) t.members in
+    { t with members; points = build t.replicas members }
+
+(* Index of the first point at or clockwise of [h], wrapping past the top
+   of the ring back to index 0. *)
+let succ_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let route t key =
+  if Array.length t.points = 0 then None
+  else Some (snd t.points.(succ_index t (hash key)))
+
+let successors t key =
+  let n = Array.length t.points in
+  if n = 0 then []
+  else begin
+    let want = size t in
+    let start = succ_index t (hash key) in
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let i = ref 0 in
+    while !i < n && Hashtbl.length seen < want do
+      let m = snd t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen m) then begin
+        Hashtbl.add seen m ();
+        acc := m :: !acc
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end

@@ -1,0 +1,53 @@
+(** Consistent-hash ring with virtual nodes.
+
+    Each member is planted at [replicas] pseudo-random points on a 64-bit
+    ring (the points are MD5-derived, so the layout is a pure function of
+    the member names and the replica count — identical across processes,
+    restarts, and architectures). A key routes to the member owning the
+    first point at or clockwise of the key's own hash. Adding or removing
+    one member therefore moves only the keys in that member's arcs —
+    about [1/n] of the keyspace — instead of reshuffling everything, which
+    is what keeps backend-local caches warm across membership changes.
+
+    The ring is immutable: {!add} and {!remove} return a new ring. At
+    proxy scale (a handful of members, tens of vnodes each) a full rebuild
+    is microseconds; immutability buys lock-free reads from every
+    connection thread. *)
+
+type t
+
+(** Default virtual nodes per member (64). More vnodes smooth the load
+    split between members at the cost of a larger point table. *)
+val default_replicas : int
+
+(** [create ?replicas members] builds a ring over the distinct member
+    names ([replicas] defaults to {!default_replicas}; duplicates are
+    dropped). An empty list is a valid, empty ring.
+    @raise Invalid_argument on [replicas < 1]. *)
+val create : ?replicas:int -> string list -> t
+
+(** Member names, sorted. *)
+val members : t -> string list
+
+val size : t -> int
+val mem : t -> string -> bool
+
+(** [add t m] — a ring with member [m] planted ([t] itself when already
+    present). *)
+val add : t -> string -> t
+
+val remove : t -> string -> t
+
+(** [hash s] — the 64-bit ring position of [s] (first 8 bytes of its MD5,
+    big-endian). Deterministic across processes; exposed so tests can pin
+    golden values. *)
+val hash : string -> int64
+
+(** [route t key] is the member owning [key] — the one whose point is
+    first at or clockwise of [hash key] — or [None] on an empty ring. *)
+val route : t -> string -> string option
+
+(** [successors t key] is every member in ring order starting at [key]'s
+    owner: the failover sequence. Distinct, length [size t]; [[]] on an
+    empty ring. The head equals [route t key]. *)
+val successors : t -> string -> string list

@@ -63,6 +63,19 @@ let idempotent = function
 let default_backoff_base_ms = 25.0
 let default_backoff_cap_ms = 2_000.0
 
+(* Decorrelated jitter: each sleep is uniform in [base, prev * 3], capped
+   — spreads concurrent retriers instead of synchronizing them. A server
+   [retry_after_ms] hint is a floor, not a replacement: the jittered draw
+   still de-synchronizes retriers that all received the same hint, but
+   none of them comes back before the server asked them to (the hint may
+   exceed the cap — the server's word wins over the client's ceiling). *)
+let backoff_ms ?(base_ms = default_backoff_base_ms) ?(cap_ms = default_backoff_cap_ms)
+    ?hint_ms rng ~prev_ms =
+  let s =
+    Float.min cap_ms (Spp_util.Prng.float_in rng base_ms (Float.max base_ms (prev_ms *. 3.0)))
+  in
+  match hint_ms with Some ms -> Float.max s (float_of_int ms) | None -> s
+
 let call ?(retries = 0) ?timeout_ms ?(backoff_base_ms = default_backoff_base_ms)
     ?(backoff_cap_ms = default_backoff_cap_ms) ?seed addr req =
   let retries = if idempotent req then max 0 retries else 0 in
@@ -72,12 +85,11 @@ let call ?(retries = 0) ?timeout_ms ?(backoff_base_ms = default_backoff_base_ms)
        | Some s -> s
        | None -> Unix.getpid () lxor int_of_float (Spp_util.Clock.now_ms ()))
   in
-  (* Decorrelated jitter: each sleep is uniform in [base, prev * 3],
-     capped — spreads concurrent retriers instead of synchronizing them. *)
-  let next_sleep prev = Float.min backoff_cap_ms (Spp_util.Prng.float_in rng backoff_base_ms (Float.max backoff_base_ms (prev *. 3.0))) in
   let sleep_for hint prev =
-    let s = next_sleep prev in
-    let s = match hint with Some ms -> Float.max s (float_of_int ms) | None -> s in
+    let s =
+      backoff_ms ~base_ms:backoff_base_ms ~cap_ms:backoff_cap_ms ?hint_ms:hint rng
+        ~prev_ms:prev
+    in
     Unix.sleepf (s /. 1000.0);
     s
   in

@@ -44,6 +44,19 @@ val with_connection : ?timeout_ms:float -> Framing.address -> (t -> 'a) -> 'a
 val default_backoff_base_ms : float
 val default_backoff_cap_ms : float
 
+(** [backoff_ms rng ~prev_ms] draws the next retry sleep: decorrelated
+    jitter, uniform in [\[base_ms, 3 × prev_ms\]] capped at [cap_ms].
+    [hint_ms] (a server [retry_after_ms]) is a {e floor}: the jittered
+    draw still de-synchronizes clients that all got the same hint, but
+    none returns before the server asked — even when the hint exceeds
+    [cap_ms]. This is the function {!call} sleeps on; exposed so other
+    retry loops (the cluster proxy, tests) share one backoff policy. *)
+val backoff_ms :
+  ?base_ms:float ->
+  ?cap_ms:float ->
+  ?hint_ms:int ->
+  Spp_util.Prng.t -> prev_ms:float -> float
+
 (** [call addr req] — one-shot: fresh connection, one request, close; on
     failure, up to [retries] further attempts (total [retries + 1]), each
     on a fresh connection.

@@ -124,19 +124,25 @@ let read_line ?idle_timeout_ms ?read_timeout_ms r =
     Option.map (fun ms -> Spp_util.Clock.now_ms () +. ms) idle_timeout_ms
   in
   let check_len s = if String.length s > r.max_line then raise Line_too_long in
+  (* The limit applies to the logical line, i.e. after the optional
+     trailing CR is stripped — a CRLF peer gets the same effective
+     capacity as an LF one. The partial-line buffer therefore tolerates
+     one extra byte (the CR whose LF has not arrived yet). *)
+  let check_acc () = if Buffer.length r.acc > r.max_line + 1 then raise Line_too_long in
   let rec go () =
     match r.queued with
     | l :: rest ->
       r.queued <- rest;
-      Some (strip_cr l)
+      Some l
     | [] ->
       if r.eof then
         if Buffer.length r.acc = 0 then None
         else begin
-          let s = Buffer.contents r.acc in
+          let s = strip_cr (Buffer.contents r.acc) in
           Buffer.clear r.acc;
           r.line_start_ms <- None;
-          Some (strip_cr s)
+          check_len s;
+          Some s
         end
       else begin
         (match r.line_start_ms, read_timeout_ms with
@@ -151,17 +157,18 @@ let read_line ?idle_timeout_ms ?read_timeout_ms r =
            match String.split_on_char '\n' data with
            | [ only ] ->
              Buffer.add_string r.acc only;
-             if Buffer.length r.acc > r.max_line then raise Line_too_long;
+             check_acc ();
              if r.line_start_ms = None && Buffer.length r.acc > 0 then
                r.line_start_ms <- Some (Spp_util.Clock.now_ms ())
            | first :: rest ->
              let complete, partial = split_last [] rest in
-             let first_line = Buffer.contents r.acc ^ first in
+             let first_line = strip_cr (Buffer.contents r.acc ^ first) in
+             let complete = List.map strip_cr complete in
              Buffer.clear r.acc;
              Buffer.add_string r.acc partial;
              check_len first_line;
              List.iter check_len complete;
-             if Buffer.length r.acc > r.max_line then raise Line_too_long;
+             check_acc ();
              (* A fresh partial line starts now; an empty one has no start. *)
              r.line_start_ms <-
                (if Buffer.length r.acc = 0 then None else Some (Spp_util.Clock.now_ms ()));

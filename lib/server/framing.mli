@@ -4,9 +4,11 @@
     connects to) a Unix-domain or TCP address, and messages are framed as
     lines — one message per ['\n']-terminated line. The reader is buffered,
     tolerates messages split across arbitrary [read] boundaries, strips an
-    optional trailing ['\r'], and enforces a maximum line length so a
-    malicious or broken peer cannot make the server buffer unbounded
-    garbage. Reads and connects can carry deadlines (monotonic
+    optional trailing ['\r'] (so hand-typed [nc]/telnet sessions and
+    Windows clients parse cleanly), and enforces a maximum line length so
+    a malicious or broken peer cannot make the server buffer unbounded
+    garbage. The limit applies to the logical line — after the CR strip —
+    so CRLF peers get the same effective capacity as LF ones. Reads and connects can carry deadlines (monotonic
     {!Spp_util.Clock}, immune to wall-clock steps) so a stalled peer is
     cut loose instead of pinning a thread.
 

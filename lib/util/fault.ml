@@ -2,7 +2,7 @@ exception Injected of string
 
 let points =
   [ "store.read"; "store.write"; "framing.read"; "framing.write"; "pool.job";
-    "engine.solve" ]
+    "engine.solve"; "proxy.upstream"; "proxy.health" ]
 
 type action =
   | Fail of float                        (* fail with probability p *)

@@ -1,7 +1,9 @@
 (** Deterministic fault injection.
 
     A process-global registry of named injection points threaded through the
-    storage, framing, worker-pool, and engine layers. Probes are free when
+    storage, framing, worker-pool, engine, and cluster-proxy layers
+    ([proxy.upstream] fires inside the proxy's upstream calls as a
+    transport error, [proxy.health] fails individual health probes). Probes are free when
     injection is disabled (one atomic load and branch), and deterministic
     when enabled: all probability draws come from one seeded {!Prng} stream,
     so a failing chaos run replays exactly from its spec and seed.

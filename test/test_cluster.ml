@@ -1,0 +1,405 @@
+(* Tests for Spp_cluster: ring determinism across processes (golden MD5
+   values), bounded key movement on membership changes, coalescing under
+   a concurrent hammer, and an in-process proxy over live backends —
+   routing, the warm cache, coalesced upstream solves, and failover past
+   a killed backend. *)
+
+module Prng = Spp_util.Prng
+module Fault = Spp_util.Fault
+module Io = Spp_core.Io
+module I = Spp_core.Instance
+module Validate = Spp_core.Validate
+module Generators = Spp_workloads.Generators
+module Engine = Spp_engine.Engine
+module Metrics = Spp_obs.Metrics
+module Framing = Spp_server.Framing
+module Protocol = Spp_server.Protocol
+module Server = Spp_server.Server
+module Client = Spp_server.Client
+module Ring = Spp_cluster.Ring
+module Coalesce = Spp_cluster.Coalesce
+module Proxy = Spp_cluster.Proxy
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+(* Golden values pin the hash to "first 8 bytes of MD5, big-endian": a
+   process restart, another machine, or an accidental reimplementation
+   must route keys identically or backend caches go cold fleet-wide. *)
+let test_ring_deterministic () =
+  Alcotest.(check int64) "hash golden (spp)" 0x5566919ceb387560L (Ring.hash "spp");
+  Alcotest.(check int64) "hash golden (empty)" 0xd41d8cd98f00b204L (Ring.hash "");
+  let ring = Ring.create [ "a"; "b"; "c" ] in
+  let routes = List.map (fun k -> Ring.route ring k) [ "spp"; "alpha"; "beta"; "gamma"; "delta" ] in
+  Alcotest.(check (list (option string)))
+    "route goldens"
+    [ Some "b"; Some "a"; Some "c"; Some "a"; Some "b" ]
+    routes;
+  (* Layout is a pure function of the member set: insertion order and the
+     add/remove path taken to reach it are irrelevant. *)
+  let shuffled = Ring.create [ "c"; "a"; "b"; "a" ] in
+  let via_add = Ring.remove (Ring.add (Ring.create [ "b"; "c"; "x" ]) "a") "x" in
+  let keys = List.init 200 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string)) "shuffled agrees" (Ring.route ring k) (Ring.route shuffled k);
+      Alcotest.(check (option string)) "add/remove path agrees" (Ring.route ring k) (Ring.route via_add k))
+    keys
+
+let test_ring_empty_and_members () =
+  let empty = Ring.create [] in
+  Alcotest.(check (option string)) "empty routes nowhere" None (Ring.route empty "k");
+  Alcotest.(check (list string)) "empty has no successors" [] (Ring.successors empty "k");
+  let ring = Ring.create ~replicas:16 [ "b"; "a"; "c"; "b" ] in
+  Alcotest.(check (list string)) "members sorted, deduped" [ "a"; "b"; "c" ] (Ring.members ring);
+  Alcotest.(check int) "size" 3 (Ring.size ring);
+  Alcotest.(check bool) "mem" true (Ring.mem ring "b");
+  Alcotest.check_raises "replicas >= 1" (Invalid_argument "Ring.create: replicas must be >= 1")
+    (fun () -> ignore (Ring.create ~replicas:0 [ "a" ]))
+
+let test_ring_successors () =
+  let members = List.init 5 (fun i -> Printf.sprintf "m%d" i) in
+  let ring = Ring.create members in
+  for i = 0 to 99 do
+    let key = Printf.sprintf "key-%d" i in
+    let succ = Ring.successors ring key in
+    Alcotest.(check int) "covers every member" 5 (List.length succ);
+    Alcotest.(check (list string)) "distinct" (List.sort_uniq compare succ |> List.sort compare)
+      (List.sort compare succ);
+    Alcotest.(check (option string)) "head is the route" (Ring.route ring key)
+      (match succ with s :: _ -> Some s | [] -> None)
+  done
+
+(* The point of consistent hashing: a membership change of one node moves
+   only that node's arcs. Leaving: every moved key was owned by the
+   leaver. Joining: every moved key lands on the joiner. Either way the
+   moved fraction is ~1/n; we assert <= 2/n to leave room for vnode
+   variance without ever accepting a rehash-everything regression. *)
+let test_ring_key_movement () =
+  let n_keys = 2000 in
+  let keys = List.init n_keys (fun i -> Printf.sprintf "instance-%d" i) in
+  let members = List.init 5 (fun i -> Printf.sprintf "m%d" i) in
+  let five = Ring.create members in
+  let owner r k = Option.get (Ring.route r k) in
+  (* m2 leaves *)
+  let four = Ring.remove five "m2" in
+  let moved =
+    List.filter
+      (fun k ->
+        let before = owner five k and after = owner four k in
+        if before <> after then begin
+          Alcotest.(check string) "only the leaver's keys move" "m2" before;
+          true
+        end
+        else false)
+      keys
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "leave moves <= 2/5 of keys (moved %d)" (List.length moved))
+    true
+    (List.length moved * 5 <= 2 * n_keys);
+  Alcotest.(check bool) "leave moves > 0 keys" true (moved <> []);
+  (* m5 joins *)
+  let six = Ring.add five "m5" in
+  let moved =
+    List.filter
+      (fun k ->
+        let before = owner five k and after = owner six k in
+        if before <> after then begin
+          Alcotest.(check string) "moved keys land on the joiner" "m5" after;
+          true
+        end
+        else false)
+      keys
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "join moves <= 2/6 of keys (moved %d)" (List.length moved))
+    true
+    (List.length moved * 6 <= 2 * n_keys);
+  Alcotest.(check bool) "join moves > 0 keys" true (moved <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Coalesce *)
+
+let test_coalesce_hammer () =
+  let c = Coalesce.create () in
+  let computes = Atomic.make 0 in
+  let led = Atomic.make 0 and joined = Atomic.make 0 in
+  let work () =
+    Atomic.incr computes;
+    Unix.sleepf 0.2;
+    42
+  in
+  let runner () =
+    match Coalesce.run c "fp" work with
+    | `Led (v, _) ->
+      Alcotest.(check int) "leader value" 42 v;
+      Atomic.incr led
+    | `Joined v ->
+      Alcotest.(check int) "joined value" 42 v;
+      Atomic.incr joined
+  in
+  let leader = Thread.create runner () in
+  Unix.sleepf 0.05;
+  Alcotest.(check int) "flight open while leader runs" 1 (Coalesce.in_flight c);
+  let followers = List.init 11 (fun _ -> Thread.create runner ()) in
+  Thread.join leader;
+  List.iter Thread.join followers;
+  Alcotest.(check int) "exactly one compute" 1 (Atomic.get computes);
+  Alcotest.(check int) "one leader" 1 (Atomic.get led);
+  Alcotest.(check int) "eleven joiners" 11 (Atomic.get joined);
+  Alcotest.(check int) "no flight left open" 0 (Coalesce.in_flight c);
+  (* A request arriving after publication starts a fresh flight. *)
+  (match Coalesce.run c "fp" (fun () -> Atomic.incr computes; 7) with
+   | `Led (7, 0) -> ()
+   | _ -> Alcotest.fail "post-publication request must lead its own flight");
+  Alcotest.(check int) "fresh flight recomputes" 2 (Atomic.get computes)
+
+exception Boom
+
+let test_coalesce_leader_failure () =
+  let c = Coalesce.create () in
+  let outcomes = Array.make 6 `Pending in
+  let runner i () =
+    outcomes.(i) <-
+      (try
+         match Coalesce.run c "fp" (fun () -> Unix.sleepf 0.15; raise Boom) with
+         | `Led _ | `Joined _ -> `Value
+       with Boom -> `Boom)
+  in
+  let leader = Thread.create (runner 0) () in
+  Unix.sleepf 0.05;
+  let followers = List.init 5 (fun i -> Thread.create (runner (i + 1)) ()) in
+  Thread.join leader;
+  List.iter Thread.join followers;
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "thread %d saw the leader's exception" i)
+        true (o = `Boom))
+    outcomes;
+  Alcotest.(check int) "failed flight removed" 0 (Coalesce.in_flight c)
+
+(* ------------------------------------------------------------------ *)
+(* Proxy over live in-process backends *)
+
+let temp_sock tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "spp_cluster_%s_%d_%d.sock" tag (Unix.getpid ()) (Random.int 1_000_000))
+
+let instance_text seed n =
+  let rng = Prng.create seed in
+  Io.prec_to_string (Generators.random_prec rng ~n ~k:8 ~h_den:4 ~shape:`Series_parallel)
+
+let check_solve_reply text (r : Protocol.solve_reply) =
+  match Io.parse_string text with
+  | Io.Release _ -> Alcotest.fail "test corpus is precedence-only"
+  | Io.Prec inst -> (
+    match Io.parse_placement ~rects:inst.I.Prec.rects r.Protocol.placement with
+    | exception Failure msg -> Alcotest.failf "reply placement does not parse: %s" msg
+    | p ->
+      Alcotest.(check int)
+        (Printf.sprintf "reply from %s validates" r.Protocol.source)
+        0
+        (List.length (Validate.check_prec inst p)))
+
+let start_backend () =
+  let sock = temp_sock "backend" in
+  let address = Framing.Unix_sock sock in
+  let srv =
+    Server.start
+      { Server.address; workers = 1; queue_depth = 16; engine = Engine.create ();
+        default_budget_ms = Some 2000.0; solve_workers = Some 1;
+        max_request_bytes = 1 lsl 16; slow_ms = None; idle_timeout_ms = None;
+        read_timeout_ms = None; retry_after_ms = Server.default_retry_after_ms;
+        max_worker_restarts = None }
+  in
+  (address, srv)
+
+let with_cluster ?(backends = 2) ?(cache_capacity = 64) ?(failover = 1) ?(fail_after = 3)
+    ?(probe_interval_ms = 200.0) f =
+  let started = List.init backends (fun _ -> start_backend ()) in
+  let registry = Metrics.create () in
+  let cfg =
+    { (Proxy.default_config ~address:(Framing.Unix_sock (temp_sock "proxy"))
+         ~backends:(List.map fst started) ())
+      with
+      Proxy.cache_capacity; failover; fail_after; probe_interval_ms;
+      upstream_timeout_ms = Some 2_000.0; registry; revive_after = 1; seed = 42 }
+  in
+  let px = Proxy.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Proxy.stop px;
+      Proxy.wait px;
+      List.iter
+        (fun (_, srv) ->
+          Server.stop srv;
+          Server.wait srv)
+        started)
+    (fun () -> f cfg px (List.map snd started))
+
+let solve_via addr text =
+  Client.with_connection ~timeout_ms:5_000.0 addr (fun c ->
+      Client.request c
+        (Protocol.Solve { instance = text; budget_ms = None; algos = None; trace_id = None }))
+
+let test_proxy_routes_and_caches () =
+  with_cluster (fun cfg _px _srvs ->
+      let corpus = List.init 6 (fun i -> instance_text (100 + i) (5 + (i mod 3))) in
+      List.iter
+        (fun text ->
+          match solve_via cfg.Proxy.address text with
+          | Protocol.Solve_ok r ->
+            check_solve_reply text r;
+            Alcotest.(check bool) "first pass is not proxy-cached" true
+              (r.Protocol.source <> "cache.proxy")
+          | other ->
+            Alcotest.failf "expected solve_ok, got %s" (Protocol.encode_response other))
+        corpus;
+      (* The same instances again: answered at the proxy, backends idle. *)
+      List.iter
+        (fun text ->
+          match solve_via cfg.Proxy.address text with
+          | Protocol.Solve_ok r ->
+            check_solve_reply text r;
+            Alcotest.(check string) "second pass hits the warm cache" "cache.proxy"
+              r.Protocol.source
+          | other ->
+            Alcotest.failf "expected solve_ok, got %s" (Protocol.encode_response other))
+        corpus;
+      let hits = Metrics.find_counter cfg.Proxy.registry "spp_proxy_cache_hits_total" in
+      Alcotest.(check (option int)) "cache hits counted" (Some 6) hits;
+      (* Local ops: health and metrics answered by the proxy itself. *)
+      (match Client.with_connection cfg.Proxy.address (fun c -> Client.request c Protocol.Health) with
+       | Protocol.Health_ok h ->
+         Alcotest.(check int) "health reports cache capacity" 64 h.Protocol.cache_capacity
+       | _ -> Alcotest.fail "health must answer locally");
+      match Client.with_connection cfg.Proxy.address (fun c -> Client.request c Protocol.Metrics) with
+      | Protocol.Metrics_ok m ->
+        Alcotest.(check int) "workers reports live backends" 2 m.Protocol.workers
+      | _ -> Alcotest.fail "metrics must answer locally")
+
+let test_proxy_coalesces_concurrent_duplicates () =
+  (* Cache off so every request must go upstream; a 150 ms engine delay
+     (deterministic fault injection) holds the leader's flight open long
+     enough that the other threads must join it. *)
+  with_cluster ~backends:1 ~cache_capacity:0 (fun cfg _px _srvs ->
+      (match Fault.configure "engine.solve=delay150" with
+       | Ok () -> ()
+       | Error msg -> Alcotest.failf "fault spec: %s" msg);
+      Fun.protect ~finally:Fault.clear (fun () ->
+          let text = instance_text 7 6 in
+          let replies = Array.make 8 None in
+          let runner i () = replies.(i) <- Some (solve_via cfg.Proxy.address text) in
+          let leader = Thread.create (runner 0) () in
+          Unix.sleepf 0.05;
+          let rest = List.init 7 (fun i -> Thread.create (runner (i + 1)) ()) in
+          Thread.join leader;
+          List.iter Thread.join rest;
+          let heights =
+            Array.to_list replies
+            |> List.map (function
+                 | Some (Protocol.Solve_ok r) -> check_solve_reply text r; r.Protocol.height
+                 | Some other -> Alcotest.failf "expected solve_ok, got %s" (Protocol.encode_response other)
+                 | None -> Alcotest.fail "reply missing")
+          in
+          (match heights with
+           | h :: rest -> List.iter (Alcotest.(check string) "all sharers get one answer" h) rest
+           | [] -> assert false);
+          let coalesced =
+            Option.value ~default:0
+              (Metrics.find_counter cfg.Proxy.registry "spp_proxy_coalesced_total")
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "coalesced > 0 (got %d)" coalesced)
+            true (coalesced > 0)))
+
+let test_proxy_failover_past_dead_backend () =
+  (* fail_after 1: the first transport error evicts; failover 1 lets the
+     request complete on the ring successor in the same call. *)
+  with_cluster ~backends:3 ~cache_capacity:0 ~fail_after:1 ~failover:2
+    (fun cfg px srvs ->
+      let corpus = List.init 8 (fun i -> instance_text (200 + i) 5) in
+      (* Kill one backend outright. *)
+      (match srvs with
+       | victim :: _ ->
+         Server.stop victim;
+         Server.wait victim
+       | [] -> assert false);
+      List.iter
+        (fun text ->
+          match solve_via cfg.Proxy.address text with
+          | Protocol.Solve_ok r -> check_solve_reply text r
+          | other ->
+            Alcotest.failf "expected solve_ok after failover, got %s"
+              (Protocol.encode_response other))
+        corpus;
+      (* The dead backend's keys re-route: it is out of the ring (either
+         from passive failures above or the next probe cycle). *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec settle () =
+        if List.length (Proxy.live_backends px) <= 2 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "dead backend never left the ring"
+        else (Thread.yield (); Unix.sleepf 0.05; settle ())
+      in
+      settle ();
+      Alcotest.(check int) "ring settles on the survivors" 2
+        (List.length (Proxy.live_backends px)))
+
+let test_proxy_serves_from_cache_when_all_backends_die () =
+  with_cluster ~backends:2 ~fail_after:1 (fun cfg _px srvs ->
+      let text = instance_text 9 6 in
+      (match solve_via cfg.Proxy.address text with
+       | Protocol.Solve_ok r -> check_solve_reply text r
+       | other -> Alcotest.failf "warmup failed: %s" (Protocol.encode_response other));
+      List.iter
+        (fun srv ->
+          Server.stop srv;
+          Server.wait srv)
+        srvs;
+      (* The snooped reply outlives the whole backend fleet. *)
+      (match solve_via cfg.Proxy.address text with
+       | Protocol.Solve_ok r ->
+         Alcotest.(check string) "served from the proxy cache" "cache.proxy" r.Protocol.source
+       | other -> Alcotest.failf "expected cache hit, got %s" (Protocol.encode_response other));
+      (* A never-seen instance now has nowhere to go: a structured
+         overloaded reply with a retry hint, not a hang or a reset. *)
+      match solve_via cfg.Proxy.address (instance_text 10 5) with
+      | Protocol.Error { code = Protocol.Overloaded; retry_after_ms; _ } ->
+        Alcotest.(check bool) "carries a retry hint" true (retry_after_ms <> None)
+      | other ->
+        Alcotest.failf "expected overloaded, got %s" (Protocol.encode_response other))
+
+let () =
+  Random.self_init ();
+  Alcotest.run "spp_cluster"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic across processes" `Quick test_ring_deterministic;
+          Alcotest.test_case "empty ring and membership" `Quick test_ring_empty_and_members;
+          Alcotest.test_case "successors cover the ring" `Quick test_ring_successors;
+          Alcotest.test_case "bounded key movement on leave/join" `Quick
+            test_ring_key_movement;
+        ] );
+      ( "coalesce",
+        [
+          Alcotest.test_case "concurrent hammer shares one flight" `Quick
+            test_coalesce_hammer;
+          Alcotest.test_case "leader failure propagates to joiners" `Quick
+            test_coalesce_leader_failure;
+        ] );
+      ( "proxy",
+        [
+          Alcotest.test_case "routes, validates, and warm-caches" `Quick
+            test_proxy_routes_and_caches;
+          Alcotest.test_case "coalesces concurrent duplicates" `Quick
+            test_proxy_coalesces_concurrent_duplicates;
+          Alcotest.test_case "fails over past a dead backend" `Quick
+            test_proxy_failover_past_dead_backend;
+          Alcotest.test_case "cache outlives every backend" `Quick
+            test_proxy_serves_from_cache_when_all_backends_die;
+        ] );
+    ]

@@ -274,6 +274,55 @@ let test_framing_line_too_long () =
       ignore (Framing.read_line r));
   Unix.close b
 
+(* The length limit applies to the logical line, after the CR strip: a
+   CRLF peer gets the same capacity as an LF one, and a bare "\r\n" is a
+   blank line (which the server skips), not a framing error. *)
+let test_framing_crlf_at_limit () =
+  let roundtrip raw =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let r = Framing.reader ~max_line_bytes:64 b in
+    let n = Unix.write_substring a raw 0 (String.length raw) in
+    Alcotest.(check int) "written" (String.length raw) n;
+    Unix.close a;
+    let lines = try Ok (List.init 2 (fun _ -> Framing.read_line r)) with e -> Error e in
+    Unix.close b;
+    lines
+  in
+  let full = String.make 64 'x' in
+  (match roundtrip (full ^ "\r\n") with
+   | Ok [ first; eof ] ->
+     Alcotest.(check (option string)) "64 bytes + CRLF accepted" (Some full) first;
+     Alcotest.(check (option string)) "then EOF" None eof
+   | _ -> Alcotest.fail "CRLF line at the limit must be accepted");
+  (match roundtrip (full ^ "y\r\n") with
+   | Error Framing.Line_too_long -> ()
+   | _ -> Alcotest.fail "65-byte CRLF line must be rejected");
+  (* Unterminated CRLF lines at the limit: the partial-line buffer must
+     tolerate the pending CR until EOF resolves it. *)
+  (match roundtrip (full ^ "\r") with
+   | Ok [ first; eof ] ->
+     Alcotest.(check (option string)) "64 bytes + dangling CR accepted" (Some full) first;
+     Alcotest.(check (option string)) "then EOF" None eof
+   | _ -> Alcotest.fail "dangling CR at the limit must be accepted");
+  match roundtrip "\r\nok\r\n" with
+  | Ok [ blank; second ] ->
+    Alcotest.(check (option string)) "bare CRLF is a blank line" (Some "") blank;
+    Alcotest.(check (option string)) "following line intact" (Some "ok") second
+  | _ -> Alcotest.fail "bare CRLF must read as a blank line"
+
+(* Retry backoff: decorrelated jitter in [base, 3 * prev] capped, with a
+   server retry_after_ms hint as a hard floor — even above the cap. *)
+let test_client_backoff_hint_floor () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 200 do
+    let s = Client.backoff_ms ~base_ms:25.0 ~cap_ms:2000.0 rng ~prev_ms:100.0 in
+    Alcotest.(check bool) "jitter within [base, 3*prev]" true (s >= 25.0 && s <= 300.0);
+    let s = Client.backoff_ms ~base_ms:25.0 ~cap_ms:2000.0 ~hint_ms:500 rng ~prev_ms:100.0 in
+    Alcotest.(check bool) "hint floors the sleep" true (s >= 500.0);
+    let s = Client.backoff_ms ~base_ms:25.0 ~cap_ms:2000.0 ~hint_ms:5000 rng ~prev_ms:9e9 in
+    Alcotest.(check (float 1e-9)) "hint above cap wins over the cap" 5000.0 s
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Live server *)
 
@@ -492,6 +541,13 @@ let () =
         [
           Alcotest.test_case "socketpair framing" `Quick test_framing_socketpair;
           Alcotest.test_case "line too long" `Quick test_framing_line_too_long;
+          Alcotest.test_case "CRLF lines at the length limit" `Quick
+            test_framing_crlf_at_limit;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "backoff honors retry_after hint" `Quick
+            test_client_backoff_hint_floor;
         ] );
       ( "server",
         [
