@@ -9,6 +9,7 @@
      bounds    print the lower bounds of an instance
      exact     exact/reference solutions for small instances
      simulate  pack and execute on the simulated FPGA, print a Gantt chart
+     sim       event-driven online arrival simulation with live repacking
      serve     long-running engine daemon on a Unix/TCP socket
      proxy     cluster front tier: consistent-hash route over spp serve backends
      client    one request against a running spp serve
@@ -514,6 +515,160 @@ let online_cmd =
     Term.(const run $ file $ policy)
 
 (* ------------------------------------------------------------------ *)
+(* sim — the event-driven online simulator over lib/sim *)
+
+let sim_cmd =
+  let module Sim = Spp_sim.Sim in
+  let module Arrivals = Spp_sim.Arrivals in
+  let module Online = Spp_sim.Online in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Replay a release-time .spp instance as the arrival trace.")
+  in
+  let arrival =
+    Arg.(value & opt (some string) None
+         & info [ "arrival" ] ~docv:"SPEC"
+             ~doc:"Generate the trace instead: poisson:RATE or burst:LEN:GAP.")
+  in
+  let n = Arg.(value & opt int 40 & info [ "size" ] ~doc:"Tasks in a generated trace.") in
+  let k = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Strip columns for a generated trace.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Trace seed (generated traces).") in
+  let packer =
+    Arg.(value & opt string "first-fit"
+         & info [ "packer" ] ~doc:"Online policy: first-fit or buffered[:K].")
+  in
+  let repack_threshold =
+    Arg.(value & opt (some rat_arg) None
+         & info [ "repack-threshold" ] ~docv:"Q"
+             ~doc:"Repack whenever fragmentation is positive and at or above this rational \
+                   (e.g. 1/4). Off by default.")
+  in
+  let migration_cost =
+    Arg.(value & opt rat_arg Q.one
+         & info [ "migration-cost" ] ~docv:"Q" ~doc:"Cost per migrated column cell (rational).")
+  in
+  let eps =
+    Arg.(value & opt rat_arg Q.one
+         & info [ "eps" ] ~doc:"Accuracy of the offline APTAS baseline (rational).")
+  in
+  let no_offline =
+    Arg.(value & flag
+         & info [ "no-offline" ]
+             ~doc:"Skip the offline APTAS baseline (for traces too large to solve offline).")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ]
+             ~doc:"Write the run report as one JSON object to this file ('-' for stdout). \
+                   Contains no wall-clock fields: identical seeds give identical bytes.")
+  in
+  let run trace_file arrival n size_k seed packer repack_threshold migration_cost eps no_offline
+      stats_json =
+    let packer =
+      match Online.parse packer with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let inst, source =
+      match (trace_file, arrival) with
+      | Some file, None -> (require_release file, "trace:" ^ Filename.basename file)
+      | None, Some spec_s -> (
+        match Arrivals.parse_spec spec_s with
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+        | Ok spec -> (Arrivals.trace ~n ~k:size_k ~seed spec, Arrivals.spec_to_string spec))
+      | None, None | Some _, Some _ ->
+        Printf.eprintf "error: pass exactly one of --trace FILE or --arrival SPEC\n";
+        exit 1
+    in
+    let r = Sim.run ?repack_threshold ~migration_cost ~packer inst in
+    let violations = Sim.check inst r in
+    (match violations with
+     | [] -> ()
+     | v :: _ ->
+       Printf.eprintf "BUG: unsound simulation: %s\n" (Format.asprintf "%a" Sim.pp_violation v));
+    let lb = Spp_core.Lower_bounds.release inst in
+    let offline =
+      if no_offline then None else Some (Spp_core.Aptas.solve ~epsilon:eps inst)
+    in
+    let ratio_vs q = Q.to_float r.Sim.makespan /. Q.to_float q in
+    Printf.printf "trace          %s (%d tasks, %d widened, K=%d)\n" source r.Sim.tasks
+      r.Sim.widened r.Sim.k;
+    Printf.printf "packer         %s%s\n" (Online.to_string packer)
+      (match repack_threshold with
+       | None -> ""
+       | Some th -> Printf.sprintf ", repack at %s" (Q.to_string th));
+    Printf.printf "makespan       %s\n" (Q.to_string r.Sim.makespan);
+    Printf.printf "lower bound    %s  (ratio %.4f)\n" (Q.to_string lb) (ratio_vs lb);
+    (match offline with
+     | None -> ()
+     | Some res ->
+       Printf.printf "offline aptas  %s  (competitive ratio %.4f, certified LB %s)\n"
+         (Q.to_string res.Spp_core.Aptas.height)
+         (ratio_vs res.Spp_core.Aptas.height)
+         (Q.to_string res.Spp_core.Aptas.lower_bound));
+    Printf.printf "total wait     %s  (max pending %d)\n" (Q.to_string r.Sim.total_wait)
+      r.Sim.max_pending;
+    Printf.printf "repacks        %d (%d tasks moved, %d cells migrated, cost %s)\n"
+      (List.length r.Sim.repacks) r.Sim.moves r.Sim.cells_migrated
+      (Q.to_string r.Sim.migration_cost);
+    Printf.printf "fragmentation  peak %s, time-weighted mean %s\n" (Q.to_string r.Sim.frag_peak)
+      (Q.to_string r.Sim.frag_mean);
+    Printf.printf "segments       %d\n" (List.length r.Sim.segments);
+    (match stats_json with
+     | None -> ()
+     | Some path ->
+       let q v = Json.String (Q.to_string v) in
+       let obj =
+         Json.Obj
+           [ ("source", Json.String source);
+             ("packer", Json.String (Online.to_string packer));
+             ("repack_threshold",
+              match repack_threshold with None -> Json.Null | Some th -> q th);
+             ("k", Json.Int r.Sim.k); ("tasks", Json.Int r.Sim.tasks);
+             ("widened", Json.Int r.Sim.widened); ("makespan", q r.Sim.makespan);
+             ("lower_bound", q lb);
+             ("offline_height",
+              match offline with None -> Json.Null | Some res -> q res.Spp_core.Aptas.height);
+             ("competitive_ratio",
+              match offline with
+              | None -> Json.Null
+              | Some res -> Json.Float (ratio_vs res.Spp_core.Aptas.height));
+             ("total_wait", q r.Sim.total_wait); ("max_pending", Json.Int r.Sim.max_pending);
+             ("placements", Json.Int r.Sim.placements);
+             ("repacks",
+              Json.List
+                (List.map
+                   (fun (e : Sim.repack_event) ->
+                     Json.Obj
+                       [ ("at", q e.Sim.at); ("frag_before", q e.Sim.frag_before);
+                         ("frag_after", q e.Sim.frag_after); ("moved", Json.Int e.Sim.moved);
+                         ("cells", Json.Int e.Sim.cells) ])
+                   r.Sim.repacks));
+             ("moves", Json.Int r.Sim.moves);
+             ("cells_migrated", Json.Int r.Sim.cells_migrated);
+             ("migration_cost", q r.Sim.migration_cost); ("frag_peak", q r.Sim.frag_peak);
+             ("frag_mean", q r.Sim.frag_mean);
+             ("segments", Json.Int (List.length r.Sim.segments));
+             ("violations", Json.Int (List.length violations)) ]
+       in
+       let line = Json.to_string obj ^ "\n" in
+       if path = "-" then print_string line
+       else Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc line));
+    if violations <> [] then exit 3
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Event-driven online simulation: arrivals against a live strip, with optional \
+             min-disruption repacking and an offline APTAS baseline")
+    Term.(const run $ trace_file $ arrival $ n $ k $ seed $ packer $ repack_threshold
+          $ migration_cost $ eps $ no_offline $ stats_json)
+
+(* ------------------------------------------------------------------ *)
 (* verify *)
 
 let verify_cmd =
@@ -908,7 +1063,19 @@ let loadgen_cmd =
              ~doc:"Cycle only the first N corpus files (sorted) — a duplicate-heavy workload \
                    for exercising caches and request coalescing.")
   in
-  let run dir connections requests socket port host budget_ms algos stats_json distinct =
+  let arrival =
+    Arg.(value & opt (some string) None
+         & info [ "arrival" ] ~docv:"SPEC"
+             ~doc:"Open-loop pacing: draw inter-request gaps from this arrival process \
+                   (poisson:RATE or burst:LEN:GAP, rate per second) instead of sending \
+                   back-to-back.")
+  in
+  let arrival_seed =
+    Arg.(value & opt int 1
+         & info [ "arrival-seed" ] ~doc:"Seed for the pacing stream (per-connection offset).")
+  in
+  let run dir connections requests socket port host budget_ms algos stats_json distinct arrival
+      arrival_seed =
     let address = resolve_address socket port host in
     if connections < 1 || requests < 1 then begin
       Printf.eprintf "error: --connections and --requests must be >= 1\n";
@@ -919,6 +1086,16 @@ let loadgen_cmd =
        Printf.eprintf "error: --distinct must be >= 1\n";
        exit 1
      | _ -> ());
+    let arrival_spec =
+      match arrival with
+      | None -> None
+      | Some s -> (
+        match Spp_sim.Arrivals.parse_spec s with
+        | Ok spec -> Some spec
+        | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+    in
     (* Pre-read and pre-parse the corpus: each reply's placement text is
        re-bound to the instance's rects and re-validated, so "ok" below
        means "valid packing", not just "200". *)
@@ -969,6 +1146,14 @@ let loadgen_cmd =
     let shed = Atomic.make 0 and transport = Atomic.make 0 in
     let latencies = Array.make connections [] in
     let worker ci () =
+      (* Open-loop shaping: each connection draws its own deterministic gap
+         stream, so offered load is set by the arrival process, not by how
+         fast the server answers. *)
+      let next_gap_ms =
+        Option.map
+          (fun spec -> Spp_sim.Arrivals.pacing (Prng.create (arrival_seed + ci)) spec)
+          arrival_spec
+      in
       match Client.connect address with
       | c ->
         Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
@@ -976,6 +1161,9 @@ let loadgen_cmd =
               let _, text, parsed =
                 instances.((ci + (r * connections)) mod Array.length instances)
               in
+              (match next_gap_ms with
+               | Some gap -> Thread.delay (gap () /. 1000.)
+               | None -> ());
               let t0 = Clock.now_ms () in
               (match
                  Client.request c
@@ -1064,7 +1252,7 @@ let loadgen_cmd =
        ~doc:"Closed-loop load generator against a running spp serve: N connections cycling \
              the *.spp files in DIR, validating every reply")
     Term.(const run $ dir $ connections $ requests $ socket_arg $ port_arg $ host_arg
-          $ budget_arg $ algos_arg $ stats_json $ distinct)
+          $ budget_arg $ algos_arg $ stats_json $ distinct $ arrival $ arrival_seed)
 
 (* ------------------------------------------------------------------ *)
 (* proxy *)
@@ -1393,15 +1581,21 @@ let fuzz_cmd =
           in
           Out_channel.with_open_text path (fun oc ->
               Out_channel.output_string oc (arb.Runner.print f.Runner.minimized));
+          (* The arrival-stream seed is a pure function of the minimized
+             case, so --replay-seed reproduces not just the instance but
+             the exact stream the sim properties derived from it. *)
+          let stream_seed = Props.stream_seed_of f.Runner.minimized in
           Printf.printf
-            "\nFAIL %s\n  %s\n  replay: spp fuzz --replay-seed %d --variant %s%s\n  minimized: %s (%d rects, %d shrink steps, %d candidates tried)\n"
+            "\nFAIL %s\n  %s\n  replay: spp fuzz --replay-seed %d --variant %s%s\n  minimized: %s (%d rects, %d shrink steps, %d candidates tried, stream seed %d)\n"
             f.Runner.property f.Runner.message f.Runner.case_seed (variant_name gen_variant)
             (if self_test then " --self-test" else "")
-            path (parsed_rects f.Runner.minimized) f.Runner.shrink_steps f.Runner.shrink_tried;
+            path (parsed_rects f.Runner.minimized) f.Runner.shrink_steps f.Runner.shrink_tried
+            stream_seed;
           Json.Obj
             [ ("property", Json.String f.Runner.property);
               ("message", Json.String f.Runner.message);
               ("replay_seed", Json.Int f.Runner.case_seed);
+              ("stream_seed", Json.Int stream_seed);
               ("case_index", Json.Int f.Runner.case_index);
               ("shrink_steps", Json.Int f.Runner.shrink_steps);
               ("shrink_tried", Json.Int f.Runner.shrink_tried);
@@ -1449,5 +1643,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; pack_cmd; solve_cmd; batch_cmd; aptas_cmd; bounds_cmd; exact_cmd;
-            simulate_cmd; online_cmd; verify_cmd; serve_cmd; proxy_cmd; client_cmd;
+            simulate_cmd; online_cmd; sim_cmd; verify_cmd; serve_cmd; proxy_cmd; client_cmd;
             loadgen_cmd; trace_cmd; fuzz_cmd ]))

@@ -371,6 +371,109 @@ let meta_release_slacken =
              sound half; sound zero ]))
 
 (* ------------------------------------------------------------------ *)
+(* Online simulation *)
+
+let stream_seed_of parsed =
+  let printed =
+    match parsed with
+    | Io.Prec inst -> Io.prec_to_string inst
+    | Io.Release inst -> Io.release_to_string inst
+  in
+  Int32.to_int (Spp_util.Crc32.digest printed) land 0x3FFFFFFF
+
+let pp_sim_violations vs =
+  let shown = List.filteri (fun i _ -> i < 3) vs in
+  Printf.sprintf "%d violation(s): %s" (List.length vs)
+    (String.concat "; " (List.map (Format.asprintf "%a" Spp_sim.Sim.pp_violation) shown))
+
+(* Shared skeleton: run the simulator, check the segment log with the
+   independent validator, compare the makespan against the Section 3
+   lower bound exactly (competitive ratio >= 1 in rationals — AREA and
+   max r+h hold even for migration schedules), and when the run never
+   moved a task, cross-check through the offline placement oracle. *)
+let sim_checks ?repack_threshold packer inst extra =
+  let r = Spp_sim.Sim.run ?repack_threshold ~packer inst in
+  match Spp_sim.Sim.check inst r with
+  | _ :: _ as vs -> Fail (pp_sim_violations vs)
+  | [] ->
+    let lb = LB.release inst in
+    let oracle =
+      match Spp_sim.Sim.to_placement inst r with
+      | None ->
+        ( r.Spp_sim.Sim.moves > 0,
+          fun () -> "no offline placement view even though no task was moved" )
+      | Some p -> (
+        match Validate.check_release inst p with
+        | [] -> (true, fun () -> "")
+        | vs -> (false, fun () -> "offline placement oracle: " ^ pp_violations vs))
+    in
+    all_pass
+      ([ (Q.compare r.Spp_sim.Sim.makespan lb >= 0,
+          fun () -> Printf.sprintf "online makespan %s below lower bound %s"
+              (qs r.Spp_sim.Sim.makespan) (qs lb));
+         oracle ]
+      @ extra r)
+
+let sound_sim_ff =
+  prop "sound.sim.ff"
+    "online first-fit run: segment log passes the independent sim validator, makespan at or \
+     above the Section 3 lower bound (and the APTAS certified bound on small instances), and \
+     the move-free run passes Validate.check_release as a placement"
+    [ "release"; "sim" ]
+    (on_release (fun inst ->
+         sim_checks Spp_sim.Online.First_fit inst (fun r ->
+             if I.Release.size inst > aptas_gate_n || inst.I.Release.k > aptas_gate_k then []
+             else begin
+               let res = Spp_core.Aptas.solve ~epsilon:Q.one inst in
+               [ (Q.compare res.Spp_core.Aptas.lower_bound r.Spp_sim.Sim.makespan <= 0,
+                  fun () -> Printf.sprintf "APTAS certified LB %s above online makespan %s"
+                      (qs res.Spp_core.Aptas.lower_bound) (qs r.Spp_sim.Sim.makespan)) ]
+             end)))
+
+let sound_sim_buffered =
+  prop "sound.sim.buffered"
+    "online buffered-lookahead run is sound and never places anything before its release"
+    [ "release"; "sim" ]
+    (on_release (fun inst ->
+         sim_checks (Spp_sim.Online.Buffered Spp_sim.Online.default_lookahead) inst (fun _ -> [])))
+
+let sound_sim_repack =
+  prop "sound.sim.repack"
+    "with repacking at threshold 1/4: still sound across migrations, every repack strictly \
+     reduces fragmentation, and the per-cell cost accounting adds up"
+    [ "release"; "sim" ]
+    (on_release (fun inst ->
+         sim_checks ~repack_threshold:(Q.of_ints 1 4) Spp_sim.Online.First_fit inst (fun r ->
+             let open Spp_sim.Sim in
+             [ (List.for_all (fun e -> Q.compare e.frag_after e.frag_before < 0) r.repacks,
+                fun () -> "a repack did not strictly reduce fragmentation");
+               (r.cells_migrated = List.fold_left (fun a e -> a + e.cells) 0 r.repacks,
+                fun () -> Printf.sprintf "cells_migrated %d /= sum of per-repack cells"
+                    r.cells_migrated);
+               (Q.equal r.migration_cost (Q.of_int r.cells_migrated),
+                fun () -> Printf.sprintf "migration cost %s /= cells %d at unit cost"
+                    (qs r.migration_cost) r.cells_migrated) ])))
+
+let sim_stream =
+  prop "sim.stream"
+    "the arrival stream is a pure function of the stream seed: regenerating the trace and \
+     re-deriving the arrival order from the replayed seed reproduce it bit for bit"
+    [ "prec"; "release"; "sim" ]
+    (fun parsed ->
+      let seed = stream_seed_of parsed in
+      let spec = Spp_sim.Arrivals.Poisson 1.5 in
+      let t1 = Spp_sim.Arrivals.trace ~n:16 ~k:6 ~seed spec in
+      let t2 = Spp_sim.Arrivals.trace ~n:16 ~k:6 ~seed spec in
+      let s1, w1 = Spp_sim.Arrivals.of_instance t1 in
+      let s2, w2 = Spp_sim.Arrivals.of_instance t2 in
+      all_pass
+        [ (Io.release_to_string t1 = Io.release_to_string t2,
+           fun () -> Printf.sprintf "trace for seed %d not reproducible" seed);
+          (s1 = s2 && w1 = w2,
+           fun () -> Printf.sprintf "arrival stream for seed %d not reproducible" seed);
+          (List.length s1 = 16, fun () -> "trace dropped tasks") ])
+
+(* ------------------------------------------------------------------ *)
 (* Engine / store round trip *)
 
 let tmp_counter = ref 0
@@ -466,6 +569,7 @@ let all =
     guar_dc_thm23; guar_prec_lb; guar_uniform_f_thm26; guar_release_lb; guar_aptas;
     diff_exact_prec; diff_uniform_dp; diff_exact_release; diff_engine;
     meta_relabel; meta_edge_drop; meta_release_slacken;
+    sound_sim_ff; sound_sim_buffered; sound_sim_repack; sim_stream;
   ]
 
 let select ?algos ~variant () =

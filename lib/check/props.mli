@@ -22,11 +22,26 @@
     sandwiched between the lower bounds and nothing below the exact
     optimum.
 
+    {b Simulation} ([sound.sim.*], [sim.*]) — online runs through
+    {!Spp_sim.Sim} pass the independent segment validator at every
+    instant, never start before release, keep the exact competitive
+    ratio at or above 1 against the Section 3 (and certified APTAS)
+    lower bounds, repack only with strict fragmentation decrease and
+    honest per-cell cost accounting, and arrival streams replay bit for
+    bit from {!stream_seed_of}.
+
     Every property takes an {!Spp_core.Io.parsed} instance and returns
     [Skip] when its guard (variant, uniformity, size gate for the
     exponential solvers) does not hold. *)
 
 type t = Spp_core.Io.parsed Runner.property
+
+(** [stream_seed_of parsed] is the deterministic arrival-stream seed for
+    a case: the CRC-32 of its canonical printed form. [spp fuzz] records
+    it in failure reports so [--replay-seed] reproduces not just the
+    instance but the exact arrival stream the sim properties derived
+    from it. *)
+val stream_seed_of : Spp_core.Io.parsed -> int
 
 (** All shipped properties, in evaluation order. *)
 val all : t list

@@ -1,0 +1,58 @@
+type t =
+  | First_fit
+  | Buffered of int
+
+let default_lookahead = 4
+
+let parse s =
+  match String.split_on_char ':' s with
+  | [ "first-fit" ] | [ "ff" ] -> Ok First_fit
+  | [ "buffered" ] -> Ok (Buffered default_lookahead)
+  | [ "buffered"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ok (Buffered k)
+    | _ -> Error (Printf.sprintf "bad lookahead in %S (want buffered:K, K >= 1)" s))
+  | _ -> Error (Printf.sprintf "unknown packer %S (want first-fit or buffered[:K])" s)
+
+let to_string = function
+  | First_fit -> "first-fit"
+  | Buffered k -> Printf.sprintf "buffered:%d" k
+
+(* Place [candidates] in the given order, each at its first fit; a
+   candidate that does not fit right now stays pending. *)
+let place_each strip candidates =
+  let placed = ref [] in
+  let left = ref [] in
+  List.iter
+    (fun (a : Arrivals.arrival) ->
+      match Strip_state.first_fit strip ~cols:a.Arrivals.cols with
+      | Some col_lo ->
+        Strip_state.place strip ~id:a.Arrivals.id ~cols:a.Arrivals.cols ~col_lo
+          ~duration:a.Arrivals.duration;
+        placed := (a, col_lo) :: !placed
+      | None -> left := a :: !left)
+    candidates;
+  (List.rev !placed, List.rev !left)
+
+let step policy strip ~pending ~more_arrivals =
+  match policy with
+  | First_fit -> place_each strip pending
+  | Buffered b ->
+    if more_arrivals && Strip_state.resident_count strip > 0 && List.length pending <= b then
+      ([], pending)
+    else begin
+      (* Flush widest-first (ties by arrival order, which the sort's
+         stability preserves); the leftovers keep arrival order so the
+         next flush re-sorts from the same FIFO. *)
+      let widest_first =
+        List.stable_sort
+          (fun (a : Arrivals.arrival) b -> compare b.Arrivals.cols a.Arrivals.cols)
+          pending
+      in
+      let placed, _ = place_each strip widest_first in
+      let placed_ids = List.map (fun ((a : Arrivals.arrival), _) -> a.Arrivals.id) placed in
+      let left =
+        List.filter (fun (a : Arrivals.arrival) -> not (List.mem a.Arrivals.id placed_ids)) pending
+      in
+      (placed, left)
+    end

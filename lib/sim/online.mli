@@ -1,0 +1,40 @@
+(** Online packing policies: who gets committed to the live strip, when.
+
+    Both policies are deterministic functions of the strip state and the
+    pending queue; neither ever delays a task it has decided to place
+    (commits are irrevocable, enforced by {!Strip_state}).
+
+    {b First-fit} places each pending task, in arrival order, at the
+    leftmost column window that fits, the moment one exists — the
+    classic greedy the shelf algorithms of the paper's Section 1 FPGA
+    setting reduce to when decisions are forced at arrival.
+
+    {b Buffered(b)} is the lookahead variant: it may hold up to [b]
+    pending tasks while the strip is busy and more arrivals are coming,
+    then flushes widest-first — trading latency for packing quality on
+    bursts, where arrival order is adversarially interleaved. It never
+    holds when the strip is idle, when the buffer overflows, or once the
+    stream ends, so it cannot deadlock. *)
+
+type t =
+  | First_fit
+  | Buffered of int  (** lookahead buffer capacity, >= 1 *)
+
+(** [parse s] reads ["first-fit"] (or ["ff"]) and ["buffered"] /
+    ["buffered:K"] (default K = {!default_lookahead}). *)
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+val default_lookahead : int
+
+(** [step policy strip ~pending ~more_arrivals] places whatever the
+    policy commits at the strip's current instant (mutating [strip]) and
+    returns [(placed, still_pending)]: each placed arrival is paired with
+    its column, [still_pending] preserves arrival order. *)
+val step :
+  t ->
+  Strip_state.t ->
+  pending:Arrivals.arrival list ->
+  more_arrivals:bool ->
+  (Arrivals.arrival * int) list * Arrivals.arrival list

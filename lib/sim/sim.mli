@@ -1,0 +1,83 @@
+(** The event-driven online simulator: a virtual clock, a release-time
+    instance replayed as an arrival stream, an {!Online} packer making
+    irrevocable commits against {!Strip_state}, and optional
+    {!Repack}-on-threshold between events.
+
+    Everything is a pure function of the instance and the options —
+    there is no wall-clock anywhere in the loop — so a run is
+    bit-reproducible: same instance, same options, same {!report}.
+
+    The report carries the full segment log, so soundness is checked
+    {e post hoc} by {!check} (an independent validator, sharing no code
+    with the packer) and, for move-free runs, cross-checked against the
+    offline oracle via {!to_placement} +
+    {!Spp_core.Validate.check_release}. *)
+
+type repack_event = {
+  at : Spp_num.Rat.t;
+  frag_before : Spp_num.Rat.t;
+  frag_after : Spp_num.Rat.t;
+  moved : int;  (** residents relocated *)
+  cells : int;  (** column cells migrated *)
+}
+
+type report = {
+  k : int;
+  tasks : int;
+  widened : int;  (** arrivals widened to a column boundary *)
+  makespan : Spp_num.Rat.t;
+  total_wait : Spp_num.Rat.t;  (** sum over tasks of (start - release) *)
+  max_pending : int;  (** peak length of the pending queue *)
+  placements : int;
+  repacks : repack_event list;  (** chronological *)
+  moves : int;
+  cells_migrated : int;
+  migration_cost : Spp_num.Rat.t;  (** cells_migrated * cost per cell *)
+  frag_peak : Spp_num.Rat.t;  (** max fragmentation sampled at any event *)
+  frag_mean : Spp_num.Rat.t;  (** time-weighted mean over [0, makespan] *)
+  segments : Strip_state.segment list;
+}
+
+(** [run ~packer inst] replays [inst]'s tasks in release order through
+    the online [packer].
+
+    [repack_threshold]: when set, after each event at which fragmentation
+    is positive and [>=] the threshold, the cheapest available
+    {!Repack.best} plan is applied (fragmentation drops to zero by
+    construction). [migration_cost] (default 1) prices each migrated
+    cell. [exact_repack_max] bounds the exact repack search (default 7
+    residents).
+
+    [registry] receives [spp_sim_*] counters/gauges; [trace] gets a
+    [sim.run] span annotated with the headline numbers. *)
+val run :
+  ?registry:Spp_obs.Metrics.t ->
+  ?trace:Spp_obs.Trace.t ->
+  ?repack_threshold:Spp_num.Rat.t ->
+  ?migration_cost:Spp_num.Rat.t ->
+  ?exact_repack_max:int ->
+  packer:Online.t ->
+  Spp_core.Instance.Release.t ->
+  report
+
+type violation =
+  | Overlap of int * int  (** two tasks share an instant and a column *)
+  | Early_start of int  (** ran before its release time *)
+  | Out_of_strip of int  (** columns outside [0, k) *)
+  | Too_narrow of int  (** fewer columns than the task's width needs *)
+  | Chain_gap of int  (** segment chain broken, or total time <> height *)
+  | Missing of int  (** never ran *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check inst report] independently validates the segment log against
+    the instance: no two tasks overlap in time x columns, every task runs
+    gaplessly for exactly its height starting at or after its release on
+    enough in-strip columns. Empty result = sound run. *)
+val check : Spp_core.Instance.Release.t -> report -> violation list
+
+(** [to_placement inst report] is the run as an offline placement
+    ([x = col_lo / k], [y = start]) — [Some] iff no task was ever moved,
+    in which case {!Spp_core.Validate.check_release} is a second,
+    geometry-level oracle on the same run. *)
+val to_placement : Spp_core.Instance.Release.t -> report -> Spp_geom.Placement.t option

@@ -1,0 +1,197 @@
+module Q = Spp_num.Rat
+
+type resident = {
+  id : int;
+  cols : int;
+  col_lo : int;
+  started : Q.t;
+  finish : Q.t;
+}
+
+type segment = {
+  seg_id : int;
+  seg_cols : int;
+  seg_lo : int;
+  seg_from : Q.t;
+  seg_to : Q.t;
+}
+
+type live = {
+  mutable r : resident;
+  mutable seg_from : Q.t;  (** start of the current (live) segment *)
+}
+
+type t = {
+  k : int;
+  mutable now : Q.t;
+  live : (int, live) Hashtbl.t;
+  mutable closed : segment list;  (** reverse closing order *)
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Strip_state.create: k must be >= 1";
+  { k; now = Q.zero; live = Hashtbl.create 16; closed = [] }
+
+let k t = t.k
+let now t = t.now
+
+let residents t =
+  Hashtbl.fold (fun _ l acc -> l.r :: acc) t.live []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let resident_count t = Hashtbl.length t.live
+
+(* Column occupancy as a mask; k is FPGA-column-count small, so a scan is
+   cheaper and clearer than an interval tree. *)
+let occupancy t =
+  let occ = Array.make t.k false in
+  Hashtbl.iter
+    (fun _ l ->
+      for c = l.r.col_lo to l.r.col_lo + l.r.cols - 1 do
+        occ.(c) <- true
+      done)
+    t.live;
+  occ
+
+let free_cols t = t.k - Hashtbl.fold (fun _ l acc -> acc + l.r.cols) t.live 0
+
+let largest_free_run t =
+  let occ = occupancy t in
+  let best = ref 0 and run = ref 0 in
+  Array.iter
+    (fun o ->
+      if o then run := 0
+      else begin
+        incr run;
+        if !run > !best then best := !run
+      end)
+    occ;
+  !best
+
+let fragmentation t =
+  let free = free_cols t in
+  if free = 0 then Q.zero else Q.sub Q.one (Q.of_ints (largest_free_run t) free)
+
+let fragmentation_f t = Q.to_float (fragmentation t)
+
+let first_fit t ~cols =
+  if cols < 1 || cols > t.k then invalid_arg "Strip_state.first_fit: cols out of range";
+  let occ = occupancy t in
+  let lo = ref 0 and found = ref None in
+  (try
+     while !lo + cols <= t.k do
+       let blocked = ref None in
+       for c = !lo + cols - 1 downto !lo do
+         if occ.(c) then blocked := Some c
+       done;
+       match !blocked with
+       | None ->
+         found := Some !lo;
+         raise Exit
+       | Some c -> lo := c + 1
+     done
+   with Exit -> ());
+  !found
+
+let overlap_cols lo1 n1 lo2 n2 = lo1 < lo2 + n2 && lo2 < lo1 + n1
+
+let place t ~id ~cols ~col_lo ~duration =
+  if cols < 1 || col_lo < 0 || col_lo + cols > t.k then
+    invalid_arg
+      (Printf.sprintf "Strip_state.place: task %d columns [%d,%d) outside [0,%d)" id col_lo
+         (col_lo + cols) t.k);
+  if Q.sign duration <= 0 then
+    invalid_arg (Printf.sprintf "Strip_state.place: task %d has non-positive duration" id);
+  if Hashtbl.mem t.live id then
+    invalid_arg (Printf.sprintf "Strip_state.place: task %d is already resident" id);
+  Hashtbl.iter
+    (fun _ l ->
+      if overlap_cols col_lo cols l.r.col_lo l.r.cols then
+        invalid_arg
+          (Printf.sprintf "Strip_state.place: task %d overlaps resident %d" id l.r.id))
+    t.live;
+  let r = { id; cols; col_lo; started = t.now; finish = Q.add t.now duration } in
+  Hashtbl.replace t.live id { r; seg_from = t.now }
+
+let advance t time =
+  if Q.compare time t.now < 0 then invalid_arg "Strip_state.advance: time went backwards";
+  t.now <- time;
+  let done_ =
+    Hashtbl.fold (fun _ l acc -> if Q.compare l.r.finish time <= 0 then l :: acc else acc)
+      t.live []
+    |> List.sort (fun a b ->
+           match Q.compare a.r.finish b.r.finish with 0 -> compare a.r.id b.r.id | c -> c)
+  in
+  List.iter
+    (fun l ->
+      Hashtbl.remove t.live l.r.id;
+      t.closed <-
+        { seg_id = l.r.id; seg_cols = l.r.cols; seg_lo = l.r.col_lo; seg_from = l.seg_from;
+          seg_to = l.r.finish }
+        :: t.closed)
+    done_;
+  List.map (fun l -> l.r) done_
+
+let apply_moves t moves =
+  let moves =
+    List.filter
+      (fun (id, lo) ->
+        match Hashtbl.find_opt t.live id with
+        | None -> invalid_arg (Printf.sprintf "Strip_state.apply_moves: task %d not resident" id)
+        | Some l -> l.r.col_lo <> lo)
+      moves
+  in
+  if moves <> [] then begin
+    (* Validate the final configuration before mutating anything. *)
+    let final =
+      Hashtbl.fold
+        (fun id l acc ->
+          let lo = match List.assoc_opt id moves with Some lo -> lo | None -> l.r.col_lo in
+          (id, lo, l.r.cols) :: acc)
+        t.live []
+    in
+    List.iter
+      (fun (id, lo, cols) ->
+        if lo < 0 || lo + cols > t.k then
+          invalid_arg
+            (Printf.sprintf "Strip_state.apply_moves: task %d columns [%d,%d) outside [0,%d)" id
+               lo (lo + cols) t.k))
+      final;
+    let rec pairwise = function
+      | [] -> ()
+      | (id1, lo1, c1) :: rest ->
+        List.iter
+          (fun (id2, lo2, c2) ->
+            if overlap_cols lo1 c1 lo2 c2 then
+              invalid_arg
+                (Printf.sprintf "Strip_state.apply_moves: tasks %d and %d would overlap" id1 id2))
+          rest;
+        pairwise rest
+    in
+    pairwise final;
+    List.iter
+      (fun (id, lo) ->
+        let l = Hashtbl.find t.live id in
+        (* Zero-length segments (a move at the exact instant of the last
+           move or the placement) would be vacuous; only log real spans. *)
+        if Q.compare l.seg_from t.now < 0 then
+          t.closed <-
+            { seg_id = id; seg_cols = l.r.cols; seg_lo = l.r.col_lo; seg_from = l.seg_from;
+              seg_to = t.now }
+            :: t.closed;
+        l.r <- { l.r with col_lo = lo };
+        l.seg_from <- t.now)
+      moves
+  end
+
+let segments t =
+  let live =
+    Hashtbl.fold
+      (fun _ l acc ->
+        { seg_id = l.r.id; seg_cols = l.r.cols; seg_lo = l.r.col_lo; seg_from = l.seg_from;
+          seg_to = l.r.finish }
+        :: acc)
+      t.live []
+    |> List.sort (fun a b -> compare a.seg_id b.seg_id)
+  in
+  List.rev_append t.closed live

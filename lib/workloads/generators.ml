@@ -112,6 +112,20 @@ let random_release rng ~n ~k ~h_den ~r_den ~load =
   in
   Release.make ~k tasks
 
+let poisson_release rng ~n ~k ~h_den ~r_den ~rate =
+  if rate <= 0.0 then invalid_arg "Generators.poisson_release: rate must be positive";
+  let rects = random_rects rng ~n ~k ~h_den in
+  let t = ref 0.0 in
+  let tasks =
+    List.map
+      (fun (rect : Rect.t) ->
+        t := !t +. Prng.exponential rng ~rate;
+        let steps = int_of_float (Float.round (!t *. float_of_int r_den)) in
+        { Release.rect; release = Q.of_ints steps r_den })
+      rects
+  in
+  Release.make ~k tasks
+
 let bursty_release rng ~n ~k ~h_den ~r_den ~burst_len ~idle_gap =
   if burst_len < 1 then invalid_arg "Generators.bursty_release: burst_len must be >= 1";
   if idle_gap <= 0.0 then invalid_arg "Generators.bursty_release: idle_gap must be positive";

@@ -71,6 +71,14 @@ val random_release :
   Spp_util.Prng.t -> n:int -> k:int -> h_den:int -> r_den:int -> load:float ->
   Spp_core.Instance.Release.t
 
+(** [poisson_release rng ~n ~k ~h_den ~r_den ~rate] like {!random_release}
+    but parameterised by the arrival {e rate} directly (tasks per unit
+    time) instead of the offered load — the knob an online simulation
+    sweeps. Gaps are Exp(rate), quantised to multiples of [1/r_den]. *)
+val poisson_release :
+  Spp_util.Prng.t -> n:int -> k:int -> h_den:int -> r_den:int -> rate:float ->
+  Spp_core.Instance.Release.t
+
 (** [bursty_release rng ~n ~k ~h_den ~r_den ~burst_len ~idle_gap] draws a
     release-time instance with on/off (bursty) arrivals — the traffic shape
     FPGA operating systems actually see: bursts of [burst_len] tasks

@@ -339,6 +339,37 @@ let test_clock_elapsed_nonnegative () =
   (* Even against a reference in the future. *)
   Alcotest.(check (float 0.0)) "clamped at zero" 0.0 (Clock.elapsed_ms (t0 +. 1e9))
 
+let with_frozen_clock f =
+  Clock.freeze ();
+  Fun.protect ~finally:Clock.thaw f
+
+let test_clock_virtual () =
+  with_frozen_clock (fun () ->
+      Alcotest.(check bool) "frozen" true (Clock.frozen ());
+      let t0 = Clock.now_ms () in
+      Alcotest.(check (float 0.0)) "no drift while frozen" t0 (Clock.now_ms ());
+      Alcotest.(check (float 0.0)) "advance returns new now" (t0 +. 250.0) (Clock.advance 250.0);
+      Alcotest.(check (float 0.0)) "elapsed is virtual" 250.0 (Clock.elapsed_ms t0);
+      Alcotest.(check (float 0.0)) "zero advance ok" (t0 +. 250.0) (Clock.advance 0.0));
+  Alcotest.(check bool) "thawed" false (Clock.frozen ());
+  (* The monotone clamp survives the thaw: the wall may lag the virtual
+     time we advanced to, but now_ms never goes backwards. *)
+  let prev = ref (Clock.now_ms ()) in
+  for _ = 1 to 100 do
+    let t = Clock.now_ms () in
+    if t < !prev then Alcotest.fail "clock went backwards after thaw";
+    prev := t
+  done
+
+let test_clock_advance_guards () =
+  Alcotest.check_raises "advance needs freeze"
+    (Invalid_argument "Clock.advance: clock is not frozen") (fun () ->
+      ignore (Clock.advance 1.0));
+  with_frozen_clock (fun () ->
+      Alcotest.check_raises "negative advance"
+        (Invalid_argument "Clock.advance: negative step") (fun () ->
+          ignore (Clock.advance (-1.0))))
+
 (* ------------------------------------------------------------------ *)
 (* Cancel: the deadline boundary cases live here; behavioural tests of
    tokens inside solvers are in test_engine. *)
@@ -360,6 +391,20 @@ let test_cancel_deadline_now () =
   let t = Cancel.with_deadline_ms 0.0 in
   Cancel.cancel t;
   Alcotest.(check bool) "still tripped" true (Cancel.cancelled t)
+
+let test_cancel_deadline_virtual () =
+  (* The whole point of the virtual clock: deadline semantics tested
+     without a single sleep. *)
+  with_frozen_clock (fun () ->
+      let t = Cancel.with_deadline_ms 100.0 in
+      Alcotest.(check bool) "fresh token live" false (Cancel.cancelled t);
+      ignore (Clock.advance 50.0);
+      Alcotest.(check bool) "alive at half budget" false (Cancel.cancelled t);
+      Alcotest.(check (option (float 0.0))) "half budget left" (Some 50.0)
+        (Cancel.remaining_ms t);
+      ignore (Clock.advance 60.0);
+      Alcotest.(check bool) "tripped past deadline" true (Cancel.cancelled t);
+      Alcotest.(check (option (float 0.0))) "no budget left" (Some 0.0) (Cancel.remaining_ms t))
 
 (* ------------------------------------------------------------------ *)
 (* Table *)
@@ -427,9 +472,12 @@ let () =
         [
           Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
           Alcotest.test_case "elapsed nonnegative" `Quick test_clock_elapsed_nonnegative;
+          Alcotest.test_case "virtual freeze/advance/thaw" `Quick test_clock_virtual;
+          Alcotest.test_case "advance guards" `Quick test_clock_advance_guards;
         ] );
       ( "cancel",
-        [ Alcotest.test_case "deadline already passed" `Quick test_cancel_deadline_now ] );
+        [ Alcotest.test_case "deadline already passed" `Quick test_cancel_deadline_now;
+          Alcotest.test_case "deadline under virtual clock" `Quick test_cancel_deadline_virtual ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
