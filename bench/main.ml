@@ -2,7 +2,10 @@
    paper as a printed table (E1..E12 of DESIGN.md / EXPERIMENTS.md), plus
    Bechamel timing benches (T1..T7).
 
-   Usage:  main.exe [e1|...|e17|quality|timing|all]   (default: all)  *)
+   Each experiment also writes its tables as BENCH_e<N>.json next to the
+   working directory, so tooling reads metric values without scraping text.
+
+   Usage:  main.exe [e1|...|e18|quality|timing|all]   (default: all)  *)
 
 module Q = Spp_num.Rat
 module Rect = Spp_geom.Rect
@@ -31,6 +34,42 @@ let section title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;
   Printf.printf "================================================================\n"
+
+module Json = Spp_server.Json
+
+(* Machine-readable twin of each experiment's printed tables, written to
+   BENCH_<id>.json in the working directory. Cells that parse as numbers
+   become JSON numbers, so downstream tooling reads metric values without
+   scraping the aligned text; the printed tables stay the human output. *)
+let bench_json ~id ?(config = []) tables =
+  let cell s =
+    match int_of_string_opt s with
+    | Some i -> Json.Int i
+    | None -> (
+      match float_of_string_opt s with Some f -> Json.Float f | None -> Json.String s)
+  in
+  let table_json (name, t) =
+    let cols = Table.columns t in
+    Json.Obj
+      [ ("name", Json.String name);
+        ("columns", Json.List (List.map (fun c -> Json.String c) cols));
+        ( "rows",
+          Json.List
+            (List.map
+               (fun r -> Json.Obj (List.map2 (fun c v -> (c, cell v)) cols r))
+               (Table.rows t)) ) ]
+  in
+  let j =
+    Json.Obj
+      (("experiment", Json.String id)
+       :: (if config = [] then [] else [ ("config", Json.Obj config) ])
+       @ [ ("tables", Json.List (List.map table_json tables)) ])
+  in
+  let path = Printf.sprintf "BENCH_%s.json" id in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string j);
+      Out_channel.output_char oc '\n');
+  Printf.printf "[%s] wrote %s\n" id path
 
 let require_valid_prec inst p what =
   match Validate.check_prec inst p with
@@ -72,6 +111,8 @@ let e1 () =
           f2 (2.0 +. (Float.log (float_of_int n +. 1.0) /. Float.log 2.0)) ])
     [ 2; 3; 4; 5; 6; 7; 8 ];
   Table.print t;
+  bench_json ~id:"e1" ~config:[ ("eps_den", Json.Int 10_000); ("ks", Json.String "2..8") ]
+    [ ("gap", t) ];
   let slope, intercept = Stats.linear_fit !points in
   Printf.printf
     "\nLeast-squares fit of ratio vs log2(n+1): ratio = %.3f*log2(n+1) + %.3f\n\
@@ -124,6 +165,9 @@ let e2 () =
   in
   List.iter (Table.add_row t) rows;
   Table.print t;
+  bench_json ~id:"e2"
+    ~config:[ ("sizes", Json.String "16,64,256"); ("seeds", Json.String "1..3") ]
+    [ ("ratios", t) ];
   Printf.printf
     "\nShape to reproduce: DC stays a small constant factor above LB on\n\
      realistic DAGs - far below its worst-case O(log n) bound - and the\n\
@@ -154,6 +198,7 @@ let e3 () =
           string_of_int opt; f3 (qf (Placement.height p)); f3 (float_of_int opt /. qf lb) ])
     [ 1; 2; 4; 8; 16; 32; 64 ];
   Table.print t;
+  bench_json ~id:"e3" [ ("lemma_2_7", t) ];
   Printf.printf
     "\nOPT/LB approaches 3 from below as k grows (Lemma 2.7's exact values:\n\
      AREA = n/3 + n*eps, F = n/3 + 1, OPT = n).\n"
@@ -206,6 +251,7 @@ let e4 () =
           f3 (qf (Placement.height pp) /. lb); f3 (qf (Placement.height pw) /. lb) ])
     [ 50; 100; 200 ];
   Table.print t_large;
+  bench_json ~id:"e4" [ ("small", t_small); ("large", t_large) ];
   Printf.printf
     "\nShape: F stays well below its absolute bound of 3 on random inputs\n\
      (the bound is tight only on Figure-2-style adversaries, E3); the\n\
@@ -248,6 +294,7 @@ let e5 () =
           (if aligned then "yes" else "NO"); string_of_int stats.Uniform.shelves; exact ])
     [ 8; 12; 14; 30; 60 ];
   Table.print t;
+  bench_json ~id:"e5" [ ("slide_down", t) ];
   Printf.printf
     "\nSlide-down never increases height and always lands every rectangle on\n\
      a shelf, which is exactly why the GGJY bin-packing results transfer\n\
@@ -293,6 +340,7 @@ let e6 () =
         [ 2; 3 ])
     [ 1; 2; 3 ];
   Table.print t;
+  bench_json ~id:"e6" [ ("envelopes", t) ];
   Printf.printf
     "\nBoth measured factors sit far below the proved (1 + eps') envelopes;\n\
      grouping is often free because column-quantised widths already\n\
@@ -340,6 +388,7 @@ let e7 () =
   in
   List.iter (Table.add_row t) rows;
   Table.print t;
+  bench_json ~id:"e7" [ ("aptas", t) ];
   Printf.printf
     "\nShape: the APTAS's multiplicative ratio h/LB falls towards 1+eps as n\n\
      grows (the additive (W+1)(R+1) term amortises), while the greedy\n\
@@ -375,6 +424,7 @@ let e8 () =
           f3 (qf bl); f3 (qf best /. qf area) ])
     [ 25; 50; 100; 250; 500 ];
   Table.print t;
+  bench_json ~id:"e8" [ ("shelf", t) ];
   Printf.printf
     "\nNFDH always sits under its 2*AREA + h_max certificate; FFDH/BFDH/BL\n\
      shave constant factors but share the same asymptotics - any of them\n\
@@ -413,6 +463,7 @@ let e9 () =
   run "packet(8 flows)" (Generators.packet_pipeline ~flows:8 ~k:8) 8;
   run "packet(32 flows)" (Generators.packet_pipeline ~flows:32 ~k:16) 16;
   Table.print t;
+  bench_json ~id:"e9" [ ("fpga", t) ];
   Printf.printf
     "\nEvery schedule executes on the device with zero conflicts; utilisation\n\
      quantifies how much reconfigurable area the schedule wastes, the\n\
@@ -459,6 +510,7 @@ let e10 () =
           f3 wait_e ])
     [ (10, 0.8); (10, 1.5); (20, 0.8); (20, 1.5); (40, 0.8); (40, 1.5) ];
   Table.print t;
+  bench_json ~id:"e10" [ ("online", t) ];
   Printf.printf
     "\nThe informed online policy (Earliest) tracks the offline APTAS\n\
      closely under light load and degrades under heavy load, while the\n\
@@ -492,6 +544,7 @@ let e11 () =
         [ 64; 256 ])
     [ ("layered", `Layered); ("series-par", `Series_parallel) ];
   Table.print t;
+  bench_json ~id:"e11" [ ("subroutines", t) ];
   Printf.printf
     "\nThe subroutine choice moves constants only - exactly what the\n\
      DESIGN.md substitution (NFDH for Steinberg) predicts: the analysis\n\
@@ -533,6 +586,7 @@ let e12 () =
         [ (1, 1); (1, 2) ])
     [ 20; 60; 120 ];
   Table.print t;
+  bench_json ~id:"e12" [ ("lp", t) ];
   Printf.printf
     "\nThe LP-based packing sits within 1-3%% of its fractional optimum at\n\
      every size (the asymptotic guarantee at work); the constant-factor\n\
@@ -605,6 +659,7 @@ let e13 () =
           (if Q.compare res.Engine.height best_h <= 0 then "<= best" else "WORSE") ])
     cases;
   Table.print t;
+  bench_json ~id:"e13" ~config:[ ("seeds", Json.String "41..44") ] [ ("portfolio", t) ];
   Printf.printf
     "\nShape: the portfolio's wall clock tracks its slowest raced member (not\n\
      the sum), so against sequential execution the speedup approaches the\n\
@@ -764,6 +819,7 @@ let e14 () =
   Server.wait srv;
   row "spp serve (shared)" served_wall (Array.to_list lats |> List.concat) hits;
   Table.print t;
+  bench_json ~id:"e14" [ ("serve", t) ];
   Printf.printf
     "\nShape: the daemon computes each distinct instance once and serves every\n\
      repeat from the shared LRU at socket-round-trip latency, so the served\n\
@@ -834,6 +890,7 @@ let e15 () =
   row "metrics disabled" off_computed off_hits;
   row "metrics enabled" on_computed on_hits;
   Table.print t;
+  bench_json ~id:"e15" [ ("obs_overhead", t) ];
   let pct on off = if off > 0. then 100. *. (on -. off) /. off else 0. in
   Printf.printf
     "\nOverhead: %+.2f%% on the computed path, %+.2f%% on the cache-hit path\n\
@@ -960,6 +1017,7 @@ let e16 () =
     backends;
   row "spp proxy (3 backends)" wall lats coalesced hits;
   Table.print t;
+  bench_json ~id:"e16" [ ("cluster", t) ];
   Printf.printf
     "\nShape: the proxy answers duplicate-heavy load at its own cache latency\n\
      after one sighting per instance (cache hits), and concurrent first\n\
@@ -1011,6 +1069,7 @@ let e17 () =
         [ Online.First_fit; Online.Buffered 4 ])
     specs;
   Table.print t;
+  bench_json ~id:"e17" [ ("sim", t) ];
   Printf.printf
     "\nShape: ratio is makespan over the Section 3 lower bound (exact, so\n\
      never below 1). Low rates leave the strip idle and every policy is\n\
@@ -1018,9 +1077,85 @@ let e17 () =
      fragmentation climbs, and threshold repacking buys its makespan and\n\
      wait reductions with migrated cells — the disruption column.\n"
 
+(* ------------------------------------------------------------------ *)
+(* E18 — solver-profiling overhead gate: the E15 workload with the
+   Profile counters enabled vs. disabled. The counters are ambient
+   (Domain.DLS cells, aggregated once per solver call), so the cache-hit
+   hot path — which never reaches a solver — must stay inside the same
+   < 2% envelope DESIGN.md grants the metrics registry. *)
+
+let e18 () =
+  section
+    "E18  Profiling overhead gate — identical workloads with the solver\n\
+    \    profiling counters enabled vs. disabled (gate: < 2% on hits)";
+  let module Engine = Spp_engine.Engine in
+  let module Profile = Spp_obs.Profile in
+  let module Clock = Spp_util.Clock in
+  let module Io = Spp_core.Io in
+  let distinct = 120 and hit_passes = 60 in
+  let corpus =
+    Array.init distinct (fun i ->
+        let rng = Prng.create (9500 + i) in
+        Io.parse_string
+          (Io.prec_to_string
+             (Generators.random_prec rng ~n:6 ~k:4 ~h_den:4 ~shape:`Series_parallel)))
+  in
+  let run_mode engine =
+    let t0 = Clock.now_ms () in
+    Array.iter (fun p -> ignore (Engine.solve ~algos:[ "dc" ] ~workers:1 engine p)) corpus;
+    let computed_ms = Clock.elapsed_ms t0 in
+    let t0 = Clock.now_ms () in
+    for _ = 1 to hit_passes do
+      Array.iter (fun p -> ignore (Engine.solve ~algos:[ "dc" ] ~workers:1 engine p)) corpus
+    done;
+    (computed_ms, Clock.elapsed_ms t0)
+  in
+  let mk enabled () =
+    Profile.set_enabled enabled;
+    Engine.create ~cache_capacity:(2 * distinct) ()
+  in
+  ignore (run_mode (mk false ()));
+  (* Interleave the modes round by round and keep each mode's best, so
+     machine drift during the run hits both sides equally instead of
+     taxing whichever mode happens to be timed last. *)
+  let off_computed = ref infinity and off_hits = ref infinity in
+  let on_computed = ref infinity and on_hits = ref infinity in
+  for _ = 1 to 3 do
+    let c, h = run_mode (mk false ()) in
+    off_computed := Float.min !off_computed c;
+    off_hits := Float.min !off_hits h;
+    let c, h = run_mode (mk true ()) in
+    on_computed := Float.min !on_computed c;
+    on_hits := Float.min !on_hits h
+  done;
+  let off_computed = !off_computed and off_hits = !off_hits in
+  let on_computed = !on_computed and on_hits = !on_hits in
+  Profile.set_enabled true;
+  let hits = distinct * hit_passes in
+  let t =
+    Table.create ~columns:[ "mode"; "computed ms"; "ms/solve"; "hit ms"; "us/hit" ]
+  in
+  let row mode computed hit =
+    Table.add_row t
+      [ mode; f2 computed; f3 (computed /. float_of_int distinct); f2 hit;
+        f2 (1000. *. hit /. float_of_int hits) ]
+  in
+  row "profiling disabled" off_computed off_hits;
+  row "profiling enabled" on_computed on_hits;
+  Table.print t;
+  bench_json ~id:"e18"
+    ~config:[ ("distinct", Json.Int distinct); ("hit_passes", Json.Int hit_passes) ]
+    [ ("profile_overhead", t) ];
+  let pct on off = if off > 0. then 100. *. (on -. off) /. off else 0. in
+  let hit_pct = pct on_hits off_hits in
+  Printf.printf "\nOverhead: %+.2f%% on the computed path, %+.2f%% on the cache-hit path.\n"
+    (pct on_computed off_computed) hit_pct;
+  Printf.printf "E18 gate: %s (hit-path overhead %+.2f%%, budget 2%%)\n"
+    (if hit_pct < 2.0 then "ok" else "FAIL") hit_pct
+
 let quality () =
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 (); e12 (); e13 ();
-  e14 (); e15 (); e16 (); e17 ()
+  e14 (); e15 (); e16 (); e17 (); e18 ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -1041,11 +1176,12 @@ let () =
   | "e15" | "obs" -> e15 ()
   | "e16" | "cluster" -> e16 ()
   | "e17" | "sim" -> e17 ()
+  | "e18" | "profile" -> e18 ()
   | "quality" -> quality ()
   | "timing" -> timing ()
   | "all" ->
     quality ();
     timing ()
   | other ->
-    Printf.eprintf "unknown experiment %S (expected e1..e17, portfolio, serve, obs, cluster, sim, quality, timing, all)\n" other;
+    Printf.eprintf "unknown experiment %S (expected e1..e18, portfolio, serve, obs, cluster, sim, profile, quality, timing, all)\n" other;
     exit 2

@@ -15,6 +15,7 @@
      client    one request against a running spp serve
      loadgen   closed-loop load generator with latency percentiles
      trace     solve one instance locally and print its span tree
+     top       live dashboard over one or more /metrics endpoints
      fuzz      property-based differential fuzzer with shrinking *)
 
 module Q = Spp_num.Rat
@@ -40,6 +41,8 @@ module Stats = Spp_util.Stats
 module Log = Spp_obs.Log
 module Trace = Spp_obs.Trace
 module Field = Spp_obs.Field
+module Metrics = Spp_obs.Metrics
+module Promtext = Spp_obs.Promtext
 open Cmdliner
 
 (* Distinct failure exit codes (sysexits.h): a malformed instance file is
@@ -899,6 +902,12 @@ let serve_cmd =
           Server.wait srv;
           exit exit_io_error)
     in
+    (* GC / CPU gauges only matter where a scraper can see them. *)
+    let sampler =
+      Option.map
+        (fun _ -> Spp_obs.Runtime.start (Telemetry.metrics (Engine.telemetry engine)))
+        scrape
+    in
     Printf.eprintf "spp serve: listening on %s (%d worker%s, queue depth %d)\n%!"
       (Framing.address_to_string address) workers (if workers = 1 then "" else "s") queue_depth;
     Option.iter
@@ -906,6 +915,7 @@ let serve_cmd =
       scrape;
     Signals.on_termination (fun () -> Server.stop srv);
     Server.wait srv;
+    Option.iter Spp_obs.Runtime.stop sampler;
     Option.iter Metrics_http.stop scrape;
     Printf.eprintf "spp serve: drained, exiting\n%!";
     write_stats engine stats_json
@@ -1016,6 +1026,39 @@ let client_cmd =
           (if attempts > 1 then Printf.sprintf " (after %d attempts)" attempts else "");
         exit (exit_code_of_client_error kind)
     in
+    (* Render a reply-embedded span tree (the {!Trace.to_json} shape, as
+       stitched by the proxy) in the same indented style as [spp trace].
+       Lines are '#'-prefixed like the other reply headers, so the output
+       still round-trips through the instance parser. *)
+    let print_reply_trace j =
+      let num = function
+        | Some (Json.Float f) -> Some f
+        | Some (Json.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      let rec go indent j =
+        match Json.member "name" j with
+        | Some (Json.String name) ->
+          let dur =
+            match num (Json.member "ms" j) with
+            | Some d -> Printf.sprintf "%.2f ms" d
+            | None -> "open"
+          in
+          let fields =
+            match Json.member "fields" j with
+            | Some (Json.Obj kvs) ->
+              String.concat ""
+                (List.map (fun (k, v) -> Printf.sprintf "  %s=%s" k (Json.to_string v)) kvs)
+            | _ -> ""
+          in
+          Printf.printf "# %s%s %s%s\n" indent name dur fields;
+          (match Json.member "spans" j with
+           | Some (Json.List l) -> List.iter (go (indent ^ "  ")) l
+           | _ -> ())
+        | _ -> ()
+      in
+      Option.iter (go "") (Json.member "root" j)
+    in
     match resp with
     | Protocol.Error { code; message; _ } ->
       if json then print_endline (Protocol.encode_response resp);
@@ -1035,6 +1078,7 @@ let client_cmd =
       (match r.Protocol.trace_id with
        | Some id -> Printf.printf "# trace %s\n" id
        | None -> ());
+      Option.iter print_reply_trace r.Protocol.trace;
       print_string r.Protocol.placement
   in
   Cmd.v
@@ -1400,6 +1444,7 @@ let proxy_cmd =
           Proxy.wait px;
           exit exit_io_error)
     in
+    let sampler = Option.map (fun _ -> Spp_obs.Runtime.start registry) scrape in
     Printf.eprintf "spp proxy: listening on %s over %d backend%s\n%!"
       (Framing.address_to_string address) (List.length backends)
       (if List.length backends = 1 then "" else "s");
@@ -1413,6 +1458,7 @@ let proxy_cmd =
       scrape;
     Signals.on_termination (fun () -> Proxy.stop px);
     Proxy.wait px;
+    Option.iter Spp_obs.Runtime.stop sampler;
     Option.iter Metrics_http.stop scrape;
     Printf.eprintf "spp proxy: drained, exiting\n%!"
   in
@@ -1463,6 +1509,272 @@ let trace_cmd =
        ~doc:"Solve one instance locally with tracing on and print the span tree (queue-free \
              view of what spp serve records per request)")
     Term.(const run $ file $ budget_arg $ algos_arg $ workers_arg $ json)
+
+(* ------------------------------------------------------------------ *)
+(* top *)
+
+(* Previous tick's cumulative counters for one endpoint; rates are
+   deltas over the poll interval, so the first tick shows none. *)
+type top_prev = { p_at_ms : float; p_requests : float; p_minor : float; p_major : float }
+
+(* One endpoint's digested scrape. Options are metrics the endpoint did
+   not expose (a proxy has no solver profile; a dead endpoint has
+   nothing but [ts_error]). *)
+type top_stat = {
+  ts_endpoint : string;
+  ts_up : bool;
+  ts_error : string option;
+  ts_uptime_s : float option;
+  ts_requests : float;
+  ts_rate : float option;  (* requests/s since the previous tick *)
+  ts_p50 : float option;
+  ts_p95 : float option;
+  ts_p99 : float option;  (* request latency percentiles, ms *)
+  ts_hit_ratio : float option;  (* cache hits / (hits + misses) *)
+  ts_algos : (string * float) list;  (* portfolio win counts by algo *)
+  ts_pivots : float;
+  ts_bb_count : int;  (* B&B searches recorded *)
+  ts_bb_sum : float;  (* nodes expanded across them *)
+  ts_bb_pruned : float;
+  ts_colgen_cols : float;
+  ts_colgen_rounds : float;
+  ts_heap_words : float option;
+  ts_minor_rate : float option;  (* minor GCs/s *)
+  ts_major_rate : float option;
+  ts_cpu : float option;  (* busy cores over the sampler interval *)
+}
+
+let top_down endpoint msg =
+  { ts_endpoint = endpoint; ts_up = false; ts_error = Some msg; ts_uptime_s = None;
+    ts_requests = 0.0; ts_rate = None; ts_p50 = None; ts_p95 = None; ts_p99 = None;
+    ts_hit_ratio = None; ts_algos = []; ts_pivots = 0.0; ts_bb_count = 0; ts_bb_sum = 0.0;
+    ts_bb_pruned = 0.0; ts_colgen_cols = 0.0; ts_colgen_rounds = 0.0; ts_heap_words = None;
+    ts_minor_rate = None; ts_major_rate = None; ts_cpu = None }
+
+(* Digest one scrape. Server and proxy expose different families for the
+   same idea (spp_requests_total vs spp_proxy_ops_total, ...); prefer the
+   server's name and fall back, so one dashboard reads both tiers. *)
+let top_poll prevs (host, port) =
+  let endpoint = Printf.sprintf "%s:%d" host port in
+  match Metrics_http.fetch ~host ~port () with
+  | Error msg -> top_down endpoint msg
+  | Ok body ->
+    let s = Promtext.parse body in
+    let now = Clock.now_ms () in
+    let first_sum a b =
+      let v = Promtext.sum s a in
+      if v > 0.0 then v else Promtext.sum s b
+    in
+    let requests = first_sum "spp_requests_total" "spp_proxy_ops_total" in
+    let minor = Promtext.sum s "spp_gc_minor_collections_total" in
+    let major = Promtext.sum s "spp_gc_major_collections_total" in
+    let rate prev cur dt = if dt <= 0.0 then None else Some (max 0.0 ((cur -. prev) /. dt)) in
+    let req_rate, minor_rate, major_rate =
+      match Hashtbl.find_opt prevs endpoint with
+      | None -> (None, None, None)
+      | Some p ->
+        let dt = (now -. p.p_at_ms) /. 1000.0 in
+        (rate p.p_requests requests dt, rate p.p_minor minor dt, rate p.p_major major dt)
+    in
+    Hashtbl.replace prevs endpoint
+      { p_at_ms = now; p_requests = requests; p_minor = minor; p_major = major };
+    let latency =
+      match Promtext.histogram s "spp_request_ms" with
+      | Some h -> Some h
+      | None -> Promtext.histogram s "spp_proxy_request_ms"
+    in
+    let q p = Option.map (fun h -> Metrics.hist_quantile h p) latency in
+    let hits = first_sum "cache_hit" "spp_proxy_cache_hits_total" in
+    let misses = first_sum "cache_miss" "spp_proxy_cache_misses_total" in
+    let bb_count, bb_sum =
+      match Promtext.histogram s "spp_bb_nodes" with
+      | Some h -> (h.Metrics.total, h.Metrics.sum)
+      | None -> (0, 0.0)
+    in
+    { ts_endpoint = endpoint; ts_up = true; ts_error = None;
+      ts_uptime_s =
+        (match Promtext.value s "spp_uptime_seconds" with
+         | Some _ as v -> v
+         | None -> Promtext.value s "spp_proxy_uptime_seconds");
+      ts_requests = requests; ts_rate = req_rate; ts_p50 = q 0.5; ts_p95 = q 0.95;
+      ts_p99 = q 0.99;
+      ts_hit_ratio =
+        (if hits +. misses > 0.0 then Some (hits /. (hits +. misses)) else None);
+      ts_algos = Promtext.label_values s ~name:"spp_algo_wins_total" ~label:"algo";
+      ts_pivots = Promtext.sum s "spp_pivots_total"; ts_bb_count = bb_count;
+      ts_bb_sum = bb_sum; ts_bb_pruned = Promtext.sum s "spp_bb_pruned_total";
+      ts_colgen_cols = Promtext.sum s "spp_colgen_columns_total";
+      ts_colgen_rounds = Promtext.sum s "spp_colgen_rounds_total";
+      ts_heap_words = Promtext.value s "spp_gc_heap_words";
+      ts_minor_rate = minor_rate; ts_major_rate = major_rate;
+      ts_cpu = Promtext.value s "spp_cpu_utilization" }
+
+let top_json_of_stat st =
+  let opt name v = Option.map (fun f -> (name, Json.Float f)) v in
+  let payload =
+    match st.ts_error with
+    | Some e -> [ Some ("error", Json.String e) ]
+    | None ->
+      [ opt "uptime_s" st.ts_uptime_s;
+        Some ("requests_total", Json.Float st.ts_requests);
+        opt "request_rate" st.ts_rate;
+        opt "p50_ms" st.ts_p50;
+        opt "p95_ms" st.ts_p95;
+        opt "p99_ms" st.ts_p99;
+        opt "cache_hit_ratio" st.ts_hit_ratio;
+        Some
+          ("algo_wins", Json.Obj (List.map (fun (a, v) -> (a, Json.Float v)) st.ts_algos));
+        Some
+          ( "profile",
+            Json.Obj
+              [ ("pivots", Json.Float st.ts_pivots);
+                ("bb_searches", Json.Int st.ts_bb_count);
+                ("bb_nodes", Json.Float st.ts_bb_sum);
+                ("bb_pruned", Json.Float st.ts_bb_pruned);
+                ("colgen_columns", Json.Float st.ts_colgen_cols);
+                ("colgen_rounds", Json.Float st.ts_colgen_rounds) ] );
+        opt "gc_heap_words" st.ts_heap_words;
+        opt "gc_minor_per_s" st.ts_minor_rate;
+        opt "gc_major_per_s" st.ts_major_rate;
+        opt "cpu_utilization" st.ts_cpu ]
+  in
+  Json.Obj
+    (("endpoint", Json.String st.ts_endpoint)
+     :: ("up", Json.Bool st.ts_up)
+     :: List.filter_map Fun.id payload)
+
+let top_render stats =
+  let buf = Buffer.create 1024 in
+  let opt fmt = function None -> "-" | Some v -> Printf.sprintf fmt v in
+  Buffer.add_string buf
+    (Printf.sprintf "%-22s %-4s %9s %9s %8s %8s %8s %8s %6s %6s\n" "ENDPOINT" "UP" "UPTIME"
+       "REQS" "REQ/S" "P50ms" "P95ms" "P99ms" "HIT%" "CPU");
+  List.iter
+    (fun st ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-22s %-4s %9s %9.0f %8s %8s %8s %8s %6s %6s\n" st.ts_endpoint
+           (if st.ts_up then "up" else "DOWN")
+           (opt "%.0fs" st.ts_uptime_s)
+           st.ts_requests (opt "%.1f" st.ts_rate) (opt "%.2f" st.ts_p50)
+           (opt "%.2f" st.ts_p95) (opt "%.2f" st.ts_p99)
+           (opt "%.1f" (Option.map (fun r -> 100.0 *. r) st.ts_hit_ratio))
+           (opt "%.2f" st.ts_cpu));
+      match st.ts_error with
+      | Some e -> Buffer.add_string buf (Printf.sprintf "  %s\n" e)
+      | None ->
+        let wins = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 st.ts_algos in
+        if wins > 0.0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  wins: %s\n"
+               (String.concat ", "
+                  (List.map
+                     (fun (a, v) ->
+                       Printf.sprintf "%s %.0f (%.0f%%)" a v (100.0 *. v /. wins))
+                     st.ts_algos)));
+        if st.ts_pivots > 0.0 || st.ts_bb_count > 0 || st.ts_colgen_cols > 0.0 then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  profile: pivots %.0f, bb %.0f nodes / %d searches (%.0f pruned), colgen \
+                %.0f cols / %.0f rounds\n"
+               st.ts_pivots st.ts_bb_sum st.ts_bb_count st.ts_bb_pruned st.ts_colgen_cols
+               st.ts_colgen_rounds);
+        (match st.ts_heap_words with
+         | None -> ()
+         | Some w ->
+           Buffer.add_string buf
+             (Printf.sprintf "  gc: heap %.1f MW, minor %s/s, major %s/s\n" (w /. 1e6)
+                (opt "%.1f" st.ts_minor_rate) (opt "%.2f" st.ts_major_rate))))
+    stats;
+  Buffer.contents buf
+
+let top_cmd =
+  let endpoints_pos =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"ENDPOINT"
+             ~doc:"Metrics endpoint to poll: HOST:PORT, or a bare port on loopback — the \
+                   value given to --metrics-port of a running spp serve or spp proxy.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between polls.")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Poll every endpoint once, print, and exit (no screen \
+                                 clearing); exits non-zero if every endpoint is down.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Machine-readable output: one JSON object per poll on stdout (use with \
+                   --once for a single snapshot).")
+  in
+  let parse_endpoint s =
+    match String.rindex_opt s ':' with
+    | None -> Option.map (fun p -> ("127.0.0.1", p)) (int_of_string_opt s)
+    | Some i ->
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      Option.map
+        (fun p -> ((if host = "" then "127.0.0.1" else host), p))
+        (int_of_string_opt port)
+  in
+  let run endpoints interval once json =
+    if interval <= 0.0 then begin
+      Printf.eprintf "error: --interval must be > 0\n";
+      exit 64
+    end;
+    let eps =
+      List.map
+        (fun s ->
+          match parse_endpoint s with
+          | Some hp -> hp
+          | None ->
+            Printf.eprintf "error: bad endpoint %S (want HOST:PORT or PORT)\n" s;
+            exit 64)
+        endpoints
+    in
+    let prevs = Hashtbl.create 8 in
+    let stopping = ref false in
+    Signals.on_termination (fun () -> stopping := true);
+    let tick ~clear =
+      let stats = List.map (top_poll prevs) eps in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [ ("interval_s", Json.Float interval);
+                  ("endpoints", Json.List (List.map top_json_of_stat stats)) ]))
+      else begin
+        if clear then print_string "\027[2J\027[H";
+        print_string (top_render stats)
+      end;
+      flush stdout;
+      stats
+    in
+    if once then begin
+      let stats = tick ~clear:false in
+      if List.for_all (fun st -> not st.ts_up) stats then exit exit_unavailable
+    end
+    else
+      while not !stopping do
+        ignore (tick ~clear:(not json));
+        (* Sleep in slices so Ctrl-C lands within ~200 ms. *)
+        let rec nap left =
+          if left > 0.0 && not !stopping then begin
+            Unix.sleepf (Float.min 0.2 left);
+            nap (left -. 0.2)
+          end
+        in
+        nap interval
+      done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal dashboard over spp serve / spp proxy metrics endpoints: request \
+             rates, latency percentiles from histogram buckets, cache hit share, portfolio \
+             win shares, solver profiling counters, and GC churn")
+    Term.(const run $ endpoints_pos $ interval_arg $ once_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
@@ -1644,4 +1956,4 @@ let () =
        (Cmd.group info
           [ gen_cmd; pack_cmd; solve_cmd; batch_cmd; aptas_cmd; bounds_cmd; exact_cmd;
             simulate_cmd; online_cmd; sim_cmd; verify_cmd; serve_cmd; proxy_cmd; client_cmd;
-            loadgen_cmd; trace_cmd; fuzz_cmd ]))
+            loadgen_cmd; trace_cmd; top_cmd; fuzz_cmd ]))

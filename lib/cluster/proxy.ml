@@ -1,5 +1,6 @@
 module Client = Spp_server.Client
 module Framing = Spp_server.Framing
+module Json = Spp_server.Json
 module Protocol = Spp_server.Protocol
 module Lru = Spp_engine.Lru
 module Fingerprint = Spp_engine.Fingerprint
@@ -207,6 +208,46 @@ let no_backend_error t message =
     { code = Protocol.Overloaded; message;
       retry_after_ms = Some (int_of_float t.cfg.probe_interval_ms) }
 
+(* Rebuild a backend's reply-embedded span tree (the {!Trace.to_json}
+   shape: [{"trace_id":...,"root":{span}}], spans nested under ["spans"])
+   as a {!Trace.imported}, ready to graft under the proxy's [upstream]
+   span. Malformed nodes are dropped silently — a trace is best effort
+   and must never fail a solve. *)
+let rec imported_of_span j =
+  match Json.member "name" j with
+  | Some (Json.String name) ->
+    let num = function
+      | Some (Json.Float f) -> Some f
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    let fields =
+      match Json.member "fields" j with
+      | Some (Json.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Json.String s -> Some (k, Field.String s)
+            | Json.Int i -> Some (k, Field.Int i)
+            | Json.Float f -> Some (k, Field.Float f)
+            | Json.Bool b -> Some (k, Field.Bool b)
+            | Json.Null | Json.List _ | Json.Obj _ -> None)
+          kvs
+      | _ -> []
+    in
+    let children =
+      match Json.member "spans" j with
+      | Some (Json.List l) -> List.filter_map imported_of_span l
+      | _ -> []
+    in
+    Some
+      { Trace.i_name = name;
+        i_start_ms = Option.value (num (Json.member "start_ms" j)) ~default:0.0;
+        i_dur_ms = num (Json.member "ms" j); i_fields = fields; i_children = children }
+  | _ -> None
+
+let imported_of_trace_json j = Option.bind (Json.member "root" j) imported_of_span
+
 (* Walk [fp]'s ring successors, first to answer wins. Backend-state
    errors (overloaded / shutting_down / internal) fail over like
    transport errors but are remembered: if every candidate is in that
@@ -214,7 +255,11 @@ let no_backend_error t message =
    own retry hint) rather than a synthetic one. Instance-specific
    rejections return immediately — every backend would say the same. *)
 let upstream_solve t ~fp ~instance ~budget_ms ~algos ~trace =
-  let req = Protocol.Solve { instance; budget_ms; algos; trace_id = None } in
+  (* Propagate the client's trace id on the upstream call so the backend
+     records (and returns) its own span tree under the same id. *)
+  let req =
+    Protocol.Solve { instance; budget_ms; algos; trace_id = Option.map Trace.id trace }
+  in
   let candidates =
     let ring = current_ring t in
     let rec take n = function
@@ -231,7 +276,16 @@ let upstream_solve t ~fp ~instance ~budget_ms ~algos ~trace =
     | Some tr ->
       Trace.with_span tr ~parent:(Trace.root tr) "upstream" (fun s ->
           Trace.add_fields tr s [ ("backend", Field.String (Upstream.name b.up)) ];
-          call ())
+          match call () with
+          | Protocol.Solve_ok ({ trace = Some j; _ } as r) ->
+            (* Graft the backend's tree under this span, rebased onto the
+               proxy's timeline at the moment the upstream call began,
+               then drop the raw field — the stitched tree supersedes it. *)
+            Option.iter
+              (fun imp -> Trace.graft tr ~parent:s ~offset_ms:(Trace.start_ms s) imp)
+              (imported_of_trace_json j);
+            Protocol.Solve_ok { r with Protocol.trace = None }
+          | other -> other)
   in
   let rec walk last = function
     | [] -> (
@@ -291,8 +345,21 @@ let count_op t op =
 
 let snoop t fp = function
   | Protocol.Solve_ok r ->
-    Option.iter (fun lru -> Lru.add lru fp { r with Protocol.trace_id = None }) t.cache
+    (* A replayed trace would be a lie — cache the reply without it. *)
+    Option.iter
+      (fun lru -> Lru.add lru fp { r with Protocol.trace_id = None; trace = None })
+      t.cache
   | _ -> ()
+
+(* The client asked for a trace: embed the proxy's stitched tree in the
+   reply. Serialised before the root closes (the reply write belongs to
+   the requester's side of the timeline); {!Trace.to_json} renders the
+   open root without an ["ms"] field. *)
+let embed_trace trace (r : Protocol.solve_reply) =
+  match trace with
+  | None -> { r with Protocol.trace = None }
+  | Some tr ->
+    { r with Protocol.trace = Result.to_option (Json.of_string (Trace.to_json tr)) }
 
 let handle_solve t ~instance ~budget_ms ~algos ~trace_id =
   let trace = Option.map (fun id -> Trace.create ~id ~name:"proxy" ()) trace_id in
@@ -326,7 +393,9 @@ let handle_solve t ~instance ~budget_ms ~algos ~trace_id =
         trace;
       (match cached with
        | Some r ->
-         (Protocol.Solve_ok { r with Protocol.source = "cache.proxy"; trace_id }, trace)
+         ( Protocol.Solve_ok
+             (embed_trace trace { r with Protocol.source = "cache.proxy"; trace_id }),
+           trace )
        | None ->
          let lead () = upstream_solve t ~fp ~instance ~budget_ms ~algos ~trace in
          let outcome =
@@ -347,7 +416,8 @@ let handle_solve t ~instance ~budget_ms ~algos ~trace_id =
          in
          let resp =
            match resp with
-           | Protocol.Solve_ok r -> Protocol.Solve_ok { r with Protocol.trace_id = trace_id }
+           | Protocol.Solve_ok r ->
+             Protocol.Solve_ok (embed_trace trace { r with Protocol.trace_id = trace_id })
            | other -> other
          in
          (resp, trace))

@@ -129,6 +129,7 @@ let solve ?(cancel = Spp_util.Cancel.never) ?(max_rounds = 200) ?(max_denominato
   let tol = 1e-9 in
   let rec rounds n =
     Spp_util.Cancel.check cancel;
+    Spp_obs.Profile.add_colgen_rounds 1;
     let configs = Array.of_list (List.rev !pool_list) in
     let objective, solution, var, pack_dual, cover_dual =
       solve_restricted widths boundaries demand configs
@@ -157,7 +158,12 @@ let solve ?(cancel = Spp_util.Cancel.never) ?(max_rounds = 200) ?(max_denominato
         let c_j = if j = np - 1 then 1.0 else 0.0 in
         let threshold = c_j -. Q.to_float pack_dual.(j) in
         if best > threshold +. tol then
-          if add_config counts then improved := true
+          if add_config counts then begin
+            improved := true;
+            (* Priced columns only — the initial singleton pool is not
+               generation work. *)
+            Spp_obs.Profile.add_colgen_columns 1
+          end
       done;
       if !improved then rounds (n + 1)
       else begin

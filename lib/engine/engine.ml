@@ -42,6 +42,10 @@ type t = {
   m_cancel_polls : Metrics.counter;
 }
 
+(* Node-count ladder for the B&B histogram: searches span a handful of
+   nodes (seed met the bound) to ~1e6 (n=7 worst case). *)
+let profile_buckets = [| 1.0; 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0; 1_000_000.0 |]
+
 let create ?(cache_capacity = 128) ?store_dir ?store_max_entries ?telemetry () =
   let cache = Lru.create ~capacity:cache_capacity in
   let store =
@@ -64,6 +68,22 @@ let create ?(cache_capacity = 128) ?store_dir ?store_max_entries ?telemetry () =
         "spp_store_corrupt_total"
         (fun () -> Store.corrupt store))
     store;
+  (* Register the profiling families eagerly (base series at zero), so a
+     scrape exposes them before — or without — any solver incrementing
+     the per-algorithm labelled series. *)
+  ignore (Metrics.counter reg ~help:"Simplex pivot iterations" "spp_pivots_total");
+  ignore
+    (Metrics.counter reg ~help:"Branch-and-bound subtrees pruned by bound"
+       "spp_bb_pruned_total");
+  ignore
+    (Metrics.counter reg ~help:"Columns priced into the restricted master"
+       "spp_colgen_columns_total");
+  ignore
+    (Metrics.counter reg ~help:"Column-generation master re-solve rounds"
+       "spp_colgen_rounds_total");
+  ignore
+    (Metrics.histogram reg ~help:"Branch-and-bound nodes expanded per solve"
+       ~buckets:profile_buckets "spp_bb_nodes");
   { cache; store; tm;
     m_solve_ms =
       Metrics.histogram reg ~help:"End-to-end solve latency in milliseconds" "spp_solve_ms";
@@ -116,20 +136,37 @@ let traced trace name ?fields k =
         Option.iter (Trace.add_fields tr s) fields;
         k (Some s))
 
-(* One raced member: run under the shared token, validate, classify. *)
+(* One raced member: run under the shared token, validate, classify.
+   Each member has its domain to itself, so resetting the ambient
+   profile accumulator here and reading it back in [finish] attributes
+   the counted work to exactly this algorithm. *)
 let race_one parsed cancel trace (spec : Portfolio.spec) =
   let t0 = Clock.now_ms () in
+  Spp_obs.Profile.reset ();
   let s =
     match trace with
     | None -> None
     | Some (tr, race_span) -> Some (tr, Trace.span tr ~parent:race_span ("algo:" ^ spec.Portfolio.name))
   in
   let finish status height placement =
+    let prof = Spp_obs.Profile.read () in
     Option.iter
       (fun (tr, s) ->
-        Trace.finish ~fields:[ ("status", Spp_obs.Field.String (status_label status)) ] tr s)
+        let pf =
+          List.filter_map
+            (fun (k, v) -> if v > 0 then Some (k, Spp_obs.Field.Int v) else None)
+            [ ("pivots", prof.Spp_obs.Profile.pivots);
+              ("bb_nodes", prof.Spp_obs.Profile.bb_nodes);
+              ("bb_pruned", prof.Spp_obs.Profile.bb_pruned);
+              ("colgen_columns", prof.Spp_obs.Profile.colgen_columns);
+              ("colgen_rounds", prof.Spp_obs.Profile.colgen_rounds) ]
+        in
+        Trace.finish
+          ~fields:(("status", Spp_obs.Field.String (status_label status)) :: pf)
+          tr s)
       s;
-    ({ solver = spec.Portfolio.name; status; height; time_ms = Clock.elapsed_ms t0 }, placement)
+    ( { solver = spec.Portfolio.name; status; height; time_ms = Clock.elapsed_ms t0 },
+      placement, prof )
   in
   match spec.Portfolio.run ~cancel parsed with
   | p -> (
@@ -161,6 +198,28 @@ let record_outcome t (o : outcome) =
      @ match o.height with
        | Some h -> [ ("height", Telemetry.String (Q.to_string h)) ]
        | None -> [])
+
+(* Fold one raced member's ambient-profile snapshot into the labelled
+   solver-introspection series. *)
+let record_profile t algo (p : Spp_obs.Profile.snapshot) =
+  if not (Spp_obs.Profile.is_zero p) then begin
+    let reg = Telemetry.metrics t.tm in
+    let count name help v =
+      if v > 0 then Metrics.incr ~by:v (Metrics.counter reg ~help ~labels:[ ("algo", algo) ] name)
+    in
+    count "spp_pivots_total" "Simplex pivot iterations" p.Spp_obs.Profile.pivots;
+    count "spp_bb_pruned_total" "Branch-and-bound subtrees pruned by bound"
+      p.Spp_obs.Profile.bb_pruned;
+    count "spp_colgen_columns_total" "Columns priced into the restricted master"
+      p.Spp_obs.Profile.colgen_columns;
+    count "spp_colgen_rounds_total" "Column-generation master re-solve rounds"
+      p.Spp_obs.Profile.colgen_rounds;
+    if p.Spp_obs.Profile.bb_nodes > 0 then
+      Metrics.observe
+        (Metrics.histogram reg ~help:"Branch-and-bound nodes expanded per solve"
+           ~buckets:profile_buckets ~labels:[ ("algo", algo) ] "spp_bb_nodes")
+        (float_of_int p.Spp_obs.Profile.bb_nodes)
+  end
 
 let record_win t winner =
   Metrics.incr
@@ -242,10 +301,11 @@ let solve ?budget_ms ?algos ?workers ?trace t parsed =
     (match Cancel.polls cancel with
      | 0 -> ()
      | n -> Metrics.incr ~by:n t.m_cancel_polls);
-    let outcomes = List.map fst raced @ skipped in
+    List.iter (fun ((o : outcome), _, prof) -> record_profile t o.solver prof) raced;
+    let outcomes = List.map (fun (o, _, _) -> o) raced @ skipped in
     let best =
       List.fold_left
-        (fun acc ((o : outcome), p) ->
+        (fun acc ((o : outcome), p, _) ->
           match (p, acc) with
           | None, _ -> acc
           | Some p, None -> Some (o, p)

@@ -65,6 +65,7 @@ let solve ?(cancel = Spp_util.Cancel.never) (inst : Spp_core.Instance.Prec.t) =
     let best_h = ref seed.Order_search.height in
     let best_items = ref (Placement.items seed.Order_search.placement) in
     let nodes = ref (seed.Order_search.nodes_expanded) in
+    let pruned = ref 0 in
     let tops = Hashtbl.create 8 in (* id -> y + h, for precedence floors *)
     let rec go idx placed cur_h =
       Spp_util.Cancel.check cancel;
@@ -89,7 +90,8 @@ let solve ?(cancel = Spp_util.Cancel.never) (inst : Spp_core.Instance.Prec.t) =
               (* Candidates ascend in y, but a pruned y does not prune later
                  ys' floors; simple filter (no break) keeps the code clear —
                  n is tiny. *)
-              if Q.compare h' !best_h < 0 then
+              if Q.compare h' !best_h >= 0 then incr pruned
+              else
                 List.iter
                   (fun x ->
                     if Q.compare (Q.add x r.Rect.w) Q.one <= 0 then begin
@@ -114,6 +116,16 @@ let solve ?(cancel = Spp_util.Cancel.never) (inst : Spp_core.Instance.Prec.t) =
     in
     (* Early exit: if the seed already meets the global lower bound it is
        optimal and the search is skipped. *)
-    if Q.compare !best_h global_lb > 0 then go 0 [] Q.zero;
+    let report () =
+      (* The seed's nodes were already reported by Order_search itself;
+         only this search's delta is added here. *)
+      Spp_obs.Profile.add_bb_nodes (!nodes - seed.Order_search.nodes_expanded);
+      Spp_obs.Profile.add_bb_pruned !pruned
+    in
+    (match if Q.compare !best_h global_lb > 0 then go 0 [] Q.zero with
+     | () -> report ()
+     | exception e ->
+       report ();
+       raise e);
     { height = !best_h; placement = Placement.of_items !best_items; nodes_expanded = !nodes }
   end

@@ -15,6 +15,7 @@ let search rects ~cancel ~eligible ~floor_of =
   let best_h = ref None in
   let best_items = ref [] in
   let nodes = ref 0 in
+  let pruned = ref 0 in
   let rec go placed sky h remaining =
     Spp_util.Cancel.check cancel;
     incr nodes;
@@ -35,10 +36,20 @@ let search rects ~cancel ~eligible ~floor_of =
           let item = { Placement.rect = r; pos } in
           let h' = Q.max h (Q.add pos.Placement.y r.Rect.h) in
           let prune = match !best_h with Some bh -> Q.compare h' bh >= 0 | None -> false in
-          if not prune then go (item :: placed) sky' h' rest)
+          if prune then incr pruned
+          else go (item :: placed) sky' h' rest)
         (eligible placed remaining)
   in
-  go [] (Skyline.create ()) Q.zero rects;
+  let report () =
+    Spp_obs.Profile.add_bb_nodes !nodes;
+    Spp_obs.Profile.add_bb_pruned !pruned
+  in
+  (* Aggregate profile report on every exit, cancellation included. *)
+  (match go [] (Skyline.create ()) Q.zero rects with
+   | () -> report ()
+   | exception e ->
+     report ();
+     raise e);
   match !best_h with
   | None -> { height = Q.zero; placement = Placement.of_items []; nodes_expanded = !nodes }
   | Some h -> { height = h; placement = Placement.of_items !best_items; nodes_expanded = !nodes }

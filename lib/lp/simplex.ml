@@ -96,7 +96,16 @@ module Make (F : Field.S) = struct
         end
       end
     in
-    step ()
+    (* Ambient profiling: one aggregate report per solve, on every exit
+       path (including the iteration-limit failure), never per pivot. *)
+    let report () = Spp_obs.Profile.add_pivots !iters in
+    match step () with
+    | r ->
+      report ();
+      r
+    | exception e ->
+      report ();
+      raise e
 
   (* Reduced-cost row for cost vector [cost] (length cols) under the current
      basis: r_j = c_j - sum_i c_{basis i} T[i][j];   slot cols = -z. *)

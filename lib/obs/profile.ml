@@ -1,0 +1,74 @@
+type snapshot = {
+  pivots : int;
+  bb_nodes : int;
+  bb_pruned : int;
+  colgen_columns : int;
+  colgen_rounds : int;
+}
+
+let zero = { pivots = 0; bb_nodes = 0; bb_pruned = 0; colgen_columns = 0; colgen_rounds = 0 }
+let is_zero s = s = zero
+
+(* One mutable cell per domain: increments are plain stores, no atomics
+   on the solver side. The engine resets/reads on the same domain the
+   solver ran on, so no cross-domain visibility is needed. *)
+type cell = {
+  mutable c_pivots : int;
+  mutable c_bb_nodes : int;
+  mutable c_bb_pruned : int;
+  mutable c_colgen_columns : int;
+  mutable c_colgen_rounds : int;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { c_pivots = 0; c_bb_nodes = 0; c_bb_pruned = 0; c_colgen_columns = 0;
+        c_colgen_rounds = 0 })
+
+let on = Atomic.make true
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+let cell () = Domain.DLS.get key
+
+let add_pivots n =
+  if Atomic.get on then begin
+    let c = cell () in
+    c.c_pivots <- c.c_pivots + n
+  end
+
+let add_bb_nodes n =
+  if Atomic.get on then begin
+    let c = cell () in
+    c.c_bb_nodes <- c.c_bb_nodes + n
+  end
+
+let add_bb_pruned n =
+  if Atomic.get on then begin
+    let c = cell () in
+    c.c_bb_pruned <- c.c_bb_pruned + n
+  end
+
+let add_colgen_columns n =
+  if Atomic.get on then begin
+    let c = cell () in
+    c.c_colgen_columns <- c.c_colgen_columns + n
+  end
+
+let add_colgen_rounds n =
+  if Atomic.get on then begin
+    let c = cell () in
+    c.c_colgen_rounds <- c.c_colgen_rounds + n
+  end
+
+let reset () =
+  let c = cell () in
+  c.c_pivots <- 0;
+  c.c_bb_nodes <- 0;
+  c.c_bb_pruned <- 0;
+  c.c_colgen_columns <- 0;
+  c.c_colgen_rounds <- 0
+
+let read () =
+  let c = cell () in
+  { pivots = c.c_pivots; bb_nodes = c.c_bb_nodes; bb_pruned = c.c_bb_pruned;
+    colgen_columns = c.c_colgen_columns; colgen_rounds = c.c_colgen_rounds }

@@ -1,0 +1,45 @@
+(** Ambient solver-work counters, one accumulator per domain.
+
+    The exact core (simplex, branch-and-bound, column generation) sits
+    behind functors and pure interfaces with no telemetry parameter to
+    thread a registry through, so profiling is ambient instead: solvers
+    call the [add_*] functions below, which accumulate into the calling
+    domain's own cells. The engine resets the accumulator before racing
+    a portfolio member on a domain and reads it back afterwards — each
+    member runs alone on its domain, so the snapshot attributes work to
+    exactly that algorithm.
+
+    Increment sites report {e aggregate} counts once per solver call
+    (a simplex solve adds its whole pivot count on exit, not one per
+    pivot), so the hot loops stay untouched; bench E18 gates the
+    residual overhead. [set_enabled false] turns every [add_*] into a
+    no-op process-wide — the profiling-off baseline. *)
+
+type snapshot = {
+  pivots : int;  (** simplex pivot steps (phase 1 + phase 2) *)
+  bb_nodes : int;  (** branch-and-bound nodes expanded *)
+  bb_pruned : int;  (** subtrees cut by a bound before expansion *)
+  colgen_columns : int;  (** columns added by knapsack pricing *)
+  colgen_rounds : int;  (** restricted-master re-solve rounds *)
+}
+
+val zero : snapshot
+val is_zero : snapshot -> bool
+
+(** Process-wide switch, default on. Racing domains observe a flip on
+    their next [add_*] call. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val add_pivots : int -> unit
+val add_bb_nodes : int -> unit
+val add_bb_pruned : int -> unit
+val add_colgen_columns : int -> unit
+val add_colgen_rounds : int -> unit
+
+(** [reset ()] zeroes the calling domain's accumulator. *)
+val reset : unit -> unit
+
+(** [read ()] snapshots the calling domain's accumulator. *)
+val read : unit -> snapshot

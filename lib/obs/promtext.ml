@@ -1,0 +1,154 @@
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = ':'
+
+let parse_value s =
+  match s with
+  | "+Inf" | "Inf" -> Some Float.infinity
+  | "-Inf" -> Some Float.neg_infinity
+  | "NaN" -> Some Float.nan
+  | s -> float_of_string_opt s
+
+(* Label block: key=quoted-value pairs, comma-separated, values with
+   backslash escapes (backslash, quote, n). Returns the pairs and the
+   index just past the closing brace. *)
+let parse_labels line i0 =
+  let n = String.length line in
+  let buf = Buffer.create 16 in
+  let rec skip_ws i = if i < n && line.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec name i =
+    if i < n && is_name_char line.[i] then begin
+      Buffer.add_char buf line.[i];
+      name (i + 1)
+    end
+    else i
+  in
+  let rec pairs acc i =
+    let i = skip_ws i in
+    if i >= n then None
+    else if line.[i] = '}' then Some (List.rev acc, i + 1)
+    else begin
+      Buffer.clear buf;
+      let i = name i in
+      let key = Buffer.contents buf in
+      let i = skip_ws i in
+      if key = "" || i + 1 >= n || line.[i] <> '=' || line.[i + 1] <> '"' then None
+      else begin
+        Buffer.clear buf;
+        let rec value i =
+          if i >= n then None
+          else
+            match line.[i] with
+            | '"' -> Some (i + 1)
+            | '\\' when i + 1 < n ->
+              Buffer.add_char buf
+                (match line.[i + 1] with 'n' -> '\n' | '\\' -> '\\' | '"' -> '"' | c -> c);
+              value (i + 2)
+            | c ->
+              Buffer.add_char buf c;
+              value (i + 1)
+        in
+        match value (i + 2) with
+        | None -> None
+        | Some i -> (
+          let v = Buffer.contents buf in
+          let i = skip_ws i in
+          if i < n && line.[i] = ',' then pairs ((key, v) :: acc) (i + 1)
+          else pairs ((key, v) :: acc) i)
+      end
+    end
+  in
+  pairs [] i0
+
+let parse_line line =
+  let line = String.trim line in
+  let n = String.length line in
+  if n = 0 || line.[0] = '#' then None
+  else begin
+    let rec name_end i = if i < n && is_name_char line.[i] then name_end (i + 1) else i in
+    let ne = name_end 0 in
+    if ne = 0 then None
+    else begin
+      let name = String.sub line 0 ne in
+      let labels, rest =
+        if ne < n && line.[ne] = '{' then
+          match parse_labels line (ne + 1) with
+          | None -> ([], None)
+          | Some (ls, i) -> (ls, Some (String.sub line i (n - i)))
+        else ([], Some (String.sub line ne (n - ne)))
+      in
+      match rest with
+      | None -> None
+      | Some rest -> (
+        (* value, optionally followed by a timestamp we ignore *)
+        match String.split_on_char ' ' (String.trim rest) with
+        | v :: _ ->
+          Option.map
+            (fun value ->
+              { name; labels = List.sort (fun (a, _) (b, _) -> compare a b) labels; value })
+            (parse_value v)
+        | [] -> None)
+    end
+  end
+
+let parse text = List.filter_map parse_line (String.split_on_char '\n' text)
+
+let norm labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let value ?(labels = []) samples name =
+  let labels = norm labels in
+  List.find_map
+    (fun s -> if s.name = name && s.labels = labels then Some s.value else None)
+    samples
+
+let sum samples name =
+  List.fold_left (fun acc s -> if s.name = name then acc +. s.value else acc) 0.0 samples
+
+let label_values samples ~name ~label =
+  List.filter_map
+    (fun s -> if s.name = name then Option.map (fun v -> (v, s.value)) (List.assoc_opt label s.labels) else None)
+    samples
+  |> List.sort compare
+
+let histogram ?(labels = []) samples name =
+  let labels = norm labels in
+  let without_le ls = List.filter (fun (k, _) -> k <> "le") ls in
+  let buckets =
+    List.filter_map
+      (fun s ->
+        if s.name = name ^ "_bucket" && without_le s.labels = labels then
+          Option.bind (List.assoc_opt "le" s.labels) (fun le ->
+              Option.map (fun b -> (b, int_of_float s.value)) (parse_value le))
+        else None)
+      samples
+    |> List.sort compare
+  in
+  let total =
+    match List.assoc_opt Float.infinity buckets with
+    | Some n -> Some n
+    | None -> Option.map int_of_float (value ~labels samples (name ^ "_count"))
+  in
+  match (buckets, total) with
+  | [], _ | _, None -> None
+  | _, Some total ->
+    let sum = Option.value ~default:0.0 (value ~labels samples (name ^ "_sum")) in
+    let finite = List.filter (fun (b, _) -> Float.is_finite b) buckets in
+    Some { Metrics.buckets = finite; total; sum }
+
+let histogram_names samples =
+  let strip suffix s =
+    let n = String.length s and k = String.length suffix in
+    if n > k && String.sub s (n - k) k = suffix then Some (String.sub s 0 (n - k)) else None
+  in
+  let bucketed =
+    List.filter_map (fun s -> strip "_bucket" s.name) samples |> List.sort_uniq compare
+  in
+  List.filter
+    (fun name -> List.exists (fun s -> s.name = name ^ "_count") samples)
+    bucketed

@@ -1,0 +1,37 @@
+(** Parser for the Prometheus text exposition format — the inverse of
+    {!Expo.render}, used by [spp top] to read scrapes back.
+
+    Tolerant by design: comment lines, blank lines, and anything that
+    does not parse as [name{labels} value [timestamp]] are skipped, so a
+    partially understood scrape still yields its well-formed samples.
+    [+Inf] / [-Inf] / [NaN] values parse to the matching floats. *)
+
+type sample = {
+  name : string;
+  labels : (string * string) list;  (** sorted by label name *)
+  value : float;
+}
+
+val parse : string -> sample list
+
+(** [value samples name] — the sample matching [name] and exactly
+    [labels] (default none). *)
+val value : ?labels:(string * string) list -> sample list -> string -> float option
+
+(** Sum over every label set of family [name] (bare series included). *)
+val sum : sample list -> string -> float
+
+(** [label_values samples ~name ~label] — [(label value, sample value)]
+    for every series of [name] carrying [label], sorted. *)
+val label_values : sample list -> name:string -> label:string -> (string * float) list
+
+(** Reassemble the histogram family [name] (series [name_bucket],
+    [name_sum], [name_count]) whose non-[le] labels equal [labels] into
+    a snapshot usable with {!Metrics.hist_quantile}. [None] when no
+    [+Inf] bucket or count is present. *)
+val histogram :
+  ?labels:(string * string) list -> sample list -> string -> Metrics.hist_snapshot option
+
+(** Histogram family names present in the samples (those with a
+    [_bucket]/[_count] pair), sorted. *)
+val histogram_names : sample list -> string list

@@ -1,0 +1,104 @@
+module Clock = Spp_util.Clock
+
+type t = {
+  interval_ms : float;
+  g_heap : Metrics.gauge;
+  c_minor : Metrics.counter;
+  c_major : Metrics.counter;
+  c_promoted : Metrics.counter;
+  c_minor_words : Metrics.counter;
+  g_cpu : Metrics.gauge;
+  g_util : Metrics.gauge;
+  (* Last observed absolutes, so monotone sources feed add-only
+     counters by delta. Touched only by the sampler thread (and once by
+     start before the thread exists). *)
+  mutable last_minor : int;
+  mutable last_major : int;
+  mutable last_promoted : float;
+  mutable last_minor_words : float;
+  mutable last_cpu_s : float;
+  mutable last_wall_ms : float;
+  mutable stopping : bool;
+  mutable thread : Thread.t option;
+}
+
+let cpu_seconds () =
+  let tm = Unix.times () in
+  tm.Unix.tms_utime +. tm.Unix.tms_stime
+
+let sample t =
+  let st = Gc.quick_stat () in
+  Metrics.gauge_set t.g_heap (float_of_int st.Gc.heap_words);
+  Metrics.incr ~by:(st.Gc.minor_collections - t.last_minor) t.c_minor;
+  t.last_minor <- st.Gc.minor_collections;
+  Metrics.incr ~by:(st.Gc.major_collections - t.last_major) t.c_major;
+  t.last_major <- st.Gc.major_collections;
+  Metrics.incr ~by:(int_of_float (st.Gc.promoted_words -. t.last_promoted)) t.c_promoted;
+  t.last_promoted <- st.Gc.promoted_words;
+  Metrics.incr ~by:(int_of_float (st.Gc.minor_words -. t.last_minor_words)) t.c_minor_words;
+  t.last_minor_words <- st.Gc.minor_words;
+  let cpu = cpu_seconds () in
+  let now = Clock.now_ms () in
+  let wall_s = (now -. t.last_wall_ms) /. 1000.0 in
+  (* A utilization ratio over a near-zero interval is noise (the
+     synchronous start-up sample would divide start-up CPU by
+     microseconds of wall time); keep the previous reading until a
+     real interval has elapsed. *)
+  if wall_s >= 0.1 then begin
+    Metrics.gauge_set t.g_util (Float.max 0.0 ((cpu -. t.last_cpu_s) /. wall_s));
+    t.last_cpu_s <- cpu;
+    t.last_wall_ms <- now
+  end;
+  Metrics.gauge_set t.g_cpu cpu
+
+let run t () =
+  (* Sleep in short slices so stop is prompt without a timed wait. *)
+  let slice = 0.05 in
+  let rec loop slept =
+    if not t.stopping then
+      if slept *. 1000.0 >= t.interval_ms then begin
+        sample t;
+        loop 0.0
+      end
+      else begin
+        Thread.delay slice;
+        loop (slept +. slice)
+      end
+  in
+  loop 0.0
+
+let start ?(interval_ms = 1000.0) reg =
+  let t =
+    { interval_ms = Float.max 10.0 interval_ms;
+      g_heap = Metrics.gauge reg ~help:"Major heap size in words" "spp_gc_heap_words";
+      c_minor =
+        Metrics.counter reg ~help:"Minor collections" "spp_gc_minor_collections_total";
+      c_major =
+        Metrics.counter reg ~help:"Major collections" "spp_gc_major_collections_total";
+      c_promoted =
+        Metrics.counter reg ~help:"Words promoted to the major heap"
+          "spp_gc_promoted_words_total";
+      c_minor_words =
+        Metrics.counter reg ~help:"Words allocated on the minor heap"
+          "spp_gc_minor_words_total";
+      g_cpu =
+        Metrics.gauge reg ~help:"Process CPU seconds, user+system, all domains"
+          "spp_process_cpu_seconds";
+      g_util =
+        Metrics.gauge reg ~help:"Average busy cores over the last sampling interval"
+          "spp_cpu_utilization";
+      last_minor = 0; last_major = 0; last_promoted = 0.0; last_minor_words = 0.0;
+      last_cpu_s = cpu_seconds (); last_wall_ms = Clock.now_ms (); stopping = false;
+      thread = None }
+  in
+  sample t;
+  t.thread <- Some (Thread.create (run t) ());
+  t
+
+let stop t =
+  t.stopping <- true;
+  match t.thread with
+  | None -> ()
+  | Some th ->
+    t.thread <- None;
+    Thread.join th

@@ -1,0 +1,28 @@
+(** Process runtime telemetry: a sampler thread publishing GC and CPU
+    gauges into a metrics registry.
+
+    Every [spp serve] and [spp proxy] process runs one sampler. Each
+    tick reads [Gc.quick_stat] and [Unix.times] and publishes:
+
+    - [spp_gc_heap_words] — major heap size in words (gauge)
+    - [spp_gc_minor_collections_total] / [spp_gc_major_collections_total]
+      — collection counts since start (counters)
+    - [spp_gc_promoted_words_total] / [spp_gc_minor_words_total] —
+      words promoted / allocated on the minor heap (counters)
+    - [spp_process_cpu_seconds] — cumulative process CPU time, user +
+      system, all domains and threads (gauge)
+    - [spp_cpu_utilization] — CPU seconds burned per wall second over
+      the last sampling interval, i.e. average busy cores; > 1 while a
+      race fans out across domains (gauge)
+
+    [start] takes one sample synchronously before returning, so gauges
+    are present on a scrape immediately. *)
+
+type t
+
+(** [start registry] samples once, then every [interval_ms]
+    (default 1000) on a daemon thread until {!stop}. *)
+val start : ?interval_ms:float -> Metrics.t -> t
+
+(** Stops and joins the sampler thread. Idempotent. *)
+val stop : t -> unit

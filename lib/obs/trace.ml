@@ -77,6 +77,35 @@ let with_span t ~parent name f =
     raise e
 
 let add_fields t s fields = locked t (fun () -> s.s_fields <- s.s_fields @ fields)
+let start_ms s = s.s_start_ms
+
+(* ------------------------------------------------------------------ *)
+(* Grafting: adopt a span tree recorded by another process (the
+   backend's reply-embedded trace) under one of our spans. Imported
+   offsets are relative to the *remote* trace's epoch; [offset_ms]
+   rebases them onto this trace's timeline — callers pass the start of
+   the span that covers the remote call, so the foreign tree nests
+   inside it chronologically even though the two clocks never met. *)
+
+type imported = {
+  i_name : string;
+  i_start_ms : float;
+  i_dur_ms : float option;
+  i_fields : (string * Field.t) list;
+  i_children : imported list;  (* chronological *)
+}
+
+let graft t ~parent ~offset_ms imp =
+  let rec build i =
+    { s_name = i.i_name;
+      s_start_ms = offset_ms +. i.i_start_ms;
+      s_dur_ms = i.i_dur_ms;
+      s_fields = i.i_fields;
+      (* children are stored newest-first *)
+      s_children = List.rev_map build i.i_children }
+  in
+  let s = build imp in
+  locked t (fun () -> parent.s_children <- s :: parent.s_children)
 
 let close ?fields t = finish ?fields t t.s_root
 

@@ -38,6 +38,27 @@ val with_span : t -> parent:span -> string -> (span -> 'a) -> 'a
 
 val add_fields : t -> span -> (string * Field.t) list -> unit
 
+(** Start offset of [s] relative to the trace epoch, in ms. *)
+val start_ms : span -> float
+
+(** A span tree recorded by {e another} process, to be adopted into this
+    trace — the shape of the [root] object in {!to_json} output.
+    [i_children] are chronological. *)
+type imported = {
+  i_name : string;
+  i_start_ms : float;  (** relative to the remote trace's epoch *)
+  i_dur_ms : float option;
+  i_fields : (string * Field.t) list;
+  i_children : imported list;
+}
+
+(** [graft t ~parent ~offset_ms imp] attaches [imp] (durations and
+    fields preserved) under [parent], rebasing every remote start offset
+    by [offset_ms] — pass {!start_ms} of the span that covers the remote
+    call. This is how the proxy nests a backend's reply-embedded span
+    tree under its own [upstream] span. *)
+val graft : t -> parent:span -> offset_ms:float -> imported -> unit
+
 (** [close t] finishes the root span. *)
 val close : ?fields:(string * Field.t) list -> t -> unit
 

@@ -101,6 +101,59 @@ let start ?(host = "127.0.0.1") ~port registry =
 
 let port t = t.port
 
+(* Minimal scrape client, the inverse of [handle]: one GET, headers
+   drained, body read to EOF ([Connection: close] bounds it). Used by
+   `spp top` and the live-scrape tests; never raises. *)
+let fetch ?(timeout_ms = 2_000.0) ~host ~port () =
+  match Framing.connect ~timeout_ms (Framing.Tcp (host, port)) with
+  | exception (Unix.Unix_error _ | Failure _ | Framing.Timeout) ->
+    Error (Printf.sprintf "connect %s:%d failed" host port)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try
+          write_all fd
+            (Printf.sprintf
+               "GET /metrics HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n" host
+               port);
+          let deadline = Spp_util.Clock.now_ms () +. timeout_ms in
+          let reader = Framing.reader ~max_line_bytes:8192 fd in
+          let next_line () =
+            let left = deadline -. Spp_util.Clock.now_ms () in
+            if left <= 0.0 then None
+            else Framing.read_line ~idle_timeout_ms:left ~read_timeout_ms:left reader
+          in
+          match next_line () with
+          | None -> Error "empty reply"
+          | Some status when not (String.length status >= 12 &&
+                                  String.sub status 9 3 = "200") ->
+            Error (Printf.sprintf "scrape failed: %s" (String.trim status))
+          | Some _ ->
+            let rec drain () =
+              match next_line () with
+              | Some s when String.trim s <> "" -> drain ()
+              | _ -> ()
+            in
+            drain ();
+            (* The exposition body is itself line-framed text. *)
+            let buf = Buffer.create 4096 in
+            let rec body () =
+              match next_line () with
+              | Some line ->
+                Buffer.add_string buf line;
+                Buffer.add_char buf '\n';
+                body ()
+              | None -> ()
+            in
+            body ();
+            Ok (Buffer.contents buf)
+        with
+        | Framing.Timeout -> Error "scrape timed out"
+        | Framing.Line_too_long -> Error "scrape reply line too long"
+        | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+        | Sys_error m -> Error m)
+
 let stop t =
   Atomic.set t.stopping true;
   match t.thread with

@@ -16,5 +16,13 @@ val start : ?host:string -> port:int -> Spp_obs.Metrics.t -> t
 
 val port : t -> int
 
+(** [fetch ~host ~port ()] scrapes [GET /metrics] from a live endpoint
+    (this module's server, or any Prometheus-style exporter) and returns
+    the exposition text. Plain HTTP/1.1, [Connection: close]; parse the
+    body with {!Spp_obs.Promtext}. Never raises — transport failures,
+    timeouts (default budget 2 s) and non-200 statuses are [Error]. *)
+val fetch :
+  ?timeout_ms:float -> host:string -> port:int -> unit -> (string, string) result
+
 (** [stop t] shuts the endpoint down and joins its thread. Idempotent. *)
 val stop : t -> unit

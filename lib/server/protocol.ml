@@ -18,6 +18,7 @@ type solve_reply = {
   time_ms : float;
   placement : string;
   trace_id : string option;
+  trace : Json.t option;
 }
 
 type cache_stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }
@@ -115,7 +116,8 @@ let encode_response = function
             ("winner", Json.String r.winner); ("source", Json.String r.source);
             ("height", Json.String r.height); ("ms", Json.Float r.time_ms);
             ("placement", Json.String r.placement) ]
-          @ opt_string_field "trace_id" r.trace_id))
+          @ opt_string_field "trace_id" r.trace_id
+          @ (match r.trace with Some t -> [ ("trace", t) ] | None -> [])))
   | Metrics_ok m ->
     Json.to_string
       (Json.Obj
@@ -278,7 +280,10 @@ let decode_response line =
         let* time_ms = require "field \"ms\"" (Option.bind (Json.member "ms" j) Json.get_float) in
         let* placement = str "placement" in
         let* trace_id = optional "trace_id" Json.get_string j in
-        Ok (Solve_ok { winner; source; height; time_ms; placement; trace_id })
+        let trace =
+          match Json.member "trace" j with None | Some Json.Null -> None | Some t -> Some t
+        in
+        Ok (Solve_ok { winner; source; height; time_ms; placement; trace_id; trace })
       | "metrics" ->
         let* uptime_ms =
           require "field \"uptime_ms\"" (Option.bind (Json.member "uptime_ms" j) Json.get_float)

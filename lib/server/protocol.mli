@@ -48,6 +48,13 @@ type solve_reply = {
   time_ms : float;  (** engine wall clock for this solve *)
   placement : string;  (** {!Spp_core.Io.placement_to_string} text *)
   trace_id : string option;  (** present iff the request was traced *)
+  trace : Json.t option;
+      (** the responder's span tree for this request — the value of
+          {!Spp_obs.Trace.to_json} — present only on traced requests.
+          The proxy grafts a backend's tree under its own [upstream]
+          span and replaces this field with the stitched trace, so the
+          client sees one end-to-end tree. Stripped before replies are
+          cached (a replay's trace would be a lie). *)
 }
 
 type cache_stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }

@@ -33,6 +33,9 @@ type job = {
   algos : string list option;
   reply : Protocol.response Bqueue.t;  (* capacity-1 mailbox *)
   trace : Trace.t option;
+  wants_trace : bool;
+      (* the client sent a trace_id — embed the span tree in the reply
+         (a slow-log/debug trace alone stays server-side) *)
   queue_span : Trace.span option;
   enqueued_ms : float;
 }
@@ -95,11 +98,22 @@ let process cfg mx (job : job) =
         ?trace:job.trace cfg.engine job.parsed
     with
     | r ->
+      (* The reply-embedded tree is serialised here, after the engine
+         spans closed but before reply.write and the root close — those
+         belong to the requester's side of the timeline (the proxy's
+         upstream span covers them). to_json renders open spans without
+         an "ms" field, so the open root is fine. *)
+      let trace =
+        if job.wants_trace then
+          Option.bind job.trace (fun tr ->
+              Result.to_option (Json.of_string (Trace.to_json tr)))
+        else None
+      in
       Protocol.Solve_ok
         { winner = r.Engine.winner; source = source_to_string r.Engine.source;
           height = Q.to_string r.Engine.height; time_ms = r.Engine.time_ms;
           placement = Io.placement_to_string r.Engine.placement;
-          trace_id = Option.map Trace.id job.trace }
+          trace_id = Option.map Trace.id job.trace; trace }
     | exception Invalid_argument msg ->
       Protocol.Error { code = Protocol.Bad_request; message = msg; retry_after_ms = None }
     | exception Spp_util.Fault.Injected point ->
@@ -216,8 +230,8 @@ let respond t line =
           if
             not
               (Bqueue.try_push t.queue
-                 { parsed; budget_ms; algos; reply; trace; queue_span;
-                   enqueued_ms = Clock.now_ms () })
+                 { parsed; budget_ms; algos; reply; trace; wants_trace = trace_id <> None;
+                   queue_span; enqueued_ms = Clock.now_ms () })
           then begin
             Metrics.incr t.mx.m_shed;
             (match (trace, queue_span) with

@@ -33,3 +33,5 @@ let render t =
   Buffer.contents buf
 
 let print t = print_string (render t)
+let columns t = Array.to_list t.columns
+let rows t = List.rev_map Array.to_list t.rows

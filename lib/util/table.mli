@@ -17,3 +17,10 @@ val add_row : t -> string list -> unit
 val render : t -> string
 
 val print : t -> unit
+
+(** The header row, as given to {!create}. *)
+val columns : t -> string list
+
+(** The data rows in insertion order, each padded to the header width —
+    the machine-readable view behind the BENCH_*.json artefacts. *)
+val rows : t -> string list list

@@ -13,6 +13,7 @@ module Generators = Spp_workloads.Generators
 module Engine = Spp_engine.Engine
 module Metrics = Spp_obs.Metrics
 module Framing = Spp_server.Framing
+module Json = Spp_server.Json
 module Protocol = Spp_server.Protocol
 module Server = Spp_server.Server
 module Client = Spp_server.Client
@@ -239,10 +240,10 @@ let with_cluster ?(backends = 2) ?(cache_capacity = 64) ?(failover = 1) ?(fail_a
         started)
     (fun () -> f cfg px (List.map snd started))
 
-let solve_via addr text =
+let solve_via ?algos addr text =
   Client.with_connection ~timeout_ms:5_000.0 addr (fun c ->
       Client.request c
-        (Protocol.Solve { instance = text; budget_ms = None; algos = None; trace_id = None }))
+        (Protocol.Solve { instance = text; budget_ms = None; algos; trace_id = None }))
 
 let test_proxy_routes_and_caches () =
   with_cluster (fun cfg _px _srvs ->
@@ -283,7 +284,10 @@ let test_proxy_routes_and_caches () =
 let test_proxy_coalesces_concurrent_duplicates () =
   (* Cache off so every request must go upstream; a 150 ms engine delay
      (deterministic fault injection) holds the leader's flight open long
-     enough that the other threads must join it. *)
+     enough that the other threads must join it. The portfolio is pinned
+     to the sub-millisecond [dc] member so the flight's duration is the
+     injected delay, not solver runtime — the exact solvers can burn most
+     of the 2 s budget on a slow machine and trip the upstream timeout. *)
   with_cluster ~backends:1 ~cache_capacity:0 (fun cfg _px _srvs ->
       (match Fault.configure "engine.solve=delay150" with
        | Ok () -> ()
@@ -291,7 +295,9 @@ let test_proxy_coalesces_concurrent_duplicates () =
       Fun.protect ~finally:Fault.clear (fun () ->
           let text = instance_text 7 6 in
           let replies = Array.make 8 None in
-          let runner i () = replies.(i) <- Some (solve_via cfg.Proxy.address text) in
+          let runner i () =
+            replies.(i) <- Some (solve_via ~algos:[ "dc" ] cfg.Proxy.address text)
+          in
           let leader = Thread.create (runner 0) () in
           Unix.sleepf 0.05;
           let rest = List.init 7 (fun i -> Thread.create (runner (i + 1)) ()) in
@@ -372,6 +378,95 @@ let test_proxy_serves_from_cache_when_all_backends_die () =
       | other ->
         Alcotest.failf "expected overloaded, got %s" (Protocol.encode_response other))
 
+(* End-to-end trace stitching: the proxy forwards the client's trace id
+   on the upstream solve, the backend embeds its span tree in the reply,
+   and the proxy grafts that tree under its own [upstream] span — so the
+   client sees one trace, under one id, spanning both processes. *)
+let test_proxy_stitches_backend_trace () =
+  with_cluster ~backends:1 ~cache_capacity:4 (fun cfg _px _srvs ->
+      let text = instance_text 55 6 in
+      let trace_id = "feedfacecafef00d" in
+      let solve () =
+        Client.with_connection ~timeout_ms:5_000.0 cfg.Proxy.address (fun c ->
+            Client.request c
+              (Protocol.Solve
+                 { instance = text; budget_ms = None; algos = None;
+                   trace_id = Some trace_id }))
+      in
+      let span_name j =
+        match Json.member "name" j with Some (Json.String s) -> Some s | _ -> None
+      in
+      let children j =
+        match Json.member "spans" j with Some (Json.List l) -> l | _ -> []
+      in
+      let find name l = List.find_opt (fun s -> span_name s = Some name) l in
+      let start s =
+        match Json.member "start_ms" s with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int i) -> float_of_int i
+        | _ -> -1.0
+      in
+      (match solve () with
+       | Protocol.Solve_ok r ->
+         check_solve_reply text r;
+         Alcotest.(check (option string)) "trace id echoed" (Some trace_id)
+           r.Protocol.trace_id;
+         let tr =
+           match r.Protocol.trace with
+           | Some t -> t
+           | None -> Alcotest.fail "traced reply must embed the stitched tree"
+         in
+         Alcotest.(check (option string)) "stitched tree carries the client's id"
+           (Some trace_id)
+           (Option.bind (Json.member "trace_id" tr) Json.get_string);
+         let root =
+           match Json.member "root" tr with
+           | Some t -> t
+           | None -> Alcotest.fail "stitched tree has no root"
+         in
+         Alcotest.(check (option string)) "root is the proxy" (Some "proxy")
+           (span_name root);
+         let kids = children root in
+         Alcotest.(check bool) "proxy recorded a route span" true
+           (find "route" kids <> None);
+         let upstream =
+           match find "upstream" kids with
+           | Some u -> u
+           | None -> Alcotest.fail "proxy recorded no upstream span"
+         in
+         let request =
+           match find "request" (children upstream) with
+           | Some r -> r
+           | None -> Alcotest.fail "backend tree not grafted under upstream"
+         in
+         Alcotest.(check bool) "backend race span grafted" true
+           (find "race" (children request) <> None);
+         (* Grafting rebases the backend's relative offsets onto the
+            proxy's timeline: the request starts no earlier than the
+            upstream call that carried it. *)
+         Alcotest.(check bool) "grafted start rebased onto proxy timeline" true
+           (start request >= start upstream)
+       | other -> Alcotest.failf "expected solve_ok, got %s" (Protocol.encode_response other));
+      (* A cache hit replays the answer but never the stale backend tree:
+         the reply's trace is the proxy's own spans only. *)
+      match solve () with
+      | Protocol.Solve_ok r ->
+        Alcotest.(check string) "second pass is proxy-cached" "cache.proxy"
+          r.Protocol.source;
+        let tr =
+          match r.Protocol.trace with
+          | Some t -> t
+          | None -> Alcotest.fail "cached traced reply still embeds the proxy trace"
+        in
+        let root =
+          match Json.member "root" tr with
+          | Some t -> t
+          | None -> Alcotest.fail "cached trace has no root"
+        in
+        Alcotest.(check bool) "no upstream span on a cache hit" true
+          (find "upstream" (children root) = None)
+      | other -> Alcotest.failf "expected solve_ok, got %s" (Protocol.encode_response other))
+
 let () =
   Random.self_init ();
   Alcotest.run "spp_cluster"
@@ -401,5 +496,7 @@ let () =
             test_proxy_failover_past_dead_backend;
           Alcotest.test_case "cache outlives every backend" `Quick
             test_proxy_serves_from_cache_when_all_backends_die;
+          Alcotest.test_case "stitches the backend trace under one id" `Quick
+            test_proxy_stitches_backend_trace;
         ] );
     ]

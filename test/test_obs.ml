@@ -6,6 +6,9 @@
 
 module Metrics = Spp_obs.Metrics
 module Expo = Spp_obs.Expo
+module Promtext = Spp_obs.Promtext
+module Profile = Spp_obs.Profile
+module Runtime = Spp_obs.Runtime
 module Trace = Spp_obs.Trace
 module Log = Spp_obs.Log
 module Field = Spp_obs.Field
@@ -13,6 +16,7 @@ module Prng = Spp_util.Prng
 module Io = Spp_core.Io
 module Generators = Spp_workloads.Generators
 module Engine = Spp_engine.Engine
+module Json = Spp_server.Json
 module Protocol = Spp_server.Protocol
 module Framing = Spp_server.Framing
 module Server = Spp_server.Server
@@ -176,6 +180,134 @@ let test_expo_render () =
     (String.length out > 0 && out.[String.length out - 1] = '\n')
 
 (* ------------------------------------------------------------------ *)
+(* Promtext: scrape text parses back to the numbers that produced it *)
+
+let test_promtext_parse_and_percentiles () =
+  let t = Metrics.create () in
+  Metrics.incr ~by:7 (Metrics.counter t "spp_requests_total");
+  Metrics.incr ~by:3
+    (Metrics.counter t ~labels:[ ("algo", "dc") ] "spp_algo_wins_total");
+  Metrics.incr ~by:2
+    (Metrics.counter t ~labels:[ ("algo", "bb") ] "spp_algo_wins_total");
+  Metrics.gauge_set (Metrics.gauge t "spp_gc_heap_words") 12345.0;
+  let h = Metrics.histogram t ~buckets:[| 1.0; 5.0; 25.0; 125.0 |] "spp_request_ms" in
+  let rng = Prng.create 97 in
+  for _ = 1 to 500 do
+    Metrics.observe h (Prng.float rng 150.0)
+  done;
+  let samples = Promtext.parse (Expo.render t) in
+  Alcotest.(check (option (float 1e-9))) "counter value" (Some 7.0)
+    (Promtext.value samples "spp_requests_total");
+  Alcotest.(check (option (float 1e-9))) "labeled counter" (Some 3.0)
+    (Promtext.value ~labels:[ ("algo", "dc") ] samples "spp_algo_wins_total");
+  Alcotest.(check (float 1e-9)) "sum over label sets" 5.0
+    (Promtext.sum samples "spp_algo_wins_total");
+  Alcotest.(check (list (pair string (float 1e-9)))) "label_values sorted"
+    [ ("bb", 2.0); ("dc", 3.0) ]
+    (Promtext.label_values samples ~name:"spp_algo_wins_total" ~label:"algo");
+  Alcotest.(check (option (float 1e-9))) "gauge value" (Some 12345.0)
+    (Promtext.value samples "spp_gc_heap_words");
+  Alcotest.(check (list string)) "histogram families" [ "spp_request_ms" ]
+    (Promtext.histogram_names samples);
+  (* The reassembled histogram must estimate the same percentiles as the
+     in-process snapshot: `spp top` quotes p50/p95/p99 straight off a
+     scrape, so the text round-trip may not distort them. *)
+  let direct = Option.get (Metrics.find_histogram t "spp_request_ms") in
+  let scraped = Option.get (Promtext.histogram samples "spp_request_ms") in
+  Alcotest.(check int) "total survives the round-trip" direct.Metrics.total
+    scraped.Metrics.total;
+  Alcotest.(check (float 1e-6)) "sum survives the round-trip" direct.Metrics.sum
+    scraped.Metrics.sum;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "p%g agrees with the direct snapshot" (q *. 100.0))
+        (Metrics.hist_quantile direct q)
+        (Metrics.hist_quantile scraped q))
+    [ 0.5; 0.95; 0.99 ]
+
+(* ------------------------------------------------------------------ *)
+(* Profile: ambient per-domain solver counters *)
+
+let test_profile_ambient_counters () =
+  Profile.reset ();
+  Alcotest.(check bool) "starts zero" true (Profile.is_zero (Profile.read ()));
+  Profile.add_pivots 3;
+  Profile.add_bb_nodes 20;
+  Profile.add_bb_pruned 7;
+  Profile.add_colgen_columns 4;
+  Profile.add_colgen_rounds 2;
+  Profile.add_pivots 1;
+  let s = Profile.read () in
+  Alcotest.(check int) "pivots accumulate" 4 s.Profile.pivots;
+  Alcotest.(check int) "bb nodes" 20 s.Profile.bb_nodes;
+  Alcotest.(check int) "bb pruned" 7 s.Profile.bb_pruned;
+  Alcotest.(check int) "colgen columns" 4 s.Profile.colgen_columns;
+  Alcotest.(check int) "colgen rounds" 2 s.Profile.colgen_rounds;
+  (* Each domain owns its accumulator: a racing member's counts must not
+     bleed into the engine domain that spawned it. *)
+  let remote =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Profile.reset ();
+           Profile.add_pivots 1000;
+           (Profile.read ()).Profile.pivots))
+  in
+  Alcotest.(check int) "remote domain sees its own work" 1000 remote;
+  Alcotest.(check int) "this domain unaffected" 4 (Profile.read ()).Profile.pivots;
+  (* The process-wide switch turns every add into a no-op. *)
+  Profile.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Profile.set_enabled true)
+    (fun () ->
+      Profile.add_pivots 999;
+      Alcotest.(check bool) "switch reported off" false (Profile.enabled ());
+      Alcotest.(check int) "disabled adds dropped" 4 (Profile.read ()).Profile.pivots);
+  Profile.reset ();
+  Alcotest.(check bool) "reset zeroes" true (Profile.is_zero (Profile.read ()))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: GC / CPU gauges visible on a live scrape *)
+
+let test_runtime_gauges_on_live_scrape () =
+  let reg = Metrics.create () in
+  (* OCaml 5's [Gc.quick_stat] reports [heap_words] 0 until the first
+     major cycle completes; force one so the assertion below does not
+     depend on how much the suite allocated before this test. *)
+  Gc.full_major ();
+  let sampler = Runtime.start ~interval_ms:10_000.0 reg in
+  let ep = Spp_server.Metrics_http.start ~port:0 reg in
+  Fun.protect
+    ~finally:(fun () ->
+      Spp_server.Metrics_http.stop ep;
+      Runtime.stop sampler)
+    (fun () ->
+      let body =
+        match
+          Spp_server.Metrics_http.fetch ~host:"127.0.0.1"
+            ~port:(Spp_server.Metrics_http.port ep) ()
+        with
+        | Ok body -> body
+        | Error e -> Alcotest.failf "scrape failed: %s" e
+      in
+      let samples = Promtext.parse body in
+      let get name =
+        match Promtext.value samples name with
+        | Some v -> v
+        | None -> Alcotest.failf "scrape lacks %s" name
+      in
+      (* [start] samples synchronously, so the first scrape already has
+         real numbers: a live OCaml process cannot have an empty major
+         heap or zero CPU time. *)
+      Alcotest.(check bool) "heap words positive" true (get "spp_gc_heap_words" > 0.0);
+      Alcotest.(check bool) "cpu seconds non-negative" true
+        (get "spp_process_cpu_seconds" >= 0.0);
+      Alcotest.(check bool) "minor collections counter present" true
+        (get "spp_gc_minor_collections_total" >= 0.0);
+      Alcotest.(check bool) "minor words counter present" true
+        (get "spp_gc_minor_words_total" >= 0.0))
+
+(* ------------------------------------------------------------------ *)
 (* Traces *)
 
 let is_hex s = String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
@@ -242,6 +374,60 @@ let test_trace_finish_idempotent () =
      are unchanged, so the whole encoding is identical). *)
   Alcotest.(check string) "duration stamped once" js1 (Trace.to_json t)
 
+let test_trace_graft_rebases_offsets () =
+  let t = Trace.create ~id:"feedface01020304" ~name:"proxy" () in
+  let up = Trace.span t ~parent:(Trace.root t) "upstream" in
+  let remote =
+    { Trace.i_name = "request"; i_start_ms = 0.0; i_dur_ms = Some 12.0;
+      i_fields = [ ("winner", Field.String "dc") ];
+      i_children =
+        [ { Trace.i_name = "race"; i_start_ms = 2.5; i_dur_ms = Some 9.0;
+            i_fields = [ ("bb_nodes", Field.Int 28) ]; i_children = [] };
+          { Trace.i_name = "open.span"; i_start_ms = 3.0; i_dur_ms = None;
+            i_fields = []; i_children = [] } ] }
+  in
+  let offset = Trace.start_ms up in
+  Trace.graft t ~parent:up ~offset_ms:offset remote;
+  Trace.finish t up;
+  Trace.close t;
+  let js = Trace.to_json t in
+  let num = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let j =
+    match Json.of_string js with Ok j -> j | Error e -> Alcotest.failf "bad json: %s" e
+  in
+  let spans j = match Json.member "spans" j with Some (Json.List l) -> l | _ -> [] in
+  let child name j =
+    match
+      List.find_opt (fun s -> Json.member "name" s = Some (Json.String name)) (spans j)
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "span %S missing in %s" name js
+  in
+  let root = Option.get (Json.member "root" j) in
+  let request = child "request" (child "upstream" root) in
+  (* The remote epoch lands on the upstream span's start. *)
+  Alcotest.(check (option (float 1e-4))) "request start rebased" (Some offset)
+    (num (Json.member "start_ms" request));
+  Alcotest.(check (option (float 1e-4))) "race start rebased" (Some (offset +. 2.5))
+    (num (Json.member "start_ms" (child "race" request)));
+  Alcotest.(check (option (float 1e-4))) "duration preserved" (Some 12.0)
+    (num (Json.member "ms" request));
+  Alcotest.(check (option (float 1e-4))) "open remote span stays open" None
+    (num (Json.member "ms" (child "open.span" request)));
+  let fields s = match Json.member "fields" s with Some (Json.Obj kvs) -> kvs | _ -> [] in
+  Alcotest.(check bool) "fields preserved" true
+    (List.mem_assoc "winner" (fields request)
+     && List.mem_assoc "bb_nodes" (fields (child "race" request)));
+  (* Children must come back in chronological order despite the
+     newest-first internal representation. *)
+  match List.map (fun s -> Json.member "name" s) (spans request) with
+  | [ Some (Json.String "race"); Some (Json.String "open.span") ] -> ()
+  | _ -> Alcotest.failf "grafted children out of order: %s" js
+
 (* ------------------------------------------------------------------ *)
 (* Trace id over the wire *)
 
@@ -257,7 +443,13 @@ let test_trace_id_wire_roundtrip () =
   let resp =
     Protocol.Solve_ok
       { winner = "dc"; source = "computed"; height = "1"; time_ms = 1.0;
-        placement = "rect 0 0 0"; trace_id = Some "0123456789abcdef" }
+        placement = "rect 0 0 0"; trace_id = Some "0123456789abcdef";
+        trace =
+          Some
+            (Json.Obj
+               [ ("name", Json.String "request"); ("start_ms", Json.Float 0.);
+                 ("ms", Json.Float 1.2);
+                 ("children", Json.List [ Json.Obj [ ("name", Json.String "solve") ] ]) ]) }
   in
   match Protocol.decode_response (Protocol.encode_response resp) with
   | Ok resp' -> Alcotest.(check bool) "response round-trips" true (resp = resp')
@@ -399,12 +591,26 @@ let () =
         [
           Alcotest.test_case "sanitize and escape" `Quick test_expo_sanitize_and_escape;
           Alcotest.test_case "prometheus text render" `Quick test_expo_render;
+          Alcotest.test_case "promtext parse and percentiles" `Quick
+            test_promtext_parse_and_percentiles;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "ambient per-domain counters" `Quick
+            test_profile_ambient_counters;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "gc gauges on a live scrape" `Quick
+            test_runtime_gauges_on_live_scrape;
         ] );
       ( "trace",
         [
           Alcotest.test_case "ids" `Quick test_trace_ids;
           Alcotest.test_case "span tree" `Quick test_trace_span_tree;
           Alcotest.test_case "finish is idempotent" `Quick test_trace_finish_idempotent;
+          Alcotest.test_case "graft rebases remote offsets" `Quick
+            test_trace_graft_rebases_offsets;
           Alcotest.test_case "trace id wire round-trip" `Quick test_trace_id_wire_roundtrip;
           Alcotest.test_case "live server echoes trace id" `Quick test_trace_id_live_echo;
         ] );

@@ -129,7 +129,11 @@ let test_protocol_response_roundtrip () =
       Protocol.Solve_ok
         { winner = "dc"; source = "computed"; height = "27/4";
           time_ms = Prng.float rng 100.; placement = random_payload rng;
-          trace_id = (if Prng.bool rng then Some "deadbeefcafef00d" else None) };
+          trace_id = (if Prng.bool rng then Some "deadbeefcafef00d" else None);
+          trace =
+            (if Prng.bool rng then
+               Some (Json.Obj [ ("name", Json.String "request"); ("ms", Json.Float 0.5) ])
+             else None) };
       Protocol.Metrics_ok
         { uptime_ms = Prng.float rng 1e6;
           counters = [ ("cache.hit", Prng.int rng 100); ("solve.runs", Prng.int rng 100) ];
