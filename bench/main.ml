@@ -5,7 +5,7 @@
    Each experiment also writes its tables as BENCH_e<N>.json next to the
    working directory, so tooling reads metric values without scraping text.
 
-   Usage:  main.exe [e1|...|e18|quality|timing|all]   (default: all)  *)
+   Usage:  main.exe [e1|...|e19|quality|timing|all]   (default: all)  *)
 
 module Q = Spp_num.Rat
 module Rect = Spp_geom.Rect
@@ -785,7 +785,8 @@ let e14 () =
         default_budget_ms = Some budget_ms; solve_workers = Some 1;
         max_request_bytes = Server.default_max_request_bytes; slow_ms = None;
         idle_timeout_ms = None; read_timeout_ms = None;
-        retry_after_ms = Server.default_retry_after_ms; max_worker_restarts = None }
+        retry_after_ms = Server.default_retry_after_ms; max_worker_restarts = None;
+        deadline_floor_ms = Server.default_deadline_floor_ms }
   in
   let lats = Array.make connections [] in
   let t0 = Clock.now_ms () in
@@ -800,7 +801,7 @@ let e14 () =
                      Client.request c
                        (Protocol.Solve
                           { instance = pick (ci + (r * connections)); budget_ms = None;
-                            algos = None; trace_id = None })
+                            deadline_ms = None; algos = None; trace_id = None })
                    with
                    | Protocol.Solve_ok _ -> ()
                    | _ -> failwith "E14: unexpected reply");
@@ -944,7 +945,8 @@ let e16 () =
         engine = Engine.create (); default_budget_ms = Some budget_ms;
         solve_workers = Some 1; max_request_bytes = Server.default_max_request_bytes;
         slow_ms = None; idle_timeout_ms = None; read_timeout_ms = None;
-        retry_after_ms = Server.default_retry_after_ms; max_worker_restarts = None }
+        retry_after_ms = Server.default_retry_after_ms; max_worker_restarts = None;
+        deadline_floor_ms = Server.default_deadline_floor_ms }
   in
   let hammer address =
     let lats = Array.make connections [] in
@@ -960,7 +962,7 @@ let e16 () =
                        Client.request c
                          (Protocol.Solve
                             { instance = pick (ci + (r * connections)); budget_ms = None;
-                              algos = None; trace_id = None })
+                              deadline_ms = None; algos = None; trace_id = None })
                      with
                      | Protocol.Solve_ok _ -> ()
                      | _ -> failwith "E16: unexpected reply");
@@ -1153,9 +1155,152 @@ let e18 () =
   Printf.printf "E18 gate: %s (hit-path overhead %+.2f%%, budget 2%%)\n"
     (if hit_pct < 2.0 then "ok" else "FAIL") hit_pct
 
+let e19 () =
+  section
+    "E19  Hedged failover — a fast/slow backend pair behind the proxy,\n\
+    \     tail latency with hedging off vs. a 25 ms hedge delay";
+  let module Engine = Spp_engine.Engine in
+  let module Io = Spp_core.Io in
+  let module Clock = Spp_util.Clock in
+  let module Metrics = Spp_obs.Metrics in
+  let module Framing = Spp_server.Framing in
+  let module Protocol = Spp_server.Protocol in
+  let module Server = Spp_server.Server in
+  let module Client = Spp_server.Client in
+  let module Proxy = Spp_cluster.Proxy in
+  let sock tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spp_bench_e19_%s_%d.sock" tag (Unix.getpid ()))
+  in
+  let start_server tag =
+    Server.start
+      { Server.address = Framing.Unix_sock (sock tag); workers = 1; queue_depth = 32;
+        engine = Engine.create (); default_budget_ms = Some 50.0;
+        solve_workers = Some 1; max_request_bytes = Server.default_max_request_bytes;
+        slow_ms = None; idle_timeout_ms = None; read_timeout_ms = None;
+        retry_after_ms = Server.default_retry_after_ms; max_worker_restarts = None;
+        deadline_floor_ms = Server.default_deadline_floor_ms }
+  in
+  (* The "slow" backend is a healthy server behind a line relay that sits
+     on each request for [stall_ms] before forwarding — a deterministic
+     stand-in for a node with a deep queue or a GC pause. *)
+  let stall_ms = 120.0 in
+  let start_slow_gateway target =
+    let addr = Framing.Unix_sock (sock "slowgw") in
+    let listener = Framing.listen addr in
+    let relay client =
+      let upstream = Framing.connect target in
+      let from_client = Framing.reader client and from_backend = Framing.reader upstream in
+      let rec pump () =
+        match Framing.read_line from_client with
+        | None -> ()
+        | Some line ->
+          Thread.delay (stall_ms /. 1000.0);
+          Framing.write_line upstream line;
+          (match Framing.read_line from_backend with
+           | None -> ()
+           | Some reply ->
+             Framing.write_line client reply;
+             pump ())
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close client with Unix.Unix_error _ -> ());
+          try Unix.close upstream with Unix.Unix_error _ -> ())
+        pump
+    in
+    let _acceptor =
+      Thread.create
+        (fun () ->
+          let rec loop () =
+            match Unix.accept listener with
+            | client, _ ->
+              ignore (Thread.create (fun () -> try relay client with _ -> ()) ());
+              loop ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          loop ())
+        ()
+    in
+    (addr, listener)
+  in
+  let requests = 32 in
+  (* Fresh instances per mode so the proxy's snooped cache never absorbs
+     a request — every solve goes upstream, where hedging matters. *)
+  let corpus base =
+    Array.init requests (fun i ->
+        let rng = Prng.create (base + i) in
+        Io.prec_to_string
+          (Generators.random_prec rng ~n:6 ~k:4 ~h_den:4 ~shape:`Series_parallel))
+  in
+  let fast = start_server "fast" and slow = start_server "slow" in
+  let gw_addr, gw_listener = start_slow_gateway (Framing.Unix_sock (sock "slow")) in
+  let t =
+    Table.create
+      ~columns:[ "mode"; "requests"; "wall ms"; "p50 ms"; "p99 ms"; "hedges"; "hedge wins" ]
+  in
+  let run_mode label hedge base =
+    let registry = Metrics.create () in
+    let proxy_addr = Framing.Unix_sock (sock ("proxy_" ^ label)) in
+    let px =
+      Proxy.start
+        { (Proxy.default_config ~address:proxy_addr
+             ~backends:[ gw_addr; Framing.Unix_sock (sock "fast") ] ())
+          with
+          Proxy.registry; seed = 19; hedge; failover = 1;
+          probe_interval_ms = 60_000.0; upstream_timeout_ms = Some 5_000.0 }
+    in
+    let texts = corpus base in
+    let lats = ref [] in
+    let wall0 = Clock.now_ms () in
+    Client.with_connection proxy_addr (fun c ->
+        Array.iter
+          (fun text ->
+            let r0 = Clock.now_ms () in
+            (match
+               Client.request c
+                 (Protocol.Solve
+                    { instance = text; budget_ms = None; deadline_ms = None;
+                      algos = None; trace_id = None })
+             with
+             | Protocol.Solve_ok _ -> ()
+             | _ -> failwith "E19: unexpected reply");
+            lats := Clock.elapsed_ms r0 :: !lats)
+          texts);
+    let wall = Clock.elapsed_ms wall0 in
+    let counter name =
+      match Metrics.find_counter registry name with Some v -> v | None -> 0
+    in
+    let hedges = counter "spp_hedges_total" and wins = counter "spp_hedge_wins_total" in
+    Proxy.stop px;
+    Proxy.wait px;
+    Table.add_row t
+      [ label; string_of_int requests; f2 wall; f2 (Stats.quantile 0.5 !lats);
+        f2 (Stats.quantile 0.99 !lats); string_of_int hedges; string_of_int wins ];
+    Stats.quantile 0.99 !lats
+  in
+  let p99_off = run_mode "no hedging" Proxy.Hedge_off 19_100 in
+  let p99_on = run_mode "hedge 25ms" (Proxy.Hedge_fixed 25.0) 19_200 in
+  (try Unix.close gw_listener with Unix.Unix_error _ -> ());
+  List.iter
+    (fun srv ->
+      Server.stop srv;
+      Server.wait srv)
+    [ fast; slow ];
+  Table.print t;
+  bench_json ~id:"e19"
+    ~config:[ ("stall_ms", Json.Float stall_ms); ("hedge_ms", Json.Float 25.0) ]
+    [ ("hedging", t) ];
+  Printf.printf
+    "\nShape: without hedging, every request whose ring leader is the stalled\n\
+     backend eats the full %.0f ms stall; with a 25 ms hedge the proxy races\n\
+     the fast backend after the delay and the tail collapses to roughly\n\
+     hedge delay + solve time (p99 %.1f ms -> %.1f ms).\n"
+    stall_ms p99_off p99_on
+
 let quality () =
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 (); e12 (); e13 ();
-  e14 (); e15 (); e16 (); e17 (); e18 ()
+  e14 (); e15 (); e16 (); e17 (); e18 (); e19 ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -1177,11 +1322,12 @@ let () =
   | "e16" | "cluster" -> e16 ()
   | "e17" | "sim" -> e17 ()
   | "e18" | "profile" -> e18 ()
+  | "e19" | "hedge" -> e19 ()
   | "quality" -> quality ()
   | "timing" -> timing ()
   | "all" ->
     quality ();
     timing ()
   | other ->
-    Printf.eprintf "unknown experiment %S (expected e1..e18, portfolio, serve, obs, cluster, sim, profile, quality, timing, all)\n" other;
+    Printf.eprintf "unknown experiment %S (expected e1..e19, portfolio, serve, obs, cluster, sim, profile, hedge, quality, timing, all)\n" other;
     exit 2

@@ -821,13 +821,21 @@ let serve_cmd =
          & info [ "max-worker-restarts" ]
              ~doc:"Restart budget per worker slot before the slot is retired (default 16).")
   in
+  let deadline_floor_ms =
+    Arg.(value & opt float Server.default_deadline_floor_ms
+         & info [ "deadline-floor-ms" ]
+             ~doc:"Fast-fail solve requests whose propagated deadline_ms remainder is below \
+                   this with $(i,wont_make_it) instead of burning a worker; checked at \
+                   admission and again after the queue wait.")
+  in
   let faults =
     Arg.(value & opt (some string) None
          & info [ "faults" ] ~docv:"SPEC"
              ~doc:"Arm deterministic fault injection, e.g. \
                    $(b,store.read=0.5,pool.job=once,engine.solve=delay200\\@0.1). Points: \
                    store.read, store.write, framing.read, framing.write, pool.job, \
-                   engine.solve. Also read from $(b,SPP_FAULTS) (this flag wins).")
+                   engine.solve, engine.incumbent. Also read from $(b,SPP_FAULTS) (this \
+                   flag wins).")
   in
   let fault_seed =
     Arg.(value & opt (some int) None
@@ -836,7 +844,7 @@ let serve_cmd =
   in
   let run socket port host workers queue_depth budget_ms cache_dir no_cache cache_max stats_json
       metrics_port log_file slow_ms idle_timeout_ms read_timeout_ms retry_after_ms
-      max_worker_restarts faults fault_seed =
+      max_worker_restarts deadline_floor_ms faults fault_seed =
     let address = resolve_address socket port host in
     (match workers with
      | Some w when w < 1 ->
@@ -861,6 +869,10 @@ let serve_cmd =
        Printf.eprintf "error: --max-worker-restarts must be >= 0\n";
        exit 1
      | _ -> ());
+    if deadline_floor_ms < 0.0 then begin
+      Printf.eprintf "error: --deadline-floor-ms must be >= 0\n";
+      exit 1
+    end;
     arm_faults ~flag:faults ~seed_flag:fault_seed;
     Log.init_from_env ();
     (match log_file with
@@ -881,7 +893,7 @@ let serve_cmd =
         max_request_bytes = Server.default_max_request_bytes; slow_ms;
         idle_timeout_ms = (if idle_timeout_ms > 0.0 then Some idle_timeout_ms else None);
         read_timeout_ms = (if read_timeout_ms > 0.0 then Some read_timeout_ms else None);
-        retry_after_ms; max_worker_restarts }
+        retry_after_ms; max_worker_restarts; deadline_floor_ms }
     in
     let srv =
       try Server.start cfg with
@@ -927,11 +939,13 @@ let serve_cmd =
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue_depth $ budget_arg
           $ cache_dir_arg $ no_cache_arg $ cache_max_arg $ stats_json_arg $ metrics_port
           $ log_file $ slow_ms $ idle_timeout_ms $ read_timeout_ms $ retry_after_ms
-          $ max_worker_restarts $ faults $ fault_seed)
+          $ max_worker_restarts $ deadline_floor_ms $ faults $ fault_seed)
 
 let exit_code_of_error = function
   | Protocol.Parse | Protocol.Bad_request | Protocol.Bad_instance -> exit_parse_error
-  | Protocol.Overloaded -> exit_temp_fail
+  (* wont_make_it is as transient as overloaded: retry with a fresh
+     deadline and the request is perfectly servable. *)
+  | Protocol.Overloaded | Protocol.Wont_make_it -> exit_temp_fail
   | Protocol.Shutting_down -> exit_unavailable
   | Protocol.Internal -> exit_software
 
@@ -994,7 +1008,16 @@ let client_cmd =
          & info [ "timeout-ms" ]
              ~doc:"Bound the connect and each reply wait by this many milliseconds.")
   in
-  let run op file socket port host budget_ms algos json trace_id retries timeout_ms =
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ]
+             ~doc:"End-to-end budget propagated with the solve: every hop (proxy, server \
+                   queue, engine) subtracts its elapsed time, and a hop that cannot answer \
+                   in the remainder fast-fails with $(i,wont_make_it). A budget-expired \
+                   solve returns the engine's best packing marked degraded.")
+  in
+  let run op file socket port host budget_ms algos json trace_id retries timeout_ms
+      deadline_ms =
     let address = resolve_address socket port host in
     let req =
       match op with
@@ -1013,7 +1036,7 @@ let client_cmd =
               Printf.eprintf "error: %s\n" msg;
               exit exit_io_error
           in
-          Protocol.Solve { instance; budget_ms; algos; trace_id })
+          Protocol.Solve { instance; budget_ms; deadline_ms; algos; trace_id })
     in
     if retries < 0 then begin
       Printf.eprintf "error: --retries must be >= 0\n";
@@ -1075,6 +1098,10 @@ let client_cmd =
       Printf.printf "# winner %s\n" r.Protocol.winner;
       Printf.printf "# source %s\n" r.Protocol.source;
       Printf.printf "# ms %.2f\n" r.Protocol.time_ms;
+      if r.Protocol.degraded then print_endline "# degraded true";
+      (match (r.Protocol.lower_bound, r.Protocol.gap) with
+       | Some lb, Some gap -> Printf.printf "# lower_bound %s gap %s\n" lb gap
+       | _ -> ());
       (match r.Protocol.trace_id with
        | Some id -> Printf.printf "# trace %s\n" id
        | None -> ());
@@ -1084,7 +1111,7 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc:"Send one request to a running spp serve")
     Term.(const run $ op $ file $ socket_arg $ port_arg $ host_arg $ budget_arg $ algos_arg
-          $ json $ trace_id $ retries $ timeout_ms)
+          $ json $ trace_id $ retries $ timeout_ms $ deadline_ms)
 
 let loadgen_cmd =
   let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
@@ -1118,8 +1145,14 @@ let loadgen_cmd =
     Arg.(value & opt int 1
          & info [ "arrival-seed" ] ~doc:"Seed for the pacing stream (per-connection offset).")
   in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ]
+             ~doc:"Propagate this end-to-end budget with every solve; budget-expired \
+                   replies count as $(i,degraded), $(i,wont_make_it) fast-fails as shed.")
+  in
   let run dir connections requests socket port host budget_ms algos stats_json distinct arrival
-      arrival_seed =
+      arrival_seed deadline_ms =
     let address = resolve_address socket port host in
     if connections < 1 || requests < 1 then begin
       Printf.eprintf "error: --connections and --requests must be >= 1\n";
@@ -1180,14 +1213,17 @@ let loadgen_cmd =
         | Io.Prec inst -> Validate.check_prec inst p = []
         | Io.Release inst -> Validate.check_release inst p = [])
     in
-    (* Outcome classes: ok = valid packing; invalid = decoded but wrong
-       packing; shed = overloaded reply; failed = any other structured
-       server error (the server answered — degraded, not broken);
-       transport = no protocol-valid reply at all (reset, hang, garbage).
-       Only invalid and transport make the run exit nonzero: under fault
-       injection sheds and internal errors are expected degradations. *)
+    (* Outcome classes: ok = valid packing, full answer; degraded = valid
+       packing the responder marked budget-cut (an anytime answer, not a
+       failure); invalid = decoded but wrong packing; shed = overloaded
+       or wont_make_it reply (the service chose not to serve in time);
+       failed = any other structured server error (the server answered —
+       impaired, not broken); transport = no protocol-valid reply at all
+       (reset, hang, garbage). Only invalid and transport make the run
+       exit nonzero: under fault injection or tight deadlines the other
+       classes are expected degradations. *)
     let ok = Atomic.make 0 and failed = Atomic.make 0 and invalid = Atomic.make 0 in
-    let shed = Atomic.make 0 and transport = Atomic.make 0 in
+    let shed = Atomic.make 0 and transport = Atomic.make 0 and degraded = Atomic.make 0 in
     let latencies = Array.make connections [] in
     let worker ci () =
       (* Open-loop shaping: each connection draws its own deterministic gap
@@ -1211,13 +1247,16 @@ let loadgen_cmd =
               let t0 = Clock.now_ms () in
               (match
                  Client.request c
-                   (Protocol.Solve { instance = text; budget_ms; algos; trace_id = None })
+                   (Protocol.Solve
+                      { instance = text; budget_ms; deadline_ms; algos; trace_id = None })
                with
                | Protocol.Solve_ok reply ->
                  latencies.(ci) <- Clock.elapsed_ms t0 :: latencies.(ci);
-                 if check parsed reply.Protocol.placement then Atomic.incr ok
-                 else Atomic.incr invalid
-               | Protocol.Error { code = Protocol.Overloaded; _ } -> Atomic.incr shed
+                 if not (check parsed reply.Protocol.placement) then Atomic.incr invalid
+                 else if reply.Protocol.degraded then Atomic.incr degraded
+                 else Atomic.incr ok
+               | Protocol.Error { code = Protocol.Overloaded | Protocol.Wont_make_it; _ } ->
+                 Atomic.incr shed
                | Protocol.Error _ -> Atomic.incr failed
                | _ -> Atomic.incr transport
                | exception Client.Error _ -> Atomic.incr transport)
@@ -1230,8 +1269,8 @@ let loadgen_cmd =
     let wall_ms = Clock.elapsed_ms t0 in
     let lats = Array.to_list latencies |> List.concat in
     let total =
-      Atomic.get ok + Atomic.get invalid + Atomic.get shed + Atomic.get failed
-      + Atomic.get transport
+      Atomic.get ok + Atomic.get degraded + Atomic.get invalid + Atomic.get shed
+      + Atomic.get failed + Atomic.get transport
     in
     let throughput = float_of_int total /. (wall_ms /. 1000.) in
     (* Percentiles by rank interpolation over the sorted sample, computed in
@@ -1245,9 +1284,10 @@ let loadgen_cmd =
         | _ -> None)
     in
     Printf.printf "connections     %d\n" connections;
-    Printf.printf "requests        %d (%d ok, %d invalid, %d shed, %d failed, %d transport)\n"
-      total (Atomic.get ok) (Atomic.get invalid) (Atomic.get shed) (Atomic.get failed)
-      (Atomic.get transport);
+    Printf.printf
+      "requests        %d (%d ok, %d degraded, %d invalid, %d shed, %d failed, %d transport)\n"
+      total (Atomic.get ok) (Atomic.get degraded) (Atomic.get invalid) (Atomic.get shed)
+      (Atomic.get failed) (Atomic.get transport);
     Printf.printf "wall clock      %.1f ms\n" wall_ms;
     Printf.printf "throughput      %.1f req/s\n" throughput;
     Option.iter
@@ -1281,7 +1321,9 @@ let loadgen_cmd =
          Json.Obj
            [ ("connections", Json.Int connections);
              ("requests_per_connection", Json.Int requests); ("requests", Json.Int total);
-             ("ok", Json.Int (Atomic.get ok)); ("invalid", Json.Int (Atomic.get invalid));
+             ("ok", Json.Int (Atomic.get ok));
+             ("degraded", Json.Int (Atomic.get degraded));
+             ("invalid", Json.Int (Atomic.get invalid));
              ("shed", Json.Int (Atomic.get shed)); ("failed", Json.Int (Atomic.get failed));
              ("transport", Json.Int (Atomic.get transport)); ("wall_ms", Json.Float wall_ms);
              ("throughput_rps", Json.Float throughput); ("latency_ms", latency_obj) ]
@@ -1296,7 +1338,8 @@ let loadgen_cmd =
        ~doc:"Closed-loop load generator against a running spp serve: N connections cycling \
              the *.spp files in DIR, validating every reply")
     Term.(const run $ dir $ connections $ requests $ socket_arg $ port_arg $ host_arg
-          $ budget_arg $ algos_arg $ stats_json $ distinct $ arrival $ arrival_seed)
+          $ budget_arg $ algos_arg $ stats_json $ distinct $ arrival $ arrival_seed
+          $ deadline_ms)
 
 (* ------------------------------------------------------------------ *)
 (* proxy *)
@@ -1387,12 +1430,48 @@ let proxy_cmd =
     Arg.(value & opt (some string) None
          & info [ "log-file" ] ~doc:"Append JSON log lines to this file instead of stderr.")
   in
+  let hedge_ms =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "off" -> Ok Proxy.Hedge_off
+      | "auto" -> Ok Proxy.Hedge_auto
+      | _ -> (
+        match float_of_string_opt s with
+        | Some ms when ms > 0.0 -> Ok (Proxy.Hedge_fixed ms)
+        | _ -> Error (`Msg (Printf.sprintf "bad hedge delay %S (want off, auto, or MS > 0)" s)))
+    in
+    let print fmt = function
+      | Proxy.Hedge_off -> Format.pp_print_string fmt "off"
+      | Proxy.Hedge_auto -> Format.pp_print_string fmt "auto"
+      | Proxy.Hedge_fixed ms -> Format.fprintf fmt "%g" ms
+    in
+    Arg.(value & opt (conv (parse, print)) Proxy.Hedge_auto
+         & info [ "hedge-ms" ] ~docv:"off|auto|MS"
+             ~doc:"Re-issue a still-pending solve to the next ring successor after this many \
+                   milliseconds and let the first reply win. $(b,auto) (the default) derives \
+                   the delay from the observed upstream p99; $(b,off) disables hedging.")
+  in
+  let breaker_window =
+    Arg.(value & opt int Spp_cluster.Breaker.default_window
+         & info [ "breaker-window" ]
+             ~doc:"Rolling per-backend outcomes the circuit breaker remembers.")
+  in
+  let breaker_threshold =
+    Arg.(value & opt int Spp_cluster.Breaker.default_threshold
+         & info [ "breaker-threshold" ]
+             ~doc:"Transport failures within the window that open a backend's breaker.")
+  in
+  let breaker_cooldown_ms =
+    Arg.(value & opt float Spp_cluster.Breaker.default_cooldown_ms
+         & info [ "breaker-cooldown-ms" ]
+             ~doc:"How long an open breaker waits before trying one half-open probe request.")
+  in
   let faults =
     Arg.(value & opt (some string) None
          & info [ "faults" ] ~docv:"SPEC"
              ~doc:"Arm deterministic fault injection, e.g. \
-                   $(b,proxy.upstream=0.2,proxy.health=once). Also read from \
-                   $(b,SPP_FAULTS) (this flag wins).")
+                   $(b,proxy.upstream=0.2,proxy.health=once,proxy.hedge=once). Also read \
+                   from $(b,SPP_FAULTS) (this flag wins).")
   in
   let fault_seed =
     Arg.(value & opt (some int) None
@@ -1400,7 +1479,8 @@ let proxy_cmd =
              ~doc:"PRNG seed for fault probabilities (also $(b,SPP_FAULT_SEED); default 0).")
   in
   let run socket port host backends replicas cache_cap pool_size upstream_timeout_ms failover
-      probe_ms fail_after revive_after metrics_port log_file faults fault_seed =
+      probe_ms fail_after revive_after hedge breaker_window breaker_threshold
+      breaker_cooldown_ms metrics_port log_file faults fault_seed =
     let address = resolve_address socket port host in
     arm_faults ~flag:faults ~seed_flag:fault_seed;
     Log.init_from_env ();
@@ -1417,7 +1497,8 @@ let proxy_cmd =
         Proxy.replicas; cache_capacity = cache_cap; pool_size;
         upstream_timeout_ms =
           (if upstream_timeout_ms > 0.0 then Some upstream_timeout_ms else None);
-        failover; probe_interval_ms = probe_ms; fail_after; revive_after; registry;
+        failover; probe_interval_ms = probe_ms; fail_after; revive_after; registry; hedge;
+        breaker_window; breaker_threshold; breaker_cooldown_ms;
         (* Per-process jitter seed: a fleet of proxies must not probe in
            lockstep. *)
         seed = Unix.getpid () lxor int_of_float (Clock.now_ms ()) }
@@ -1469,6 +1550,7 @@ let proxy_cmd =
              membership")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ backends $ replicas $ cache_cap
           $ pool_size $ upstream_timeout_ms $ failover $ probe_ms $ fail_after $ revive_after
+          $ hedge_ms $ breaker_window $ breaker_threshold $ breaker_cooldown_ms
           $ metrics_port $ log_file $ faults $ fault_seed)
 
 (* ------------------------------------------------------------------ *)
@@ -1542,6 +1624,11 @@ type top_stat = {
   ts_minor_rate : float option;  (* minor GCs/s *)
   ts_major_rate : float option;
   ts_cpu : float option;  (* busy cores over the sampler interval *)
+  ts_degraded : float;  (* anytime (budget-cut) replies served *)
+  ts_deadline_rejects : float;  (* wont_make_it fast-fails, all stages *)
+  ts_hedges : float;  (* hedged re-issues fired (proxy only) *)
+  ts_hedge_wins : float;  (* solves where the hedge answered first *)
+  ts_breakers : (string * float) list;  (* breaker state by backend: 0/1/2 *)
 }
 
 let top_down endpoint msg =
@@ -1549,7 +1636,8 @@ let top_down endpoint msg =
     ts_requests = 0.0; ts_rate = None; ts_p50 = None; ts_p95 = None; ts_p99 = None;
     ts_hit_ratio = None; ts_algos = []; ts_pivots = 0.0; ts_bb_count = 0; ts_bb_sum = 0.0;
     ts_bb_pruned = 0.0; ts_colgen_cols = 0.0; ts_colgen_rounds = 0.0; ts_heap_words = None;
-    ts_minor_rate = None; ts_major_rate = None; ts_cpu = None }
+    ts_minor_rate = None; ts_major_rate = None; ts_cpu = None; ts_degraded = 0.0;
+    ts_deadline_rejects = 0.0; ts_hedges = 0.0; ts_hedge_wins = 0.0; ts_breakers = [] }
 
 (* Digest one scrape. Server and proxy expose different families for the
    same idea (spp_requests_total vs spp_proxy_ops_total, ...); prefer the
@@ -1607,7 +1695,12 @@ let top_poll prevs (host, port) =
       ts_colgen_rounds = Promtext.sum s "spp_colgen_rounds_total";
       ts_heap_words = Promtext.value s "spp_gc_heap_words";
       ts_minor_rate = minor_rate; ts_major_rate = major_rate;
-      ts_cpu = Promtext.value s "spp_cpu_utilization" }
+      ts_cpu = Promtext.value s "spp_cpu_utilization";
+      ts_degraded = Promtext.sum s "spp_degraded_replies_total";
+      ts_deadline_rejects = Promtext.sum s "spp_deadline_rejects_total";
+      ts_hedges = Promtext.sum s "spp_hedges_total";
+      ts_hedge_wins = Promtext.sum s "spp_hedge_wins_total";
+      ts_breakers = Promtext.label_values s ~name:"spp_breaker_state" ~label:"backend" }
 
 let top_json_of_stat st =
   let opt name v = Option.map (fun f -> (name, Json.Float f)) v in
@@ -1636,7 +1729,14 @@ let top_json_of_stat st =
         opt "gc_heap_words" st.ts_heap_words;
         opt "gc_minor_per_s" st.ts_minor_rate;
         opt "gc_major_per_s" st.ts_major_rate;
-        opt "cpu_utilization" st.ts_cpu ]
+        opt "cpu_utilization" st.ts_cpu;
+        Some ("degraded_total", Json.Float st.ts_degraded);
+        Some ("deadline_rejects_total", Json.Float st.ts_deadline_rejects);
+        Some ("hedges_total", Json.Float st.ts_hedges);
+        Some ("hedge_wins_total", Json.Float st.ts_hedge_wins);
+        Some
+          ( "breakers",
+            Json.Obj (List.map (fun (b, v) -> (b, Json.Float v)) st.ts_breakers) ) ]
   in
   Json.Obj
     (("endpoint", Json.String st.ts_endpoint)
@@ -1678,6 +1778,26 @@ let top_render stats =
                 %.0f cols / %.0f rounds\n"
                st.ts_pivots st.ts_bb_sum st.ts_bb_count st.ts_bb_pruned st.ts_colgen_cols
                st.ts_colgen_rounds);
+        if
+          st.ts_hedges > 0.0 || st.ts_degraded > 0.0 || st.ts_deadline_rejects > 0.0
+          || List.exists (fun (_, v) -> v > 0.0) st.ts_breakers
+        then
+          Buffer.add_string buf
+            (Printf.sprintf "  resilience: hedges %.0f (%.0f wins), degraded %.0f, \
+                             deadline rejects %.0f%s\n"
+               st.ts_hedges st.ts_hedge_wins st.ts_degraded st.ts_deadline_rejects
+               (match
+                  List.filter_map
+                    (fun (b, v) ->
+                      if v > 0.0 then
+                        Some
+                          (Printf.sprintf "%s %s" b
+                             (if v >= 2.0 then "OPEN" else "half-open"))
+                      else None)
+                    st.ts_breakers
+                with
+                | [] -> ""
+                | tripped -> ", breakers: " ^ String.concat ", " tripped));
         (match st.ts_heap_words with
          | None -> ()
          | Some w ->
@@ -1773,7 +1893,8 @@ let top_cmd =
     (Cmd.info "top"
        ~doc:"Live terminal dashboard over spp serve / spp proxy metrics endpoints: request \
              rates, latency percentiles from histogram buckets, cache hit share, portfolio \
-             win shares, solver profiling counters, and GC churn")
+             win shares, solver profiling counters, hedge/breaker/degraded resilience \
+             series, and GC churn")
     Term.(const run $ endpoints_pos $ interval_arg $ once_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)

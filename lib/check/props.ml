@@ -534,6 +534,44 @@ let diff_engine =
                    valid "store round trip" r2 ])
          end))
 
+let sound_engine_degraded =
+  prop "sound.engine.degraded"
+    "a zero-budget solve returns an anytime answer that still validates, with \
+     height = lower_bound + gap and gap >= 0"
+    [ "prec"; "release"; "engine" ]
+    (fun parsed ->
+      let size =
+        match parsed with
+        | Io.Prec inst -> I.Prec.size inst
+        | Io.Release inst -> I.Release.size inst
+      in
+      if size > engine_gate then Skip
+      else begin
+        let e = Spp_engine.Engine.create () in
+        let r = Spp_engine.Engine.solve ~budget_ms:0.0 ~workers:1 e parsed in
+        let valid =
+          let vs =
+            match parsed with
+            | Io.Prec inst -> Validate.check_prec inst r.Spp_engine.Engine.placement
+            | Io.Release inst -> Validate.check_release inst r.Spp_engine.Engine.placement
+          in
+          match vs with
+          | [] -> (true, fun () -> "")
+          | vs -> (false, fun () -> "degraded answer: " ^ pp_violations vs)
+        in
+        all_pass
+          [ valid;
+            (Q.compare r.Spp_engine.Engine.gap Q.zero >= 0,
+             fun () -> Printf.sprintf "negative gap %s" (qs r.Spp_engine.Engine.gap));
+            (Q.equal r.Spp_engine.Engine.height
+               (Q.add r.Spp_engine.Engine.lower_bound r.Spp_engine.Engine.gap),
+             fun () ->
+               Printf.sprintf "height %s /= lower bound %s + gap %s"
+                 (qs r.Spp_engine.Engine.height)
+                 (qs r.Spp_engine.Engine.lower_bound)
+                 (qs r.Spp_engine.Engine.gap)) ]
+      end)
+
 (* ------------------------------------------------------------------ *)
 (* Planted bug (self test) *)
 
@@ -567,7 +605,7 @@ let all =
     sound_dc; sound_ls_prec; sound_uniform_f; sound_uniform_pff; sound_uniform_wave;
     sound_ls_release; sound_shelf; sound_shelf_ff;
     guar_dc_thm23; guar_prec_lb; guar_uniform_f_thm26; guar_release_lb; guar_aptas;
-    diff_exact_prec; diff_uniform_dp; diff_exact_release; diff_engine;
+    diff_exact_prec; diff_uniform_dp; diff_exact_release; diff_engine; sound_engine_degraded;
     meta_relabel; meta_edge_drop; meta_release_slacken;
     sound_sim_ff; sound_sim_buffered; sound_sim_repack; sim_stream;
   ]

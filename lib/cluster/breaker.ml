@@ -1,0 +1,102 @@
+module Clock = Spp_util.Clock
+
+type state = Closed | Open | Half_open
+
+type t = {
+  window : int;
+  threshold : int;
+  cooldown_ms : float;
+  mu : Mutex.t;
+  ring : bool array;  (* rolling outcomes; [true] = failure *)
+  mutable count : int;  (* observations recorded, capped at [window] *)
+  mutable idx : int;  (* next write position *)
+  mutable failures : int;  (* failures currently in the ring *)
+  mutable state : state;
+  mutable opened_ms : float;  (* Clock time of the last trip *)
+  mutable probing : bool;  (* the half-open probe slot is out *)
+  mutable trips : int;
+}
+
+let default_window = 8
+let default_threshold = 5
+let default_cooldown_ms = 5_000.0
+
+let create ?(window = default_window) ?(threshold = default_threshold)
+    ?(cooldown_ms = default_cooldown_ms) () =
+  if window < 1 then invalid_arg "Breaker.create: window must be >= 1";
+  if threshold < 1 || threshold > window then
+    invalid_arg "Breaker.create: threshold must be in [1, window]";
+  if cooldown_ms <= 0.0 then invalid_arg "Breaker.create: cooldown_ms must be > 0";
+  { window; threshold; cooldown_ms; mu = Mutex.create ();
+    ring = Array.make window false; count = 0; idx = 0; failures = 0;
+    state = Closed; opened_ms = 0.0; probing = false; trips = 0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let reset_window_locked t =
+  Array.fill t.ring 0 t.window false;
+  t.count <- 0;
+  t.idx <- 0;
+  t.failures <- 0
+
+let trip_locked t =
+  t.state <- Open;
+  t.opened_ms <- Clock.now_ms ();
+  t.probing <- false;
+  t.trips <- t.trips + 1
+
+let allow t =
+  locked t (fun () ->
+      match t.state with
+      | Closed -> true
+      | Open ->
+        if Clock.elapsed_ms t.opened_ms >= t.cooldown_ms then begin
+          (* Cooldown over: half-open, and this caller is the probe. *)
+          t.state <- Half_open;
+          t.probing <- true;
+          true
+        end
+        else false
+      | Half_open ->
+        if t.probing then false
+        else begin
+          t.probing <- true;
+          true
+        end)
+
+let record t ~ok =
+  locked t (fun () ->
+      match t.state with
+      | Half_open ->
+        (* The probe's verdict decides alone — the old window is stale. *)
+        t.probing <- false;
+        if ok then begin
+          t.state <- Closed;
+          reset_window_locked t
+        end
+        else trip_locked t
+      | Open ->
+        (* A straggler launched before the trip; its outcome is about the
+           pre-trip era and must not consume the coming probe's verdict. *)
+        ()
+      | Closed ->
+        let evicted = if t.count = t.window then t.ring.(t.idx) else false in
+        t.ring.(t.idx) <- not ok;
+        t.idx <- (t.idx + 1) mod t.window;
+        if t.count < t.window then t.count <- t.count + 1;
+        if evicted then t.failures <- t.failures - 1;
+        if not ok then t.failures <- t.failures + 1;
+        if t.failures >= t.threshold then trip_locked t)
+
+let state t = locked t (fun () -> t.state)
+let trips t = locked t (fun () -> t.trips)
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Half_open -> "half_open"
+  | Open -> "open"
+
+let state_value t =
+  match state t with Closed -> 0.0 | Half_open -> 1.0 | Open -> 2.0

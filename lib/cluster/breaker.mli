@@ -1,0 +1,65 @@
+(** Per-backend circuit breaker.
+
+    Complements the proxy's passive/probed health (consecutive streaks
+    flipping ring membership) with a faster, burst-sensitive trip: a
+    rolling window of the last [window] attempt outcomes opens the
+    circuit once [threshold] of them are failures — no need for the
+    failures to be consecutive, which is exactly the case (a backend
+    failing 5 of its last 8, interleaved with successes) the streak
+    counters are blind to.
+
+    State machine:
+
+    {v
+      Closed --[threshold failures in window]--> Open
+      Open   --[cooldown_ms elapsed]--> Half_open (one probe granted)
+      Half_open --[probe ok]--> Closed (window reset)
+      Half_open --[probe failed]--> Open (cooldown restarts)
+    v}
+
+    While [Open], {!allow} answers [false] and the proxy skips the
+    backend without spending a connection on it. [Half_open] grants a
+    single live request as the probe; concurrent callers are refused
+    until its verdict lands. Outcomes recorded while [Open] (stragglers
+    launched before the trip) are ignored — they describe the pre-trip
+    era and must not consume the probe's verdict.
+
+    All timing reads {!Spp_util.Clock}, so the cooldown is testable
+    under frozen/advanced virtual time. Thread-safe. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val default_window : int  (** 8 *)
+
+val default_threshold : int  (** 5 *)
+
+val default_cooldown_ms : float  (** 5000 *)
+
+(** [create ()] starts [Closed] with an empty window.
+    @raise Invalid_argument on [window < 1], [threshold] outside
+    [\[1, window\]], or [cooldown_ms <= 0]. *)
+val create : ?window:int -> ?threshold:int -> ?cooldown_ms:float -> unit -> t
+
+(** [allow t] — may a request be sent now? [Closed]: always. [Open]:
+    [false] until [cooldown_ms] has elapsed, then the circuit moves to
+    [Half_open] and this call is granted as the probe. [Half_open]:
+    [false] while the probe slot is out. A granted caller must
+    eventually {!record} its outcome. *)
+val allow : t -> bool
+
+(** [record t ~ok] feeds one attempt outcome (transport success/failure,
+    as the proxy classifies it) into the window and runs the
+    transitions described above. *)
+val record : t -> ok:bool -> unit
+
+val state : t -> state
+val state_to_string : state -> string
+
+(** Numeric encoding for the [spp_breaker_state] gauge:
+    0 closed, 1 half-open, 2 open. *)
+val state_value : t -> float
+
+(** Times the circuit has tripped to [Open] since creation. *)
+val trips : t -> int

@@ -1,6 +1,8 @@
 module Client = Spp_server.Client
 module Framing = Spp_server.Framing
 module Json = Spp_server.Json
+module Bqueue = Spp_server.Bqueue
+module Deadline = Spp_util.Deadline
 module Protocol = Spp_server.Protocol
 module Lru = Spp_engine.Lru
 module Fingerprint = Spp_engine.Fingerprint
@@ -11,6 +13,8 @@ module Metrics = Spp_obs.Metrics
 module Trace = Spp_obs.Trace
 module Log = Spp_obs.Log
 module Field = Spp_obs.Field
+
+type hedge_policy = Hedge_off | Hedge_auto | Hedge_fixed of float
 
 type config = {
   address : Framing.address;
@@ -25,18 +29,33 @@ type config = {
   revive_after : int;
   registry : Metrics.t;
   seed : int;
+  hedge : hedge_policy;
+  breaker_window : int;
+  breaker_threshold : int;
+  breaker_cooldown_ms : float;
 }
 
 let default_config ~address ~backends () =
   { address; backends; replicas = Ring.default_replicas; cache_capacity = 512;
     pool_size = Upstream.default_pool_size; upstream_timeout_ms = Some 5_000.0;
     failover = 2; probe_interval_ms = 1_000.0; fail_after = 3; revive_after = 2;
-    registry = Metrics.create (); seed = 0 }
+    registry = Metrics.create (); seed = 0; hedge = Hedge_off;
+    breaker_window = Breaker.default_window; breaker_threshold = Breaker.default_threshold;
+    breaker_cooldown_ms = Breaker.default_cooldown_ms }
+
+(* Auto-hedging needs enough latency history to know what "slow" means,
+   and must never hedge at microsecond scale just because the backends
+   are fast. *)
+let hedge_auto_min_samples = 32
+let hedge_auto_floor_ms = 25.0
 
 (* Per-backend health state. [fails]/[oks] count *consecutive* outcomes;
-   all three fields are guarded by the proxy's [health_mu]. *)
+   both are guarded by the proxy's [health_mu]. The breaker carries its
+   own lock — it is consulted on the request path where taking
+   [health_mu] would serialize attempts. *)
 type backend = {
   up : Upstream.t;
+  brk : Breaker.t;
   mutable alive : bool;
   mutable fails : int;
   mutable oks : int;
@@ -50,6 +69,9 @@ type instruments = {
   m_cache_misses : Metrics.counter;
   m_request_ms : Metrics.histogram;
   m_upstream_ms : Metrics.histogram;
+  m_hedges : Metrics.counter;
+  m_hedge_wins : Metrics.counter;
+  m_deadline_rejects : Metrics.counter;
 }
 
 type conn = { fd : Unix.file_descr }
@@ -248,18 +270,122 @@ let rec imported_of_span j =
 
 let imported_of_trace_json j = Option.bind (Json.member "root" j) imported_of_span
 
+(* How long to let the leading attempt run before re-issuing the solve
+   to the next candidate. [None] = hedging off (policy off, or auto
+   without enough latency history yet). *)
+let hedge_delay_ms t =
+  match t.cfg.hedge with
+  | Hedge_off -> None
+  | Hedge_fixed ms -> Some ms
+  | Hedge_auto -> (
+    match Metrics.find_histogram t.mx.reg "spp_proxy_upstream_ms" with
+    | Some h when h.Metrics.total >= hedge_auto_min_samples ->
+      Some (Float.max hedge_auto_floor_ms (Metrics.hist_quantile h 0.99))
+    | Some _ | None -> None)
+
+(* What one concluded attempt means for the walk: [Win] answers the
+   client now; [Next] fails over, optionally remembering a backend-state
+   reply so "every candidate is sick" surfaces the last real reply (with
+   its own retry hint) rather than a synthetic one. *)
+type verdict = Win of Protocol.response | Next of Protocol.response option
+
+(* One upstream attempt, with every side effect it owns: the breaker
+   gate, metrics, health notes, the trace span (named [hedge] for a
+   hedged re-issue) and the graft of the backend's returned span tree.
+   The request is (re-)encoded here so a hedged launch carries the
+   deadline {e remaining at launch time}, not at walk start — and the
+   same remainder bounds the reply wait, which is also what reins in a
+   losing attempt server-side after its rival already answered. *)
+let run_attempt t ~instance ~budget_ms ~deadline ~algos ~trace ~hedged b =
+  let name = Upstream.name b.up in
+  if not (Breaker.allow b.brk) then begin
+    count_upstream t name "breaker_open";
+    Next None
+  end
+  else begin
+    let req =
+      Protocol.Solve
+        { instance; budget_ms; deadline_ms = Option.map Deadline.forward_ms deadline;
+          algos; trace_id = Option.map Trace.id trace }
+    in
+    let timeout_ms =
+      match (deadline, t.cfg.upstream_timeout_ms) with
+      | None, _ -> None
+      | Some d, None -> Some (Deadline.remaining_ms d)
+      | Some d, Some pt -> Some (Float.min pt (Deadline.remaining_ms d))
+    in
+    let attempt () =
+      let call () = Upstream.call ?timeout_ms b.up req in
+      match trace with
+      | None -> call ()
+      | Some tr ->
+        Trace.with_span tr ~parent:(Trace.root tr)
+          (if hedged then "hedge" else "upstream")
+          (fun s ->
+            Trace.add_fields tr s [ ("backend", Field.String name) ];
+            match call () with
+            | Protocol.Solve_ok ({ trace = Some j; _ } as r) ->
+              (* Graft the backend's tree under this span, rebased onto
+                 the proxy's timeline at the moment the upstream call
+                 began, then drop the raw field — the stitched tree
+                 supersedes it. *)
+              Option.iter
+                (fun imp -> Trace.graft tr ~parent:s ~offset_ms:(Trace.start_ms s) imp)
+                (imported_of_trace_json j);
+              Protocol.Solve_ok { r with Protocol.trace = None }
+            | other -> other)
+    in
+    let t0 = Clock.now_ms () in
+    match attempt () with
+    | Protocol.Solve_ok _ as r ->
+      observe_upstream t name (Clock.elapsed_ms t0);
+      count_upstream t name "ok";
+      note_result t b true;
+      Breaker.record b.brk ~ok:true;
+      Win r
+    | Protocol.Error
+        { code = Protocol.Overloaded | Protocol.Shutting_down | Protocol.Internal; _ } as r
+      ->
+      count_upstream t name "failed";
+      note_result t b true;
+      Breaker.record b.brk ~ok:true;
+      Next (Some r)
+    | Protocol.Error _ as r ->
+      (* Instance-specific rejection: every backend would say the same. *)
+      count_upstream t name "rejected";
+      note_result t b true;
+      Breaker.record b.brk ~ok:true;
+      Win r
+    | _other ->
+      count_upstream t name "failed";
+      note_result t b true;
+      Breaker.record b.brk ~ok:true;
+      Next
+        (Some
+           (Protocol.Error
+              { code = Protocol.Internal;
+                message = "backend sent a non-solve reply to a solve";
+                retry_after_ms = None }))
+    | exception Client.Error { kind; message; _ } ->
+      count_upstream t name "transport";
+      note_result t b false;
+      Breaker.record b.brk ~ok:false;
+      Log.warn "upstream call failed"
+        [ ("backend", Field.String name);
+          ("kind", Field.String (Client.kind_to_string kind));
+          ("error", Field.String message) ];
+      Next None
+  end
+
 (* Walk [fp]'s ring successors, first to answer wins. Backend-state
    errors (overloaded / shutting_down / internal) fail over like
-   transport errors but are remembered: if every candidate is in that
-   state, the client sees the last such reply (it carries the backend's
-   own retry hint) rather than a synthetic one. Instance-specific
-   rejections return immediately — every backend would say the same. *)
-let upstream_solve t ~fp ~instance ~budget_ms ~algos ~trace =
-  (* Propagate the client's trace id on the upstream call so the backend
-     records (and returns) its own span tree under the same id. *)
-  let req =
-    Protocol.Solve { instance; budget_ms; algos; trace_id = Option.map Trace.id trace }
-  in
+   transport errors but are remembered. With hedging on, a candidate
+   that is merely {e slow} also triggers failover: after [hedge_delay]
+   with no verdict the next candidate is launched in parallel and the
+   first reply wins — the loser is abandoned (its thread drains into an
+   unread mailbox; its propagated deadline bounds the work it can still
+   cost a backend). *)
+let upstream_solve t ~fp ~instance ~budget_ms ~deadline ~algos ~trace =
   let candidates =
     let ring = current_ring t in
     let rec take n = function
@@ -269,71 +395,81 @@ let upstream_solve t ~fp ~instance ~budget_ms ~algos ~trace =
     in
     take (t.cfg.failover + 1) (Ring.successors ring fp)
   in
-  let attempt b =
-    let call () = Upstream.call b.up req in
-    match trace with
-    | None -> call ()
-    | Some tr ->
-      Trace.with_span tr ~parent:(Trace.root tr) "upstream" (fun s ->
-          Trace.add_fields tr s [ ("backend", Field.String (Upstream.name b.up)) ];
-          match call () with
-          | Protocol.Solve_ok ({ trace = Some j; _ } as r) ->
-            (* Graft the backend's tree under this span, rebased onto the
-               proxy's timeline at the moment the upstream call began,
-               then drop the raw field — the stitched tree supersedes it. *)
-            Option.iter
-              (fun imp -> Trace.graft tr ~parent:s ~offset_ms:(Trace.start_ms s) imp)
-              (imported_of_trace_json j);
-            Protocol.Solve_ok { r with Protocol.trace = None }
-          | other -> other)
+  let run ~hedged name =
+    run_attempt t ~instance ~budget_ms ~deadline ~algos ~trace ~hedged
+      (Hashtbl.find t.by_name name)
   in
-  let rec walk last = function
-    | [] -> (
-      match last with
-      | Some r -> r
-      | None ->
-        no_backend_error t
-          (if candidates = [] then "no live backend"
-           else "all candidate backends unreachable"))
-    | name :: rest -> (
-      let b = Hashtbl.find t.by_name name in
-      let t0 = Clock.now_ms () in
-      match attempt b with
-      | Protocol.Solve_ok _ as r ->
-        observe_upstream t name (Clock.elapsed_ms t0);
-        count_upstream t name "ok";
-        note_result t b true;
-        r
-      | Protocol.Error
-          { code = Protocol.Overloaded | Protocol.Shutting_down | Protocol.Internal; _ }
-        as r ->
-        count_upstream t name "failed";
-        note_result t b true;
-        walk (Some r) rest
-      | Protocol.Error _ as r ->
-        count_upstream t name "rejected";
-        note_result t b true;
-        r
-      | _other ->
-        count_upstream t name "failed";
-        note_result t b true;
-        walk
-          (Some
-             (Protocol.Error
-                { code = Protocol.Internal;
-                  message = "backend sent a non-solve reply to a solve";
-                  retry_after_ms = None }))
-          rest
-      | exception Client.Error { kind; message; _ } ->
-        count_upstream t name "transport";
-        note_result t b false;
-        Log.warn "upstream call failed"
-          [ ("backend", Field.String name);
-            ("kind", Field.String (Client.kind_to_string kind));
-            ("error", Field.String message) ];
-        walk last rest)
+  let give_up last =
+    match last with
+    | Some r -> r
+    | None ->
+      no_backend_error t
+        (if candidates = [] then "no live backend"
+         else "all candidate backends unreachable")
   in
-  walk None candidates
+  match hedge_delay_ms t with
+  | None ->
+    (* Sequential: each candidate concludes before the next is tried. *)
+    let rec walk last = function
+      | [] -> give_up last
+      | name :: rest -> (
+        match run ~hedged:false name with
+        | Win r -> r
+        | Next None -> walk last rest
+        | Next (Some r) -> walk (Some r) rest)
+    in
+    walk None candidates
+  | Some delay -> (
+    match candidates with
+    | [] -> give_up None
+    | first :: _ ->
+      (* Concluded verdicts arrive through a mailbox sized for every
+         candidate, so a loser's late push never blocks its thread. *)
+      let mailbox = Bqueue.create ~capacity:(List.length candidates) in
+      let launch ~hedged name =
+        ignore
+          (Thread.create
+             (fun () -> ignore (Bqueue.try_push mailbox (hedged, run ~hedged name)))
+             ())
+      in
+      launch ~hedged:false first;
+      (* [outstanding] attempts are in flight; [pending] candidates are
+         not yet launched. The hedge timer only runs while both are
+         non-trivial: a verdict-concluded failover launches immediately,
+         and with nothing left to launch we just wait out the leader. *)
+      let rec collect ~outstanding ~pending ~last =
+        if outstanding = 0 then (
+          match pending with
+          | [] -> give_up last
+          | name :: pending ->
+            launch ~hedged:false name;
+            collect ~outstanding:1 ~pending ~last)
+        else begin
+          let timeout_ms = if pending = [] then 60_000.0 else delay in
+          match Bqueue.pop_within mailbox ~timeout_ms with
+          | Some (hedged, Win r) ->
+            if hedged then Metrics.incr t.mx.m_hedge_wins;
+            r
+          | Some (_, Next remembered) ->
+            let last = match remembered with Some _ -> remembered | None -> last in
+            collect ~outstanding:(outstanding - 1) ~pending ~last
+          | None -> (
+            match pending with
+            | [] -> collect ~outstanding ~pending ~last
+            | name :: pending -> (
+              (* The leader is slow. [proxy.hedge] suppresses exactly
+                 this re-issue — the chaos hook for "the hedge did not
+                 help" — after which the candidate is gone for good. *)
+              match Spp_util.Fault.hit "proxy.hedge" with
+              | () ->
+                Metrics.incr t.mx.m_hedges;
+                launch ~hedged:true name;
+                collect ~outstanding:(outstanding + 1) ~pending ~last
+              | exception Spp_util.Fault.Injected _ ->
+                collect ~outstanding ~pending ~last))
+        end
+      in
+      collect ~outstanding:1 ~pending:(List.tl candidates) ~last:None)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling *)
@@ -344,8 +480,11 @@ let count_op t op =
        "spp_proxy_ops_total")
 
 let snoop t fp = function
-  | Protocol.Solve_ok r ->
-    (* A replayed trace would be a lie — cache the reply without it. *)
+  | Protocol.Solve_ok r when not r.Protocol.degraded ->
+    (* A replayed trace would be a lie — cache the reply without it.
+       Degraded replies are never snooped at all: they are one budget's
+       best effort, and replaying one to a caller with a roomier
+       deadline would silently pin the cluster at the degraded answer. *)
     Option.iter
       (fun lru -> Lru.add lru fp { r with Protocol.trace_id = None; trace = None })
       t.cache
@@ -361,7 +500,11 @@ let embed_trace trace (r : Protocol.solve_reply) =
   | Some tr ->
     { r with Protocol.trace = Result.to_option (Json.of_string (Trace.to_json tr)) }
 
-let handle_solve t ~instance ~budget_ms ~algos ~trace_id =
+let handle_solve t ~instance ~budget_ms ~deadline_ms ~algos ~trace_id =
+  (* Pin the propagated deadline to the proxy's clock at receipt: routing,
+     the cache probe, coalescing and the upstream wait all count against
+     it, and each upstream launch forwards only what then remains. *)
+  let deadline = Deadline.of_request deadline_ms in
   let trace = Option.map (fun id -> Trace.create ~id ~name:"proxy" ()) trace_id in
   if Atomic.get t.stopping then
     ( Protocol.Error
@@ -393,11 +536,23 @@ let handle_solve t ~instance ~budget_ms ~algos ~trace_id =
         trace;
       (match cached with
        | Some r ->
+         (* A warm hit is served whatever the deadline says — the answer
+            is already in hand, and instantly beats "won't make it". *)
          ( Protocol.Solve_ok
              (embed_trace trace { r with Protocol.source = "cache.proxy"; trace_id }),
            trace )
+       | None
+         when (match deadline with Some d -> Deadline.expired d | None -> false) ->
+         (* Nothing cached and no time left to ask a backend: fast-fail
+            here rather than burn an upstream call on a reply the client
+            will never wait for. *)
+         Metrics.incr t.mx.m_deadline_rejects;
+         ( Protocol.Error
+             { code = Protocol.Wont_make_it; message = "deadline exhausted at the proxy";
+               retry_after_ms = Some (int_of_float t.cfg.probe_interval_ms) },
+           trace )
        | None ->
-         let lead () = upstream_solve t ~fp ~instance ~budget_ms ~algos ~trace in
+         let lead () = upstream_solve t ~fp ~instance ~budget_ms ~deadline ~algos ~trace in
          let outcome =
            match trace with
            | None -> Coalesce.run t.coalesce fp lead
@@ -477,9 +632,9 @@ let respond t line =
     Log.info "shutdown requested" [];
     stop t;
     (Protocol.Shutdown_ok, None)
-  | Ok (Protocol.Solve { instance; budget_ms; algos; trace_id }) ->
+  | Ok (Protocol.Solve { instance; budget_ms; deadline_ms; algos; trace_id }) ->
     count_op t "solve";
-    handle_solve t ~instance ~budget_ms ~algos ~trace_id
+    handle_solve t ~instance ~budget_ms ~deadline_ms ~algos ~trace_id
 
 (* ------------------------------------------------------------------ *)
 (* Connections (same shape as Server: acceptor + thread per connection) *)
@@ -601,7 +756,16 @@ let instruments reg =
         "spp_proxy_request_ms";
     m_upstream_ms =
       Metrics.histogram reg ~help:"Upstream solve latency over all backends (ms)"
-        "spp_proxy_upstream_ms" }
+        "spp_proxy_upstream_ms";
+    m_hedges =
+      Metrics.counter reg ~help:"Hedged re-issues launched against a second backend"
+        "spp_hedges_total";
+    m_hedge_wins =
+      Metrics.counter reg ~help:"Solves answered by a hedged attempt before the leader"
+        "spp_hedge_wins_total";
+    m_deadline_rejects =
+      Metrics.counter reg ~help:"Solves fast-failed because the propagated deadline ran out"
+        ~labels:[ ("stage", "proxy") ] "spp_deadline_rejects_total" }
 
 let start (cfg : config) =
   if cfg.backends = [] then invalid_arg "Proxy.start: no backends";
@@ -613,6 +777,9 @@ let start (cfg : config) =
     invalid_arg "Proxy.start: probe_interval_ms must be > 0";
   if cfg.fail_after < 1 then invalid_arg "Proxy.start: fail_after must be >= 1";
   if cfg.revive_after < 1 then invalid_arg "Proxy.start: revive_after must be >= 1";
+  (match cfg.hedge with
+   | Hedge_fixed ms when ms <= 0.0 -> invalid_arg "Proxy.start: hedge delay must be > 0"
+   | Hedge_fixed _ | Hedge_off | Hedge_auto -> ());
   Spp_server.Signals.ignore_sigpipe ();
   let backends =
     Array.of_list
@@ -621,6 +788,10 @@ let start (cfg : config) =
            { up =
                Upstream.create ~pool_size:cfg.pool_size
                  ?timeout_ms:cfg.upstream_timeout_ms addr;
+             brk =
+               (* Raises on out-of-range knobs — Breaker validates its own. *)
+               Breaker.create ~window:cfg.breaker_window ~threshold:cfg.breaker_threshold
+                 ~cooldown_ms:cfg.breaker_cooldown_ms ();
              alive = true; fails = 0; oks = 0 })
          cfg.backends)
   in
@@ -649,6 +820,13 @@ let start (cfg : config) =
     "spp_proxy_inflight_flights" (fun () -> float_of_int (Coalesce.in_flight t.coalesce));
   Metrics.gauge_fn cfg.registry ~help:"Seconds since the proxy started"
     "spp_proxy_uptime_seconds" (fun () -> Clock.elapsed_ms t.started_ms /. 1000.0);
+  Array.iter
+    (fun b ->
+      Metrics.gauge_fn cfg.registry
+        ~help:"Circuit breaker state per backend (0 closed, 1 half-open, 2 open)"
+        ~labels:[ ("backend", Upstream.name b.up) ] "spp_breaker_state"
+        (fun () -> Breaker.state_value b.brk))
+    backends;
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
   t.prober <- Some (Thread.create (fun () -> prober_loop t) ());
   Log.info "proxy listening"

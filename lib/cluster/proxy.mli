@@ -35,12 +35,39 @@
       as-is — the next backend would say the same. With no backend left
       the client gets [overloaded] with a [retry_after_ms] hint, which
       retrying clients (and {!Spp_server.Client.call}) treat as a floor.
+    - {b Hedging}: with [hedge] enabled, a routed backend that is merely
+      {e slow} also triggers failover — after the hedge delay with no
+      verdict, the same solve is re-issued to the next ring successor in
+      parallel and the first reply wins ([spp_hedges_total],
+      [spp_hedge_wins_total]). The loser is abandoned; the propagated
+      deadline it carried bounds what it can still cost its backend.
+      [Hedge_auto] derives the delay from the observed upstream p99
+      (once 32 samples exist, floored at 25 ms); [Hedge_fixed] pins it.
+    - {b Circuit breakers}: each backend carries a {!Breaker} — a rolling
+      window that opens on clustered transport failures faster than the
+      consecutive-streak health counters can, then re-admits via a
+      single half-open probe request. An open breaker skips the backend
+      on the request path ([breaker_open] outcome) without waiting for
+      ring eviction; state is exported as [spp_breaker_state]{[backend]}.
+    - {b Deadlines}: a [solve] carrying [deadline_ms] is pinned to the
+      proxy's clock at receipt; each upstream launch forwards only the
+      budget remaining at that moment and bounds its reply wait by it. A
+      request whose deadline is exhausted before any upstream call is
+      fast-failed with [wont_make_it] ([spp_deadline_rejects_total]) —
+      though a warm-cache hit is always served. Degraded replies pass
+      through to the caller but are never snooped into the warm cache.
 
     [metrics] and [health] ops are answered locally from the proxy's own
     registry; [shutdown] drains the proxy and never propagates upstream.
 
-    Fault points: [proxy.upstream] (in {!Upstream.call}) and
-    [proxy.health] (fails individual probes). *)
+    Fault points: [proxy.upstream] (in {!Upstream.call}), [proxy.health]
+    (fails individual probes) and [proxy.hedge] (suppresses a hedged
+    re-issue the moment its timer fires). *)
+
+(** When to re-issue a slow pending solve to the next backend:
+    never; after the observed upstream p99 (needs history, see above);
+    or after a fixed delay in milliseconds. *)
+type hedge_policy = Hedge_off | Hedge_auto | Hedge_fixed of float
 
 type config = {
   address : Spp_server.Framing.address;  (** front listen address *)
@@ -61,11 +88,16 @@ type config = {
   revive_after : int;  (** consecutive probe successes before readmission *)
   registry : Spp_obs.Metrics.t;  (** proxy metrics land here *)
   seed : int;  (** prober-jitter PRNG seed *)
+  hedge : hedge_policy;
+  breaker_window : int;  (** rolling outcomes per backend, see {!Breaker} *)
+  breaker_threshold : int;  (** failures within the window that trip it *)
+  breaker_cooldown_ms : float;  (** open time before the half-open probe *)
 }
 
 (** Defaults: 64 replicas, 512 cache entries, pool of 2, 5 s upstream
     timeout, failover 2, 1 s probes, fail after 3, revive after 2,
-    seed 0. [registry] is fresh and enabled. *)
+    seed 0, hedging off, breaker 5-of-8 with a 5 s cooldown. [registry]
+    is fresh and enabled. *)
 val default_config :
   address:Spp_server.Framing.address ->
   backends:Spp_server.Framing.address list -> unit -> config

@@ -39,25 +39,25 @@ let fault_probe () =
     raise (Client.Error { kind = Client.Io; attempts = 1; message = "fault injected: " ^ p })
 
 (* One request on a connection we just made: any failure here is real. *)
-let call_fresh t req =
+let call_fresh ?timeout_ms t req =
   let c = Client.connect ?timeout_ms:t.timeout_ms t.addr in
-  match Client.request c req with
+  match Client.request ?timeout_ms c req with
   | r -> checkin t c; r
   | exception e -> Client.close c; raise e
 
-let call t req =
+let call ?timeout_ms t req =
   fault_probe ();
   match checkout t with
-  | None -> call_fresh t req
+  | None -> call_fresh ?timeout_ms t req
   | Some c -> (
-    match Client.request c req with
+    match Client.request ?timeout_ms c req with
     | r -> checkin t c; r
     | exception Client.Error _ ->
       (* The parked connection may just have been stale (backend restart,
          idle reap). One fresh attempt distinguishes that from a down
          backend. *)
       Client.close c;
-      call_fresh t req
+      call_fresh ?timeout_ms t req
     | exception e -> Client.close c; raise e)
 
 let close t =

@@ -29,10 +29,13 @@ val name : t -> string
 val address : t -> Spp_server.Framing.address
 
 (** [call t req] — send one request on a pooled (or fresh) connection and
-    block for the reply.
+    block for the reply. [timeout_ms] overrides the pool's reply timeout
+    for this call — how a request's remaining deadline bounds its
+    upstream wait.
     @raise Spp_server.Client.Error when the backend is unreachable or the
     connection (including the once-retried fresh one) fails. *)
-val call : t -> Spp_server.Protocol.request -> Spp_server.Protocol.response
+val call :
+  ?timeout_ms:float -> t -> Spp_server.Protocol.request -> Spp_server.Protocol.response
 
 (** Close every parked connection (in-flight calls are unaffected; their
     connections close on checkin). Idempotent. *)

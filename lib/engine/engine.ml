@@ -30,6 +30,9 @@ type result = {
   source : source;
   outcomes : outcome list;
   time_ms : float;
+  degraded : bool;
+  lower_bound : Q.t;
+  gap : Q.t;
 }
 
 type entry = { e_placement : Placement.t; e_height : Q.t; e_winner : string }
@@ -126,6 +129,10 @@ let violations parsed p =
   | Io.Prec inst -> Validate.check_prec inst p
   | Io.Release inst -> Validate.check_release inst p
 
+let lower_bound_of = function
+  | Io.Prec inst -> Spp_core.Lower_bounds.prec inst
+  | Io.Release inst -> Spp_core.Lower_bounds.release inst
+
 (* Open [name] under the trace's root when tracing is on; [k] receives the
    span only for attaching child spans and fields. *)
 let traced trace name ?fields k =
@@ -136,11 +143,28 @@ let traced trace name ?fields k =
         Option.iter (Trace.add_fields tr s) fields;
         k (Some s))
 
+(* The shared anytime incumbent: best validated packing known so far,
+   (winner name, height, placement). Seeded with the greedy fallback
+   before the race starts and updated by racers as they finish, so when
+   the budget expires mid-race there is always a sound answer to degrade
+   to. Lock-free: a compare-and-set loop keeps the minimum height. *)
+let publish incumbent name p =
+  let h = Placement.height p in
+  let rec loop () =
+    let cur = Atomic.get incumbent in
+    let better =
+      match cur with None -> true | Some (_, h', _) -> Q.compare h h' < 0
+    in
+    if better && not (Atomic.compare_and_set incumbent cur (Some (name, h, p)))
+    then loop ()
+  in
+  loop ()
+
 (* One raced member: run under the shared token, validate, classify.
    Each member has its domain to itself, so resetting the ambient
    profile accumulator here and reading it back in [finish] attributes
    the counted work to exactly this algorithm. *)
-let race_one parsed cancel trace (spec : Portfolio.spec) =
+let race_one parsed cancel incumbent trace (spec : Portfolio.spec) =
   let t0 = Clock.now_ms () in
   Spp_obs.Profile.reset ();
   let s =
@@ -176,7 +200,9 @@ let race_one parsed cancel trace (spec : Portfolio.spec) =
       | Some (tr, s) -> Trace.with_span tr ~parent:s "validate" (fun _ -> violations parsed p)
     in
     match faults with
-    | [] -> finish Solved (Some (Placement.height p)) (Some p)
+    | [] ->
+      publish incumbent spec.Portfolio.name p;
+      finish Solved (Some (Placement.height p)) (Some p)
     | _ :: _ -> finish Invalid None None)
   | exception Cancel.Cancelled -> finish Timed_out None None
   | exception e -> finish (Failed (Printexc.to_string e)) None None
@@ -229,7 +255,7 @@ let record_win t winner =
 let finish_result t fp (r : result) =
   Metrics.observe t.m_solve_ms r.time_ms;
   Telemetry.record t.tm ~name:"solve"
-    [ ("fingerprint", Telemetry.String fp);
+    ([ ("fingerprint", Telemetry.String fp);
       ("winner", Telemetry.String r.winner);
       ("height", Telemetry.String (Q.to_string r.height));
       ("source",
@@ -238,7 +264,8 @@ let finish_result t fp (r : result) =
           | Computed -> "computed"
           | Memory_cache -> "cache.memory"
           | Disk_cache -> "cache.disk"));
-      ("ms", Telemetry.Float r.time_ms) ];
+      ("ms", Telemetry.Float r.time_ms) ]
+     @ (if r.degraded then [ ("degraded", Telemetry.String "true") ] else []));
   r
 
 let solve ?budget_ms ?algos ?workers ?trace t parsed =
@@ -246,6 +273,8 @@ let solve ?budget_ms ?algos ?workers ?trace t parsed =
   let t0 = Clock.now_ms () in
   Telemetry.incr t.tm "solve.runs";
   let fp = Fingerprint.parsed parsed in
+  let lb = lower_bound_of parsed in
+  let gap_of height = Q.sub height lb in
   let probe =
     traced trace "cache.probe" (fun _ ->
         match Lru.find t.cache fp with
@@ -264,7 +293,8 @@ let solve ?budget_ms ?algos ?workers ?trace t parsed =
     Telemetry.incr t.tm "cache.hit.memory";
     finish_result t fp
       { placement = e.e_placement; height = e.e_height; winner = e.e_winner;
-        source = Memory_cache; outcomes = []; time_ms = Clock.elapsed_ms t0 }
+        source = Memory_cache; outcomes = []; time_ms = Clock.elapsed_ms t0;
+        degraded = false; lower_bound = lb; gap = gap_of e.e_height }
   | `Disk (winner, p) ->
     Telemetry.incr t.tm "cache.hit";
     Telemetry.incr t.tm "cache.hit.disk";
@@ -272,7 +302,8 @@ let solve ?budget_ms ?algos ?workers ?trace t parsed =
     Lru.add t.cache fp { e_placement = p; e_height = height; e_winner = winner };
     finish_result t fp
       { placement = p; height; winner; source = Disk_cache; outcomes = [];
-        time_ms = Clock.elapsed_ms t0 }
+        time_ms = Clock.elapsed_ms t0; degraded = false; lower_bound = lb;
+        gap = gap_of height }
   | `Miss ->
     Telemetry.incr t.tm "cache.miss";
     let specs =
@@ -291,12 +322,24 @@ let solve ?budget_ms ?algos ?workers ?trace t parsed =
     let cancel =
       match budget_ms with None -> Cancel.never | Some ms -> Cancel.with_deadline_ms ms
     in
+    (* Seed the anytime incumbent with the guaranteed-fast greedy schedule
+       before the race starts: whatever the budget does to the racers,
+       there is a sound packing to degrade to. [engine.incumbent]
+       suppresses the seed so the no-incumbent recovery path can be
+       exercised. *)
+    let incumbent = Atomic.make None in
+    (try
+       Spp_util.Fault.hit "engine.incumbent";
+       let p = traced trace "incumbent" (fun _ -> Portfolio.fallback parsed) in
+       assert (violations parsed p = []);
+       publish incumbent "ls(incumbent)" p
+     with Spp_util.Fault.Injected _ -> Telemetry.incr t.tm "incumbent.skipped");
     let raced =
       traced trace "race" (fun race_span ->
           let sub =
             match (trace, race_span) with Some tr, Some s -> Some (tr, s) | _ -> None
           in
-          Spp_util.Parallel.map ?workers (race_one parsed cancel sub) runnable)
+          Spp_util.Parallel.map ?workers (race_one parsed cancel incumbent sub) runnable)
     in
     (match Cancel.polls cancel with
      | 0 -> ()
@@ -315,33 +358,55 @@ let solve ?budget_ms ?algos ?workers ?trace t parsed =
             | _ -> acc))
         None raced
     in
+    (* Degraded = the budget expired before any racer finished, so the
+       answer is the anytime incumbent (or safety-net fallback), not a
+       completed portfolio member's: the reply says so and nothing caches
+       it (a repeat with a roomier budget should recompute, not replay
+       the cut-short answer). A race where some members timed out but one
+       solved is a normal, full-quality answer. *)
+    let degraded =
+      best = None
+      && List.exists (fun ((o : outcome), _, _) -> o.status = Timed_out) raced
+    in
     let winner, placement, outcomes =
       match best with
       | Some (o, p) -> (o.solver, p, outcomes)
-      | None ->
-        (* Every member timed out / failed: uncancellable safety net. *)
-        let t1 = Clock.now_ms () in
-        let p =
-          traced trace "fallback" (fun _ -> Portfolio.fallback parsed)
-        in
-        assert (violations parsed p = []);
-        let o =
-          { solver = "ls(fallback)"; status = Solved;
-            height = Some (Placement.height p); time_ms = Clock.elapsed_ms t1 }
-        in
-        Telemetry.incr t.tm "solver.fallback";
-        (o.solver, p, outcomes @ [ o ])
+      | None -> (
+        match Atomic.get incumbent with
+        | Some (name, _, p) ->
+          (* No racer finished in budget: the anytime incumbent is the
+             answer — already validated when it was published. *)
+          Telemetry.incr t.tm "solver.incumbent";
+          (name, p, outcomes)
+        | None ->
+          (* Every member timed out / failed and the incumbent seed was
+             suppressed: uncancellable safety net. *)
+          let t1 = Clock.now_ms () in
+          let p =
+            traced trace "fallback" (fun _ -> Portfolio.fallback parsed)
+          in
+          assert (violations parsed p = []);
+          let o =
+            { solver = "ls(fallback)"; status = Solved;
+              height = Some (Placement.height p); time_ms = Clock.elapsed_ms t1 }
+          in
+          Telemetry.incr t.tm "solver.fallback";
+          (o.solver, p, outcomes @ [ o ]))
     in
     List.iter (record_outcome t) outcomes;
     record_win t winner;
     let height = Placement.height placement in
-    Lru.add t.cache fp { e_placement = placement; e_height = height; e_winner = winner };
-    (* A failed cache write must never fail the solve we just computed. *)
-    Option.iter
-      (fun store ->
-        try Store.add store ~fingerprint:fp ~winner placement
-        with _ -> Telemetry.incr t.tm "store.write.failed")
-      t.store;
+    if degraded then Telemetry.incr t.tm "solve.degraded"
+    else begin
+      Lru.add t.cache fp { e_placement = placement; e_height = height; e_winner = winner };
+      (* A failed cache write must never fail the solve we just computed. *)
+      Option.iter
+        (fun store ->
+          try Store.add store ~fingerprint:fp ~winner placement
+          with _ -> Telemetry.incr t.tm "store.write.failed")
+        t.store
+    end;
     finish_result t fp
       { placement; height; winner; source = Computed; outcomes;
-        time_ms = Clock.elapsed_ms t0 }
+        time_ms = Clock.elapsed_ms t0; degraded; lower_bound = lb;
+        gap = gap_of height }

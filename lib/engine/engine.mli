@@ -6,15 +6,29 @@
     applicable {!Portfolio} members across OCaml domains under a shared
     wall-clock budget. Every raced result is checked with
     {!Spp_core.Validate} before it may win; the lowest valid packing is
-    returned together with per-solver outcomes. With a budget so tight
-    that every member times out, the greedy list scheduler runs as an
-    uncancellable fallback — [solve] always returns a valid packing.
+    returned together with per-solver outcomes.
+
+    The engine is an {e anytime} solver: before the race starts it seeds
+    a shared incumbent with the guaranteed-fast greedy list schedule, and
+    racers publish their validated packings to it as they finish. When
+    the budget expires before any racer completes, [solve] answers with
+    the incumbent instead of nothing; such a cut-short solve is marked
+    [degraded] and is kept out of both caches (a repeat with a roomier
+    budget should recompute). A race in which {e some} members timed out
+    but one solved is a normal full-quality answer, not a degraded one.
+    Every result also carries the
+    paper's exact-rational [lower_bound] for the instance and the [gap]
+    to it, so a caller can judge how far a degraded answer might be from
+    optimal. If the incumbent seed itself is suppressed (the
+    [engine.incumbent] fault point), the greedy scheduler still runs as
+    an uncancellable fallback — [solve] always returns a valid packing.
 
     All activity is recorded in a {!Telemetry} value: per-solver timing
     events (name ["solver"]), per-solve summaries (name ["solve"]), and
     counters ([solve.runs], [cache.hit], [cache.hit.memory],
     [cache.hit.disk], [cache.miss], [solver.solved], [solver.timeout],
-    [solver.invalid], [solver.failed]).
+    [solver.invalid], [solver.failed], [solver.incumbent],
+    [solve.degraded], [incumbent.skipped]).
 
     The telemetry's backing {!Spp_obs.Metrics} registry additionally
     carries richer instruments the scrape endpoint exposes: the
@@ -50,6 +64,14 @@ type result = {
   source : source;
   outcomes : outcome list;  (** per-member; empty on a cache hit *)
   time_ms : float;  (** wall clock for this [solve] call *)
+  degraded : bool;
+      (** the budget cut at least one racer short, so [placement] is the
+          best answer known at expiry (possibly the anytime incumbent)
+          rather than the full portfolio's. Never cached. *)
+  lower_bound : Spp_num.Rat.t;
+      (** the paper's instance lower bound — [max(AREA, F)] for
+          precedence, [max(AREA, max (r+h))] for release instances *)
+  gap : Spp_num.Rat.t;  (** [height - lower_bound]; always [>= 0] *)
 }
 
 type t

@@ -31,6 +31,31 @@ let pop t =
       done;
       if Queue.is_empty t.items then None else Some (Queue.pop t.items))
 
+(* [Condition] has no timed wait, so the bounded wait polls: check under
+   the lock, sleep a short slice outside it. The slice is 1 ms (or the
+   remainder, if shorter), so a reply arriving mid-wait is seen within
+   ~1 ms — noise against the hedge delays (tens of ms) this serves. *)
+let pop_within t ~timeout_ms =
+  let deadline = Unix.gettimeofday () +. (Float.max 0.0 timeout_ms /. 1000.0) in
+  let rec loop () =
+    let taken =
+      locked t (fun () ->
+          if Queue.is_empty t.items then if t.closed then `Closed else `Empty
+          else `Item (Queue.pop t.items))
+    in
+    match taken with
+    | `Item x -> Some x
+    | `Closed -> None
+    | `Empty ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then None
+      else begin
+        Unix.sleepf (Float.min 0.001 left);
+        loop ()
+      end
+  in
+  loop ()
+
 let close t =
   locked t (fun () ->
       t.closed <- true;

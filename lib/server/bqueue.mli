@@ -25,6 +25,13 @@ val try_push : 'a t -> 'a -> bool
     closed and drained ([None]). FIFO order. *)
 val pop : 'a t -> 'a option
 
+(** [pop_within t ~timeout_ms] is {!pop} bounded to [timeout_ms] of wall
+    clock: [None] on timeout as well as on close-and-drained. The wait
+    polls in ~1 ms slices (no timed condition wait exists), which is how
+    the proxy's hedging loop waits "for a reply or the hedge timer,
+    whichever first". *)
+val pop_within : 'a t -> timeout_ms:float -> 'a option
+
 (** [close t] refuses further pushes and wakes all blocked poppers.
     Idempotent. *)
 val close : 'a t -> unit

@@ -29,14 +29,15 @@ let connect ?timeout_ms addr =
     fail Connect_failed
       (Printf.sprintf "cannot connect to %s" (Framing.address_to_string addr))
 
-let request t req =
+let request ?timeout_ms t req =
   (match Framing.write_line t.fd (Protocol.encode_request req) with
    | () -> ()
    | exception (Unix.Unix_error _ | Sys_error _) -> fail Io "send failed");
   (* The reply wait is dominated by server-side compute, so the timeout is
      applied both to the first byte (idle) and to line completion (read). *)
+  let timeout_ms = match timeout_ms with Some _ as t' -> t' | None -> t.timeout_ms in
   match
-    Framing.read_line ?idle_timeout_ms:t.timeout_ms ?read_timeout_ms:t.timeout_ms
+    Framing.read_line ?idle_timeout_ms:timeout_ms ?read_timeout_ms:timeout_ms
       t.reader
   with
   | None -> fail Connection_closed "server closed the connection"

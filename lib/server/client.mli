@@ -33,8 +33,11 @@ val kind_to_string : error_kind -> string
 val connect : ?timeout_ms:float -> Framing.address -> t
 
 (** [request t req] sends one request and blocks for its reply.
+    [timeout_ms] overrides the connection's reply timeout for this one
+    request — how a proxy bounds an upstream wait to the request's
+    remaining deadline without reconnecting.
     @raise Error ([attempts = 1]) on transport failure or timeout. *)
-val request : t -> Protocol.request -> Protocol.response
+val request : ?timeout_ms:float -> t -> Protocol.request -> Protocol.response
 
 val close : t -> unit
 

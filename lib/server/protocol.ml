@@ -2,6 +2,7 @@ type request =
   | Solve of {
       instance : string;
       budget_ms : float option;
+      deadline_ms : float option;
       algos : string list option;
       trace_id : string option;
     }
@@ -9,7 +10,14 @@ type request =
   | Health
   | Shutdown
 
-type error_code = Parse | Bad_request | Bad_instance | Overloaded | Shutting_down | Internal
+type error_code =
+  | Parse
+  | Bad_request
+  | Bad_instance
+  | Overloaded
+  | Wont_make_it
+  | Shutting_down
+  | Internal
 
 type solve_reply = {
   winner : string;
@@ -17,6 +25,9 @@ type solve_reply = {
   height : string;
   time_ms : float;
   placement : string;
+  degraded : bool;
+  lower_bound : string option;
+  gap : string option;
   trace_id : string option;
   trace : Json.t option;
 }
@@ -60,6 +71,7 @@ let error_code_to_string = function
   | Bad_request -> "bad_request"
   | Bad_instance -> "bad_instance"
   | Overloaded -> "overloaded"
+  | Wont_make_it -> "wont_make_it"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 
@@ -68,6 +80,7 @@ let error_code_of_string = function
   | "bad_request" -> Some Bad_request
   | "bad_instance" -> Some Bad_instance
   | "overloaded" -> Some Overloaded
+  | "wont_make_it" -> Some Wont_make_it
   | "shutting_down" -> Some Shutting_down
   | "internal" -> Some Internal
   | _ -> None
@@ -80,10 +93,11 @@ let opt_string_field name = function
   | None -> []
 
 let encode_request = function
-  | Solve { instance; budget_ms; algos; trace_id } ->
+  | Solve { instance; budget_ms; deadline_ms; algos; trace_id } ->
     let fields =
       [ ("op", Json.String "solve"); ("instance", Json.String instance) ]
       @ (match budget_ms with Some b -> [ ("budget_ms", Json.Float b) ] | None -> [])
+      @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
       @ (match algos with
          | Some names -> [ ("algos", Json.List (List.map (fun a -> Json.String a) names)) ]
          | None -> [])
@@ -110,12 +124,17 @@ let encode_algo (a : algo_reply) =
 
 let encode_response = function
   | Solve_ok r ->
+    (* [degraded:false] is the wire default and is omitted, so replies
+       from pre-deadline servers and post-deadline ones decode alike. *)
     Json.to_string
       (Json.Obj
          ([ ("ok", Json.Bool true); ("op", Json.String "solve");
             ("winner", Json.String r.winner); ("source", Json.String r.source);
             ("height", Json.String r.height); ("ms", Json.Float r.time_ms);
             ("placement", Json.String r.placement) ]
+          @ (if r.degraded then [ ("degraded", Json.Bool true) ] else [])
+          @ opt_string_field "lower_bound" r.lower_bound
+          @ opt_string_field "gap" r.gap
           @ opt_string_field "trace_id" r.trace_id
           @ (match r.trace with Some t -> [ ("trace", t) ] | None -> [])))
   | Metrics_ok m ->
@@ -190,9 +209,10 @@ let decode_request line =
         require "field \"instance\"" (Option.bind (Json.member "instance" j) Json.get_string)
       in
       let* budget_ms = optional "budget_ms" Json.get_float j in
+      let* deadline_ms = optional "deadline_ms" Json.get_float j in
       let* algos = optional "algos" string_list j in
       let* trace_id = optional "trace_id" Json.get_string j in
-      Ok (Solve { instance; budget_ms; algos; trace_id })
+      Ok (Solve { instance; budget_ms; deadline_ms; algos; trace_id })
     | "metrics" -> Ok Metrics
     | "health" -> Ok Health
     | "shutdown" -> Ok Shutdown
@@ -279,11 +299,18 @@ let decode_response line =
         let* height = str "height" in
         let* time_ms = require "field \"ms\"" (Option.bind (Json.member "ms" j) Json.get_float) in
         let* placement = str "placement" in
+        let* degraded = optional "degraded" Json.get_bool j in
+        let degraded = Option.value ~default:false degraded in
+        let* lower_bound = optional "lower_bound" Json.get_string j in
+        let* gap = optional "gap" Json.get_string j in
         let* trace_id = optional "trace_id" Json.get_string j in
         let trace =
           match Json.member "trace" j with None | Some Json.Null -> None | Some t -> Some t
         in
-        Ok (Solve_ok { winner; source; height; time_ms; placement; trace_id; trace })
+        Ok
+          (Solve_ok
+             { winner; source; height; time_ms; placement; degraded; lower_bound; gap;
+               trace_id; trace })
       | "metrics" ->
         let* uptime_ms =
           require "field \"uptime_ms\"" (Option.bind (Json.member "uptime_ms" j) Json.get_float)

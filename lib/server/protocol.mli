@@ -14,18 +14,26 @@
     {"op":"shutdown"}
     v}
 
-    [budget_ms], [algos] and [trace_id] are optional; a supplied
-    [trace_id] turns on span recording for that request and is echoed in
-    the reply, so a caller can correlate its own ids with the server's
-    slow-request log. Responses are documented on the constructors below;
-    the full shapes (with examples) are specified in README.md. Encoding
-    and decoding are exact inverses — round-tripping is property-tested
-    on adversarial payloads. *)
+    [budget_ms], [deadline_ms], [algos] and [trace_id] are optional; a
+    supplied [trace_id] turns on span recording for that request and is
+    echoed in the reply, so a caller can correlate its own ids with the
+    server's slow-request log. Responses are documented on the
+    constructors below; the full shapes (with examples) are specified in
+    README.md. Encoding and decoding are exact inverses — round-tripping
+    is property-tested on adversarial payloads. *)
 
 type request =
   | Solve of {
       instance : string;  (** instance file text, {!Spp_core.Io} format *)
       budget_ms : float option;
+      deadline_ms : float option;
+          (** the caller's {e remaining} end-to-end budget, relative
+              (never an absolute timestamp — the hops' clocks differ).
+              Each hop subtracts the time the request spends inside it
+              before forwarding; a server that cannot possibly answer in
+              the remainder fast-fails with [Wont_make_it]. Distinct
+              from [budget_ms], which caps solver compute alone: the
+              effective engine budget is the minimum of the two. *)
       algos : string list option;
       trace_id : string option;  (** client-chosen id; enables tracing *)
     }
@@ -38,6 +46,10 @@ type error_code =
   | Bad_request  (** well-formed but unservable (e.g. unknown algorithm) *)
   | Bad_instance  (** the inline instance text failed to parse *)
   | Overloaded  (** admission queue full — retry later *)
+  | Wont_make_it
+      (** the propagated [deadline_ms] has (nearly) run out — answering
+          would arrive too late, so no worker was burned; carries a
+          [retry_after_ms] hint like [Overloaded] *)
   | Shutting_down  (** server is draining; no new work accepted *)
   | Internal  (** unexpected server-side failure *)
 
@@ -47,6 +59,17 @@ type solve_reply = {
   height : string;  (** exact rational, e.g. ["7/2"] *)
   time_ms : float;  (** engine wall clock for this solve *)
   placement : string;  (** {!Spp_core.Io.placement_to_string} text *)
+  degraded : bool;
+      (** the budget expired mid-race and this is the engine's best
+          feasible incumbent, not the full portfolio's answer. Still a
+          validated packing. Degraded replies are never cached — not by
+          the engine, the disk store, or the proxy snoop. Omitted from
+          the wire when [false]. *)
+  lower_bound : string option;
+      (** exact-rational instance lower bound (Section 2/3 bounds) —
+          present on computed replies so a client can judge the answer *)
+  gap : string option;
+      (** exact-rational [height - lower_bound], always [>= 0] *)
   trace_id : string option;  (** present iff the request was traced *)
   trace : Json.t option;
       (** the responder's span tree for this request — the value of

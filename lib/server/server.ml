@@ -22,14 +22,17 @@ type config = {
   read_timeout_ms : float option;
   retry_after_ms : int;
   max_worker_restarts : int option;
+  deadline_floor_ms : float;
 }
 
 let default_max_request_bytes = Framing.default_max_line
 let default_retry_after_ms = 100
+let default_deadline_floor_ms = 5.0
 
 type job = {
   parsed : Io.parsed;
   budget_ms : float option;
+  deadline : Spp_util.Deadline.t option;
   algos : string list option;
   reply : Protocol.response Bqueue.t;  (* capacity-1 mailbox *)
   trace : Trace.t option;
@@ -56,6 +59,9 @@ type instruments = {
   m_request_bytes : Metrics.histogram;
   m_response_bytes : Metrics.histogram;
   m_reaped : Metrics.counter;
+  m_degraded : Metrics.counter;
+  m_deadline_admission : Metrics.counter;
+  m_deadline_dispatch : Metrics.counter;
 }
 
 type t = {
@@ -92,37 +98,65 @@ let process cfg mx (job : job) =
    | Some tr, Some s -> Trace.finish tr s
    | _ -> ());
   Metrics.observe mx.m_queue_wait_ms (Clock.elapsed_ms job.enqueued_ms);
+  (* Queue wait was charged against the propagated deadline: re-check at
+     dispatch, so a request that aged out while queued is turned away
+     here instead of burning a worker on an answer nobody is waiting
+     for. The engine budget is then capped by whatever remains. *)
+  let wont_make_it =
+    match job.deadline with
+    | Some d when Spp_util.Deadline.expired ~floor_ms:cfg.deadline_floor_ms d ->
+      Metrics.incr mx.m_deadline_dispatch;
+      true
+    | Some _ | None -> false
+  in
   let resp =
-    match
-      Engine.solve ?budget_ms:job.budget_ms ?algos:job.algos ?workers:cfg.solve_workers
-        ?trace:job.trace cfg.engine job.parsed
-    with
-    | r ->
-      (* The reply-embedded tree is serialised here, after the engine
-         spans closed but before reply.write and the root close — those
-         belong to the requester's side of the timeline (the proxy's
-         upstream span covers them). to_json renders open spans without
-         an "ms" field, so the open root is fine. *)
-      let trace =
-        if job.wants_trace then
-          Option.bind job.trace (fun tr ->
-              Result.to_option (Json.of_string (Trace.to_json tr)))
-        else None
+    if wont_make_it then
+      Protocol.Error
+        { code = Protocol.Wont_make_it;
+          message = "deadline expired while queued";
+          retry_after_ms = Some cfg.retry_after_ms }
+    else begin
+      let budget_ms =
+        match (job.budget_ms, job.deadline) with
+        | b, None -> b
+        | None, Some d -> Some (Spp_util.Deadline.remaining_ms d)
+        | Some b, Some d -> Some (Float.min b (Spp_util.Deadline.remaining_ms d))
       in
-      Protocol.Solve_ok
-        { winner = r.Engine.winner; source = source_to_string r.Engine.source;
-          height = Q.to_string r.Engine.height; time_ms = r.Engine.time_ms;
-          placement = Io.placement_to_string r.Engine.placement;
-          trace_id = Option.map Trace.id job.trace; trace }
-    | exception Invalid_argument msg ->
-      Protocol.Error { code = Protocol.Bad_request; message = msg; retry_after_ms = None }
-    | exception Spp_util.Fault.Injected point ->
-      Protocol.Error
-        { code = Protocol.Internal; message = "fault injected: " ^ point;
-          retry_after_ms = None }
-    | exception e ->
-      Protocol.Error
-        { code = Protocol.Internal; message = Printexc.to_string e; retry_after_ms = None }
+      match
+        Engine.solve ?budget_ms ?algos:job.algos ?workers:cfg.solve_workers
+          ?trace:job.trace cfg.engine job.parsed
+      with
+      | r ->
+        (* The reply-embedded tree is serialised here, after the engine
+           spans closed but before reply.write and the root close — those
+           belong to the requester's side of the timeline (the proxy's
+           upstream span covers them). to_json renders open spans without
+           an "ms" field, so the open root is fine. *)
+        let trace =
+          if job.wants_trace then
+            Option.bind job.trace (fun tr ->
+                Result.to_option (Json.of_string (Trace.to_json tr)))
+          else None
+        in
+        if r.Engine.degraded then Metrics.incr mx.m_degraded;
+        Protocol.Solve_ok
+          { winner = r.Engine.winner; source = source_to_string r.Engine.source;
+            height = Q.to_string r.Engine.height; time_ms = r.Engine.time_ms;
+            placement = Io.placement_to_string r.Engine.placement;
+            degraded = r.Engine.degraded;
+            lower_bound = Some (Q.to_string r.Engine.lower_bound);
+            gap = Some (Q.to_string r.Engine.gap);
+            trace_id = Option.map Trace.id job.trace; trace }
+      | exception Invalid_argument msg ->
+        Protocol.Error { code = Protocol.Bad_request; message = msg; retry_after_ms = None }
+      | exception Spp_util.Fault.Injected point ->
+        Protocol.Error
+          { code = Protocol.Internal; message = "fault injected: " ^ point;
+            retry_after_ms = None }
+      | exception e ->
+        Protocol.Error
+          { code = Protocol.Internal; message = Printexc.to_string e; retry_after_ms = None }
+    end
   in
   ignore (Bqueue.try_push job.reply resp)
 
@@ -199,8 +233,12 @@ let respond t line =
     Log.info "shutdown requested" [];
     stop t;
     (Protocol.Shutdown_ok, None)
-  | Ok (Protocol.Solve { instance; budget_ms; algos; trace_id }) ->
+  | Ok (Protocol.Solve { instance; budget_ms; deadline_ms; algos; trace_id }) ->
     count_request t.mx "solve";
+    (* Pin the propagated deadline to this host's clock at receipt:
+       everything from here on — parse, queue wait, dispatch — is this
+       hop's elapsed time and counts against it. *)
+    let deadline = Spp_util.Deadline.of_request deadline_ms in
     let trace =
       if trace_id <> None || t.cfg.slow_ms <> None || Log.enabled Log.Debug then
         Some (Trace.create ?id:trace_id ~name:"request" ())
@@ -211,6 +249,24 @@ let respond t line =
           { code = Protocol.Shutting_down; message = "server is draining";
             retry_after_ms = None },
         trace )
+    else if
+      match deadline with
+      | Some d -> Spp_util.Deadline.expired ~floor_ms:t.cfg.deadline_floor_ms d
+      | None -> false
+    then begin
+      (* Fast-fail at admission: below the floor the answer cannot
+         arrive in time, so shedding now is strictly better than
+         queueing — the caller learns immediately and capacity stays
+         with requests that can still make it. *)
+      Metrics.incr t.mx.m_deadline_admission;
+      ( Protocol.Error
+          { code = Protocol.Wont_make_it;
+            message =
+              Printf.sprintf "remaining deadline below floor (%.0f ms)"
+                t.cfg.deadline_floor_ms;
+            retry_after_ms = Some t.cfg.retry_after_ms },
+        trace )
+    end
     else (
       match Io.parse_string instance with
       | exception Failure msg ->
@@ -230,7 +286,8 @@ let respond t line =
           if
             not
               (Bqueue.try_push t.queue
-                 { parsed; budget_ms; algos; reply; trace; wants_trace = trace_id <> None;
+                 { parsed; budget_ms; deadline; algos; reply; trace;
+                   wants_trace = trace_id <> None;
                    queue_span; enqueued_ms = Clock.now_ms () })
           then begin
             Metrics.incr t.mx.m_shed;
@@ -430,7 +487,16 @@ let instruments reg queue =
         ~buckets:Metrics.default_size_buckets "spp_response_bytes";
     m_reaped =
       Metrics.counter reg ~help:"Connections closed for idling or trickling past a deadline"
-        "spp_connections_reaped_total" }
+        "spp_connections_reaped_total";
+    m_degraded =
+      Metrics.counter reg ~help:"Solve replies answered with a degraded (anytime) packing"
+        "spp_degraded_replies_total";
+    m_deadline_admission =
+      Metrics.counter reg ~help:"Requests fast-failed because the propagated deadline ran out"
+        ~labels:[ ("stage", "admission") ] "spp_deadline_rejects_total";
+    m_deadline_dispatch =
+      Metrics.counter reg ~help:"Requests fast-failed because the propagated deadline ran out"
+        ~labels:[ ("stage", "dispatch") ] "spp_deadline_rejects_total" }
 
 let start cfg =
   Signals.ignore_sigpipe ();

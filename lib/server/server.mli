@@ -26,6 +26,16 @@
       {!Spp_util.Cancel} tokens inside the engine, so exact solvers are
       cancelled cooperatively and every request still returns a valid
       packing via the engine's fallback.
+    - Propagated deadlines ([deadline_ms] on the wire) are pinned to the
+      server's clock at receipt ({!Spp_util.Deadline}); a request whose
+      remainder is already below [deadline_floor_ms] is fast-failed at
+      admission with [wont_make_it] (plus a [retry_after_ms] hint), and
+      one that ages out while queued is turned away at dispatch instead
+      of burning a worker — both counted in
+      [spp_deadline_rejects_total]{[stage]}. Otherwise the engine budget
+      is capped by the remaining deadline, so a budget-expired solve
+      comes back as the engine's anytime incumbent with [degraded: true]
+      (counted in [spp_degraded_replies_total]) rather than late.
     - {!stop} (from a signal handler, a [shutdown] request, or a test)
       only flips a flag; the acceptor notices within ~50 ms and drains:
       the listener closes (new connections refused), idle connections are
@@ -79,12 +89,19 @@ type config = {
   max_worker_restarts : int option;
       (** per-slot worker restart budget ([None] =
           {!Pool.default_max_restarts}) *)
+  deadline_floor_ms : float;
+      (** fast-fail [solve] requests whose propagated [deadline_ms]
+          remainder is below this with [wont_make_it] — checked at
+          admission and again at dispatch after the queue wait *)
 }
 
 val default_max_request_bytes : int
 
 (** Default [retry_after_ms] (100). *)
 val default_retry_after_ms : int
+
+(** Default [deadline_floor_ms] (5). *)
+val default_deadline_floor_ms : float
 
 type t
 

@@ -2,7 +2,7 @@ exception Injected of string
 
 let points =
   [ "store.read"; "store.write"; "framing.read"; "framing.write"; "pool.job";
-    "engine.solve"; "proxy.upstream"; "proxy.health" ]
+    "engine.solve"; "engine.incumbent"; "proxy.upstream"; "proxy.health"; "proxy.hedge" ]
 
 type action =
   | Fail of float                        (* fail with probability p *)

@@ -3,7 +3,10 @@
     A process-global registry of named injection points threaded through the
     storage, framing, worker-pool, engine, and cluster-proxy layers
     ([proxy.upstream] fires inside the proxy's upstream calls as a
-    transport error, [proxy.health] fails individual health probes). Probes are free when
+    transport error, [proxy.health] fails individual health probes,
+    [proxy.hedge] suppresses a hedged re-issue the moment its timer fires,
+    [engine.incumbent] skips seeding the engine's anytime incumbent so the
+    no-incumbent recovery path can be exercised). Probes are free when
     injection is disabled (one atomic load and branch), and deterministic
     when enabled: all probability draws come from one seeded {!Prng} stream,
     so a failing chaos run replays exactly from its spec and seed.

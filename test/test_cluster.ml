@@ -213,7 +213,7 @@ let start_backend () =
         default_budget_ms = Some 2000.0; solve_workers = Some 1;
         max_request_bytes = 1 lsl 16; slow_ms = None; idle_timeout_ms = None;
         read_timeout_ms = None; retry_after_ms = Server.default_retry_after_ms;
-        max_worker_restarts = None }
+        max_worker_restarts = None; deadline_floor_ms = Server.default_deadline_floor_ms }
   in
   (address, srv)
 
@@ -243,7 +243,8 @@ let with_cluster ?(backends = 2) ?(cache_capacity = 64) ?(failover = 1) ?(fail_a
 let solve_via ?algos addr text =
   Client.with_connection ~timeout_ms:5_000.0 addr (fun c ->
       Client.request c
-        (Protocol.Solve { instance = text; budget_ms = None; algos; trace_id = None }))
+        (Protocol.Solve
+           { instance = text; budget_ms = None; deadline_ms = None; algos; trace_id = None }))
 
 let test_proxy_routes_and_caches () =
   with_cluster (fun cfg _px _srvs ->
@@ -390,7 +391,7 @@ let test_proxy_stitches_backend_trace () =
         Client.with_connection ~timeout_ms:5_000.0 cfg.Proxy.address (fun c ->
             Client.request c
               (Protocol.Solve
-                 { instance = text; budget_ms = None; algos = None;
+                 { instance = text; budget_ms = None; deadline_ms = None; algos = None;
                    trace_id = Some trace_id }))
       in
       let span_name j =
@@ -467,6 +468,232 @@ let test_proxy_stitches_backend_trace () =
           (find "upstream" (children root) = None)
       | other -> Alcotest.failf "expected solve_ok, got %s" (Protocol.encode_response other))
 
+(* ------------------------------------------------------------------ *)
+(* Breaker: the full state machine under the frozen clock — no sleeps. *)
+
+module Breaker = Spp_cluster.Breaker
+module Clock = Spp_util.Clock
+
+let with_frozen_clock f =
+  Clock.freeze ();
+  Fun.protect ~finally:Clock.thaw f
+
+let test_breaker_trips_within_window () =
+  let b = Breaker.create ~window:8 ~threshold:5 ~cooldown_ms:1000.0 () in
+  Alcotest.(check string) "starts closed" "closed" (Breaker.state_to_string (Breaker.state b));
+  (* Failures interleaved with successes — the exact pattern consecutive-
+     streak health counters are blind to. 4 failures in the window: still
+     closed; the 5th trips it. *)
+  List.iter
+    (fun ok -> Breaker.record b ~ok)
+    [ false; true; false; true; false; true; false ];
+  Alcotest.(check bool) "4-of-8 stays closed" true (Breaker.allow b);
+  Breaker.record b ~ok:false;
+  Alcotest.(check string) "5-of-8 opens" "open" (Breaker.state_to_string (Breaker.state b));
+  Alcotest.(check bool) "open refuses" false (Breaker.allow b);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  Alcotest.(check (float 0.0)) "gauge encodes open" 2.0 (Breaker.state_value b)
+
+let test_breaker_cooldown_and_probe () =
+  with_frozen_clock (fun () ->
+      let b = Breaker.create ~window:4 ~threshold:2 ~cooldown_ms:500.0 () in
+      Breaker.record b ~ok:false;
+      Breaker.record b ~ok:false;
+      Alcotest.(check bool) "tripped" false (Breaker.allow b);
+      (* Outcomes recorded while open are stragglers from the pre-trip
+         era: they must not change state or consume the probe. *)
+      Breaker.record b ~ok:true;
+      Alcotest.(check string) "straggler ignored" "open"
+        (Breaker.state_to_string (Breaker.state b));
+      ignore (Clock.advance 499.0);
+      Alcotest.(check bool) "still cooling" false (Breaker.allow b);
+      ignore (Clock.advance 1.0);
+      (* Cooldown over: exactly one caller gets the half-open probe. *)
+      Alcotest.(check bool) "probe granted" true (Breaker.allow b);
+      Alcotest.(check (float 0.0)) "gauge encodes half-open" 1.0 (Breaker.state_value b);
+      Alcotest.(check bool) "second caller refused while probing" false (Breaker.allow b);
+      (* Probe fails: back to open, cooldown restarts from now. *)
+      Breaker.record b ~ok:false;
+      Alcotest.(check bool) "reopened" false (Breaker.allow b);
+      Alcotest.(check int) "second trip counted" 2 (Breaker.trips b);
+      ignore (Clock.advance 500.0);
+      Alcotest.(check bool) "second probe granted" true (Breaker.allow b);
+      (* Probe succeeds: closed with a clean window — the next single
+         failure must not re-trip off stale history. *)
+      Breaker.record b ~ok:true;
+      Alcotest.(check string) "probe ok closes" "closed"
+        (Breaker.state_to_string (Breaker.state b));
+      Breaker.record b ~ok:false;
+      Alcotest.(check string) "window was reset" "closed"
+        (Breaker.state_to_string (Breaker.state b)))
+
+let test_breaker_create_guards () =
+  List.iter
+    (fun mk ->
+      match mk () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad breaker config accepted")
+    [ (fun () -> Breaker.create ~window:0 ());
+      (fun () -> Breaker.create ~window:4 ~threshold:0 ());
+      (fun () -> Breaker.create ~window:4 ~threshold:5 ());
+      (fun () -> Breaker.create ~cooldown_ms:0.0 ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Hedging: a slow backend loses the race to its ring successor. *)
+
+module Fingerprint = Spp_engine.Fingerprint
+
+(* A line relay in front of a real backend that stalls every request by
+   [delay_ms] before forwarding — "a slow backend" built from a fast
+   one, without touching the process-global fault registry. *)
+type slow_gateway = { gw_addr : Framing.address; gw_listener : Unix.file_descr }
+
+let start_slow_gateway ~delay_ms target =
+  let sock = temp_sock "slowgw" in
+  let addr = Framing.Unix_sock sock in
+  let listener = Framing.listen addr in
+  let relay client =
+    let upstream = Framing.connect target in
+    let from_client = Framing.reader client and from_backend = Framing.reader upstream in
+    let rec pump () =
+      match Framing.read_line from_client with
+      | None -> ()
+      | Some line ->
+        Thread.delay (delay_ms /. 1000.0);
+        Framing.write_line upstream line;
+        (match Framing.read_line from_backend with
+         | None -> ()
+         | Some reply ->
+           Framing.write_line client reply;
+           pump ())
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close client with Unix.Unix_error _ -> ());
+        try Unix.close upstream with Unix.Unix_error _ -> ())
+      pump
+  in
+  let _acceptor =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Unix.accept listener with
+          | client, _ ->
+            ignore (Thread.create (fun () -> try relay client with _ -> ()) ());
+            loop ()
+          | exception Unix.Unix_error _ -> ()  (* listener closed: drain *)
+        in
+        loop ())
+      ()
+  in
+  { gw_addr = addr; gw_listener = listener }
+
+let stop_slow_gateway gw = try Unix.close gw.gw_listener with Unix.Unix_error _ -> ()
+
+(* An instance whose fingerprint routes to [want] first on the same ring
+   the proxy will build — so the slow gateway is deterministically the
+   leader and the fast backend the hedge target. *)
+let instance_routed_to ~names ~want =
+  let ring = Ring.create names in
+  let rec hunt seed =
+    if seed > 10_000 then Alcotest.fail "no instance routed to the slow backend"
+    else
+      let text = instance_text seed 6 in
+      let fp = Fingerprint.parsed (Io.parse_string text) in
+      match Ring.successors ring fp with
+      | first :: _ when first = want -> text
+      | _ -> hunt (seed + 1)
+  in
+  hunt 9_000
+
+let test_proxy_hedge_beats_slow_backend () =
+  let fast_addr, fast_srv = start_backend () in
+  let slow_addr, slow_srv = start_backend () in
+  let gw = start_slow_gateway ~delay_ms:400.0 slow_addr in
+  let registry = Metrics.create () in
+  let backends = [ gw.gw_addr; fast_addr ] in
+  let cfg =
+    { (Proxy.default_config ~address:(Framing.Unix_sock (temp_sock "proxy")) ~backends ())
+      with
+      Proxy.failover = 1; probe_interval_ms = 10_000.0; registry; seed = 42;
+      upstream_timeout_ms = Some 5_000.0; hedge = Proxy.Hedge_fixed 40.0 }
+  in
+  let px = Proxy.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Proxy.stop px;
+      Proxy.wait px;
+      stop_slow_gateway gw;
+      List.iter
+        (fun srv ->
+          Server.stop srv;
+          Server.wait srv)
+        [ fast_srv; slow_srv ])
+    (fun () ->
+      let text =
+        instance_routed_to
+          ~names:(List.map Framing.address_to_string backends)
+          ~want:(Framing.address_to_string gw.gw_addr)
+      in
+      let t0 = Spp_util.Clock.now_ms () in
+      (match solve_via cfg.Proxy.address text with
+       | Protocol.Solve_ok reply ->
+         check_solve_reply text reply;
+         (* The gateway stalls 400 ms; a winning hedge answers well
+            before the stalled leader possibly could. *)
+         Alcotest.(check bool) "reply beat the stall" true
+           (Spp_util.Clock.elapsed_ms t0 < 390.0)
+       | other -> Alcotest.failf "expected Solve_ok, got %s" (Protocol.encode_response other));
+      Alcotest.(check bool) "a hedge was fired" true
+        (match Metrics.find_counter registry "spp_hedges_total" with
+         | Some n -> n >= 1
+         | None -> false);
+      Alcotest.(check bool) "the hedge won" true
+        (match Metrics.find_counter registry "spp_hedge_wins_total" with
+         | Some n -> n >= 1
+         | None -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines at the proxy *)
+
+let test_proxy_deadline_fastfail_but_cache_serves () =
+  with_cluster (fun cfg _px _srvs ->
+      let text = instance_text 321 6 in
+      (* No time left and nothing cached: fast-fail without an upstream
+         call. *)
+      (match
+         Client.with_connection ~timeout_ms:5_000.0 cfg.Proxy.address (fun c ->
+             Client.request c
+               (Protocol.Solve
+                  { instance = text; budget_ms = None; deadline_ms = Some 0.0; algos = None;
+                    trace_id = None }))
+       with
+       | Protocol.Error { code = Protocol.Wont_make_it; retry_after_ms; _ } ->
+         Alcotest.(check bool) "carries a retry hint" true (retry_after_ms <> None)
+       | other ->
+         Alcotest.failf "expected wont_make_it, got %s" (Protocol.encode_response other));
+      Alcotest.(check (option int)) "counted as a proxy deadline reject" (Some 1)
+        (Metrics.find_counter cfg.Proxy.registry
+           ~labels:[ ("stage", "proxy") ]
+           "spp_deadline_rejects_total");
+      (* Warm the cache with an unbounded solve, then repeat the
+         impossible deadline: the answer in hand is served anyway. *)
+      (match solve_via cfg.Proxy.address text with
+       | Protocol.Solve_ok r -> check_solve_reply text r
+       | other -> Alcotest.failf "warming solve failed: %s" (Protocol.encode_response other));
+      match
+        Client.with_connection ~timeout_ms:5_000.0 cfg.Proxy.address (fun c ->
+            Client.request c
+              (Protocol.Solve
+                 { instance = text; budget_ms = None; deadline_ms = Some 0.0; algos = None;
+                   trace_id = None }))
+      with
+      | Protocol.Solve_ok r ->
+        Alcotest.(check string) "cache hit beats wont_make_it" "cache.proxy"
+          r.Protocol.source
+      | other -> Alcotest.failf "expected cached Solve_ok, got %s"
+                   (Protocol.encode_response other))
+
 let () =
   Random.self_init ();
   Alcotest.run "spp_cluster"
@@ -498,5 +725,23 @@ let () =
             test_proxy_serves_from_cache_when_all_backends_die;
           Alcotest.test_case "stitches the backend trace under one id" `Quick
             test_proxy_stitches_backend_trace;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips on failures within the window" `Quick
+            test_breaker_trips_within_window;
+          Alcotest.test_case "cooldown, half-open probe, reset" `Quick
+            test_breaker_cooldown_and_probe;
+          Alcotest.test_case "create guards" `Quick test_breaker_create_guards;
+        ] );
+      ( "hedge",
+        [
+          Alcotest.test_case "hedge beats a slow backend" `Quick
+            test_proxy_hedge_beats_slow_backend;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "fast-fail, but a warm cache still serves" `Quick
+            test_proxy_deadline_fastfail_but_cache_serves;
         ] );
     ]

@@ -236,18 +236,31 @@ let test_engine_cache_bit_identical () =
 
 let test_engine_zero_budget_valid () =
   (* A zero budget trips every cancellation point immediately; the engine
-     must still return a valid packing via its uncancellable fallback. *)
+     must still return a valid packing via its anytime incumbent. *)
   let parsed = Io.Prec (random_prec 13 9) in
   let engine = Engine.create () in
-  (* Exact members poll the token, so with only those racing the fallback
-     list scheduler must kick in. *)
+  (* Exact members poll the token, so with only those racing the
+     pre-seeded incumbent list schedule must answer. *)
   let res = Engine.solve ~budget_ms:0.0 ~algos:[ "bb"; "order" ] engine parsed in
   check_valid parsed res.Engine.placement;
-  Alcotest.(check string) "fallback won" "ls(fallback)" res.Engine.winner;
+  Alcotest.(check string) "incumbent won" "ls(incumbent)" res.Engine.winner;
   Alcotest.(check bool) "members timed out" true
     (List.exists
        (fun (o : Engine.outcome) -> o.Engine.status = Engine.Timed_out)
        res.Engine.outcomes);
+  Alcotest.(check bool) "reply is degraded" true res.Engine.degraded;
+  Alcotest.(check bool) "gap is nonnegative" true
+    (Q.compare res.Engine.gap Q.zero >= 0);
+  (* Degraded answers stay out of the cache: the same instance solved
+     again with a real budget recomputes and is not degraded. *)
+  let res = Engine.solve ~budget_ms:2000.0 ~algos:[ "ls" ] engine parsed in
+  check_valid parsed res.Engine.placement;
+  Alcotest.(check bool) "roomier retry not degraded" false res.Engine.degraded;
+  Alcotest.(check string) "retry recomputed, not replayed" "computed"
+    (match res.Engine.source with
+     | Engine.Computed -> "computed"
+     | Engine.Memory_cache -> "cache.memory"
+     | Engine.Disk_cache -> "cache.disk");
   (* Default portfolio under zero budget is also always valid. *)
   let res = Engine.solve ~budget_ms:0.0 engine parsed in
   check_valid parsed res.Engine.placement

@@ -276,7 +276,7 @@ let base_config address engine =
     default_budget_ms = Some 2000.0; solve_workers = Some 1;
     max_request_bytes = 1 lsl 16; slow_ms = None; idle_timeout_ms = None;
     read_timeout_ms = None; retry_after_ms = Server.default_retry_after_ms;
-    max_worker_restarts = None }
+    max_worker_restarts = None; deadline_floor_ms = Server.default_deadline_floor_ms }
 
 let with_server config f =
   let srv = Server.start config in
@@ -288,7 +288,8 @@ let with_server config f =
 
 let solve_req seed =
   Protocol.Solve
-    { instance = instance_text seed 8; budget_ms = None; algos = None; trace_id = None }
+    { instance = instance_text seed 8; budget_ms = None; deadline_ms = None; algos = None;
+      trace_id = None }
 
 let test_worker_crash_supervised () =
   let sock = temp_sock () in

@@ -434,7 +434,7 @@ let test_trace_graft_rebases_offsets () =
 let test_trace_id_wire_roundtrip () =
   let req =
     Protocol.Solve
-      { instance = "rect 0 1/2 1"; budget_ms = Some 50.0; algos = None;
+      { instance = "rect 0 1/2 1"; budget_ms = Some 50.0; deadline_ms = None; algos = None;
         trace_id = Some "0123456789abcdef" }
   in
   (match Protocol.decode_request (Protocol.encode_request req) with
@@ -443,7 +443,8 @@ let test_trace_id_wire_roundtrip () =
   let resp =
     Protocol.Solve_ok
       { winner = "dc"; source = "computed"; height = "1"; time_ms = 1.0;
-        placement = "rect 0 0 0"; trace_id = Some "0123456789abcdef";
+        placement = "rect 0 0 0"; degraded = false; lower_bound = None; gap = None;
+        trace_id = Some "0123456789abcdef";
         trace =
           Some
             (Json.Obj
@@ -472,7 +473,8 @@ let with_server ?slow_ms f =
         default_budget_ms = Some 2000.0; solve_workers = Some 1;
         max_request_bytes = 1 lsl 16; slow_ms; idle_timeout_ms = None;
         read_timeout_ms = None; retry_after_ms = Server.default_retry_after_ms;
-        max_worker_restarts = None }
+        max_worker_restarts = None;
+        deadline_floor_ms = Server.default_deadline_floor_ms }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -486,8 +488,8 @@ let test_trace_id_live_echo () =
           match
             Client.request c
               (Protocol.Solve
-                 { instance = instance_text 61 6; budget_ms = None; algos = None;
-                   trace_id = Some "feedface00000001" })
+                 { instance = instance_text 61 6; budget_ms = None; deadline_ms = None;
+                   algos = None; trace_id = Some "feedface00000001" })
           with
           | Protocol.Solve_ok r ->
             Alcotest.(check (option string)) "server echoes the client trace id"
@@ -498,8 +500,8 @@ let test_trace_id_live_echo () =
           match
             Client.request c
               (Protocol.Solve
-                 { instance = instance_text 61 6; budget_ms = None; algos = None;
-                   trace_id = None })
+                 { instance = instance_text 61 6; budget_ms = None; deadline_ms = None;
+                   algos = None; trace_id = None })
           with
           | Protocol.Solve_ok r ->
             Alcotest.(check (option string)) "no id unless requested" None r.Protocol.trace_id
@@ -564,8 +566,8 @@ let test_slow_request_log () =
               match
                 Client.request c
                   (Protocol.Solve
-                     { instance = instance_text 71 6; budget_ms = None; algos = None;
-                       trace_id = Some "slowslowslowslow" })
+                     { instance = instance_text 71 6; budget_ms = None; deadline_ms = None;
+                       algos = None; trace_id = Some "slowslowslowslow" })
               with
               | Protocol.Solve_ok _ -> ()
               | other ->

@@ -103,6 +103,7 @@ let test_protocol_request_roundtrip () =
         Protocol.Solve
           { instance = random_payload rng;
             budget_ms = (if Prng.bool rng then Some (Prng.float rng 1000.) else None);
+            deadline_ms = (if Prng.bool rng then Some (Prng.float rng 5000.) else None);
             algos =
               (if Prng.bool rng then
                  Some (List.init (Prng.int rng 3) (fun _ -> random_payload rng))
@@ -129,6 +130,9 @@ let test_protocol_response_roundtrip () =
       Protocol.Solve_ok
         { winner = "dc"; source = "computed"; height = "27/4";
           time_ms = Prng.float rng 100.; placement = random_payload rng;
+          degraded = Prng.bool rng;
+          lower_bound = (if Prng.bool rng then Some "27/8" else None);
+          gap = (if Prng.bool rng then Some "27/8" else None);
           trace_id = (if Prng.bool rng then Some "deadbeefcafef00d" else None);
           trace =
             (if Prng.bool rng then
@@ -360,7 +364,8 @@ let with_server ?(workers = 2) ?(queue_depth = 16) f =
         max_request_bytes = 1 lsl 16; slow_ms = None;
         idle_timeout_ms = None; read_timeout_ms = None;
         retry_after_ms = Server.default_retry_after_ms;
-        max_worker_restarts = None }
+        max_worker_restarts = None;
+        deadline_floor_ms = Server.default_deadline_floor_ms }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -383,8 +388,8 @@ let test_server_concurrent_clients () =
                       match
                         Client.request c
                           (Protocol.Solve
-                             { instance = text; budget_ms = None; algos = None;
-                               trace_id = None })
+                             { instance = text; budget_ms = None; deadline_ms = None;
+                               algos = None; trace_id = None })
                       with
                       | Protocol.Solve_ok reply -> check_solve_reply text reply
                       | other ->
@@ -442,7 +447,8 @@ let test_server_junk_and_errors () =
           (match
              Client.request c
                (Protocol.Solve
-                  { instance = "rect nope"; budget_ms = None; algos = None; trace_id = None })
+                  { instance = "rect nope"; budget_ms = None; deadline_ms = None; algos = None;
+                    trace_id = None })
            with
            | Protocol.Error { code = Protocol.Bad_instance; _ } -> ()
            | other ->
@@ -450,7 +456,7 @@ let test_server_junk_and_errors () =
           match
             Client.request c
               (Protocol.Solve
-                 { instance = instance_text 41 6; budget_ms = None;
+                 { instance = instance_text 41 6; budget_ms = None; deadline_ms = None;
                    algos = Some [ "no-such-algorithm" ]; trace_id = None })
           with
           | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
@@ -467,7 +473,8 @@ let test_server_graceful_shutdown () =
         max_request_bytes = 1 lsl 16; slow_ms = None;
         idle_timeout_ms = None; read_timeout_ms = None;
         retry_after_ms = Server.default_retry_after_ms;
-        max_worker_restarts = None }
+        max_worker_restarts = None;
+        deadline_floor_ms = Server.default_deadline_floor_ms }
   in
   (* An in-flight request must complete and its reply arrive even though
      stop() lands while it is being served. *)
@@ -481,7 +488,8 @@ let test_server_graceful_shutdown () =
               (Some
                  (Client.request c
                     (Protocol.Solve
-                       { instance = text; budget_ms = None; algos = None; trace_id = None })))))
+                       { instance = text; budget_ms = None; deadline_ms = None; algos = None;
+                         trace_id = None })))))
       ()
   in
   Thread.delay 0.02;
@@ -511,12 +519,67 @@ let test_server_shutdown_request () =
         default_budget_ms = None; solve_workers = Some 1; max_request_bytes = 1 lsl 16;
         slow_ms = None; idle_timeout_ms = None; read_timeout_ms = None;
         retry_after_ms = Server.default_retry_after_ms;
-        max_worker_restarts = None }
+        max_worker_restarts = None;
+        deadline_floor_ms = Server.default_deadline_floor_ms }
   in
   let resp = Client.with_connection address (fun c -> Client.request c Protocol.Shutdown) in
   Alcotest.(check bool) "acknowledged" true (resp = Protocol.Shutdown_ok);
   Server.wait srv;
   Alcotest.(check bool) "drained after shutdown op" false (Sys.file_exists sock)
+
+let test_server_wont_make_it () =
+  with_server (fun address _srv ->
+      (* A request arriving with its deadline below the admission floor is
+         fast-failed before parsing, with a retry hint — not queued. *)
+      match
+        Client.with_connection address (fun c ->
+            Client.request c
+              (Protocol.Solve
+                 { instance = instance_text 81 6; budget_ms = None;
+                   deadline_ms = Some 1.0; algos = None; trace_id = None }))
+      with
+      | Protocol.Error { code = Protocol.Wont_make_it; retry_after_ms; _ } ->
+        Alcotest.(check bool) "carries a retry hint" true (retry_after_ms <> None)
+      | other ->
+        Alcotest.failf "expected wont_make_it, got %s" (Protocol.encode_response other))
+
+let test_server_degraded_reply () =
+  with_server (fun address _srv ->
+      let text = instance_text 82 8 in
+      let solve ~budget_ms =
+        Client.with_connection address (fun c ->
+            Client.request c
+              (Protocol.Solve
+                 { instance = text; budget_ms; deadline_ms = None;
+                   algos = Some [ "bb"; "order" ]; trace_id = None }))
+      in
+      (* Exact members under a zero budget: the reply is the anytime
+         incumbent, flagged degraded, still a valid packing, and carries
+         the exact-rational bound and gap. *)
+      (match solve ~budget_ms:(Some 0.0) with
+       | Protocol.Solve_ok r ->
+         Alcotest.(check bool) "flagged degraded" true r.Protocol.degraded;
+         check_solve_reply text r;
+         (match (r.Protocol.lower_bound, r.Protocol.gap) with
+          | Some lb, Some gap ->
+            let q s = Spp_num.Rat.of_string s in
+            Alcotest.(check bool) "gap is nonnegative" true
+              (Spp_num.Rat.compare (q gap) Spp_num.Rat.zero >= 0);
+            Alcotest.(check bool) "height = lower_bound + gap" true
+              (Spp_num.Rat.compare (q r.Protocol.height)
+                 (Spp_num.Rat.add (q lb) (q gap))
+               = 0)
+          | _ -> Alcotest.fail "degraded reply must carry lower_bound and gap")
+       | other ->
+         Alcotest.failf "expected degraded Solve_ok, got %s" (Protocol.encode_response other));
+      (* Degraded answers are not cached: a roomy retry recomputes and
+         comes back full quality. *)
+      match solve ~budget_ms:(Some 2000.0) with
+      | Protocol.Solve_ok r ->
+        Alcotest.(check bool) "retry not degraded" false r.Protocol.degraded;
+        Alcotest.(check string) "retry recomputed" "computed" r.Protocol.source
+      | other ->
+        Alcotest.failf "expected full Solve_ok, got %s" (Protocol.encode_response other))
 
 let () =
   Alcotest.run "spp_server"
@@ -560,5 +623,7 @@ let () =
           Alcotest.test_case "junk and error replies" `Quick test_server_junk_and_errors;
           Alcotest.test_case "graceful shutdown under load" `Quick test_server_graceful_shutdown;
           Alcotest.test_case "shutdown request drains" `Quick test_server_shutdown_request;
+          Alcotest.test_case "wont_make_it below the floor" `Quick test_server_wont_make_it;
+          Alcotest.test_case "degraded anytime reply" `Quick test_server_degraded_reply;
         ] );
     ]

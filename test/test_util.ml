@@ -407,6 +407,77 @@ let test_cancel_deadline_virtual () =
       Alcotest.(check (option (float 0.0))) "no budget left" (Some 0.0) (Cancel.remaining_ms t))
 
 (* ------------------------------------------------------------------ *)
+(* Deadline: propagated-budget arithmetic, entirely under the virtual
+   clock — not one sleep. *)
+
+module Deadline = Spp_util.Deadline
+
+let test_deadline_pin_and_spend () =
+  with_frozen_clock (fun () ->
+      let d = Deadline.started 100.0 in
+      Alcotest.(check (float 1e-9)) "full budget at receipt" 100.0 (Deadline.remaining_ms d);
+      Alcotest.(check bool) "not expired" false (Deadline.expired d);
+      ignore (Clock.advance 40.0);
+      Alcotest.(check (float 1e-9)) "hop time subtracted" 60.0 (Deadline.remaining_ms d);
+      (* The next hop receives only what is left as measured here. *)
+      Alcotest.(check (float 1e-9)) "forward = remaining" 60.0 (Deadline.forward_ms d);
+      ignore (Clock.advance 60.0);
+      Alcotest.(check (float 0.0)) "exhausted" 0.0 (Deadline.remaining_ms d);
+      Alcotest.(check bool) "expired exactly at zero" true (Deadline.expired d);
+      ignore (Clock.advance 1000.0);
+      Alcotest.(check (float 0.0)) "never negative" 0.0 (Deadline.remaining_ms d))
+
+let test_deadline_floor () =
+  with_frozen_clock (fun () ->
+      let d = Deadline.started 100.0 in
+      (* The wont-make-it test: below the floor the request cannot finish
+         in time even though the deadline itself has not passed. *)
+      Alcotest.(check bool) "above floor" false (Deadline.expired ~floor_ms:50.0 d);
+      ignore (Clock.advance 60.0);
+      Alcotest.(check bool) "below floor" true (Deadline.expired ~floor_ms:50.0 d);
+      Alcotest.(check bool) "plain deadline still live" false (Deadline.expired d);
+      (* Exactly at the floor is still admissible. *)
+      let d' = Deadline.started 50.0 in
+      Alcotest.(check bool) "at the floor" false (Deadline.expired ~floor_ms:50.0 d'))
+
+let test_deadline_of_request () =
+  Alcotest.(check bool) "no wire field, no deadline" true
+    (Deadline.of_request None = None);
+  with_frozen_clock (fun () ->
+      match Deadline.of_request (Some 75.0) with
+      | None -> Alcotest.fail "Some budget must pin a deadline"
+      | Some d ->
+        Alcotest.(check (float 1e-9)) "pinned at receipt" 75.0 (Deadline.remaining_ms d);
+        (* A hop that re-pins the forwarded budget observes one hop's
+           elapsed time subtracted, not two. *)
+        ignore (Clock.advance 25.0);
+        let next = Deadline.started (Deadline.forward_ms d) in
+        Alcotest.(check (float 1e-9)) "second hop sees 50" 50.0
+          (Deadline.remaining_ms next);
+        ignore (Clock.advance 50.0);
+        Alcotest.(check bool) "both hops agree on expiry" true
+          (Deadline.expired d && Deadline.expired next));
+  (* A budget already spent (or nonsense-negative) arrives expired. *)
+  List.iter
+    (fun ms ->
+      match Deadline.of_request (Some ms) with
+      | None -> Alcotest.fail "expired is still a deadline"
+      | Some d -> Alcotest.(check bool) "born expired" true (Deadline.expired d))
+    [ 0.0; -5.0 ]
+
+let test_deadline_token () =
+  with_frozen_clock (fun () ->
+      let d = Deadline.started 80.0 in
+      ignore (Clock.advance 30.0);
+      (* The token caps solver work by whatever remains at its creation. *)
+      let t = Deadline.token d in
+      Alcotest.(check bool) "token live within budget" false (Cancel.cancelled t);
+      ignore (Clock.advance 49.0);
+      Alcotest.(check bool) "still live at 1 ms left" false (Cancel.cancelled t);
+      ignore (Clock.advance 2.0);
+      Alcotest.(check bool) "token trips with the deadline" true (Cancel.cancelled t))
+
+(* ------------------------------------------------------------------ *)
 (* Table *)
 
 let test_table_render () =
@@ -478,6 +549,11 @@ let () =
       ( "cancel",
         [ Alcotest.test_case "deadline already passed" `Quick test_cancel_deadline_now;
           Alcotest.test_case "deadline under virtual clock" `Quick test_cancel_deadline_virtual ] );
+      ( "deadline",
+        [ Alcotest.test_case "pin and spend per hop" `Quick test_deadline_pin_and_spend;
+          Alcotest.test_case "wont-make-it floor" `Quick test_deadline_floor;
+          Alcotest.test_case "wire budget round-trip" `Quick test_deadline_of_request;
+          Alcotest.test_case "cancel token" `Quick test_deadline_token ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
