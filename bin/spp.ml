@@ -432,7 +432,11 @@ let bounds_cmd =
 
 let exact_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
-  let run file =
+  let workers =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~doc:"Worker domains for the normal-position branch and bound.")
+  in
+  let run file workers =
     match read_instance file with
     | Io.Prec inst ->
       (match Spp_core.Uniform.uniform_height inst with
@@ -444,8 +448,14 @@ let exact_cmd =
         let out = Spp_exact.Order_search.best_prec inst in
         Printf.printf "best bottom-left height    %s  (%d nodes searched)\n"
           (Q.to_string out.Spp_exact.Order_search.height) out.Spp_exact.Order_search.nodes_expanded
-      end
-      else Printf.printf "instance too large for the exact reference solvers (n > 10)\n"
+      end;
+      if I.Prec.size inst <= 9 then begin
+        let out = Spp_exact.Normal_bb.solve ~workers inst in
+        Printf.printf "exact optimum (normal B&B) %s  (%d nodes searched)\n"
+          (Q.to_string out.Spp_exact.Normal_bb.height) out.Spp_exact.Normal_bb.nodes_expanded
+      end;
+      if I.Prec.size inst > 10 then
+        Printf.printf "instance too large for the exact reference solvers (n > 10)\n"
     | Io.Release inst ->
       if I.Release.size inst <= 10 then begin
         let out = Spp_exact.Order_search.best_release inst in
@@ -455,7 +465,7 @@ let exact_cmd =
       else Printf.printf "instance too large for the exact reference solvers (n > 10)\n"
   in
   Cmd.v (Cmd.info "exact" ~doc:"Exact / reference solutions for small instances")
-    Term.(const run $ file)
+    Term.(const run $ file $ workers)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)

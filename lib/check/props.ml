@@ -40,8 +40,10 @@ let all_pass checks =
 
 (* Size gates for the exponential reference solvers: generous enough to
    fire on roughly half the generated cases, small enough that a 2000-case
-   run stays in CI budget. *)
-let exact_gate = 7
+   run stays in CI budget. The exact gate rides on Normal_bb's dominance
+   table and bounds: instances up to n = 9 that formerly ran for minutes
+   now finish well inside the (also lowered) fuse. *)
+let exact_gate = 9
 let uniform_dp_gate = 9
 let aptas_gate_n = 12
 let aptas_gate_k = 4
@@ -49,17 +51,27 @@ let engine_gate = 8
 
 (* Wall-clock fuse for the exponential reference solvers: Normal_bb
    branches over subset-sum grids (up to 2^n distinct coordinates per
-   axis), so even n = 7 can run for minutes on instances whose dimensions
-   are all distinct rationals. A tripped fuse makes the property Skip —
-   heuristic soundness is still checked by the sound.* family, and the
-   skip shows up in the per-property counts rather than stalling a run. *)
-let exact_budget_ms = 2_000.
+   axis), so all-distinct-rational instances can still blow up in the
+   worst case. A tripped fuse makes the property Skip — heuristic
+   soundness is still checked by the sound.* family, and the skip shows
+   up in the per-property counts rather than stalling a run. *)
+let exact_budget_ms = 500.
 
 let with_exact_budget f =
   let cancel = Spp_util.Cancel.with_deadline_ms exact_budget_ms in
   try f cancel with Spp_util.Cancel.Cancelled -> Skip
 
 let prop name doc tags check = { name; doc; tags; check }
+
+(* A deterministic per-case seed: hash of the instance's canonical text.
+   Shared by the stream-replay and numeric-differential properties. *)
+let stream_seed_of parsed =
+  let printed =
+    match parsed with
+    | Io.Prec inst -> Io.prec_to_string inst
+    | Io.Release inst -> Io.release_to_string inst
+  in
+  Int32.to_int (Spp_util.Crc32.digest printed) land 0x3FFFFFFF
 
 (* ------------------------------------------------------------------ *)
 (* Soundness *)
@@ -195,7 +207,7 @@ let guar_aptas =
 
 let diff_exact_prec =
   prop "diff.exact.prec"
-    "on n <= 7: Normal_bb optimum is valid, sandwiched by the lower bounds, never above \
+    "on n <= 9: Normal_bb optimum is valid, sandwiched by the lower bounds, never above \
      order-search/DC/LS, and equal to the uniform DP when heights are uniform"
     [ "prec"; "bb"; "order"; "dc"; "ls" ]
     (on_prec (fun inst ->
@@ -259,7 +271,7 @@ let diff_uniform_dp =
 
 let diff_exact_release =
   prop "diff.exact.release"
-    "on n <= 7: best bottom-left release packing is valid, above the Section 3 lower bound, \
+    "on n <= 9: best bottom-left release packing is valid, above the Section 3 lower bound, \
      and never above LS/shelf"
     [ "release"; "order"; "ls"; "shelf" ]
     (on_release (fun inst ->
@@ -280,6 +292,115 @@ let diff_exact_release =
                   fun () -> Printf.sprintf "best bottom-left %s above LS height %s" (qs h) (qs ls));
                  (Q.compare h sh <= 0,
                   fun () -> Printf.sprintf "best bottom-left %s above shelf height %s" (qs h) (qs sh)) ]))
+
+let sound_bb_parallel =
+  prop "sound.bb.parallel"
+    "on n <= 9: the parallel normal-position B&B returns the identical optimal height with 1 \
+     and 4 workers (shared-incumbent pruning is schedule-independent)"
+    [ "prec"; "bb" ]
+    (on_prec (fun inst ->
+         if I.Prec.size inst > exact_gate then Skip
+         else with_exact_budget @@ fun cancel ->
+           let h1 = (Spp_exact.Normal_bb.solve ~cancel ~workers:1 inst).Spp_exact.Normal_bb.height in
+           let h4 = (Spp_exact.Normal_bb.solve ~cancel ~workers:4 inst).Spp_exact.Normal_bb.height in
+           if Q.equal h1 h4 then Pass
+           else Fail (Printf.sprintf "1-worker optimum %s /= 4-worker optimum %s" (qs h1) (qs h4))))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: fast numeric tower vs the reference implementation *)
+
+(* Deterministic operand stream for num.diff: an xorshift PRNG seeded from
+   the instance text, mixed with hand-picked edge operands sitting on the
+   small/big representation boundary (limb multiples, +/-max_int, near
+   min_int), negatives and zero. *)
+let num_edge_operands =
+  [| 0; 1; -1; 2; -2; 3; 32767; 32768; -32768; -32769; (1 lsl 30) - 1; 1 lsl 30;
+     -(1 lsl 30); (1 lsl 45) - 1; 1 lsl 45; -(1 lsl 45); max_int; -max_int;
+     max_int - 1; min_int + 1; 1000000007; -999999937 |]
+
+let num_diff =
+  prop "num.diff"
+    "fast bigint/rational arithmetic (small-int representation, gcd fast paths) agrees \
+     operation-for-operation with the reference sign+magnitude implementation over a seeded \
+     operand stream covering limb boundaries, negatives and zero"
+    [ "prec"; "release"; "num" ]
+    (fun parsed ->
+      let module B = Spp_num.Bigint in
+      let module RB = Spp_num.Reference.Bigint in
+      let module RR = Spp_num.Reference.Rat in
+      let state = ref (stream_seed_of parsed lor 1) in
+      let next () =
+        (* xorshift64*; positive 62-bit output. *)
+        let x = !state in
+        let x = x lxor (x lsl 13) in
+        let x = x lxor (x lsr 7) in
+        let x = x lxor (x lsl 17) in
+        state := x;
+        (x * 0x2545F4914F6CDD1D) land max_int
+      in
+      let operand () =
+        match next () mod 5 with
+        | 0 -> string_of_int num_edge_operands.(next () mod Array.length num_edge_operands)
+        | 1 -> string_of_int (next () mod 97 - 48)
+        | 2 -> string_of_int (next () - (max_int / 2))
+        | _ ->
+          (* Multi-limb decimal, up to ~40 digits, random sign. *)
+          let len = 1 + (next () mod 40) in
+          let b = Buffer.create (len + 1) in
+          if next () land 1 = 1 then Buffer.add_char b '-';
+          Buffer.add_char b (Char.chr (Char.code '1' + (next () mod 9)));
+          for _ = 2 to len do
+            Buffer.add_char b (Char.chr (Char.code '0' + (next () mod 10)))
+          done;
+          Buffer.contents b
+      in
+      let failure = ref None in
+      let check op expect got =
+        if !failure = None && expect <> got then
+          failure := Some (Printf.sprintf "%s: fast %S /= reference %S" op got expect)
+      in
+      (let i = ref 0 in
+       while !failure = None && !i < 32 do
+         incr i;
+         let sx = operand () and sy = operand () in
+         let x = B.of_string sx and y = B.of_string sy in
+         let rx = RB.of_string sx and ry = RB.of_string sy in
+         let ctx op = Printf.sprintf "%s on (%s, %s)" op sx sy in
+         check (ctx "Bigint.add") (RB.to_string (RB.add rx ry)) (B.to_string (B.add x y));
+         check (ctx "Bigint.sub") (RB.to_string (RB.sub rx ry)) (B.to_string (B.sub x y));
+         check (ctx "Bigint.mul") (RB.to_string (RB.mul rx ry)) (B.to_string (B.mul x y));
+         check (ctx "Bigint.compare")
+           (string_of_int (RB.compare rx ry)) (string_of_int (B.compare x y));
+         check (ctx "Bigint.gcd") (RB.to_string (RB.gcd rx ry)) (B.to_string (B.gcd x y));
+         if not (B.is_zero y) then begin
+           let q, r = B.divmod x y and rq, rr = RB.divmod rx ry in
+           check (ctx "Bigint.divmod.q") (RB.to_string rq) (B.to_string q);
+           check (ctx "Bigint.divmod.r") (RB.to_string rr) (B.to_string r)
+         end;
+         (* Rationals from the same operands (nonzero denominators). *)
+         let sd = operand () and se = operand () in
+         let d = B.of_string sd and e = B.of_string se in
+         if not (B.is_zero d || B.is_zero e) then begin
+           let a = Q.make x d and b = Q.make y e in
+           let ra = RR.make rx (RB.of_string sd) and rb = RR.make ry (RB.of_string se) in
+           let ctx op = Printf.sprintf "%s on (%s/%s, %s/%s)" op sx sd sy se in
+           (* The den > 0, coprime invariant, through the fast constructors. *)
+           if !failure = None && B.sign (Q.den a) <= 0 then
+             failure := Some (ctx "Rat.make: non-positive denominator");
+           if !failure = None && not (B.equal (B.gcd (Q.num a) (Q.den a)) B.one) then
+             failure := Some (ctx "Rat.make: non-coprime parts");
+           check (ctx "Rat.add") (RR.to_string (RR.add ra rb)) (Q.to_string (Q.add a b));
+           check (ctx "Rat.sub") (RR.to_string (RR.sub ra rb)) (Q.to_string (Q.sub a b));
+           check (ctx "Rat.mul") (RR.to_string (RR.mul ra rb)) (Q.to_string (Q.mul a b));
+           check (ctx "Rat.compare")
+             (string_of_int (RR.compare ra rb)) (string_of_int (Q.compare a b));
+           check (ctx "Rat.floor") (RB.to_string (RR.floor ra)) (B.to_string (Q.floor a));
+           check (ctx "Rat.ceil") (RB.to_string (RR.ceil ra)) (B.to_string (Q.ceil a));
+           if not (RR.is_zero rb) then
+             check (ctx "Rat.div") (RR.to_string (RR.div ra rb)) (Q.to_string (Q.div a b))
+         end
+       done);
+      match !failure with None -> Pass | Some msg -> Fail msg)
 
 (* ------------------------------------------------------------------ *)
 (* Metamorphic *)
@@ -315,7 +436,7 @@ let meta_relabel =
 let meta_edge_drop =
   prop "meta.edge.drop"
     "removing a precedence edge never raises the critical path, and never raises the exact \
-     optimum on n <= 7"
+     optimum on n <= 9"
     [ "prec"; "bb" ]
     (on_prec (fun inst ->
          match Dag.edges inst.I.Prec.dag with
@@ -372,14 +493,6 @@ let meta_release_slacken =
 
 (* ------------------------------------------------------------------ *)
 (* Online simulation *)
-
-let stream_seed_of parsed =
-  let printed =
-    match parsed with
-    | Io.Prec inst -> Io.prec_to_string inst
-    | Io.Release inst -> Io.release_to_string inst
-  in
-  Int32.to_int (Spp_util.Crc32.digest printed) land 0x3FFFFFFF
 
 let pp_sim_violations vs =
   let shown = List.filteri (fun i _ -> i < 3) vs in
@@ -605,7 +718,8 @@ let all =
     sound_dc; sound_ls_prec; sound_uniform_f; sound_uniform_pff; sound_uniform_wave;
     sound_ls_release; sound_shelf; sound_shelf_ff;
     guar_dc_thm23; guar_prec_lb; guar_uniform_f_thm26; guar_release_lb; guar_aptas;
-    diff_exact_prec; diff_uniform_dp; diff_exact_release; diff_engine; sound_engine_degraded;
+    diff_exact_prec; diff_uniform_dp; diff_exact_release; sound_bb_parallel; num_diff;
+    diff_engine; sound_engine_degraded;
     meta_relabel; meta_edge_drop; meta_release_slacken;
     sound_sim_ff; sound_sim_buffered; sound_sim_repack; sim_stream;
   ]

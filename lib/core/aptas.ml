@@ -103,7 +103,7 @@ let round_to_integral ~cancel (reduced : Release.t) (sol : Config_lp.solved) =
   in
   (Placement.of_items items, fallback_rects)
 
-let solve ?(cancel = Spp_util.Cancel.never) ?max_configs ?(solver = `Enumerate) ~epsilon
+let solve ?(cancel = Spp_util.Cancel.never) ?max_configs ?(solver = `Enumerate) ?warm ~epsilon
     (inst : Release.t) =
   if Q.sign epsilon <= 0 then invalid_arg "Aptas.solve: epsilon must be positive";
   let eps' = Q.div epsilon (Q.of_int 3) in
@@ -120,7 +120,7 @@ let solve ?(cancel = Spp_util.Cancel.never) ?max_configs ?(solver = `Enumerate) 
   let sol =
     match solver with
     | `Enumerate -> Config_lp.solve ?max_configs p_rw
-    | `Column_generation -> Config_colgen.solve ~cancel p_rw
+    | `Column_generation -> Config_colgen.solve ~cancel ?warm p_rw
   in
   Spp_util.Cancel.check cancel;
   (* Line 8: fractional -> integral (positions computed on the reduced

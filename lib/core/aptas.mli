@@ -40,7 +40,10 @@ type result = {
     (default [Spp_util.Cancel.never]) is polled between pipeline stages
     (after release rounding, after width grouping, after the LP), inside
     column generation, and per occurrence during the integral rounding; a
-    tripped token aborts with [Spp_util.Cancel.Cancelled].
+    tripped token aborts with [Spp_util.Cancel.Cancelled]. [warm] (used
+    only by [`Column_generation]) carries a {!Config_colgen.warm} pool
+    across calls, warm-starting the restricted LP with previously priced
+    configurations.
     @raise Invalid_argument if [epsilon <= 0].
     @raise Failure if the configuration count exceeds [max_configs]
     (default 200_000) under [`Enumerate] — choose a larger ε, a smaller K,
@@ -49,6 +52,7 @@ val solve :
   ?cancel:Spp_util.Cancel.t ->
   ?max_configs:int ->
   ?solver:[ `Enumerate | `Column_generation ] ->
+  ?warm:Config_colgen.warm ->
   epsilon:Spp_num.Rat.t ->
   Instance.Release.t ->
   result

@@ -4,67 +4,23 @@ module Rect = Spp_geom.Rect
 module Release = Instance.Release
 module Model = Spp_lp.Model
 module Simplex = Spp_lp.Simplex
+module RM = Spp_lp.Simplex.Exact.Restricted
 module Knapsack = Spp_pack.Knapsack
 
-(* Build and exactly solve the restricted LP over the given configuration
-   pool; returns (objective, solution, packing duals by phase, covering
-   duals by (k, i)). Mirrors Config_lp.solve's constraint structure. *)
-let solve_restricted widths boundaries demand configs =
-  let np = Array.length boundaries in
-  let nw = Array.length widths in
-  let nq = Array.length configs in
-  let model = Model.create () in
-  let var = Array.make_matrix nq np (-1) in
-  for q = 0 to nq - 1 do
-    for j = 0 to np - 1 do
-      var.(q).(j) <- Model.add_var model ~name:(Printf.sprintf "x_%d_%d" q j)
-    done
-  done;
-  Model.set_objective model (List.init nq (fun q -> (var.(q).(np - 1), Q.one)));
-  (* Constraint bookkeeping: remember each row's role to map duals back. *)
-  let row_roles = ref [] in
-  for j = 0 to np - 2 do
-    let cap = Q.sub boundaries.(j + 1) boundaries.(j) in
-    Model.add_constraint model ~name:(Printf.sprintf "pack_%d" j)
-      (List.init nq (fun q -> (var.(q).(j), Q.one)))
-      Model.Le cap;
-    row_roles := `Pack j :: !row_roles
-  done;
-  for k = 0 to np - 1 do
-    for i = 0 to nw - 1 do
-      let rhs = ref Q.zero in
-      for j = k to np - 1 do
-        rhs := Q.add !rhs demand.(i).(j)
-      done;
-      if Q.sign !rhs > 0 then begin
-        let terms = ref [] in
-        for j = k to np - 1 do
-          for q = 0 to nq - 1 do
-            let a = configs.(q).(i) in
-            if a > 0 then terms := (var.(q).(j), Q.of_int a) :: !terms
-          done
-        done;
-        Model.add_constraint model ~name:(Printf.sprintf "cover_%d_%d" k i) !terms Model.Ge !rhs;
-        row_roles := `Cover (k, i) :: !row_roles
-      end
-    done
-  done;
-  let row_roles = Array.of_list (List.rev !row_roles) in
-  match Simplex.Exact.solve model with
-  | Simplex.Infeasible | Simplex.Unbounded -> assert false (* see Config_lp *)
-  | Simplex.Optimal { objective; solution; duals } ->
-    let pack_dual = Array.make np Q.zero in
-    let cover_dual = Array.make_matrix np nw Q.zero in
-    Array.iteri
-      (fun row role ->
-        match role with
-        | `Pack j -> pack_dual.(j) <- duals.(row)
-        | `Cover (k, i) -> cover_dual.(k).(i) <- duals.(row))
-      row_roles;
-    (objective, solution, var, pack_dual, cover_dual)
+(* Cross-call warm pool: converged configuration pools keyed by the width
+   signature (configurations are meaningful only for identical widths). A
+   later solve over the same widths seeds its pool with the stored
+   configurations, so the first restricted LP already contains the columns
+   the previous run had to price — pricing rounds collapse. *)
+type warm = { pools : (string, int array list) Hashtbl.t }
+
+let warm_start () = { pools = Hashtbl.create 4 }
+
+let widths_key widths =
+  String.concat "," (Array.to_list (Array.map Q.to_string widths))
 
 let solve ?(cancel = Spp_util.Cancel.never) ?(max_rounds = 200) ?(max_denominator = 100_000)
-    (inst : Release.t) =
+    ?warm (inst : Release.t) =
   let widths = Array.of_list (Grouping.distinct_widths inst) in
   let releases = Grouping.distinct_releases inst in
   let boundaries =
@@ -112,11 +68,13 @@ let solve ?(cancel = Spp_util.Cancel.never) ?(max_rounds = 200) ?(max_denominato
      (guarantees feasibility of every covering row from round one). *)
   let pool = Hashtbl.create 64 in
   let pool_list = ref [] in
+  let pool_size = ref 0 in
   let add_config counts =
     let key = Array.to_list counts in
     if not (Hashtbl.mem pool key) then begin
       Hashtbl.replace pool key ();
       pool_list := counts :: !pool_list;
+      incr pool_size;
       true
     end
     else false
@@ -126,22 +84,153 @@ let solve ?(cancel = Spp_util.Cancel.never) ?(max_rounds = 200) ?(max_denominato
     counts.(i) <- max 1 (denom / scaled_width.(i));
     ignore (add_config counts)
   done;
+  (* Warm pool: configurations a previous solve over the same widths
+     converged with. Their columns make the first master near-optimal. *)
+  let wkey = widths_key widths in
+  (match warm with
+   | None -> ()
+   | Some w ->
+     (match Hashtbl.find_opt w.pools wkey with
+      | None -> ()
+      | Some configs -> List.iter (fun c -> ignore (add_config (Array.copy c))) configs));
   let tol = 1e-9 in
-  let rec rounds n =
-    Spp_util.Cancel.check cancel;
-    Spp_obs.Profile.add_colgen_rounds 1;
-    let configs = Array.of_list (List.rev !pool_list) in
-    let objective, solution, var, pack_dual, cover_dual =
-      solve_restricted widths boundaries demand configs
+  (* One warm master per pool epoch: [attempt] builds the restricted LP over
+     the whole current pool and hands it to [rounds], which appends priced
+     columns to the same master and reoptimises from the incumbent basis.
+     A rebuild (new epoch) happens only if the master dropped a redundant
+     row, which appended columns cannot safely cross. *)
+  let rec attempt round0 =
+    let configs0 = Array.of_list (List.rev !pool_list) in
+    let nq0 = Array.length configs0 in
+    let model = Model.create () in
+    let var = Array.make_matrix nq0 np (-1) in
+    for q = 0 to nq0 - 1 do
+      for j = 0 to np - 1 do
+        var.(q).(j) <- Model.add_var model ~name:(Printf.sprintf "x_%d_%d" q j)
+      done
+    done;
+    Model.set_objective model (List.init nq0 (fun q -> (var.(q).(np - 1), Q.one)));
+    (* Constraint bookkeeping: row roles map duals back, and the reverse
+       maps ([pack_row], [cover_row]) place appended columns' entries. *)
+    let row_roles = ref [] in
+    let nrows = ref 0 in
+    let pack_row = Array.make (max 1 (np - 1)) (-1) in
+    let cover_row = Array.make_matrix np nw (-1) in
+    for j = 0 to np - 2 do
+      let cap = Q.sub boundaries.(j + 1) boundaries.(j) in
+      Model.add_constraint model ~name:(Printf.sprintf "pack_%d" j)
+        (List.init nq0 (fun q -> (var.(q).(j), Q.one)))
+        Model.Le cap;
+      pack_row.(j) <- !nrows;
+      incr nrows;
+      row_roles := `Pack j :: !row_roles
+    done;
+    for k = 0 to np - 1 do
+      for i = 0 to nw - 1 do
+        let rhs = ref Q.zero in
+        for j = k to np - 1 do
+          rhs := Q.add !rhs demand.(i).(j)
+        done;
+        if Q.sign !rhs > 0 then begin
+          let terms = ref [] in
+          for j = k to np - 1 do
+            for q = 0 to nq0 - 1 do
+              let a = configs0.(q).(i) in
+              if a > 0 then terms := (var.(q).(j), Q.of_int a) :: !terms
+            done
+          done;
+          Model.add_constraint model ~name:(Printf.sprintf "cover_%d_%d" k i) !terms Model.Ge !rhs;
+          cover_row.(k).(i) <- !nrows;
+          incr nrows;
+          row_roles := `Cover (k, i) :: !row_roles
+        end
+      done
+    done;
+    let row_roles = Array.of_list (List.rev !row_roles) in
+    let rm =
+      match RM.create model with
+      | `Optimal rm -> rm
+      | `Infeasible | `Unbounded -> assert false (* see Config_lp *)
     in
-    if n >= max_rounds then
-      failwith "Config_colgen.solve: round limit exhausted before convergence"
-    else begin
+    (* Appended (counts, phase) pairs, newest first; the master's solution
+       lists their values after the nq0 * np model variables. *)
+    let appended = ref [] in
+    let read_duals () =
+      let duals = RM.duals rm in
+      let pack_dual = Array.make np Q.zero in
+      let cover_dual = Array.make_matrix np nw Q.zero in
+      Array.iteri
+        (fun row role ->
+          match role with
+          | `Pack j -> pack_dual.(j) <- duals.(row)
+          | `Cover (k, i) -> cover_dual.(k).(i) <- duals.(row))
+        row_roles;
+      (pack_dual, cover_dual)
+    in
+    (* Column for configuration [counts] in phase [j]: objective 1 only in
+       the last phase; coefficient 1 in its packing row; coefficient
+       counts.(i) in every covering row (k, i) with k <= j that exists. *)
+    let append_column counts j =
+      let obj = if j = np - 1 then Q.one else Q.zero in
+      let entries = ref [] in
+      if j <= np - 2 then entries := (pack_row.(j), Q.one) :: !entries;
+      for k = 0 to j do
+        for i = 0 to nw - 1 do
+          let r = cover_row.(k).(i) in
+          if r >= 0 && counts.(i) > 0 then entries := (r, Q.of_int counts.(i)) :: !entries
+        done
+      done;
+      match RM.add_column rm ~obj ~entries:!entries with
+      | `Added ->
+        appended := (counts, j) :: !appended;
+        true
+      | `Needs_rebuild -> false
+    in
+    let finish () =
+      let objective = RM.objective rm in
+      let solution = RM.solution rm in
+      let occurrences = ref [] in
+      for q = 0 to nq0 - 1 do
+        for j = 0 to np - 1 do
+          let x = solution.(var.(q).(j)) in
+          if Q.sign x > 0 then
+            occurrences := { Config_lp.counts = configs0.(q); phase = j; height = x } :: !occurrences
+        done
+      done;
+      List.iteri
+        (fun a (counts, j) ->
+          let x = solution.((nq0 * np) + a) in
+          if Q.sign x > 0 then
+            occurrences := { Config_lp.counts; phase = j; height = x } :: !occurrences)
+        (List.rev !appended);
+      let occurrences =
+        List.stable_sort
+          (fun (a : Config_lp.occurrence) b -> compare a.Config_lp.phase b.Config_lp.phase)
+          (List.rev !occurrences)
+      in
+      (match warm with
+       | None -> ()
+       | Some w -> Hashtbl.replace w.pools wkey (List.rev_map Array.copy !pool_list));
+      {
+        Config_lp.widths;
+        boundaries;
+        lp_value = objective;
+        fractional_height = Q.add boundaries.(np - 1) objective;
+        occurrences;
+        num_configs = !pool_size;
+      }
+    in
+    let rec rounds n =
+      Spp_util.Cancel.check cancel;
+      Spp_obs.Profile.add_colgen_rounds 1;
+      if n >= max_rounds then
+        failwith "Config_colgen.solve: round limit exhausted before convergence";
       (* Pricing: column (q, j) has reduced cost
            c_j - pack_dual_j - sum_i a_iq * (sum_{k<=j} cover_dual_{k,i}).
          Maximise the knapsack part per phase. *)
-      let improved = ref false in
+      let pack_dual, cover_dual = read_duals () in
       let acc = Array.make nw 0.0 in
+      let fresh = ref [] in
       for j = 0 to np - 1 do
         for i = 0 to nw - 1 do
           acc.(i) <- acc.(i) +. Q.to_float cover_dual.(j).(i)
@@ -159,38 +248,30 @@ let solve ?(cancel = Spp_util.Cancel.never) ?(max_rounds = 200) ?(max_denominato
         let threshold = c_j -. Q.to_float pack_dual.(j) in
         if best > threshold +. tol then
           if add_config counts then begin
-            improved := true;
             (* Priced columns only — the initial singleton pool is not
                generation work. *)
-            Spp_obs.Profile.add_colgen_columns 1
+            Spp_obs.Profile.add_colgen_columns 1;
+            fresh := counts :: !fresh
           end
       done;
-      if !improved then rounds (n + 1)
-      else begin
-        (* Converged: package the restricted optimum as a Config_lp.solved. *)
-        let occurrences = ref [] in
-        Array.iteri
-          (fun q counts ->
-            for j = 0 to np - 1 do
-              let x = solution.(var.(q).(j)) in
-              if Q.sign x > 0 then
-                occurrences := { Config_lp.counts; phase = j; height = x } :: !occurrences
-            done)
-          configs;
-        let occurrences =
-          List.stable_sort
-            (fun (a : Config_lp.occurrence) b -> compare a.Config_lp.phase b.Config_lp.phase)
-            (List.rev !occurrences)
+      match List.rev !fresh with
+      | [] -> finish ()
+      | fresh_configs ->
+        let ok =
+          List.for_all
+            (fun counts ->
+              let rec phases j = j >= np || (append_column counts j && phases (j + 1)) in
+              phases 0)
+            fresh_configs
         in
-        {
-          Config_lp.widths;
-          boundaries;
-          lp_value = objective;
-          fractional_height = Q.add boundaries.(np - 1) objective;
-          occurrences;
-          num_configs = Array.length configs;
-        }
-      end
-    end
+        if not ok then attempt (n + 1)
+        else begin
+          (match RM.reoptimize rm with
+           | `Optimal -> ()
+           | `Unbounded -> assert false);
+          rounds (n + 1)
+        end
+    in
+    rounds round0
   in
-  rounds 0
+  attempt 0

@@ -14,12 +14,33 @@
     nothing / lower bound on the integral optimum, like the full LP).
 
     Widths must share a common denominator [<= max_denominator] (they do by
-    construction for column-quantised instances, where it is K). *)
+    construction for column-quantised instances, where it is K).
 
-(** [solve ?max_rounds ?max_denominator inst] returns the same record as
-    {!Config_lp.solve}, with [num_configs] the size of the generated pool.
-    [cancel] (default [Spp_util.Cancel.never]) is polled before every
+    The restricted LP is {e warm-started} at two levels. Within a solve,
+    one {!Spp_lp.Simplex.Exact.Restricted} master persists across pricing
+    rounds: priced columns are appended to the incumbent optimal tableau
+    and simplex continues from the current basis, instead of rebuilding and
+    re-solving the restricted LP every round. Across solves, an optional
+    {!warm} pool remembers each converged configuration pool keyed by width
+    signature, so a later solve over the same widths starts with the
+    columns the previous one had to generate — observable as collapsed
+    [spp_colgen_rounds_total] / pivot counts. *)
+
+(** Cross-call warm-start state: converged configuration pools keyed by
+    width signature. Safe to reuse across any sequence of solves — entries
+    only seed the initial pool, never bypass pricing, so results are
+    identical LP optima either way. Not domain-safe; share per worker. *)
+type warm
+
+(** A fresh, empty warm-start pool. *)
+val warm_start : unit -> warm
+
+(** [solve ?max_rounds ?max_denominator ?warm inst] returns the same record
+    as {!Config_lp.solve}, with [num_configs] the size of the generated
+    pool. [cancel] (default [Spp_util.Cancel.never]) is polled before every
     pricing round; a tripped token aborts with [Spp_util.Cancel.Cancelled].
+    [warm] seeds the configuration pool from previous solves and stores the
+    converged pool back (see {!warm}).
     @raise Failure when widths have no common denominator below
     [max_denominator] (default 100_000) or [max_rounds] (default 200) is
     exhausted before convergence. *)
@@ -27,5 +48,6 @@ val solve :
   ?cancel:Spp_util.Cancel.t ->
   ?max_rounds:int ->
   ?max_denominator:int ->
+  ?warm:warm ->
   Instance.Release.t ->
   Config_lp.solved

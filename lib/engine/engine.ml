@@ -79,6 +79,9 @@ let create ?(cache_capacity = 128) ?store_dir ?store_max_entries ?telemetry () =
     (Metrics.counter reg ~help:"Branch-and-bound subtrees pruned by bound"
        "spp_bb_pruned_total");
   ignore
+    (Metrics.counter reg ~help:"Branch-and-bound states cut by the dominance table"
+       "spp_bb_dominated_total");
+  ignore
     (Metrics.counter reg ~help:"Columns priced into the restricted master"
        "spp_colgen_columns_total");
   ignore
@@ -182,6 +185,7 @@ let race_one parsed cancel incumbent trace (spec : Portfolio.spec) =
             [ ("pivots", prof.Spp_obs.Profile.pivots);
               ("bb_nodes", prof.Spp_obs.Profile.bb_nodes);
               ("bb_pruned", prof.Spp_obs.Profile.bb_pruned);
+              ("bb_dominated", prof.Spp_obs.Profile.bb_dominated);
               ("colgen_columns", prof.Spp_obs.Profile.colgen_columns);
               ("colgen_rounds", prof.Spp_obs.Profile.colgen_rounds) ]
         in
@@ -236,6 +240,8 @@ let record_profile t algo (p : Spp_obs.Profile.snapshot) =
     count "spp_pivots_total" "Simplex pivot iterations" p.Spp_obs.Profile.pivots;
     count "spp_bb_pruned_total" "Branch-and-bound subtrees pruned by bound"
       p.Spp_obs.Profile.bb_pruned;
+    count "spp_bb_dominated_total" "Branch-and-bound states cut by the dominance table"
+      p.Spp_obs.Profile.bb_dominated;
     count "spp_colgen_columns_total" "Columns priced into the restricted master"
       p.Spp_obs.Profile.colgen_columns;
     count "spp_colgen_rounds_total" "Column-generation master re-solve rounds"

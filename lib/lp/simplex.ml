@@ -9,13 +9,14 @@ module Make (F : Field.S) = struct
        basis   : basis.(i) is the variable basic in row i.
        objrow  : reduced costs, slot [cols] holds -z.
      Column layout: [0,n) model vars, [n, art_start) slack/surplus,
-     [art_start, cols) artificials. *)
+     [art_start, cols) artificials — and, for a warm-started restricted
+     master, appended columns at [orig_cols, cols). *)
 
   type tableau = {
     mutable rows : F.t array array;
     mutable basis : int array;
-    objrow : F.t array;
-    cols : int;
+    mutable objrow : F.t array;
+    mutable cols : int;
     art_start : int;
     nvars : int;
   }
@@ -42,10 +43,12 @@ module Make (F : Field.S) = struct
      terminates always. We run Dantzig while progress is made and fall back
      to Bland permanently after a run of degenerate pivots — a standard,
      still-terminating hybrid. Leaving row: min ratio, ties by smallest
-     basis index (part of Bland's argument). *)
+     basis index (part of Bland's argument). [enter_ok] restricts the
+     entering candidates (phase 2 bars artificials; a restricted master
+     additionally admits its appended columns). *)
   let degenerate_limit = 40
 
-  let iterate t ~max_enter ~max_iters =
+  let iterate t ~enter_ok ~max_iters =
     let iters = ref 0 in
     let degenerate_run = ref 0 in
     let rec step () =
@@ -55,8 +58,8 @@ module Make (F : Field.S) = struct
       if !degenerate_run < degenerate_limit then begin
         (* Dantzig: most negative reduced cost. *)
         let best = ref F.zero in
-        for j = 0 to max_enter - 1 do
-          if F.compare t.objrow.(j) !best < 0 then begin
+        for j = 0 to t.cols - 1 do
+          if enter_ok j && F.compare t.objrow.(j) !best < 0 then begin
             best := t.objrow.(j);
             entering := j
           end
@@ -64,8 +67,8 @@ module Make (F : Field.S) = struct
       end
       else begin
         let j = ref 0 in
-        while !entering < 0 && !j < max_enter do
-          if F.compare t.objrow.(!j) F.zero < 0 then entering := !j;
+        while !entering < 0 && !j < t.cols do
+          if enter_ok !j && F.compare t.objrow.(!j) F.zero < 0 then entering := !j;
           incr j
         done
       end;
@@ -122,7 +125,20 @@ module Make (F : Field.S) = struct
           done)
       t.rows
 
-  let solve_max_iters model ~max_iters =
+  (* Everything phase 2 (and a warm-started master) needs to keep going
+     after phase 1: the tableau plus the dual-recovery bookkeeping. *)
+  type prepared = {
+    tab : tableau;
+    m : int;  (* original constraint count, including dropped rows *)
+    dual_col : int array;
+    dual_sign : int array;
+    dropped : (int, unit) Hashtbl.t;
+  }
+
+  (* Build the tableau from [model] and run phase 1 (when artificials are
+     needed), driving artificials out of the basis and dropping redundant
+     rows. Returns a feasible prepared tableau or [`Infeasible]. *)
+  let prepare model ~max_iters =
     let n = Model.num_vars model in
     let constrs = Array.of_list (Model.constraints model) in
     let m = Array.length constrs in
@@ -192,7 +208,7 @@ module Make (F : Field.S) = struct
         cost.(j) <- F.one
       done;
       set_objective_row t cost;
-      (match iterate t ~max_enter:cols ~max_iters with
+      (match iterate t ~enter_ok:(fun _ -> true) ~max_iters with
        | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
        | `Optimal -> ());
       let z1 = F.neg t.objrow.(t.cols) in
@@ -221,42 +237,163 @@ module Make (F : Field.S) = struct
         t.basis <- Array.of_list (List.map (fun i -> t.basis.(i)) keep)
       end
     end;
-    if not !feasible then Infeasible
-    else begin
+    if !feasible then `Feasible { tab = t; m; dual_col; dual_sign; dropped } else `Infeasible
+
+  (* Phase-2 cost vector of the model, over the tableau's columns. *)
+  let model_cost model t =
+    let cost = Array.make t.cols F.zero in
+    List.iter (fun (v, c) -> cost.(v) <- F.add cost.(v) (F.of_rat c)) (Model.objective model);
+    cost
+
+  (* Duals: for constraint i with auxiliary column j whose original entries
+     were +e_i, the reduced cost is r_j = -y_i, so y_i = -r_j, sign-adjusted
+     for flipped rows. Dropped (redundant) rows get dual 0. *)
+  let extract_duals p =
+    let t = p.tab in
+    let duals = Array.make p.m F.zero in
+    for i = 0 to p.m - 1 do
+      if not (Hashtbl.mem p.dropped i) then begin
+        let y = F.neg t.objrow.(p.dual_col.(i)) in
+        duals.(i) <- (if p.dual_sign.(i) < 0 then F.neg y else y)
+      end
+    done;
+    duals
+
+  let solve_max_iters model ~max_iters =
+    match prepare model ~max_iters with
+    | `Infeasible -> Infeasible
+    | `Feasible p ->
+      let t = p.tab in
       (* Phase 2: original objective; artificial columns are barred from
-         entering (max_enter = art_start). *)
-      let cost = Array.make cols F.zero in
-      List.iter (fun (v, c) -> cost.(v) <- F.add cost.(v) (F.of_rat c)) (Model.objective model);
-      set_objective_row t cost;
-      match iterate t ~max_enter:t.art_start ~max_iters with
-      | `Unbounded -> Unbounded
-      | `Optimal ->
-        let solution = Array.make t.nvars F.zero in
-        Array.iteri
-          (fun i row -> if t.basis.(i) < t.nvars then solution.(t.basis.(i)) <- row.(t.cols))
-          t.rows;
-        let objective = F.neg t.objrow.(t.cols) in
-        (* Duals: for constraint i with auxiliary column j whose original
-           entries were +e_i, the reduced cost is r_j = -y_i, so
-           y_i = -r_j, sign-adjusted for flipped rows. Dropped (redundant)
-           rows get dual 0. *)
-        let duals = Array.make m F.zero in
-        for i = 0 to m - 1 do
-          if not (Hashtbl.mem dropped i) then begin
-            let y = F.neg t.objrow.(dual_col.(i)) in
-            duals.(i) <- (if dual_sign.(i) < 0 then F.neg y else y)
-          end
-        done;
-        Optimal { objective; solution; duals }
-    end
+         entering. *)
+      set_objective_row t (model_cost model t);
+      (match iterate t ~enter_ok:(fun j -> j < t.art_start) ~max_iters with
+       | `Unbounded -> Unbounded
+       | `Optimal ->
+         let solution = Array.make t.nvars F.zero in
+         Array.iteri
+           (fun i row -> if t.basis.(i) < t.nvars then solution.(t.basis.(i)) <- row.(t.cols))
+           t.rows;
+         let objective = F.neg t.objrow.(t.cols) in
+         Optimal { objective; solution; duals = extract_duals p })
 
   let solve model = solve_max_iters model ~max_iters:1_000_000
+
+  (* Warm-started restricted master: keep the optimal tableau alive, append
+     priced columns, and continue primal simplex from the current basis
+     instead of re-solving from scratch. See the .mli for the algebra. *)
+  module Restricted = struct
+    type master = {
+      p : prepared;
+      orig_cols : int;  (* columns before any append; appended live above *)
+      max_iters : int;
+      (* Phase-2 cost per tableau column (length cols, grows with appends):
+         needed to price a fresh column against whatever basis is current. *)
+      mutable cost : F.t array;
+      mutable appended : int;
+    }
+
+    type t = master
+
+    let create ?(max_iters = 1_000_000) model =
+      match prepare model ~max_iters with
+      | `Infeasible -> `Infeasible
+      | `Feasible p ->
+        let t = p.tab in
+        let cost = model_cost model t in
+        set_objective_row t cost;
+        (match iterate t ~enter_ok:(fun j -> j < t.art_start) ~max_iters with
+         | `Unbounded -> `Unbounded
+         | `Optimal -> `Optimal { p; orig_cols = t.cols; max_iters; cost; appended = 0 })
+
+    let objective rm = F.neg rm.p.tab.objrow.(rm.p.tab.cols)
+    let duals rm = extract_duals rm.p
+    let num_appended rm = rm.appended
+
+    (* Solution over [nvars] model variables followed by the appended
+       columns in append order. *)
+    let solution rm =
+      let t = rm.p.tab in
+      let sol = Array.make (t.nvars + rm.appended) F.zero in
+      Array.iteri
+        (fun i row ->
+          let b = t.basis.(i) in
+          if b < t.nvars then sol.(b) <- row.(t.cols)
+          else if b >= rm.orig_cols then sol.(t.nvars + (b - rm.orig_cols)) <- row.(t.cols))
+        t.rows;
+      sol
+
+    (* Append a variable with objective coefficient [obj] and constraint
+       coefficients [entries] (original constraint index, coefficient).
+       The tableau carries B^-1 A, so the new column enters as B^-1 a —
+       assembled from the identity columns that dual recovery already
+       tracks: B^-1 a = sum_r a_r * T[., dual_col r] (with a sign-adjusted
+       for flipped rows). Valid only while no row was dropped as redundant:
+       a dropped row's dependency need not extend to the new variable, so
+       in that case the caller must rebuild ([`Needs_rebuild]). *)
+    let add_column rm ~obj ~entries =
+      if Hashtbl.length rm.p.dropped > 0 then `Needs_rebuild
+      else begin
+        let t = rm.p.tab in
+        let nrows = Array.length t.rows in
+        let col = Array.make nrows F.zero in
+        List.iter
+          (fun (r, a) ->
+            let a = F.of_rat (if rm.p.dual_sign.(r) < 0 then Spp_num.Rat.neg a else a) in
+            if not (F.is_zero a) then begin
+              let jc = rm.p.dual_col.(r) in
+              for i = 0 to nrows - 1 do
+                col.(i) <- F.add col.(i) (F.mul a t.rows.(i).(jc))
+              done
+            end)
+          entries;
+        let oldc = t.cols in
+        t.rows <-
+          Array.mapi
+            (fun i row ->
+              let nr = Array.make (oldc + 2) F.zero in
+              Array.blit row 0 nr 0 oldc;
+              nr.(oldc) <- col.(i);
+              nr.(oldc + 1) <- row.(oldc);
+              nr)
+            t.rows;
+        (* Reduced cost under the current basis: c_new - c_B . B^-1 a.
+           Existing reduced costs are unaffected by a new column. *)
+        let c = F.of_rat obj in
+        let red = ref c in
+        for i = 0 to nrows - 1 do
+          let cb = rm.cost.(t.basis.(i)) in
+          if not (F.is_zero cb) then red := F.sub !red (F.mul cb col.(i))
+        done;
+        let nobj = Array.make (oldc + 2) F.zero in
+        Array.blit t.objrow 0 nobj 0 oldc;
+        nobj.(oldc) <- !red;
+        nobj.(oldc + 1) <- t.objrow.(oldc);
+        t.objrow <- nobj;
+        let ncost = Array.make (oldc + 1) F.zero in
+        Array.blit rm.cost 0 ncost 0 oldc;
+        ncost.(oldc) <- c;
+        rm.cost <- ncost;
+        t.cols <- oldc + 1;
+        rm.appended <- rm.appended + 1;
+        `Added
+      end
+
+    (* The basis is still feasible after appends (new variables sit
+       nonbasic at 0), so plain primal iterations finish the job. *)
+    let reoptimize rm =
+      let t = rm.p.tab in
+      iterate t
+        ~enter_ok:(fun j -> j < t.art_start || j >= rm.orig_cols)
+        ~max_iters:rm.max_iters
+  end
 end
 
 module Exact = struct
   module M = Make (Field.Rat)
 
   let solve = M.solve
+  module Restricted = M.Restricted
 end
 
 module Approx = struct

@@ -10,7 +10,15 @@
 
     Not polynomial time in the worst case (the paper cites ellipsoid /
     Karmarkar for that); DESIGN.md documents this substitution — instance
-    sizes here make simplex the pragmatic exact choice. *)
+    sizes here make simplex the pragmatic exact choice.
+
+    For column generation the solver also exposes a {e restricted master}
+    interface ({!Make.Restricted}, re-exported as {!Exact.Restricted}): the
+    optimal tableau is kept alive between pricing rounds, newly priced
+    columns are appended as [B{^-1}a] (assembled from the identity columns
+    dual recovery already tracks), and reoptimisation continues primal
+    simplex from the current basis — collapsing per-round pivot counts
+    compared to re-solving every restricted LP from scratch. *)
 
 type 'a result =
   | Optimal of { objective : 'a; solution : 'a array; duals : 'a array }
@@ -32,11 +40,68 @@ module Make (F : Field.S) : sig
       the float instance, which tolerance-compare could in principle cycle).
       @raise Failure if the bound is hit. *)
   val solve_max_iters : Model.t -> max_iters:int -> F.t result
+
+  (** Warm-started restricted master for column generation. *)
+  module Restricted : sig
+    type t
+
+    (** [create model] solves [model] to optimality and keeps the final
+        tableau (basis, reduced costs, dual bookkeeping) alive so columns
+        can be appended and the solve continued. *)
+    val create : ?max_iters:int -> Model.t -> [ `Optimal of t | `Infeasible | `Unbounded ]
+
+    (** Current optimal objective value. Only meaningful at an optimum
+        (after [create] or a successful {!reoptimize}). *)
+    val objective : t -> F.t
+
+    (** Solution values: one entry per original model variable followed by
+        one per appended column, in append order. *)
+    val solution : t -> F.t array
+
+    (** Dual value per original constraint, insertion order (0 for rows
+        dropped as redundant) — same convention as {!result}. *)
+    val duals : t -> F.t array
+
+    (** Number of columns appended so far. *)
+    val num_appended : t -> int
+
+    (** [add_column rm ~obj ~entries] appends a variable with objective
+        coefficient [obj] and [entries] = (constraint index, coefficient)
+        pairs over the {e original} constraints. The new variable enters
+        nonbasic at 0, so the current basis stays feasible; call
+        {!reoptimize} after a batch of appends. Returns [`Needs_rebuild]
+        when phase 1 dropped a redundant row — the dropped row's linear
+        dependency need not extend to new columns, so the caller must
+        rebuild the master from scratch (sound, merely colder). *)
+    val add_column :
+      t -> obj:Spp_num.Rat.t -> entries:(int * Spp_num.Rat.t) list -> [ `Added | `Needs_rebuild ]
+
+    (** Continue primal simplex from the current feasible basis, admitting
+        appended columns as entering candidates. *)
+    val reoptimize : t -> [ `Optimal | `Unbounded ]
+  end
 end
 
 (** Exact solver over rationals. *)
 module Exact : sig
   val solve : Model.t -> Spp_num.Rat.t result
+
+  module Restricted : sig
+    type t
+
+    val create :
+      ?max_iters:int -> Model.t -> [ `Optimal of t | `Infeasible | `Unbounded ]
+
+    val objective : t -> Spp_num.Rat.t
+    val solution : t -> Spp_num.Rat.t array
+    val duals : t -> Spp_num.Rat.t array
+    val num_appended : t -> int
+
+    val add_column :
+      t -> obj:Spp_num.Rat.t -> entries:(int * Spp_num.Rat.t) list -> [ `Added | `Needs_rebuild ]
+
+    val reoptimize : t -> [ `Optimal | `Unbounded ]
+  end
 end
 
 (** Floating-point solver (tolerance-based pivoting). *)

@@ -1,30 +1,33 @@
-(* Arbitrary-precision integers on base-2^15 limbs.
+(* Arbitrary-precision integers with a small-int fast path.
 
-   Representation invariants:
-   - [mag] is little-endian, has no trailing (most-significant) zero limb;
-   - [sign] is 0 iff [mag] is empty, otherwise -1 or 1.
-   The normalised representation makes structural equality numeric. *)
+   Representation invariants (canonical — structural equality is numeric):
+   - [Small n] holds every value representable as a native [int] except
+     [min_int] (excluded so that [neg]/[abs] on a [Small] can never
+     overflow);
+   - [Big { sign; mag }] holds everything else: [mag] is little-endian
+     base-2^15 limbs with no trailing (most-significant) zero limb, and
+     [sign] is -1 or 1 (never 0 — zero is [Small 0]).
+   Every constructor funnels through [mk], which picks the unique
+   representation, so [Small]/[Big] overlap is impossible and pattern
+   matches can rely on [Big] meaning "does not fit a native int".
+
+   The fast paths matter: the exact-rational simplex behind the APTAS
+   configuration LP spends nearly all of its time in add/mul/gcd on values
+   that fit comfortably in a native int, and the [Small] arm runs those on
+   machine integers with overflow guards, touching no limb buffers at all.
+   The magnitude primitives below are unchanged from the reference
+   implementation (kept verbatim in {!Reference.Bigint} for differential
+   testing). *)
 
 let base_bits = 15
 let base = 1 lsl base_bits (* 32768 *)
 let mask = base - 1
 
-type t = { sign : int; mag : int array }
+type t =
+  | Small of int
+  | Big of { sign : int; mag : int array }
 
-let zero = { sign = 0; mag = [||] }
-
-let normalize sign mag =
-  let n = ref (Array.length mag) in
-  while !n > 0 && mag.(!n - 1) = 0 do
-    decr n
-  done;
-  if !n = 0 then zero
-  else if !n = Array.length mag then { sign; mag }
-  else { sign; mag = Array.sub mag 0 !n }
-
-let is_zero v = v.sign = 0
-let sign v = v.sign
-let limb_count v = Array.length v.mag
+let zero = Small 0
 
 (* ------------------------------------------------------------------ *)
 (* Magnitude primitives (arrays of limbs, little-endian, non-negative) *)
@@ -240,109 +243,202 @@ let mag_divmod_long u v =
   (q, r)
 
 (* ------------------------------------------------------------------ *)
+(* Representation plumbing: Small <-> magnitude *)
+
+(* A trimmed magnitude of <= 4 limbs is < 2^60 and always fits; 5 limbs fit
+   iff the top limb is <= 3 (value <= 2^62 - 1 = max_int); more never fit.
+   [min_int] itself (magnitude 2^62, five limbs with top limb 4) lands in
+   the [Big] arm, as required by the canonical invariant. *)
+let small_of_mag sign mag n =
+  let v = ref 0 in
+  for i = n - 1 downto 0 do
+    v := (!v lsl base_bits) lor mag.(i)
+  done;
+  if sign < 0 then - !v else !v
+
+(* The single normalisation funnel: every signed result built from limbs
+   goes through here, so the canonical Small/Big split holds everywhere. *)
+let mk sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n <= 4 || (!n = 5 && mag.(4) <= 3) then Small (small_of_mag sign mag !n)
+  else if !n = Array.length mag then Big { sign; mag }
+  else Big { sign; mag = Array.sub mag 0 !n }
+
+(* Magnitude limbs of a non-negative native value (0 -> [||]). *)
+let mag_of_abs v =
+  if v = 0 then [||]
+  else begin
+    let rec len x acc = if x = 0 then acc else len (x lsr base_bits) (acc + 1) in
+    let l = len v 0 in
+    let m = Array.make l 0 in
+    let x = ref v in
+    for i = 0 to l - 1 do
+      m.(i) <- !x land mask;
+      x := !x lsr base_bits
+    done;
+    m
+  end
+
+(* min_int = -2^62: magnitude limbs 0,0,0,0,4 in base 2^15. *)
+let big_min_int = Big { sign = -1; mag = [| 0; 0; 0; 0; 4 |] }
+
+(* Sign and magnitude of any value. [Small n] has n <> min_int, so
+   [Stdlib.abs] is safe. *)
+let parts = function
+  | Small 0 -> (0, [||])
+  | Small n -> ((if n < 0 then -1 else 1), mag_of_abs (Stdlib.abs n))
+  | Big b -> (b.sign, b.mag)
+
+let is_small = function Small _ -> true | Big _ -> false
+let small_value = function Small n -> n | Big _ -> invalid_arg "Bigint.small_value: big"
+
+let is_zero = function Small 0 -> true | _ -> false
+let sign = function Small 0 -> 0 | Small n -> if n < 0 then -1 else 1 | Big b -> b.sign
+
+let limb_count = function
+  | Small 0 -> 0
+  | Small n ->
+    let rec len x acc = if x = 0 then acc else len (x lsr base_bits) (acc + 1) in
+    len (Stdlib.abs n) 0
+  | Big b -> Array.length b.mag
+
+(* ------------------------------------------------------------------ *)
 (* Signed operations *)
 
+(* A canonical [Big] is min_int or has magnitude > max_int, so it compares
+   away from every [Small] purely by sign. *)
 let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
-  else if a.sign >= 0 then mag_compare a.mag b.mag
-  else mag_compare b.mag a.mag
+  match (a, b) with
+  | Small x, Small y -> Stdlib.compare x y
+  | Small _, Big b -> if b.sign < 0 then 1 else -1
+  | Big a, Small _ -> if a.sign < 0 then -1 else 1
+  | Big a, Big b ->
+    if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+    else if a.sign >= 0 then mag_compare a.mag b.mag
+    else mag_compare b.mag a.mag
 
 let equal a b = compare a b = 0
 
-let neg v = if v.sign = 0 then v else { v with sign = -v.sign }
-let abs v = if v.sign < 0 then neg v else v
+let neg = function
+  | Small 0 as z -> z
+  | Small n -> Small (-n)
+  | Big b ->
+    (* |value| > max_int or value = min_int: the negation never fits a
+       Small either (2^62 > max_int), so no re-normalisation is needed. *)
+    Big { b with sign = -b.sign }
+
+let abs v = match v with Small n -> if n < 0 then Small (-n) else v | Big b -> if b.sign < 0 then Big { b with sign = 1 } else v
 
 let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then normalize a.sign (mag_add a.mag b.mag)
-  else begin
-    match mag_compare a.mag b.mag with
-    | 0 -> zero
-    | c when c > 0 -> normalize a.sign (mag_sub a.mag b.mag)
-    | _ -> normalize b.sign (mag_sub b.mag a.mag)
-  end
+  match (a, b) with
+  | Small 0, _ -> b
+  | _, Small 0 -> a
+  | Small x, Small y ->
+    let s = x + y in
+    if (x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0) then
+      (* Native overflow: redo on limbs (|x|+|y| <= 2*max_int is fine there). *)
+      mk (if x > 0 then 1 else -1) (mag_add (mag_of_abs (Stdlib.abs x)) (mag_of_abs (Stdlib.abs y)))
+    else if s = min_int then big_min_int
+    else Small s
+  | _ ->
+    let sa, ma = parts a and sb, mb = parts b in
+    if sa = sb then mk sa (mag_add ma mb)
+    else begin
+      match mag_compare ma mb with
+      | 0 -> zero
+      | c when c > 0 -> mk sa (mag_sub ma mb)
+      | _ -> mk sb (mag_sub mb ma)
+    end
 
 let sub a b = add a (neg b)
 
 let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else normalize (a.sign * b.sign) (mag_mul a.mag b.mag)
+  match (a, b) with
+  | Small 0, _ | _, Small 0 -> zero
+  | Small x, Small y ->
+    let ax = Stdlib.abs x and ay = Stdlib.abs y in
+    if ax <= max_int / ay then Small (x * y)
+    else
+      let s = if (x < 0) = (y < 0) then 1 else -1 in
+      mk s (mag_mul (mag_of_abs ax) (mag_of_abs ay))
+  | _ ->
+    let sa, ma = parts a and sb, mb = parts b in
+    mk (sa * sb) (mag_mul ma mb)
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
-  else if mag_compare a.mag b.mag < 0 then (zero, a)
-  else begin
-    let qm, rm =
-      if Array.length b.mag = 1 then begin
-        let q, r = mag_divmod_limb a.mag b.mag.(0) in
-        (q, if r = 0 then [||] else [| r |])
-      end
-      else mag_divmod_long a.mag b.mag
-    in
-    let q = normalize (a.sign * b.sign) qm in
-    let r = normalize a.sign rm in
-    (q, r)
-  end
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small 0, _ -> (zero, zero)
+  | Small x, Small y ->
+    (* Truncated quotient and dividend-signed remainder, exactly OCaml's
+       (/) and (mod); x <> min_int rules out the min_int / -1 overflow. *)
+    (Small (x / y), Small (x mod y))
+  | _ ->
+    let sa, ma = parts a and sb, mb = parts b in
+    if mag_compare ma mb < 0 then (zero, a)
+    else begin
+      let qm, rm =
+        if Array.length mb = 1 then begin
+          let q, r = mag_divmod_limb ma mb.(0) in
+          (q, if r = 0 then [||] else [| r |])
+        end
+        else mag_divmod_long ma mb
+      in
+      (mk (sa * sb) qm, mk sa rm)
+    end
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let rec gcd a b =
-  let a = abs a and b = abs b in
-  if is_zero b then a else gcd b (rem a b)
+  match (a, b) with
+  | Small x, Small y ->
+    let rec go x y = if y = 0 then x else go y (x mod y) in
+    Small (go (Stdlib.abs x) (Stdlib.abs y))
+  | _ ->
+    (* One big-integer remainder step, then recurse; magnitudes shrink
+       fast and the loop lands in the native arm almost immediately. *)
+    let a = abs a and b = abs b in
+    if is_zero b then a else gcd b (rem a b)
 
 (* ------------------------------------------------------------------ *)
 (* Conversions *)
 
-let of_int n =
-  if n = 0 then zero
-  else begin
-    (* Avoid [abs min_int] overflow by accumulating on the negative side. *)
-    let s = if n < 0 then -1 else 1 in
-    let m = if n < 0 then n else -n in
-    let rec limbs m acc = if m = 0 then acc else limbs (m / base) ((-(m mod base)) :: acc) in
-    let ds = List.rev (limbs m []) in
-    normalize s (Array.of_list ds)
-  end
+let of_int n = if n = min_int then big_min_int else Small n
+let one = Small 1
+let two = Small 2
+let minus_one = Small (-1)
 
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
-
-let to_int_opt v =
-  (* Accumulate and detect overflow by inverting each step. *)
-  let rec go i acc =
-    if i < 0 then Some acc
-    else begin
-      let shifted = acc * base in
-      if shifted / base <> acc then None
-      else begin
-        let next = shifted + (v.sign * v.mag.(i)) in
-        if v.sign > 0 && next < shifted then None
-        else if v.sign < 0 && next > shifted then None
-        else go (i - 1) next
-      end
-    end
-  in
-  go (Array.length v.mag - 1) 0
+let to_int_opt = function
+  | Small n -> Some n
+  | Big b ->
+    (* The only Big value that fits a native int is min_int itself. *)
+    if b.sign < 0 && mag_compare b.mag [| 0; 0; 0; 0; 4 |] = 0 then Some min_int else None
 
 let to_int_exn v =
   match to_int_opt v with
   | Some n -> n
   | None -> failwith "Bigint.to_int_exn: value does not fit in a native int"
 
-let to_float v =
-  let acc = ref 0.0 in
-  for i = Array.length v.mag - 1 downto 0 do
-    acc := (!acc *. float_of_int base) +. float_of_int v.mag.(i)
-  done;
-  if v.sign < 0 then -. !acc else !acc
+let to_float = function
+  | Small n -> float_of_int n
+  | Big b ->
+    let acc = ref 0.0 in
+    for i = Array.length b.mag - 1 downto 0 do
+      acc := (!acc *. float_of_int base) +. float_of_int b.mag.(i)
+    done;
+    if b.sign < 0 then -. !acc else !acc
 
 let mul_int v n = mul v (of_int n)
 
-let compare_int v n = compare v (of_int n)
+let compare_int v n =
+  match v with
+  | Small m -> Stdlib.compare m n
+  | Big _ -> compare v (of_int n)
 
 let pow b e =
   if e < 0 then invalid_arg "Bigint.pow: negative exponent";
@@ -355,26 +451,24 @@ let pow b e =
 
 let chunk = 10_000 (* decimal I/O processes 4 digits at a time *)
 
-let to_string v =
-  if v.sign = 0 then "0"
-  else begin
+let to_string = function
+  | Small n -> string_of_int n
+  | Big b ->
     let buf = Buffer.create 16 in
     let rec go m acc =
       if Array.length m = 0 then acc
       else begin
         let q, r = mag_divmod_limb m chunk in
-        let q = (normalize 1 q).mag in
-        go q (r :: acc)
+        go (mag_trim q) (r :: acc)
       end
     in
-    match go v.mag [] with
-    | [] -> assert false
-    | first :: rest ->
-      if v.sign < 0 then Buffer.add_char buf '-';
-      Buffer.add_string buf (string_of_int first);
-      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest;
-      Buffer.contents buf
-  end
+    (match go b.mag [] with
+     | [] -> assert false
+     | first :: rest ->
+       if b.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest;
+       Buffer.contents buf)
 
 let of_string s =
   let len = String.length s in
@@ -400,7 +494,9 @@ let of_string s =
 
 let pp fmt v = Format.pp_print_string fmt (to_string v)
 
-let hash v = Hashtbl.hash (v.sign, v.mag)
+(* Canonical representation makes each case's structural hash consistent
+   with [equal]: equal values are the identical constructor and fields. *)
+let hash = function Small n -> Hashtbl.hash n | Big b -> Hashtbl.hash (b.sign, b.mag)
 
 module Infix = struct
   let ( + ) = add

@@ -1,10 +1,14 @@
 (** Arbitrary-precision signed integers.
 
     Implemented from scratch on base-2{^15} limbs so that every intermediate
-    product and carry fits comfortably in a native 63-bit [int]. Values are
-    immutable and structurally normalised: no leading zero limbs and a unique
-    representation of zero, so structural equality coincides with numeric
-    equality.
+    product and carry fits comfortably in a native 63-bit [int], with a
+    small-int fast representation: values that fit a native [int] are carried
+    as one machine word and their add/mul/div/gcd run on machine arithmetic
+    with overflow guards, falling back to the limb code only when a result
+    outgrows the word. Values are immutable and canonically normalised
+    (small iff it fits, no leading zero limbs, a unique zero), so structural
+    equality coincides with numeric equality. The pre-fast-path code is kept
+    verbatim in {!Reference} as the differential-testing oracle.
 
     This module exists because the sealed build environment provides no
     arbitrary-precision package (no [zarith]); the exact-rational simplex in
@@ -58,6 +62,17 @@ val hash : t -> int
 
 (** Number of limbs in the magnitude; a crude size measure used by tests. *)
 val limb_count : t -> int
+
+(** [is_small v] is [true] when [v] is carried in the single-native-int fast
+    representation — every value except [min_int] and magnitudes beyond
+    [max_int]. The canonical representation guarantees the converse too:
+    [is_small v = false] means [v] genuinely does not fit. {!Rat} keys its
+    allocation-free arithmetic fast paths on this predicate. *)
+val is_small : t -> bool
+
+(** [small_value v] is the native value when [is_small v].
+    @raise Invalid_argument otherwise. *)
+val small_value : t -> int
 
 (** {1 Arithmetic} *)
 

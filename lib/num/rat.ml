@@ -1,12 +1,57 @@
-(* Normalised rationals: den > 0, gcd (num, den) = 1, zero is 0/1. *)
+(* Normalised rationals: den > 0, gcd (num, den) = 1, zero is 0/1.
+
+   [make] is the single normalisation point — it alone flips the sign onto
+   the numerator and divides out the gcd; every other constructor either
+   routes through it or proves the invariant locally (documented at each
+   site). Comparisons and [floor]/[ceil] rely on den > 0 without re-checking.
+
+   Fast paths: when all four parts of an operation are small bigints
+   (single native word — see {!Bigint.is_small}), add/sub/mul/div/compare
+   run entirely on machine integers with overflow guards, falling back to
+   the general bigint path on the rare overflow. [mul]/[div] use the
+   normalised-gcd trick: cross-reducing gcd (|a.num|, b.den) and
+   gcd (|b.num|, a.den) first means the final products are already coprime,
+   so no gcd of large products is ever taken. *)
 
 module B = Bigint
 
 type t = { num : B.t; den : B.t }
 
+exception Overflow
+
+(* Native helpers that raise [Overflow] instead of wrapping. Operands are
+   values of small bigints, hence never [min_int]. *)
+
+let add_s x y =
+  let s = x + y in
+  if (x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0) then raise_notrace Overflow;
+  if s = min_int then raise_notrace Overflow;
+  s
+
+let mul_s x y =
+  if x = 0 || y = 0 then 0
+  else begin
+    let ax = Stdlib.abs x and ay = Stdlib.abs y in
+    if ax > max_int / ay then raise_notrace Overflow;
+    x * y
+  end
+
+let rec gcd_int x y = if y = 0 then x else gcd_int y (x mod y)
+
+(* Normalise native [n]/[d], [d] <> 0. Quotients of in-range values stay in
+   range, so the result needs no further checks. *)
+let make_small n d =
+  if n = 0 then { num = B.zero; den = B.one }
+  else begin
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    let g = gcd_int d (Stdlib.abs n) in
+    { num = B.of_int (n / g); den = B.of_int (d / g) }
+  end
+
 let make num den =
   if B.is_zero den then raise Division_by_zero;
-  if B.is_zero num then { num = B.zero; den = B.one }
+  if B.is_small num && B.is_small den then make_small (B.small_value num) (B.small_value den)
+  else if B.is_zero num then { num = B.zero; den = B.one }
   else begin
     let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
     let g = B.gcd num den in
@@ -14,6 +59,8 @@ let make num den =
   end
 
 let of_ints a b = make (B.of_int a) (B.of_int b)
+
+(* den = 1 > 0 and gcd (n, 1) = 1: normalised by construction. *)
 let of_int n = { num = B.of_int n; den = B.one }
 let of_bigint n = { num = n; den = B.one }
 let num v = v.num
@@ -27,17 +74,30 @@ let minus_one = of_int (-1)
 let sign v = B.sign v.num
 let is_zero v = B.is_zero v.num
 
-let compare a b =
+(* Both operations preserve den > 0 and coprimality. *)
+let neg v = { v with num = B.neg v.num }
+let abs v = { v with num = B.abs v.num }
+
+let small4 a b = B.is_small a.num && B.is_small a.den && B.is_small b.num && B.is_small b.den
+
+let compare_big a b =
   (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
   B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let compare a b =
+  if small4 a b then begin
+    try
+      Stdlib.compare
+        (mul_s (B.small_value a.num) (B.small_value b.den))
+        (mul_s (B.small_value b.num) (B.small_value a.den))
+    with Overflow -> compare_big a b
+  end
+  else compare_big a b
 
 let equal a b = B.equal a.num b.num && B.equal a.den b.den
 let hash v = Hashtbl.hash (B.hash v.num, B.hash v.den)
 
-let neg v = { v with num = B.neg v.num }
-let abs v = { v with num = B.abs v.num }
-
-let add a b =
+let add_big a b =
   (* Use the gcd of denominators to keep intermediates small. *)
   let g = B.gcd a.den b.den in
   if B.equal g B.one then make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
@@ -46,12 +106,46 @@ let add a b =
     make (B.add (B.mul a.num db) (B.mul b.num da)) (B.mul a.den db)
   end
 
+let add a b =
+  if small4 a b then begin
+    try
+      let an = B.small_value a.num and ad = B.small_value a.den in
+      let bn = B.small_value b.num and bd = B.small_value b.den in
+      let g = gcd_int ad bd in
+      let da = ad / g and db = bd / g in
+      make_small (add_s (mul_s an db) (mul_s bn da)) (mul_s ad db)
+    with Overflow -> add_big a b
+  end
+  else add_big a b
+
 let sub a b = add a (neg b)
-let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let mul a b =
+  if small4 a b then begin
+    try
+      let an = B.small_value a.num and ad = B.small_value a.den in
+      let bn = B.small_value b.num and bd = B.small_value b.den in
+      (* Cross-reduce first: with a and b each normalised, the cross-reduced
+         products are coprime, so the result is normalised without a gcd of
+         the products. Sign: ad, bd > 0, so the numerator carries it. *)
+      let g1 = gcd_int bd (Stdlib.abs an) and g2 = gcd_int ad (Stdlib.abs bn) in
+      let n = mul_s (an / g1) (bn / g2) in
+      let d = mul_s (ad / g2) (bd / g1) in
+      { num = B.of_int n; den = B.of_int d }
+    with Overflow -> make (B.mul a.num b.num) (B.mul a.den b.den)
+  end
+  else make (B.mul a.num b.num) (B.mul a.den b.den)
 
 let inv v =
   if is_zero v then raise Division_by_zero;
-  make v.den v.num
+  if B.is_small v.num && B.is_small v.den then begin
+    (* Swapping the already-coprime parts keeps normalisation; only the
+       sign must move onto the new numerator. Parts are never min_int. *)
+    let n = B.small_value v.num and d = B.small_value v.den in
+    if n < 0 then { num = B.of_int (-d); den = B.of_int (-n) }
+    else { num = B.of_int d; den = B.of_int n }
+  end
+  else make v.den v.num
 
 let div a b = mul a (inv b)
 let min a b = if compare a b <= 0 then a else b
@@ -59,6 +153,7 @@ let max a b = if compare a b >= 0 then a else b
 let mul_int v n = make (B.mul_int v.num n) v.den
 
 let pow v e =
+  (* Powers of coprime parts stay coprime, and den^e > 0. *)
   if e >= 0 then { num = B.pow v.num e; den = B.pow v.den e }
   else begin
     if B.is_zero v.num then raise Division_by_zero;

@@ -1,0 +1,405 @@
+(* The original straight-ahead Bigint/Rat implementation, kept verbatim as
+   the reference oracle for differential testing of the fast representation
+   in {!Bigint}/{!Rat}. Slow but simple: every value is a sign + limb array,
+   every operation runs the general magnitude code path. The fuzz property
+   [num.diff] and the unit tests in [test_num.ml] replay random operand
+   streams through both implementations and require bit-exact agreement on
+   the decimal renderings.
+
+   Nothing outside the test tree and [lib/check] should depend on this
+   module. *)
+
+module Bigint = struct
+  (* Arbitrary-precision integers on base-2^15 limbs.
+
+     Representation invariants:
+     - [mag] is little-endian, has no trailing (most-significant) zero limb;
+     - [sign] is 0 iff [mag] is empty, otherwise -1 or 1. *)
+
+  let base_bits = 15
+  let base = 1 lsl base_bits (* 32768 *)
+  let mask = base - 1
+
+  type t = { sign : int; mag : int array }
+
+  let zero = { sign = 0; mag = [||] }
+
+  let normalize sign mag =
+    let n = ref (Array.length mag) in
+    while !n > 0 && mag.(!n - 1) = 0 do
+      decr n
+    done;
+    if !n = 0 then zero
+    else if !n = Array.length mag then { sign; mag }
+    else { sign; mag = Array.sub mag 0 !n }
+
+  let is_zero v = v.sign = 0
+  let sign v = v.sign
+  let limb_count v = Array.length v.mag
+
+  let mag_compare a b =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then compare la lb
+    else
+      let rec go i =
+        if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1)
+      in
+      go (la - 1)
+
+  let mag_add a b =
+    let la = Array.length a and lb = Array.length b in
+    let lr = 1 + max la lb in
+    let r = Array.make lr 0 in
+    let carry = ref 0 in
+    for i = 0 to lr - 2 do
+      let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+      r.(i) <- s land mask;
+      carry := s lsr base_bits
+    done;
+    r.(lr - 1) <- !carry;
+    r
+
+  (* Precondition: a >= b (as magnitudes). *)
+  let mag_sub a b =
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make la 0 in
+    let borrow = ref 0 in
+    for i = 0 to la - 1 do
+      let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    assert (!borrow = 0);
+    r
+
+  let mag_mul a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then [||]
+    else begin
+      let r = Array.make (la + lb) 0 in
+      for i = 0 to la - 1 do
+        let carry = ref 0 in
+        let ai = a.(i) in
+        if ai <> 0 then begin
+          for j = 0 to lb - 1 do
+            let t = (ai * b.(j)) + r.(i + j) + !carry in
+            r.(i + j) <- t land mask;
+            carry := t lsr base_bits
+          done;
+          let k = ref (i + lb) in
+          while !carry <> 0 do
+            let t = r.(!k) + !carry in
+            r.(!k) <- t land mask;
+            carry := t lsr base_bits;
+            incr k
+          done
+        end
+      done;
+      r
+    end
+
+  let mag_mul_limb a d =
+    let la = Array.length a in
+    if la = 0 || d = 0 then [||]
+    else begin
+      let r = Array.make (la + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let t = (a.(i) * d) + !carry in
+        r.(i) <- t land mask;
+        carry := t lsr base_bits
+      done;
+      r.(la) <- !carry;
+      r
+    end
+
+  let mag_divmod_limb a d =
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!r lsl base_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (q, !r)
+
+  (* Knuth Algorithm D long division of magnitudes. Precondition:
+     Array.length v >= 2 and mag_compare u v >= 0. Returns (q, r). *)
+  let mag_divmod_long u v =
+    let nv = Array.length v in
+    let nu = Array.length u in
+    let d = base / (v.(nv - 1) + 1) in
+    let un0 = mag_mul_limb u d in
+    let un = Array.make (nu + 1) 0 in
+    Array.blit un0 0 un 0 (min (Array.length un0) (nu + 1));
+    let vn0 = mag_mul_limb v d in
+    let vn = Array.sub vn0 0 nv in
+    assert (Array.length vn0 <= nv || vn0.(nv) = 0);
+    let q = Array.make (nu - nv + 1) 0 in
+    for j = nu - nv downto 0 do
+      let top = (un.(j + nv) lsl base_bits) lor un.(j + nv - 1) in
+      let qhat = ref (top / vn.(nv - 1)) in
+      let rhat = ref (top mod vn.(nv - 1)) in
+      let continue = ref true in
+      while !continue do
+        if
+          !qhat >= base
+          || (nv >= 2 && !qhat * vn.(nv - 2) > ((!rhat lsl base_bits) lor un.(j + nv - 2)))
+        then begin
+          decr qhat;
+          rhat := !rhat + vn.(nv - 1);
+          if !rhat >= base then continue := false
+        end
+        else continue := false
+      done;
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to nv - 1 do
+        let p = !qhat * vn.(i) + !carry in
+        carry := p lsr base_bits;
+        let d0 = un.(i + j) - (p land mask) - !borrow in
+        if d0 < 0 then begin
+          un.(i + j) <- d0 + base;
+          borrow := 1
+        end else begin
+          un.(i + j) <- d0;
+          borrow := 0
+        end
+      done;
+      let d0 = un.(j + nv) - !carry - !borrow in
+      if d0 < 0 then begin
+        un.(j + nv) <- d0 + base;
+        decr qhat;
+        let carry2 = ref 0 in
+        for i = 0 to nv - 1 do
+          let s = un.(i + j) + vn.(i) + !carry2 in
+          un.(i + j) <- s land mask;
+          carry2 := s lsr base_bits
+        done;
+        un.(j + nv) <- (un.(j + nv) + !carry2) land mask
+      end
+      else un.(j + nv) <- d0;
+      q.(j) <- !qhat
+    done;
+    let rm = Array.sub un 0 nv in
+    let r, r0 = mag_divmod_limb rm d in
+    assert (r0 = 0);
+    (q, r)
+
+  let compare a b =
+    if a.sign <> b.sign then compare a.sign b.sign
+    else if a.sign >= 0 then mag_compare a.mag b.mag
+    else mag_compare b.mag a.mag
+
+  let equal a b = compare a b = 0
+
+  let neg v = if v.sign = 0 then v else { v with sign = -v.sign }
+  let abs v = if v.sign < 0 then neg v else v
+
+  let add a b =
+    if a.sign = 0 then b
+    else if b.sign = 0 then a
+    else if a.sign = b.sign then normalize a.sign (mag_add a.mag b.mag)
+    else begin
+      match mag_compare a.mag b.mag with
+      | 0 -> zero
+      | c when c > 0 -> normalize a.sign (mag_sub a.mag b.mag)
+      | _ -> normalize b.sign (mag_sub b.mag a.mag)
+    end
+
+  let sub a b = add a (neg b)
+
+  let mul a b =
+    if a.sign = 0 || b.sign = 0 then zero
+    else normalize (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+  let divmod a b =
+    if b.sign = 0 then raise Division_by_zero
+    else if a.sign = 0 then (zero, zero)
+    else if mag_compare a.mag b.mag < 0 then (zero, a)
+    else begin
+      let qm, rm =
+        if Array.length b.mag = 1 then begin
+          let q, r = mag_divmod_limb a.mag b.mag.(0) in
+          (q, if r = 0 then [||] else [| r |])
+        end
+        else mag_divmod_long a.mag b.mag
+      in
+      let q = normalize (a.sign * b.sign) qm in
+      let r = normalize a.sign rm in
+      (q, r)
+    end
+
+  let div a b = fst (divmod a b)
+  let rem a b = snd (divmod a b)
+
+  let rec gcd a b =
+    let a = abs a and b = abs b in
+    if is_zero b then a else gcd b (rem a b)
+
+  let of_int n =
+    if n = 0 then zero
+    else begin
+      let s = if n < 0 then -1 else 1 in
+      let m = if n < 0 then n else -n in
+      let rec limbs m acc = if m = 0 then acc else limbs (m / base) ((-(m mod base)) :: acc) in
+      let ds = List.rev (limbs m []) in
+      normalize s (Array.of_list ds)
+    end
+
+  let one = of_int 1
+  let minus_one = of_int (-1)
+
+  let to_int_opt v =
+    let rec go i acc =
+      if i < 0 then Some acc
+      else begin
+        let shifted = acc * base in
+        if shifted / base <> acc then None
+        else begin
+          let next = shifted + (v.sign * v.mag.(i)) in
+          if v.sign > 0 && next < shifted then None
+          else if v.sign < 0 && next > shifted then None
+          else go (i - 1) next
+        end
+      end
+    in
+    go (Array.length v.mag - 1) 0
+
+  let to_float v =
+    let acc = ref 0.0 in
+    for i = Array.length v.mag - 1 downto 0 do
+      acc := (!acc *. float_of_int base) +. float_of_int v.mag.(i)
+    done;
+    if v.sign < 0 then -. !acc else !acc
+
+  let pow b e =
+    if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+    let rec go acc b e =
+      if e = 0 then acc
+      else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+      else go acc (mul b b) (e lsr 1)
+    in
+    go one b e
+
+  let chunk = 10_000 (* decimal I/O processes 4 digits at a time *)
+
+  let to_string v =
+    if v.sign = 0 then "0"
+    else begin
+      let buf = Buffer.create 16 in
+      let rec go m acc =
+        if Array.length m = 0 then acc
+        else begin
+          let q, r = mag_divmod_limb m chunk in
+          let q = (normalize 1 q).mag in
+          go q (r :: acc)
+        end
+      in
+      match go v.mag [] with
+      | [] -> assert false
+      | first :: rest ->
+        if v.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest;
+        Buffer.contents buf
+    end
+
+  let of_string s =
+    let len = String.length s in
+    if len = 0 then invalid_arg "Bigint.of_string: empty string";
+    let neg_sign, start =
+      match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+    in
+    if start >= len then invalid_arg "Bigint.of_string: no digits";
+    let acc = ref zero in
+    let i = ref start in
+    while !i < len do
+      let upto = min len (!i + 4) in
+      let upto = if !i = start then start + (((len - start - 1) mod 4) + 1) else upto in
+      let piece = String.sub s !i (upto - !i) in
+      String.iter
+        (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit")
+        piece;
+      let v = int_of_string piece in
+      let factor = match upto - !i with 1 -> 10 | 2 -> 100 | 3 -> 1000 | _ -> chunk in
+      acc := add (mul !acc (of_int factor)) (of_int v);
+      i := upto
+    done;
+    if neg_sign then neg !acc else !acc
+end
+
+module Rat = struct
+  (* Normalised rationals over the reference bigint: den > 0,
+     gcd (num, den) = 1, zero is 0/1. *)
+
+  module B = Bigint
+
+  type t = { num : B.t; den : B.t }
+
+  let make num den =
+    if B.is_zero den then raise Division_by_zero;
+    if B.is_zero num then { num = B.zero; den = B.one }
+    else begin
+      let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+      let g = B.gcd num den in
+      if B.equal g B.one then { num; den } else { num = B.div num g; den = B.div den g }
+    end
+
+  let of_ints a b = make (B.of_int a) (B.of_int b)
+  let of_int n = { num = B.of_int n; den = B.one }
+  let num v = v.num
+  let den v = v.den
+  let zero = of_int 0
+  let one = of_int 1
+  let sign v = B.sign v.num
+  let is_zero v = B.is_zero v.num
+
+  let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+  let equal a b = B.equal a.num b.num && B.equal a.den b.den
+  let neg v = { v with num = B.neg v.num }
+  let abs v = { v with num = B.abs v.num }
+
+  let add a b =
+    let g = B.gcd a.den b.den in
+    if B.equal g B.one then
+      make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+    else begin
+      let da = B.div a.den g and db = B.div b.den g in
+      make (B.add (B.mul a.num db) (B.mul b.num da)) (B.mul a.den db)
+    end
+
+  let sub a b = add a (neg b)
+  let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+
+  let inv v =
+    if is_zero v then raise Division_by_zero;
+    make v.den v.num
+
+  let div a b = mul a (inv b)
+
+  let floor v =
+    let q, r = B.divmod v.num v.den in
+    if B.sign r < 0 then B.sub q B.one else q
+
+  let ceil v =
+    let q, r = B.divmod v.num v.den in
+    if B.sign r > 0 then B.add q B.one else q
+
+  let to_string v =
+    if B.equal v.den B.one then B.to_string v.num
+    else B.to_string v.num ^ "/" ^ B.to_string v.den
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | Some i ->
+      let a = B.of_string (String.sub s 0 i) in
+      let b = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      make a b
+    | None -> { num = B.of_string s; den = B.one }
+end

@@ -2,11 +2,14 @@ type snapshot = {
   pivots : int;
   bb_nodes : int;
   bb_pruned : int;
+  bb_dominated : int;
   colgen_columns : int;
   colgen_rounds : int;
 }
 
-let zero = { pivots = 0; bb_nodes = 0; bb_pruned = 0; colgen_columns = 0; colgen_rounds = 0 }
+let zero =
+  { pivots = 0; bb_nodes = 0; bb_pruned = 0; bb_dominated = 0; colgen_columns = 0;
+    colgen_rounds = 0 }
 let is_zero s = s = zero
 
 (* One mutable cell per domain: increments are plain stores, no atomics
@@ -16,14 +19,15 @@ type cell = {
   mutable c_pivots : int;
   mutable c_bb_nodes : int;
   mutable c_bb_pruned : int;
+  mutable c_bb_dominated : int;
   mutable c_colgen_columns : int;
   mutable c_colgen_rounds : int;
 }
 
 let key =
   Domain.DLS.new_key (fun () ->
-      { c_pivots = 0; c_bb_nodes = 0; c_bb_pruned = 0; c_colgen_columns = 0;
-        c_colgen_rounds = 0 })
+      { c_pivots = 0; c_bb_nodes = 0; c_bb_pruned = 0; c_bb_dominated = 0;
+        c_colgen_columns = 0; c_colgen_rounds = 0 })
 
 let on = Atomic.make true
 let enabled () = Atomic.get on
@@ -48,6 +52,12 @@ let add_bb_pruned n =
     c.c_bb_pruned <- c.c_bb_pruned + n
   end
 
+let add_bb_dominated n =
+  if Atomic.get on then begin
+    let c = cell () in
+    c.c_bb_dominated <- c.c_bb_dominated + n
+  end
+
 let add_colgen_columns n =
   if Atomic.get on then begin
     let c = cell () in
@@ -65,10 +75,12 @@ let reset () =
   c.c_pivots <- 0;
   c.c_bb_nodes <- 0;
   c.c_bb_pruned <- 0;
+  c.c_bb_dominated <- 0;
   c.c_colgen_columns <- 0;
   c.c_colgen_rounds <- 0
 
 let read () =
   let c = cell () in
   { pivots = c.c_pivots; bb_nodes = c.c_bb_nodes; bb_pruned = c.c_bb_pruned;
-    colgen_columns = c.c_colgen_columns; colgen_rounds = c.c_colgen_rounds }
+    bb_dominated = c.c_bb_dominated; colgen_columns = c.c_colgen_columns;
+    colgen_rounds = c.c_colgen_rounds }

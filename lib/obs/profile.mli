@@ -19,6 +19,7 @@ type snapshot = {
   pivots : int;  (** simplex pivot steps (phase 1 + phase 2) *)
   bb_nodes : int;  (** branch-and-bound nodes expanded *)
   bb_pruned : int;  (** subtrees cut by a bound before expansion *)
+  bb_dominated : int;  (** states cut by the branch-and-bound dominance table *)
   colgen_columns : int;  (** columns added by knapsack pricing *)
   colgen_rounds : int;  (** restricted-master re-solve rounds *)
 }
@@ -35,6 +36,7 @@ val set_enabled : bool -> unit
 val add_pivots : int -> unit
 val add_bb_nodes : int -> unit
 val add_bb_pruned : int -> unit
+val add_bb_dominated : int -> unit
 val add_colgen_columns : int -> unit
 val add_colgen_rounds : int -> unit
 

@@ -560,6 +560,50 @@ let prop_colgen_wider_widths =
       Q.equal full.Config_lp.fractional_height cg.Config_lp.fractional_height
       && cg.Config_lp.num_configs <= full.Config_lp.num_configs)
 
+let test_colgen_warm_reuse () =
+  (* A shared warm pool makes a repeat solve start from the previously
+     converged configuration pool: the answer is identical and the repeat
+     needs fewer pricing rounds and priced columns (it converges without
+     generating anything new). *)
+  let inst =
+    let rng = Spp_util.Prng.create 7 in
+    Spp_workloads.Generators.random_release rng ~n:12 ~k:8 ~h_den:4 ~r_den:2 ~load:1.2
+  in
+  let warm = Spp_core.Config_colgen.warm_start () in
+  let rounds_of f =
+    Spp_obs.Profile.reset ();
+    let r = f () in
+    let p = Spp_obs.Profile.read () in
+    (r, p.Spp_obs.Profile.colgen_rounds, p.Spp_obs.Profile.colgen_columns)
+  in
+  let cold, cold_rounds, cold_cols =
+    rounds_of (fun () -> Spp_core.Config_colgen.solve ~warm inst)
+  in
+  let warmed, warm_rounds, warm_cols =
+    rounds_of (fun () -> Spp_core.Config_colgen.solve ~warm inst)
+  in
+  Alcotest.(check string) "same optimum"
+    (Q.to_string cold.Config_lp.fractional_height)
+    (Q.to_string warmed.Config_lp.fractional_height);
+  Alcotest.(check bool) "warm run prices no new columns" true (warm_cols = 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm rounds %d < cold rounds %d (cold priced %d columns)" warm_rounds
+       cold_rounds cold_cols)
+    true
+    (warm_rounds < cold_rounds)
+
+let prop_colgen_warm_equals_cold =
+  (* Warm-started solves are exact: seeding the pool never changes the LP
+     optimum, whatever instance sequence shares the pool. *)
+  QCheck.Test.make ~name:"warm-started column generation = cold" ~count:25 release_gen
+    (fun inst ->
+      let warm = Spp_core.Config_colgen.warm_start () in
+      let cold = Spp_core.Config_colgen.solve inst in
+      let w1 = Spp_core.Config_colgen.solve ~warm inst in
+      let w2 = Spp_core.Config_colgen.solve ~warm inst in
+      Q.equal cold.Config_lp.fractional_height w1.Config_lp.fractional_height
+      && Q.equal cold.Config_lp.fractional_height w2.Config_lp.fractional_height)
+
 let prop_aptas_colgen_equivalent =
   (* The full APTAS with column generation: valid, same fractional height
      as the enumerated solver, same accounting guarantees. *)
@@ -729,9 +773,10 @@ let () =
       ( "column-generation",
         Alcotest.test_case "matches enumeration (simple)" `Quick
           test_colgen_matches_enumeration_simple
+        :: Alcotest.test_case "warm pool reuse" `Quick test_colgen_warm_reuse
         :: qt
              [ prop_colgen_matches_enumeration; prop_colgen_wider_widths;
-               prop_aptas_colgen_equivalent ] );
+               prop_colgen_warm_equals_cold; prop_aptas_colgen_equivalent ] );
       ( "theorem-3.5",
         Alcotest.test_case "trivial APTAS" `Quick test_aptas_trivial
         :: qt [ prop_aptas_valid_and_bounded; prop_aptas_smaller_epsilon_tighter_fractional ] );

@@ -194,9 +194,72 @@ let test_normal_bb_beats_bottom_left () =
   Alcotest.(check bool) "valid" true (Validate.is_valid_prec inst bb.Normal_bb.placement)
 
 let test_normal_bb_guard () =
-  let rects = List.init 8 (fun i -> rect i 1 2 1 1) in
-  Alcotest.check_raises "n > 7" (Invalid_argument "Normal_bb.solve: instance too large (n > 7)")
+  let rects = List.init 10 (fun i -> rect i 1 2 1 1) in
+  Alcotest.check_raises "n > 9" (Invalid_argument "Normal_bb.solve: instance too large (n > 9)")
     (fun () -> ignore (Normal_bb.solve (prec rects [])))
+
+(* Three identical two-thirds-width rects must stack (opt 3) while the
+   area bound is only 2, so the seed cannot short-circuit the search and
+   the permutation symmetry guarantees the dominance table fires. *)
+let dominance_inst () = prec [ rect 0 2 3 1 1; rect 1 2 3 1 1; rect 2 2 3 1 1 ] []
+
+let test_normal_bb_dominance_prunes () =
+  let inst = dominance_inst () in
+  Spp_obs.Profile.reset ();
+  let on = Normal_bb.solve ~dominance:true inst in
+  let p_on = Spp_obs.Profile.read () in
+  Spp_obs.Profile.reset ();
+  let off = Normal_bb.solve ~dominance:false inst in
+  let p_off = Spp_obs.Profile.read () in
+  Alcotest.(check string) "optimum" "3" (Q.to_string on.Normal_bb.height);
+  Alcotest.(check string) "dominance never cuts the optimum" (Q.to_string off.Normal_bb.height)
+    (Q.to_string on.Normal_bb.height);
+  Alcotest.(check bool) "dominance table fired"
+    true (p_on.Spp_obs.Profile.bb_dominated > 0);
+  Alcotest.(check int) "undominated search reports no dominated states" 0
+    p_off.Spp_obs.Profile.bb_dominated;
+  Alcotest.(check bool)
+    (Printf.sprintf "dominance shrinks the tree (%d >= %d nodes)"
+       p_off.Spp_obs.Profile.bb_nodes p_on.Spp_obs.Profile.bb_nodes)
+    true
+    (p_off.Spp_obs.Profile.bb_nodes >= p_on.Spp_obs.Profile.bb_nodes)
+
+let test_normal_bb_profile_attribution () =
+  (* The ambient profile must account for exactly the nodes the outcome
+     reports (seed + search), on the calling domain, pruned included. *)
+  let inst = dominance_inst () in
+  Spp_obs.Profile.reset ();
+  let out = Normal_bb.solve inst in
+  let p = Spp_obs.Profile.read () in
+  Alcotest.(check int) "profile nodes = outcome nodes" out.Normal_bb.nodes_expanded
+    p.Spp_obs.Profile.bb_nodes;
+  Alcotest.(check bool) "bound pruning counted" true (p.Spp_obs.Profile.bb_pruned > 0)
+
+let test_normal_bb_parallel_profile_attribution () =
+  (* Worker domains must not leak counts into their own DLS cells: the
+     caller aggregates, so the calling domain sees the whole search. *)
+  let inst = dominance_inst () in
+  Spp_obs.Profile.reset ();
+  let out = Normal_bb.solve ~workers:4 inst in
+  let p = Spp_obs.Profile.read () in
+  Alcotest.(check int) "profile nodes = outcome nodes (4 workers)"
+    out.Normal_bb.nodes_expanded p.Spp_obs.Profile.bb_nodes
+
+let prop_normal_bb_dominance_never_cuts =
+  (* Exhaustive cross-check on n <= 6: the dominance-pruned search and the
+     undominated search agree on the optimum for every generated DAG. *)
+  QCheck.Test.make ~name:"dominance on = dominance off (n <= 6)" ~count:80 small_prec_gen
+    (fun inst ->
+      Q.equal
+        (Normal_bb.solve ~dominance:true inst).Normal_bb.height
+        (Normal_bb.solve ~dominance:false inst).Normal_bb.height)
+
+let prop_normal_bb_parallel_deterministic =
+  QCheck.Test.make ~name:"B&B height identical for 1 vs 4 workers" ~count:40 small_prec_gen
+    (fun inst ->
+      Q.equal
+        (Normal_bb.solve ~workers:1 inst).Normal_bb.height
+        (Normal_bb.solve ~workers:4 inst).Normal_bb.height)
 
 let tiny_prec_gen =
   QCheck.make
@@ -265,5 +328,15 @@ let () =
         Alcotest.test_case "trivial" `Quick test_normal_bb_trivial
         :: Alcotest.test_case "vs bottom-left" `Quick test_normal_bb_beats_bottom_left
         :: Alcotest.test_case "size guard" `Quick test_normal_bb_guard
-        :: qt [ prop_normal_bb_is_exact_reference; prop_normal_bb_matches_dp_on_uniform ] );
+        :: Alcotest.test_case "dominance prunes" `Quick test_normal_bb_dominance_prunes
+        :: Alcotest.test_case "profile attribution" `Quick test_normal_bb_profile_attribution
+        :: Alcotest.test_case "parallel profile attribution" `Quick
+             test_normal_bb_parallel_profile_attribution
+        :: qt
+             [
+               prop_normal_bb_is_exact_reference;
+               prop_normal_bb_matches_dp_on_uniform;
+               prop_normal_bb_dominance_never_cuts;
+               prop_normal_bb_parallel_deterministic;
+             ] );
     ]

@@ -163,6 +163,27 @@ let test_misc_queries () =
   let open B.Infix in
   Alcotest.(check bool) "infix" true ((bi 2 + bi 3) * bi 4 = bi 20 && bi 3 < bi 4 && bi 9 / bi 2 = bi 4)
 
+let test_small_big_boundary () =
+  (* The small/big representation boundary: every native int except
+     min_int is small; crossing max_int in either direction goes big and
+     coming back re-canonicalises to small. *)
+  Alcotest.(check bool) "max_int is small" true (B.is_small (bi max_int));
+  Alcotest.(check bool) "min_int+1 is small" true (B.is_small (bi (min_int + 1)));
+  Alcotest.(check bool) "min_int is big" false (B.is_small (bi min_int));
+  Alcotest.(check bool) "max_int+1 is big" false (B.is_small (B.add (bi max_int) B.one));
+  Alcotest.(check bool) "re-canonicalises" true
+    (B.is_small (B.sub (B.add (bi max_int) B.one) B.one));
+  Alcotest.(check int) "small_value" 42 (B.small_value (bi 42));
+  (* Native ints are 63-bit: max_int = 2^62 - 1, min_int = -2^62. *)
+  check_b "add overflow" "4611686018427387904" (B.add (bi max_int) B.one);
+  check_b "sub underflow" "-4611686018427387905" (B.sub (bi min_int) B.one);
+  check_b "mul overflow" "21267647932558653957237540927630737409" (B.mul (bi max_int) (bi max_int));
+  check_b "min_int negates" "4611686018427387904" (B.neg (bi min_int));
+  check_b "min_int abs" "4611686018427387904" (B.abs (bi min_int));
+  check_b "min_int divmod" (string_of_int (min_int / 2)) (fst (B.divmod (bi min_int) (bi 2)));
+  Alcotest.(check bool) "equal across representations" true
+    (B.equal (bi min_int) (B.sub (B.add (bi min_int) B.one) B.one))
+
 (* ------------------------------------------------------------------ *)
 (* Bigint property tests vs native ints *)
 
@@ -225,6 +246,40 @@ let prop_gcd_divides =
       else B.is_zero (B.rem a g) && B.is_zero (B.rem b g))
 
 (* ------------------------------------------------------------------ *)
+(* Differential vs the reference implementation *)
+
+module RB = Spp_num.Reference.Bigint
+module RR = Spp_num.Reference.Rat
+
+let ref_of b = RB.of_string (B.to_string b)
+
+let prop_ref_bigint_ops =
+  QCheck.Test.make ~name:"bigint ops match reference implementation" ~count:300
+    (QCheck.pair big_gen big_gen) (fun (a, b) ->
+      let ra = ref_of a and rb = ref_of b in
+      B.to_string (B.add a b) = RB.to_string (RB.add ra rb)
+      && B.to_string (B.sub a b) = RB.to_string (RB.sub ra rb)
+      && B.to_string (B.mul a b) = RB.to_string (RB.mul ra rb)
+      && B.to_string (B.gcd a b) = RB.to_string (RB.gcd ra rb)
+      && B.compare a b = RB.compare ra rb
+      && (B.is_zero b
+          ||
+          let q, r = B.divmod a b and rq, rr = RB.divmod ra rb in
+          B.to_string q = RB.to_string rq && B.to_string r = RB.to_string rr))
+
+let prop_ref_rat_ops =
+  QCheck.Test.make ~name:"rat ops match reference implementation" ~count:300
+    (QCheck.quad big_gen big_gen big_gen big_gen) (fun (a, b, c, d) ->
+      QCheck.assume (not (B.is_zero b || B.is_zero d));
+      let x = Q.make a b and y = Q.make c d in
+      let rx = RR.make (ref_of a) (ref_of b) and ry = RR.make (ref_of c) (ref_of d) in
+      Q.to_string (Q.add x y) = RR.to_string (RR.add rx ry)
+      && Q.to_string (Q.sub x y) = RR.to_string (RR.sub rx ry)
+      && Q.to_string (Q.mul x y) = RR.to_string (RR.mul rx ry)
+      && Q.compare x y = RR.compare rx ry
+      && (Q.is_zero y || Q.to_string (Q.div x y) = RR.to_string (RR.div rx ry)))
+
+(* ------------------------------------------------------------------ *)
 (* Rational unit tests *)
 
 let check_q msg expected actual = Alcotest.(check string) msg expected (Q.to_string actual)
@@ -235,6 +290,38 @@ let test_rat_normalisation () =
   check_q "double neg" "2/3" (Q.of_ints (-2) (-3));
   check_q "zero canonical" "0" (Q.of_ints 0 7);
   check_q "integer hides den" "5" (Q.of_ints 10 2)
+
+let test_rat_den_invariant () =
+  (* [make] is the single normalisation point: whatever route a rational
+     takes (small fast path, big path, inv, mul cross-reduction, pow),
+     den > 0 and gcd (num, den) = 1 must hold on the result. *)
+  let check_normal msg v =
+    Alcotest.(check bool) (msg ^ ": den > 0") true (B.sign (Q.den v) > 0);
+    Alcotest.(check bool) (msg ^ ": coprime") true
+      (Q.is_zero v || B.equal (B.gcd (Q.num v) (Q.den v)) B.one);
+    Alcotest.(check bool) (msg ^ ": zero canonical") true
+      (not (Q.is_zero v) || B.equal (Q.den v) B.one)
+  in
+  let big = B.mul (bi max_int) (bi 3) in
+  check_normal "small neg den" (Q.of_ints 4 (-6));
+  check_normal "big neg den" (Q.make big (B.neg (B.mul big (bi 2))));
+  check_normal "inv of negative" (Q.inv (Q.of_ints (-3) 7));
+  check_normal "mul of negatives" (Q.mul (Q.of_ints (-2) 3) (Q.of_ints 3 (-4)));
+  check_normal "div result" (Q.div (Q.of_ints 5 6) (Q.of_ints (-10) 9));
+  check_normal "neg pow" (Q.pow (Q.of_ints (-2) 3) (-2));
+  check_normal "sub to zero" (Q.sub (Q.of_ints 1 3) (Q.of_ints 2 6));
+  check_normal "big add" (Q.add (Q.of_bigint big) (Q.make B.one big));
+  check_q "inv moves sign" "-7/3" (Q.inv (Q.of_ints (-3) 7));
+  check_q "big neg den value" "-1/2" (Q.make big (B.neg (B.mul big (bi 2))))
+
+let prop_rat_normalised =
+  QCheck.Test.make ~name:"rat make always normalises (den > 0, coprime)" ~count:500
+    (QCheck.pair big_gen big_gen) (fun (a, b) ->
+      QCheck.assume (not (B.is_zero b));
+      let v = Q.make a b in
+      B.sign (Q.den v) > 0
+      && (Q.is_zero v || B.equal (B.gcd (Q.num v) (Q.den v)) B.one)
+      && (not (Q.is_zero v) || B.equal (Q.den v) B.one))
 
 let test_rat_arith () =
   check_q "add" "5/6" (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
@@ -333,6 +420,7 @@ let () =
           Alcotest.test_case "compare" `Quick test_compare;
           Alcotest.test_case "to_float" `Quick test_to_float;
           Alcotest.test_case "misc queries" `Quick test_misc_queries;
+          Alcotest.test_case "small/big boundary" `Quick test_small_big_boundary;
         ] );
       ( "bigint-props",
         qsuite
@@ -347,9 +435,11 @@ let () =
             prop_gcd_divides;
             prop_karatsuba_matches_division;
           ] );
+      ("reference-diff", qsuite [ prop_ref_bigint_ops; prop_ref_rat_ops ]);
       ( "rat-unit",
         [
           Alcotest.test_case "normalisation" `Quick test_rat_normalisation;
+          Alcotest.test_case "den > 0 invariant" `Quick test_rat_den_invariant;
           Alcotest.test_case "arithmetic" `Quick test_rat_arith;
           Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
           Alcotest.test_case "compare" `Quick test_rat_compare;
@@ -359,5 +449,6 @@ let () =
         ] );
       ( "rat-props",
         qsuite
-          [ prop_rat_add_assoc; prop_rat_mul_inverse; prop_rat_total_order; prop_rat_floor_bound ] );
+          [ prop_rat_add_assoc; prop_rat_mul_inverse; prop_rat_total_order; prop_rat_floor_bound;
+            prop_rat_normalised ] );
     ]
